@@ -1,0 +1,25 @@
+# Convenience targets for the reproduction workflow.
+
+PY ?= python
+
+.PHONY: install test bench bench-full repro examples lint-clean
+
+install:
+	pip install -e .
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+# Nested CV over the complete 1344-point Table I grid (slow).
+bench-full:
+	REPRO_FULL_GRID=1 $(PY) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every artifact into results/ (one text file each + sweep CSVs).
+repro:
+	$(PY) -m repro.cli --all results
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex =="; $(PY) $$ex; done

@@ -1,0 +1,25 @@
+"""Benchmark fixtures.
+
+Every bench regenerates one of the paper's artifacts and prints the same
+rows/series the paper reports (captured with ``pytest -s`` or in the
+benchmark summary).  Expensive regenerations run once
+(``benchmark.pedantic(rounds=1)``) — the timing of interest is "how long
+does regenerating the artifact take", not a statistical distribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.session import MeasurementSession
+
+
+@pytest.fixture(scope="session")
+def session():
+    return MeasurementSession()
+
+
+def emit(title: str, text: str) -> None:
+    """Print a rendered artifact under a banner (visible with -s)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{text}\n")

@@ -1,0 +1,90 @@
+"""Bench: backlog-aware spilling vs plain placement under overload.
+
+Quantifies the §I "application overloads" extension: a flood of identical
+requests serialized on the predictor's single favourite vs the queue-aware
+scheduler that spills to the runner-up.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.report import render_table
+from repro.nn.zoo import MNIST_SMALL
+from repro.ocl.context import Context
+from repro.ocl.platform import get_all_devices
+from repro.sched.backlog import BacklogAwareScheduler
+from repro.sched.dataset import generate_dataset
+from repro.sched.dispatcher import Dispatcher
+from repro.sched.policies import Policy
+from repro.sched.predictor import DevicePredictor
+from repro.sched.scheduler import OnlineScheduler
+
+N_REQUESTS = 60
+GAP_S = 0.002
+BATCH = 1 << 15
+
+
+def build_scheduler():
+    ctx = Context(get_all_devices())
+    dispatcher = Dispatcher(ctx)
+    dispatcher.deploy_fresh(MNIST_SMALL, rng=0)
+    predictors = {
+        Policy.THROUGHPUT: DevicePredictor("throughput").fit(
+            generate_dataset("throughput")
+        )
+    }
+    return ctx, OnlineScheduler(ctx, dispatcher, predictors)
+
+
+def flood_plain():
+    _, scheduler = build_scheduler()
+    completions = []
+    for i in range(N_REQUESTS):
+        t = i * GAP_S
+        decision = scheduler.decide(MNIST_SMALL, BATCH, "throughput", now=t)
+        queue = scheduler.queue_for(decision.device_name)
+        if queue.current_time < t:
+            queue.advance_to(t)
+        kernel = scheduler.dispatcher.kernel_for(decision.device_name, "mnist-small")
+        ev = queue.enqueue_inference_virtual(kernel, BATCH)
+        completions.append(ev.time_ended - t)
+    return completions
+
+
+def flood_backlog():
+    _, scheduler = build_scheduler()
+    bl = BacklogAwareScheduler(scheduler, "throughput", max_rank=2)
+    completions = []
+    for i in range(N_REQUESTS):
+        t = i * GAP_S
+        _, ev = bl.submit_virtual(MNIST_SMALL, BATCH, arrival_s=t)
+        completions.append(ev.time_ended - t)
+    return completions, bl.n_spills
+
+
+def test_bench_backlog_vs_plain(benchmark):
+    def run():
+        plain = flood_plain()
+        backlog, spills = flood_backlog()
+        return plain, backlog, spills
+
+    plain, backlog, spills = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def stats(xs):
+        return (
+            f"{np.mean(xs) * 1e3:.1f} ms",
+            f"{np.percentile(xs, 99) * 1e3:.1f} ms",
+            f"{max(xs) * 1e3:.1f} ms",
+        )
+
+    rows = [
+        ("plain (single best device)", *stats(plain), "-"),
+        ("backlog-aware (max_rank=2)", *stats(backlog), str(spills)),
+    ]
+    emit(
+        f"Overload flood: {N_REQUESTS} x {BATCH}-sample requests, {GAP_S * 1e3:.0f} ms apart",
+        render_table(("scheduler", "mean", "p99", "worst", "spills"), rows),
+    )
+    assert spills > 0
+    assert max(backlog) < max(plain)
+    assert float(np.percentile(backlog, 99)) <= float(np.percentile(plain, 99))

@@ -1,0 +1,16 @@
+"""Bench: regenerate the paper-vs-measured crossover table (§IV-C)."""
+
+from conftest import emit
+
+from repro.experiments.crossovers import run_crossovers
+
+
+def test_bench_crossovers(benchmark, session):
+    result = benchmark.pedantic(
+        lambda: run_crossovers(session=session), rounds=1, iterations=1
+    )
+    emit("CPU-vs-dGPU crossovers, paper vs measured", result.render())
+
+    for row in result.rows:
+        assert row.agrees_in_kind
+    assert result.max_ratio_deviation <= 3.0

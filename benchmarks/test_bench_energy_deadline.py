@@ -1,0 +1,50 @@
+"""Bench: the energy/deadline Pareto frontier of cooperative partitioning.
+
+Extension of the paper's energy policy: given a latency budget, the
+partitioner trades joules for slack — tight deadlines force the dGPU in,
+loose ones drain work onto the efficient devices.
+"""
+
+from conftest import emit
+
+from repro.experiments.report import render_table
+from repro.nn.zoo import SIMPLE
+from repro.ocl.context import Context
+from repro.ocl.platform import get_all_devices
+from repro.sched.dispatcher import Dispatcher
+from repro.sched.partition import BatchPartitioner
+
+
+def test_bench_energy_deadline_frontier(benchmark):
+    def run():
+        ctx = Context(get_all_devices())
+        dispatcher = Dispatcher(ctx)
+        dispatcher.deploy_fresh(SIMPLE, rng=0)
+        part = BatchPartitioner(dispatcher, ctx.devices)
+        batch = 1 << 18
+        base = part.plan(SIMPLE, batch).predicted_makespan_s
+        rows = []
+        for slack in (1.05, 1.5, 3.0, 10.0, 100.0):
+            plan = part.plan_energy(SIMPLE, batch, base * slack)
+            joules = part.plan_energy_joules(plan, SIMPLE)
+            rows.append(
+                (
+                    f"{slack:g}x",
+                    f"{base * slack * 1e3:.1f} ms",
+                    ", ".join(f"{d}:{n}" for d, n in plan.shares.items()),
+                    f"{plan.predicted_makespan_s * 1e3:.1f} ms",
+                    f"{joules:.2f} J",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Energy/deadline Pareto frontier (Simple, 256K samples)",
+        render_table(
+            ("deadline slack", "deadline", "partition", "makespan", "energy"), rows
+        ),
+    )
+    joules = [float(r[-1].rstrip(" J")) for r in rows]
+    assert all(b <= a + 1e-9 for a, b in zip(joules, joules[1:]))
+    assert joules[-1] < joules[0]  # slack buys real savings

@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 3 (throughput / latency / power sweeps).
+
+Prints the full series for all five models and asserts the headline
+crossover facts so a calibration drift fails the bench, not just the plot.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig3 import run_fig3
+from repro.nn.zoo import PAPER_MODELS
+
+
+def test_bench_fig3(benchmark, session):
+    result = benchmark.pedantic(
+        lambda: run_fig3(session=session), rounds=1, iterations=1
+    )
+    emit("Fig. 3 — throughput, latency, power vs batch size", result.render())
+
+    assert len(result.recorder) == len(PAPER_MODELS) * 4 * 19
+
+    # Who wins where (the §IV-C narrative).
+    simple_cpu = dict(result.series("simple", "cpu", "warm", "throughput"))
+    simple_gpu = dict(result.series("simple", "dgpu", "warm", "throughput"))
+    assert simple_cpu[8] > simple_gpu[8]
+    assert simple_gpu[1 << 18] > simple_cpu[1 << 18]
+
+    deep_cpu = dict(result.series("mnist-deep", "cpu", "warm", "throughput"))
+    deep_gpu = dict(result.series("mnist-deep", "dgpu", "warm", "throughput"))
+    assert deep_cpu[4] > deep_gpu[4]
+    assert deep_gpu[64] > deep_cpu[64]

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 4 (joules per classification)."""
+
+from conftest import emit
+
+from repro.experiments.fig4 import run_fig4
+
+
+def test_bench_fig4(benchmark, session):
+    result = benchmark.pedantic(
+        lambda: run_fig4(session=session), rounds=1, iterations=1
+    )
+    emit("Fig. 4 — joules per classification vs batch size", result.render())
+
+    # Fig. 4(c) narrative: iGPU best small, dGPU best large on Mnist-Deep.
+    assert result.winner("mnist-deep", 8, "warm") == "igpu"
+    assert result.winner("mnist-deep", 1 << 17, "warm") == "dgpu"
+
+    # Idle-start dGPU always costs more joules than warm (§IV-C).
+    for model in ("simple", "mnist-small", "mnist-deep", "mnist-cnn", "cifar-10"):
+        warm = dict(result.series(model, "dgpu", "warm"))
+        idle = dict(result.series(model, "dgpu", "idle"))
+        assert all(idle[b] > warm[b] for b in warm)

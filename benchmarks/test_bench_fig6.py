@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 6 (unseen-architecture predictions).
+
+Trains the per-policy predictors on the 21 training architectures and
+sweeps the four held-out ones; prints every bar (green '#' = correct,
+red 'x' = mispredicted) with its relative performance loss.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_bench_fig6(benchmark, session):
+    result = benchmark.pedantic(
+        lambda: run_fig6(session=session), rounds=1, iterations=1
+    )
+    emit("Fig. 6 — predictions on unseen model architectures", result.render())
+
+    # Paper: 91% combined accuracy, <5% performance loss.
+    assert result.combined_accuracy > 0.85
+    assert result.mean_loss() < 0.05
+    assert result.accuracy("throughput") > 0.8
+    assert result.accuracy("energy") > 0.8

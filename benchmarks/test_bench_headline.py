@@ -1,0 +1,18 @@
+"""Bench: regenerate the headline numbers (§I / §VIII).
+
+92.5% prediction accuracy on trained-on models, 91% on unseen models,
+energy savings up to 10% versus the best static single-device placement.
+"""
+
+from conftest import emit
+
+from repro.experiments.headline import run_headline
+
+
+def test_bench_headline(benchmark):
+    result = benchmark.pedantic(run_headline, rounds=1, iterations=1)
+    emit("Headline numbers", result.render())
+
+    assert result.seen_accuracy > 0.9      # paper: 92.5%
+    assert result.unseen_accuracy > 0.85   # paper: 91%
+    assert 0.0 < result.max_savings < 0.15  # paper: up to 10%

@@ -1,0 +1,14 @@
+"""Bench: the full per-policy quality matrix (incl. the latency policy)."""
+
+from conftest import emit
+
+from repro.experiments.policies_matrix import run_policy_matrix
+
+
+def test_bench_policy_matrix(benchmark):
+    result = benchmark.pedantic(run_policy_matrix, rounds=1, iterations=1)
+    emit("Per-policy scheduler quality", result.render())
+
+    for row in result.rows:
+        assert row.seen_accuracy > 0.9
+        assert row.unseen_accuracy > 0.85

@@ -1,0 +1,16 @@
+"""Bench: calibration-robustness sweep (simulation QA, DESIGN.md §7)."""
+
+from conftest import emit
+
+from repro.experiments.sensitivity import run_sensitivity
+
+
+def test_bench_sensitivity(benchmark):
+    result = benchmark.pedantic(run_sensitivity, rounds=1, iterations=1)
+    emit("Calibration sensitivity (x0.5 / x2 per constant)", result.render())
+
+    # Every ordering fact behind the paper's narrative must survive every
+    # perturbation, and scheduling must stay far above the random baseline.
+    assert result.n_fact_violations == 0
+    assert result.worst_accuracy > 0.6
+    assert result.baseline_accuracy > 0.8

@@ -1,0 +1,70 @@
+"""Device characterization: a compact Fig. 3 / Fig. 4 sweep.
+
+Measures throughput, latency, power and energy for every paper model on
+every device (warm and idle dGPU), prints the winner grid that motivates
+the scheduler ("there is no device to rule them all", §IV-C), and exports
+the full sweep as CSV for plotting.
+
+Run:  python examples/characterize_devices.py [out.csv]
+"""
+
+import sys
+
+from repro import MeasurementSession, SweepRecorder
+from repro.experiments.report import render_table
+from repro.nn.zoo import PAPER_MODELS
+from repro.telemetry.session import GPU_STATES
+
+BATCHES = (1, 8, 64, 512, 4096, 32768, 262144)
+
+
+def main(csv_path: "str | None" = None) -> None:
+    session = MeasurementSession()
+    recorder = SweepRecorder()
+
+    for spec in PAPER_MODELS:
+        for device in session.device_names():
+            for state in GPU_STATES:
+                for batch in BATCHES:
+                    recorder.add(session.measure(spec, device, batch, state))
+
+    # Winner grids: which device is best per (model, batch), per metric.
+    for metric in ("throughput", "latency", "energy"):
+        rows = []
+        for spec in PAPER_MODELS:
+            winners = [
+                session.best_device(spec, batch, "warm", metric) for batch in BATCHES
+            ]
+            rows.append((spec.name, *winners))
+        print(
+            render_table(
+                ("model \\ batch", *map(str, BATCHES)),
+                rows,
+                title=f"best device by {metric} (warm dGPU)",
+            )
+        )
+        print()
+
+    # The 'idle dGPU' effect: same grid with a cold discrete GPU.
+    rows = []
+    for spec in PAPER_MODELS:
+        winners = [
+            session.best_device(spec, batch, "idle", "throughput")
+            for batch in BATCHES
+        ]
+        rows.append((spec.name, *winners))
+    print(
+        render_table(
+            ("model \\ batch", *map(str, BATCHES)),
+            rows,
+            title="best device by throughput (idle dGPU — note the shift)",
+        )
+    )
+
+    if csv_path:
+        recorder.save_csv(csv_path)
+        print(f"\nwrote {len(recorder)} sweep cells to {csv_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

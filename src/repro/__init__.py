@@ -1,0 +1,67 @@
+"""repro — reproduction of "The Best of Many Worlds: Scheduling Machine
+Learning Inference on CPU-GPU Integrated Architectures" (IPPS 2022).
+
+Public API tour
+---------------
+Workload models and inference substrate::
+
+    from repro.nn import PAPER_MODELS, build_model, model_cost
+
+Simulated testbed (OpenCL-style execution over virtual time)::
+
+    from repro.ocl import get_platforms, Context, CommandQueue, Program
+
+Characterization (Fig. 3 / Fig. 4 measurements)::
+
+    from repro.telemetry import MeasurementSession, SweepRecorder
+
+The adaptive scheduler (the paper's contribution)::
+
+    from repro.sched import (
+        Policy, generate_dataset, DevicePredictor,
+        Dispatcher, OnlineScheduler, StreamRunner,
+    )
+
+Experiment harnesses (regenerate every table and figure)::
+
+    from repro.experiments import get_experiment, list_experiments
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro._version import __version__
+from repro.errors import ReproError
+from repro.nn import PAPER_MODELS, build_model, model_cost
+from repro.ocl import CommandQueue, Context, Program, get_platforms
+from repro.sched import (
+    DevicePredictor,
+    Dispatcher,
+    InferenceService,
+    OnlineScheduler,
+    Policy,
+    StreamRunner,
+    generate_dataset,
+)
+from repro.telemetry import MeasurementSession, SweepRecorder
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "PAPER_MODELS",
+    "build_model",
+    "model_cost",
+    "get_platforms",
+    "Context",
+    "CommandQueue",
+    "Program",
+    "MeasurementSession",
+    "SweepRecorder",
+    "Policy",
+    "generate_dataset",
+    "DevicePredictor",
+    "Dispatcher",
+    "OnlineScheduler",
+    "StreamRunner",
+    "InferenceService",
+]

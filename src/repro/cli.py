@@ -1,0 +1,99 @@
+"""Command-line driver: ``python -m repro.cli <experiment> [--out FILE]``.
+
+Lists and regenerates the paper's tables and figures from the registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import get_experiment, list_experiments
+
+__all__ = ["main"]
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Parse arguments and run/list experiments; returns an exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures from 'The Best of Many Worlds' (IPPS 2022)",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (fig3, fig4, table1, table2, table3, fig6, "
+        "headline, crossovers, policies, sensitivity); omit to list all",
+    )
+    parser.add_argument(
+        "--all",
+        metavar="DIR",
+        dest="all_dir",
+        help="run every registered experiment and write one rendered file "
+        "per artifact into DIR (plus CSVs for the sweep experiments)",
+    )
+    parser.add_argument("--out", help="write rendered output to this file")
+    parser.add_argument(
+        "--csv",
+        help="for fig3/fig4: also write the raw sweep grid as CSV",
+    )
+    parser.add_argument(
+        "--dat-dir",
+        help="for fig3/fig4: also write gnuplot-ready .dat files here",
+    )
+    args = parser.parse_args(argv)
+
+    if args.all_dir:
+        return _run_all(args.all_dir)
+
+    if args.experiment is None:
+        for exp in list_experiments():
+            print(f"{exp.exp_id:10s} {exp.paper_ref:10s} {exp.description}")
+        return 0
+
+    exp = get_experiment(args.experiment)
+    artifact = exp.runner()
+    text = artifact.render()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+
+    recorder = getattr(artifact, "recorder", None)
+    if args.csv:
+        if recorder is None:
+            parser.error(f"--csv is only valid for sweep experiments, not {exp.exp_id}")
+        recorder.save_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.dat_dir:
+        if recorder is None:
+            parser.error(f"--dat-dir is only valid for sweep experiments, not {exp.exp_id}")
+        from repro.telemetry.export import export_figure_dats
+
+        paths = export_figure_dats(recorder, args.dat_dir)
+        print(f"wrote {len(paths)} .dat files to {args.dat_dir}")
+    return 0
+
+
+def _run_all(directory: str) -> int:
+    """Regenerate every artifact into ``directory`` (one file each)."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    for exp in list_experiments():
+        print(f"running {exp.exp_id} ({exp.paper_ref}) ...", flush=True)
+        artifact = exp.runner()
+        path = os.path.join(directory, f"{exp.exp_id}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(artifact.render() + "\n")
+        recorder = getattr(artifact, "recorder", None)
+        if recorder is not None:
+            recorder.save_csv(os.path.join(directory, f"{exp.exp_id}.csv"))
+    print(f"wrote {len(list_experiments())} artifacts to {directory}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Specific subclasses mirror the subsystems: the
+neural-network substrate, the OpenCL-style execution layer, the classical-ML
+estimators and the scheduler.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "BuildError",
+    "DeviceError",
+    "MemoryMapError",
+    "KernelError",
+    "NotFittedError",
+    "SchedulerError",
+    "PolicyError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array had an incompatible shape for the requested operation."""
+
+
+class BuildError(ReproError, ValueError):
+    """A model specification could not be turned into a network."""
+
+
+class DeviceError(ReproError, RuntimeError):
+    """A device-level failure in the OpenCL-style execution layer."""
+
+
+class MemoryMapError(DeviceError):
+    """A buffer map/unmap operation was invalid (e.g. mapping dGPU memory)."""
+
+
+class KernelError(DeviceError):
+    """A kernel launch was invalid (bad work-group size, missing args...)."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator was used before ``fit`` was called."""
+
+
+class SchedulerError(ReproError, RuntimeError):
+    """The scheduler could not produce a placement decision."""
+
+
+class PolicyError(SchedulerError, ValueError):
+    """An unknown scheduling policy was requested."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment harness failure (missing sweep point, bad config)."""

@@ -1,0 +1,19 @@
+"""Per-table / per-figure reproduction harnesses.
+
+Each module regenerates one artifact of the paper's evaluation:
+
+* :mod:`repro.experiments.fig3` — throughput / latency / power sweeps,
+* :mod:`repro.experiments.fig4` — energy (joules) sweeps,
+* :mod:`repro.experiments.table1` — the RF hyperparameter grid,
+* :mod:`repro.experiments.table2` — the seven-predictor comparison,
+* :mod:`repro.experiments.table3` — RF F1 / precision / recall,
+* :mod:`repro.experiments.fig6` — unseen-model predictions + perf loss,
+* :mod:`repro.experiments.headline` — the §I/§VIII headline numbers.
+
+``python -m repro.cli <experiment>`` renders any of them;
+:mod:`repro.experiments.registry` maps ids to runners.
+"""
+
+from repro.experiments.registry import get_experiment, list_experiments, register
+
+__all__ = ["get_experiment", "list_experiments", "register"]

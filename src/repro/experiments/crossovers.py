@@ -1,0 +1,149 @@
+"""Crossover extraction: paper-vs-measured device flip points.
+
+The §IV-C narrative is a list of crossovers ("the CPU performs better only
+for sample sizes up to 2048", ...).  This experiment extracts the measured
+flip points from the characterization sweep and renders them against the
+paper's claimed values — the per-figure comparison table of EXPERIMENTS.md,
+regenerated rather than transcribed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.registry import register
+from repro.experiments.report import render_table
+from repro.nn.builders import ModelSpec
+from repro.nn.zoo import CIFAR10, MNIST_CNN, MNIST_DEEP, MNIST_SMALL, SIMPLE
+from repro.telemetry.session import MeasurementSession
+
+__all__ = ["CrossoverClaim", "CrossoverResult", "run_crossovers", "BATCHES"]
+
+BATCHES: tuple[int, ...] = tuple(2**k for k in range(19))
+
+
+@dataclass(frozen=True)
+class CrossoverClaim:
+    """One paper claim: 'the CPU wins up to `paper_batch` samples'.
+
+    ``metric`` is 'throughput' or 'latency'; ``gpu_state`` fixes the dGPU
+    start state; ``paper_batch=None`` encodes "the CPU wins at every size
+    tested".
+    """
+
+    spec: ModelSpec
+    metric: str
+    gpu_state: str
+    paper_batch: "int | None"
+    paper_ref: str
+
+
+#: The §IV-C claims, verbatim (CPU-vs-dGPU flip points).
+PAPER_CLAIMS: tuple[CrossoverClaim, ...] = (
+    CrossoverClaim(SIMPLE, "throughput", "warm", 2048, "Fig. 3(a)"),
+    CrossoverClaim(SIMPLE, "throughput", "idle", None, "Fig. 3(a)"),
+    CrossoverClaim(MNIST_SMALL, "latency", "warm", 4, "Fig. 3(b)"),
+    CrossoverClaim(MNIST_SMALL, "latency", "idle", 32, "Fig. 3(b)"),
+    CrossoverClaim(MNIST_DEEP, "throughput", "warm", 8, "Fig. 3(c)"),
+    CrossoverClaim(MNIST_DEEP, "throughput", "idle", 8, "Fig. 3(c)"),
+    CrossoverClaim(MNIST_CNN, "throughput", "warm", 32, "Fig. 3(d)"),
+    CrossoverClaim(MNIST_CNN, "throughput", "idle", 256, "Fig. 3(d)"),
+    CrossoverClaim(CIFAR10, "throughput", "warm", 8, "Fig. 3(e)"),
+    CrossoverClaim(CIFAR10, "throughput", "idle", 128, "Fig. 3(e)"),
+)
+
+
+def measure_crossover(
+    session: MeasurementSession, claim: CrossoverClaim
+) -> "int | None":
+    """Largest batch up to which the CPU beats the dGPU (None = all sizes)."""
+    last_win = None
+    for batch in BATCHES:
+        cpu = session.measure(claim.spec, "cpu", batch, "warm")
+        gpu = session.measure(claim.spec, "dgpu", batch, claim.gpu_state)
+        if claim.metric == "throughput":
+            cpu_wins = cpu.throughput_gbit_s > gpu.throughput_gbit_s
+        else:
+            cpu_wins = cpu.latency_ms < gpu.latency_ms
+        if cpu_wins:
+            last_win = batch
+        else:
+            return last_win
+    return None  # CPU won everywhere tested
+
+
+@dataclass(frozen=True)
+class CrossoverRow:
+    """One claim with its measured flip point."""
+    claim: CrossoverClaim
+    measured: "int | None"
+
+    @property
+    def ratio(self) -> "float | None":
+        """measured / paper (None when either side is 'all sizes')."""
+        if self.claim.paper_batch is None or self.measured is None:
+            return None
+        return self.measured / self.claim.paper_batch
+
+    @property
+    def agrees_in_kind(self) -> bool:
+        """Same qualitative outcome (finite flip vs CPU-wins-everywhere)."""
+        return (self.claim.paper_batch is None) == (self.measured is None)
+
+
+@dataclass
+class CrossoverResult:
+    """All crossover rows plus summary statistics."""
+    rows: list[CrossoverRow] = field(default_factory=list)
+
+    @property
+    def max_ratio_deviation(self) -> float:
+        """Largest |log2(measured/paper)| over comparable rows."""
+        import math
+
+        devs = [abs(math.log2(r.ratio)) for r in self.rows if r.ratio]
+        return max(devs) if devs else 0.0
+
+    def render(self) -> str:
+        def show(v):
+            return "all sizes" if v is None else str(v)
+
+        body = [
+            (
+                r.claim.paper_ref,
+                r.claim.spec.name,
+                r.claim.metric,
+                r.claim.gpu_state,
+                show(r.claim.paper_batch),
+                show(r.measured),
+                "-" if r.ratio is None else f"{r.ratio:g}x",
+            )
+            for r in self.rows
+        ]
+        table = render_table(
+            ("figure", "model", "metric", "dGPU state",
+             "paper: CPU wins <=", "measured", "ratio"),
+            body,
+            title="CPU-vs-dGPU crossovers, paper vs measured",
+        )
+        return (
+            f"{table}\nlargest deviation: "
+            f"2^{self.max_ratio_deviation:.1f} in batch position"
+        )
+
+
+def run_crossovers(session: MeasurementSession | None = None) -> CrossoverResult:
+    """Extract every §IV-C crossover from the simulated testbed."""
+    sess = session if session is not None else MeasurementSession()
+    return CrossoverResult(
+        rows=[CrossoverRow(claim=c, measured=measure_crossover(sess, c)) for c in PAPER_CLAIMS]
+    )
+
+
+@register(
+    "crossovers",
+    "§IV-C",
+    "Paper-vs-measured device crossover positions (CPU vs dGPU)",
+)
+def _run(**kwargs) -> CrossoverResult:
+    return run_crossovers(**kwargs)

@@ -1,0 +1,96 @@
+"""Fig. 3 — throughput, latency and power vs batch size (§IV-C).
+
+Five models x four device-states (CPU, iGPU, warm dGPU, idle dGPU) x batch
+sizes 1..256K.  The paper plots throughput + power on the left axes and
+latency on the right; :func:`run_fig3` produces the full grid as a
+:class:`~repro.telemetry.recorder.SweepRecorder`, and :class:`Fig3Result`
+renders the same series row-wise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.registry import register
+from repro.experiments.report import render_series
+from repro.nn.builders import ModelSpec
+from repro.nn.zoo import PAPER_MODELS
+from repro.telemetry.recorder import SweepRecorder
+from repro.telemetry.session import MeasurementSession
+
+__all__ = ["FIG3_BATCHES", "DEVICE_STATES", "run_fig3", "Fig3Result"]
+
+#: Batch sizes 2^0 .. 2^18 (1 .. 256K), the x-axis of Fig. 3.
+FIG3_BATCHES: tuple[int, ...] = tuple(2**k for k in range(19))
+
+#: The four curves per subplot: (device, dGPU start state).  CPU and iGPU
+#: have no ramp, so one state suffices; the dGPU is measured both ways
+#: (paper footnote 1).
+DEVICE_STATES: tuple[tuple[str, str], ...] = (
+    ("cpu", "warm"),
+    ("igpu", "warm"),
+    ("dgpu", "warm"),
+    ("dgpu", "idle"),
+)
+
+
+def curve_label(device: str, gpu_state: str) -> str:
+    """Legend label matching the paper's naming."""
+    names = {"cpu": "i7 CPU", "igpu": "HD Graphics", "dgpu": "GTX 1080 Ti"}
+    label = names[device]
+    if device == "dgpu" and gpu_state == "idle":
+        label = "idle " + label
+    return label
+
+
+def run_fig3(
+    models: "tuple[ModelSpec, ...]" = PAPER_MODELS,
+    batches: "tuple[int, ...]" = FIG3_BATCHES,
+    session: MeasurementSession | None = None,
+) -> "Fig3Result":
+    """Execute the full characterization sweep."""
+    sess = session if session is not None else MeasurementSession()
+    recorder = SweepRecorder()
+    for spec in models:
+        for device, gpu_state in DEVICE_STATES:
+            dev_name = sess.device(device).name
+            for batch in batches:
+                recorder.add(sess.measure(spec, dev_name, batch, gpu_state))
+    return Fig3Result(recorder=recorder, models=tuple(m.name for m in models))
+
+
+@dataclass
+class Fig3Result:
+    """The Fig. 3 grid plus rendering."""
+
+    recorder: SweepRecorder
+    models: tuple[str, ...]
+
+    def series(self, model: str, device: str, gpu_state: str, metric: str):
+        """(batch, value) series for one curve of the grid."""
+        from repro.telemetry.session import MeasurementSession
+
+        dev_name = MeasurementSession().device(device).name
+        return self.recorder.series(model, dev_name, gpu_state, metric)
+
+    def render(self, metrics: tuple[str, ...] = ("throughput", "power", "latency")) -> str:
+        units = {"throughput": "bit/s", "power": "W", "latency": "s"}
+        scale = {"throughput": 1e9, "power": 1.0, "latency": 1e-3}
+        out = []
+        for model in self.models:
+            out.append(f"== Fig. 3: {model} ==")
+            for metric in metrics:
+                out.append(f"-- {metric} --")
+                for device, state in DEVICE_STATES:
+                    pts = [
+                        (b, v * scale[metric])
+                        for b, v in self.series(model, device, state, metric)
+                    ]
+                    out.append(render_series(curve_label(device, state), pts, units[metric]))
+            out.append("")
+        return "\n".join(out)
+
+
+@register("fig3", "Fig. 3", "Throughput, latency and power per device/model/batch")
+def _run(**kwargs) -> Fig3Result:
+    return run_fig3(**kwargs)

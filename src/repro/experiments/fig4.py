@@ -1,0 +1,80 @@
+"""Fig. 4 — watt-seconds (joules) per classification run (§IV-C).
+
+Same grid as Fig. 3, different axis: the total energy each device needs to
+classify the batch, with the paper's accounting (charge every involved
+component; exclude the dGPU when unused).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.fig3 import DEVICE_STATES, FIG3_BATCHES, curve_label
+from repro.experiments.registry import register
+from repro.experiments.report import render_series
+from repro.nn.builders import ModelSpec
+from repro.nn.zoo import PAPER_MODELS
+from repro.telemetry.recorder import SweepRecorder
+from repro.telemetry.session import MeasurementSession
+
+__all__ = ["run_fig4", "Fig4Result"]
+
+
+def run_fig4(
+    models: "tuple[ModelSpec, ...]" = PAPER_MODELS,
+    batches: "tuple[int, ...]" = FIG3_BATCHES,
+    session: MeasurementSession | None = None,
+) -> "Fig4Result":
+    """Execute the energy sweep (same cells as Fig. 3, joule series)."""
+    sess = session if session is not None else MeasurementSession()
+    recorder = SweepRecorder()
+    for spec in models:
+        for device, gpu_state in DEVICE_STATES:
+            dev_name = sess.device(device).name
+            for batch in batches:
+                recorder.add(sess.measure(spec, dev_name, batch, gpu_state))
+    return Fig4Result(recorder=recorder, models=tuple(m.name for m in models))
+
+
+@dataclass
+class Fig4Result:
+    """The Fig. 4 grid plus rendering."""
+
+    recorder: SweepRecorder
+    models: tuple[str, ...]
+
+    def series(self, model: str, device: str, gpu_state: str):
+        """(batch, joules) series for one curve of the grid."""
+        dev_name = MeasurementSession().device(device).name
+        return self.recorder.series(model, dev_name, gpu_state, "energy")
+
+    def winner(self, model: str, batch: int, gpu_state: str) -> str:
+        """Device class with the lowest joules at one grid point.
+
+        The dGPU's cell is read at the requested start state; CPU/iGPU
+        cells are state-independent.
+        """
+        sess = MeasurementSession()
+        best, best_j = None, float("inf")
+        for device, state in DEVICE_STATES:
+            if device == "dgpu" and state != gpu_state:
+                continue
+            dev_name = sess.device(device).name
+            j = self.recorder.get(model, dev_name, state, batch).joules
+            if j < best_j:
+                best, best_j = device, j
+        return best
+
+    def render(self) -> str:
+        out = []
+        for model in self.models:
+            out.append(f"== Fig. 4: {model} (joules) ==")
+            for device, state in DEVICE_STATES:
+                out.append(render_series(curve_label(device, state), self.series(model, device, state), "J"))
+            out.append("")
+        return "\n".join(out)
+
+
+@register("fig4", "Fig. 4", "Joules per classification per device/model/batch")
+def _run(**kwargs) -> Fig4Result:
+    return run_fig4(**kwargs)

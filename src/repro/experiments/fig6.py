@@ -1,0 +1,198 @@
+"""Fig. 6 — scheduler predictions on *unseen* model architectures (§VI).
+
+The predictors (throughput policy and energy policy) are trained only on
+the 21 training architectures; the held-out :data:`~repro.nn.zoo.UNSEEN_SPECS`
+are then swept across batch sizes.  Per point the harness records whether
+the predicted device matched the hindsight oracle and what fraction of the
+ideal metric the prediction achieved — the green/red bars of Fig. 6 and the
+"<5% performance loss" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.registry import register
+from repro.experiments.report import fmt_pct, render_table
+from repro.nn.builders import ModelSpec
+from repro.nn.zoo import UNSEEN_SPECS, list_model_specs
+from repro.sched.dataset import device_class_index, generate_dataset
+from repro.sched.features import encode_point
+from repro.sched.policies import Policy
+from repro.sched.predictor import DevicePredictor
+from repro.telemetry.session import MeasurementSession
+
+__all__ = ["Fig6Point", "Fig6Result", "run_fig6", "FIG6_BATCHES"]
+
+#: Batch axis of Fig. 6 (8 .. 128K, the range its bars cover).
+FIG6_BATCHES: tuple[int, ...] = tuple(2**k for k in range(3, 18))
+
+
+@dataclass(frozen=True)
+class Fig6Point:
+    """One bar of Fig. 6: a prediction for one unseen sweep cell."""
+
+    policy: str
+    model: str
+    batch: int
+    gpu_state: str
+    predicted: str
+    oracle: str
+    achieved: float     # metric value of the predicted device
+    ideal: float        # metric value of the oracle device
+
+    @property
+    def correct(self) -> bool:
+        """Whether the prediction matched the oracle device."""
+        return self.predicted == self.oracle
+
+    @property
+    def relative_loss(self) -> float:
+        """Fraction of the ideal metric lost by the prediction (0 if right).
+
+        For maximize-metrics (throughput): 1 - achieved/ideal.
+        For minimize-metrics (energy): 1 - ideal/achieved.
+        """
+        if self.correct or self.ideal == self.achieved:
+            return 0.0
+        if Policy.parse(self.policy).maximize:
+            return max(0.0, 1.0 - self.achieved / self.ideal)
+        return max(0.0, 1.0 - self.ideal / self.achieved)
+
+
+@dataclass
+class Fig6Result:
+    """All Fig. 6 points with the paper's summary statistics."""
+
+    points: list[Fig6Point] = field(default_factory=list)
+
+    def for_policy(self, policy: "str | Policy") -> list[Fig6Point]:
+        """All points belonging to one policy."""
+        value = Policy.parse(policy).value
+        return [p for p in self.points if p.policy == value]
+
+    def accuracy(self, policy: "str | Policy | None" = None) -> float:
+        """Fraction of oracle-matching predictions (optionally per policy)."""
+        pts = self.points if policy is None else self.for_policy(policy)
+        if not pts:
+            raise ValueError("no Fig. 6 points for that policy")
+        return float(np.mean([p.correct for p in pts]))
+
+    @property
+    def combined_accuracy(self) -> float:
+        """The paper's 91% headline: both policies pooled."""
+        return self.accuracy(None)
+
+    def mean_loss(self, policy: "str | Policy | None" = None) -> float:
+        """Average relative loss over all points (correct ones count 0)."""
+        pts = self.points if policy is None else self.for_policy(policy)
+        return float(np.mean([p.relative_loss for p in pts]))
+
+    def worst_loss(self, policy: "str | Policy | None" = None) -> float:
+        """Largest single-point relative loss."""
+        pts = self.points if policy is None else self.for_policy(policy)
+        return float(max(p.relative_loss for p in pts))
+
+    def render(self) -> str:
+        rows = []
+        for pol in ("throughput", "energy"):
+            pts = self.for_policy(pol)
+            rows.append(
+                (
+                    pol,
+                    fmt_pct(self.accuracy(pol)),
+                    fmt_pct(self.mean_loss(pol)),
+                    fmt_pct(self.worst_loss(pol)),
+                    len(pts),
+                )
+            )
+        table = render_table(
+            ("Policy", "Accuracy", "Mean loss", "Worst loss", "Points"),
+            rows,
+            title="Fig. 6: unseen-architecture predictions",
+        )
+        summary = (
+            f"combined accuracy: {fmt_pct(self.combined_accuracy)}  "
+            f"mean performance loss: {fmt_pct(self.mean_loss())}"
+        )
+        bars = []
+        for p in sorted(self.points, key=lambda p: (p.policy, p.model, p.gpu_state, p.batch)):
+            mark = "#" if p.correct else "x"
+            bars.append(
+                f"  [{mark}] {p.policy:10s} {p.model:18s} {p.gpu_state:4s} "
+                f"batch={p.batch:<7d} pred={p.predicted:4s} ideal={p.oracle:4s} "
+                f"loss={fmt_pct(p.relative_loss)}"
+            )
+        return table + "\n" + summary + "\n" + "\n".join(bars)
+
+
+def run_fig6(
+    policies: tuple[str, ...] = ("throughput", "energy"),
+    unseen: "tuple[ModelSpec, ...]" = UNSEEN_SPECS,
+    batches: "tuple[int, ...]" = FIG6_BATCHES,
+    gpu_states: tuple[str, ...] = ("warm", "idle"),
+    seed: int = 7,
+    session: MeasurementSession | None = None,
+) -> Fig6Result:
+    """Train on the 21 training architectures, evaluate on the held-out set."""
+    sess = session if session is not None else MeasurementSession()
+    training_specs = list(list_model_specs("training"))
+    unseen_names = {s.name for s in unseen}
+    overlap = unseen_names & {s.name for s in training_specs}
+    if overlap:
+        raise ValueError(f"unseen specs leak into training: {sorted(overlap)}")
+
+    result = Fig6Result()
+    for policy_name in policies:
+        policy = Policy.parse(policy_name)
+        dataset = generate_dataset(policy, specs=training_specs, session=sess)
+        predictor = DevicePredictor(policy).fit(dataset)
+        for spec in unseen:
+            for state in gpu_states:
+                feats = np.vstack(
+                    [encode_point(spec, b, state) for b in batches]
+                )
+                preds = predictor.predict_batch(feats)
+                for batch, pred_idx in zip(batches, preds):
+                    metrics = {
+                        name: _metric_value(m, policy)
+                        for name, m in sess.measure_all_devices(
+                            spec, batch, state
+                        ).items()
+                    }
+                    pick = max if policy.maximize else min
+                    oracle_name = pick(metrics, key=metrics.get)
+                    pred_class = ("cpu", "dgpu", "igpu")[int(pred_idx)]
+                    pred_name = sess.device(pred_class).name
+                    result.points.append(
+                        Fig6Point(
+                            policy=policy.value,
+                            model=spec.name,
+                            batch=batch,
+                            gpu_state=state,
+                            predicted=_class_of(oracle_name=pred_name),
+                            oracle=_class_of(oracle_name=oracle_name),
+                            achieved=metrics[pred_name],
+                            ideal=metrics[oracle_name],
+                        )
+                    )
+    return result
+
+
+def _metric_value(measurement, policy: Policy) -> float:
+    if policy is Policy.THROUGHPUT:
+        return measurement.throughput_gbit_s
+    if policy is Policy.LATENCY:
+        return measurement.latency_ms
+    return measurement.joules
+
+
+def _class_of(oracle_name: str) -> str:
+    return ("cpu", "dgpu", "igpu")[device_class_index(oracle_name)]
+
+
+@register("fig6", "Fig. 6", "Unseen-model device predictions + perf loss")
+def _run(**kwargs) -> Fig6Result:
+    return run_fig6(**kwargs)

@@ -1,0 +1,124 @@
+"""Per-policy scheduler quality matrix (extension of Tables II/III).
+
+The paper evaluates the throughput and energy policies (Fig. 6) and lists
+latency as a supported target (Fig. 5).  This experiment completes the
+matrix: for each of the three policies it trains the production forest on
+that policy's labelled dataset and reports seen-model CV accuracy,
+unseen-architecture accuracy and weighted F1 — demonstrating the claim
+that the same machinery serves any optimization target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.fig6 import FIG6_BATCHES
+from repro.experiments.registry import register
+from repro.experiments.report import fmt_pct, render_table
+from repro.ml.metrics import f1_score
+from repro.ml.model_selection import StratifiedKFold, cross_val_score
+from repro.nn.zoo import UNSEEN_SPECS
+from repro.sched.dataset import device_class_index, generate_dataset
+from repro.sched.features import encode_point
+from repro.sched.policies import Policy
+from repro.sched.predictor import DevicePredictor, default_estimator
+from repro.telemetry.session import MeasurementSession
+
+__all__ = ["PolicyRow", "PolicyMatrixResult", "run_policy_matrix"]
+
+
+@dataclass(frozen=True)
+class PolicyRow:
+    """Quality of the scheduler under one policy."""
+
+    policy: str
+    seen_accuracy: float
+    seen_f1: float
+    unseen_accuracy: float
+    class_distribution: dict[str, float]
+
+
+@dataclass
+class PolicyMatrixResult:
+    """One quality row per policy, renderable."""
+    rows: list[PolicyRow] = field(default_factory=list)
+
+    def row(self, policy: str) -> PolicyRow:
+        """Fetch a row by policy value; unknown policies raise."""
+        for r in self.rows:
+            if r.policy == policy:
+                return r
+        raise KeyError(f"no row for policy {policy!r}")
+
+    def render(self) -> str:
+        body = [
+            (
+                r.policy,
+                fmt_pct(r.seen_accuracy),
+                fmt_pct(r.seen_f1),
+                fmt_pct(r.unseen_accuracy),
+                ", ".join(f"{k}:{v:.0%}" for k, v in r.class_distribution.items()),
+            )
+            for r in self.rows
+        ]
+        return render_table(
+            ("policy", "seen acc", "seen F1", "unseen acc", "label mix"),
+            body,
+            title="Scheduler quality per policy (extension)",
+        )
+
+
+def _unseen_accuracy(
+    predictor: DevicePredictor, policy: Policy, session: MeasurementSession
+) -> float:
+    hits = total = 0
+    for spec in UNSEEN_SPECS:
+        for state in ("warm", "idle"):
+            feats = np.vstack([encode_point(spec, b, state) for b in FIG6_BATCHES])
+            preds = predictor.predict_batch(feats)
+            for batch, pred in zip(FIG6_BATCHES, preds):
+                oracle = session.best_device(spec, batch, state, policy.metric)
+                hits += int(pred) == device_class_index(oracle)
+                total += 1
+    return hits / total
+
+
+def run_policy_matrix(seed: int = 7, cv_splits: int = 5) -> PolicyMatrixResult:
+    """Train + evaluate the forest under every policy."""
+    session = MeasurementSession()
+    result = PolicyMatrixResult()
+    for policy in (Policy.THROUGHPUT, Policy.LATENCY, Policy.ENERGY):
+        dataset = generate_dataset(policy, session=session)
+        cv = StratifiedKFold(n_splits=cv_splits, random_state=seed)
+        acc = float(
+            cross_val_score(default_estimator(seed), dataset.x, dataset.y, cv=cv).mean()
+        )
+        f1 = float(
+            cross_val_score(
+                default_estimator(seed), dataset.x, dataset.y, cv=cv,
+                scoring=lambda yt, yp: f1_score(yt, yp),
+            ).mean()
+        )
+        predictor = DevicePredictor(policy).fit(dataset)
+        unseen = _unseen_accuracy(predictor, policy, session)
+        result.rows.append(
+            PolicyRow(
+                policy=policy.value,
+                seen_accuracy=acc,
+                seen_f1=f1,
+                unseen_accuracy=unseen,
+                class_distribution=dataset.class_distribution(),
+            )
+        )
+    return result
+
+
+@register(
+    "policies",
+    "(ext.)",
+    "Seen/unseen accuracy + F1 for all three policies (incl. latency)",
+)
+def _run(**kwargs) -> PolicyMatrixResult:
+    return run_policy_matrix(**kwargs)

@@ -1,0 +1,67 @@
+"""Experiment registry: id -> (runner, metadata)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ExperimentError
+
+__all__ = ["Experiment", "register", "get_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered reproduction target."""
+
+    exp_id: str
+    paper_ref: str       # "Fig. 3", "Table II", ...
+    description: str
+    runner: Callable[..., object]   # returns an artifact with .render()
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(exp_id: str, paper_ref: str, description: str):
+    """Decorator registering a runner under an experiment id."""
+
+    def deco(fn: Callable[..., object]) -> Callable[..., object]:
+        if exp_id in _REGISTRY:
+            raise ExperimentError(f"experiment {exp_id!r} registered twice")
+        _REGISTRY[exp_id] = Experiment(exp_id, paper_ref, description, fn)
+        return fn
+
+    return deco
+
+
+def _ensure_loaded() -> None:
+    # Import side effects populate the registry lazily, avoiding cycles.
+    from repro.experiments import (  # noqa: F401
+        crossovers,
+        fig3,
+        fig4,
+        fig6,
+        headline,
+        policies_matrix,
+        sensitivity,
+        table1,
+        table2,
+        table3,
+    )
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up a registered experiment by id; unknown ids raise."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(f"unknown experiment {exp_id!r}; known: {known}") from None
+
+
+def list_experiments() -> list[Experiment]:
+    """All registered experiments, sorted by id."""
+    _ensure_loaded()
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]

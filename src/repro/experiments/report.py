@@ -1,0 +1,59 @@
+"""ASCII rendering helpers for experiment output.
+
+The benches print the same rows/series the paper reports; these helpers
+keep that output consistent (fixed-width tables, SI-prefixed values,
+log-spaced series).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.units import fmt_si
+
+__all__ = ["render_table", "render_series", "fmt_pct", "fmt_value"]
+
+
+def fmt_pct(fraction: float, precision: int = 2) -> str:
+    """0.9322 -> '93.22%'."""
+    return f"{100.0 * fraction:.{precision}f}%"
+
+
+def fmt_value(value: float, unit: str = "") -> str:
+    """SI-formatted value, '-' for None."""
+    if value is None:
+        return "-"
+    return fmt_si(value, unit)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(row, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(sep))
+    out.append(line(cells[0]))
+    out.append(sep)
+    out.extend(line(r) for r in cells[1:])
+    return "\n".join(out)
+
+
+def render_series(
+    name: str,
+    points: Sequence[tuple[int, float]],
+    unit: str = "",
+) -> str:
+    """Render one (batch, value) curve as a compact row list."""
+    body = "  ".join(f"{b}:{fmt_si(v, unit, precision=3)}" for b, v in points)
+    return f"{name}: {body}"

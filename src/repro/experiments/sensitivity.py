@@ -1,0 +1,191 @@
+"""Calibration-sensitivity analysis (no paper counterpart — simulation QA).
+
+The testbed is analytical, so its calibration constants (sustained
+efficiency, launch overheads, occupancy half-saturation, ...) carry the
+conclusions.  This experiment perturbs each key constant by ×1/2 and ×2
+and re-checks (a) the qualitative ordering facts behind the paper's
+narrative and (b) the scheduler's accuracy — establishing that the
+reproduction's claims are properties of the *structure* of the model, not
+of one lucky constant.
+
+Facts checked per variant:
+
+* F1: CPU beats the warm dGPU on Simple at batch 8 (small-batch rule);
+* F2: the dGPU beats the CPU on Mnist-Deep at batch 64K (large-batch rule);
+* F3: an idle-start dGPU run is slower than a warm one (ramp penalty);
+* F4: the iGPU has the lowest mean power draw (energy-efficiency rule).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.experiments.registry import register
+from repro.experiments.report import fmt_pct, render_table
+from repro.hw.specs import CPU_I7_8700, DGPU_GTX_1080TI, IGPU_UHD_630, DeviceSpec
+from repro.ml.model_selection import StratifiedKFold, cross_val_score
+from repro.nn.zoo import MNIST_DEEP, MNIST_SMALL, PAPER_MODELS, SIMPLE
+from repro.ocl.device import Device, DeviceState
+from repro.sched.dataset import generate_dataset
+from repro.sched.predictor import default_estimator
+from repro.telemetry.session import MeasurementSession
+
+__all__ = ["Perturbation", "SensitivityRow", "SensitivityResult", "run_sensitivity"]
+
+#: (label, base spec, field) — the constants that carry the calibration.
+PERTURBED_FIELDS: tuple[tuple[str, DeviceSpec, str], ...] = (
+    ("cpu.sustained_eff", CPU_I7_8700, "sustained_eff"),
+    ("cpu.per_sample_overhead", CPU_I7_8700, "per_sample_overhead_s"),
+    ("cpu.kernel_launch", CPU_I7_8700, "kernel_launch_s"),
+    ("igpu.sustained_eff", IGPU_UHD_630, "sustained_eff"),
+    ("igpu.halfsat", IGPU_UHD_630, "halfsat_workitems"),
+    ("dgpu.sustained_eff", DGPU_GTX_1080TI, "sustained_eff"),
+    ("dgpu.halfsat", DGPU_GTX_1080TI, "halfsat_workitems"),
+    ("dgpu.kernel_launch", DGPU_GTX_1080TI, "kernel_launch_s"),
+)
+
+_EVAL_BATCHES = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144)
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """One calibration variant: a spec field scaled by a factor."""
+
+    label: str
+    base: DeviceSpec
+    field_name: str
+    factor: float
+
+    def apply(self) -> DeviceSpec:
+        """Return the perturbed device spec (efficiency capped at 1)."""
+        value = getattr(self.base, self.field_name) * self.factor
+        if self.field_name == "sustained_eff":
+            value = min(value, 1.0)
+        return dataclasses.replace(self.base, **{self.field_name: value})
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Outcome of one variant."""
+
+    label: str
+    factor: float
+    accuracy: float
+    facts: tuple[bool, bool, bool, bool]
+
+    @property
+    def facts_hold(self) -> bool:
+        """Whether all four ordering facts survived this variant."""
+        return all(self.facts)
+
+
+@dataclass
+class SensitivityResult:
+    """All perturbation rows plus the unperturbed baseline."""
+    baseline_accuracy: float
+    rows: list[SensitivityRow] = field(default_factory=list)
+
+    @property
+    def worst_accuracy(self) -> float:
+        """Lowest scheduler accuracy over all variants."""
+        return min(r.accuracy for r in self.rows)
+
+    @property
+    def n_fact_violations(self) -> int:
+        """Variants that broke at least one ordering fact."""
+        return sum(not r.facts_hold for r in self.rows)
+
+    def render(self) -> str:
+        body = [
+            (
+                r.label,
+                f"x{r.factor:g}",
+                fmt_pct(r.accuracy),
+                "".join("Y" if f else "n" for f in r.facts),
+            )
+            for r in self.rows
+        ]
+        table = render_table(
+            ("calibration constant", "scale", "RF accuracy", "facts F1-F4"),
+            body,
+            title="Calibration sensitivity (baseline accuracy "
+            f"{fmt_pct(self.baseline_accuracy)})",
+        )
+        return (
+            f"{table}\n"
+            f"worst-case accuracy over variants: {fmt_pct(self.worst_accuracy)}; "
+            f"variants violating any ordering fact: {self.n_fact_violations}/{len(self.rows)}"
+        )
+
+
+def _session_with(spec_override: DeviceSpec) -> MeasurementSession:
+    devices = []
+    for base in (CPU_I7_8700, IGPU_UHD_630, DGPU_GTX_1080TI):
+        spec = spec_override if base.name == spec_override.name else base
+        devices.append(Device(spec, DeviceState.IDLE))
+    return MeasurementSession(devices)
+
+
+def _check_facts(session: MeasurementSession) -> tuple[bool, bool, bool, bool]:
+    f1 = (
+        session.measure(SIMPLE, "cpu", 8, "warm").throughput_gbit_s
+        > session.measure(SIMPLE, "dgpu", 8, "warm").throughput_gbit_s
+    )
+    f2 = (
+        session.measure(MNIST_DEEP, "dgpu", 1 << 16, "warm").throughput_gbit_s
+        > session.measure(MNIST_DEEP, "cpu", 1 << 16, "warm").throughput_gbit_s
+    )
+    f3 = (
+        session.measure(MNIST_SMALL, "dgpu", 512, "idle").elapsed_s
+        > session.measure(MNIST_SMALL, "dgpu", 512, "warm").elapsed_s
+    )
+    draws = {
+        name: m.avg_power_w
+        for name, m in session.measure_all_devices(MNIST_SMALL, 1024, "warm").items()
+    }
+    f4 = min(draws, key=draws.get) == "uhd-630"
+    return f1, f2, f3, f4
+
+
+def _accuracy(session: MeasurementSession, seed: int) -> float:
+    dataset = generate_dataset(
+        "throughput", specs=list(PAPER_MODELS), batches=_EVAL_BATCHES, session=session
+    )
+    scores = cross_val_score(
+        default_estimator(seed),
+        dataset.x,
+        dataset.y,
+        cv=StratifiedKFold(3, random_state=seed),
+    )
+    return float(scores.mean())
+
+
+def run_sensitivity(
+    factors: tuple[float, ...] = (0.5, 2.0), seed: int = 7
+) -> SensitivityResult:
+    """Perturb every calibration constant and re-derive the conclusions."""
+    baseline = _accuracy(MeasurementSession(), seed)
+    result = SensitivityResult(baseline_accuracy=baseline)
+    for label, base, field_name in PERTURBED_FIELDS:
+        for factor in factors:
+            perturbed = Perturbation(label, base, field_name, factor)
+            session = _session_with(perturbed.apply())
+            result.rows.append(
+                SensitivityRow(
+                    label=label,
+                    factor=factor,
+                    accuracy=_accuracy(session, seed),
+                    facts=_check_facts(session),
+                )
+            )
+    return result
+
+
+@register(
+    "sensitivity",
+    "(QA)",
+    "Calibration robustness: perturb constants x0.5/x2, re-check conclusions",
+)
+def _run(**kwargs) -> SensitivityResult:
+    return run_sensitivity(**kwargs)

@@ -1,0 +1,84 @@
+"""Table III — random-forest F1 / precision / recall via nested CV (§V-C).
+
+The paper: stratified k-fold **nested** cross-validation (inner loop picks
+Table I hyperparameters, outer loop scores), reporting weighted F1,
+precision and recall pooled over the outer test folds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.registry import register
+from repro.experiments.report import fmt_pct, render_table
+from repro.experiments.table1 import FULL_GRID, REDUCED_GRID
+from repro.ml import RandomForestClassifier
+from repro.ml.metrics import classification_report, precision_recall_f1
+from repro.ml.model_selection import StratifiedKFold, nested_cross_validation
+from repro.sched.dataset import DEVICE_CLASSES, SchedulerDataset, generate_dataset
+
+__all__ = ["Table3Result", "run_table3"]
+
+
+@dataclass
+class Table3Result:
+    """Weighted P/R/F1 of the nested-CV random forest."""
+
+    f1: float
+    precision: float
+    recall: float
+    fold_params: list[dict]
+    per_class_report: str = ""
+
+    def render(self) -> str:
+        table = render_table(
+            ("F1-score", "Precision", "Recall"),
+            [(fmt_pct(self.f1), fmt_pct(self.precision), fmt_pct(self.recall))],
+            title="Table III: Random Forest scheduler efficiency",
+        )
+        picks = "; ".join(str(p) for p in self.fold_params)
+        out = f"{table}\nper-fold best params: {picks}"
+        if self.per_class_report:
+            out += f"\n\nper-device-class breakdown:\n{self.per_class_report}"
+        return out
+
+
+def run_table3(
+    dataset: SchedulerDataset | None = None,
+    outer_splits: int = 5,
+    inner_splits: int = 3,
+    full_grid: bool = False,
+    seed: int = 7,
+) -> Table3Result:
+    """Stratified nested CV of the random forest on the scheduler dataset.
+
+    ``full_grid=True`` searches the complete Table I space (1344 points,
+    minutes of runtime); the default reduced grid covers the same axes.
+    """
+    if dataset is None:
+        dataset = generate_dataset("throughput")
+    grid = FULL_GRID if full_grid else REDUCED_GRID
+    result = nested_cross_validation(
+        RandomForestClassifier(random_state=seed),
+        dataset.x,
+        dataset.y,
+        param_grid=grid,
+        outer_cv=StratifiedKFold(n_splits=outer_splits, random_state=seed),
+        inner_cv=StratifiedKFold(n_splits=inner_splits, random_state=seed + 1),
+        scoring="f1",
+    )
+    precision, recall, f1 = precision_recall_f1(result.y_true, result.y_pred)
+    return Table3Result(
+        f1=f1,
+        precision=precision,
+        recall=recall,
+        fold_params=result.fold_params,
+        per_class_report=classification_report(
+            result.y_true, result.y_pred, list(DEVICE_CLASSES)
+        ),
+    )
+
+
+@register("table3", "Table III", "RF F1/precision/recall via stratified nested CV")
+def _run(**kwargs) -> Table3Result:
+    return run_table3(**kwargs)

@@ -1,0 +1,48 @@
+"""Hardware models for the simulated testbed.
+
+The paper's base system (§III-A) is an Intel Core i7-8700 (6C/12T, with a
+UHD Graphics 630 iGPU on-die) plus an NVIDIA GTX 1080 Ti.  This subpackage
+models those three devices analytically:
+
+* :mod:`repro.hw.specs` — published device specifications plus calibration
+  constants for the execution-time model,
+* :mod:`repro.hw.dvfs` — the dGPU Boost-3.0-style clock ramp (idle vs warm),
+* :mod:`repro.hw.interconnect` — PCIe vs on-die ring-bus data movement,
+* :mod:`repro.hw.costmodel` — roofline execution-time model,
+* :mod:`repro.hw.power` — power draw and energy accounting.
+
+The model reproduces the *shape* of the paper's Fig. 3/4 (who wins at which
+batch size, where crossovers fall, the idle-GPU penalty), not the authors'
+absolute wall-clock numbers; see DESIGN.md §4 for the calibration targets.
+"""
+
+from repro.hw.specs import (
+    CPU_I7_8700,
+    DGPU_GTX_1080TI,
+    IGPU_UHD_630,
+    TESTBED,
+    DeviceClass,
+    DeviceSpec,
+    get_device_spec,
+)
+from repro.hw.dvfs import ClockModel, ClockState
+from repro.hw.costmodel import CostModel, KernelTiming
+from repro.hw.power import EnergyBreakdown, PowerModel
+from repro.hw.interconnect import TransferModel
+
+__all__ = [
+    "DeviceClass",
+    "DeviceSpec",
+    "CPU_I7_8700",
+    "IGPU_UHD_630",
+    "DGPU_GTX_1080TI",
+    "TESTBED",
+    "get_device_spec",
+    "ClockModel",
+    "ClockState",
+    "CostModel",
+    "KernelTiming",
+    "PowerModel",
+    "EnergyBreakdown",
+    "TransferModel",
+]

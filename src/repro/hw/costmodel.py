@@ -1,0 +1,193 @@
+"""Analytical execution-time model (the virtual clock's physics).
+
+For one classification of ``batch`` samples on one device the model charges
+four phases, mirroring the four steps of §II-A:
+
+1. **transfer in** — input samples to the device.  PCIe latency+bandwidth
+   for the dGPU; a zero-copy buffer map for CPU/iGPU (§IV-B).
+2. **launch** — one kernel enqueue per network layer (the thread-per-node
+   kernels of §IV-B process a layer per launch).
+3. **compute** — a roofline: ``max(flops / (F_eff * occupancy), bytes /
+   memory_bandwidth)`` plus a per-sample dispatch overhead.  Occupancy is a
+   saturating function of the parallel work-item pool (batch x widest
+   layer), which is what makes the dGPU lose at small batches and win at
+   large ones.  On the dGPU the compute phase is additionally stretched by
+   the Boost-3.0 clock ramp when the device starts idle.
+4. **transfer out** — the class scores back to the host.
+
+All times are *virtual*: nothing here reads a wall clock, so sweeps are
+deterministic and instantaneous to simulate.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+from repro.hw.dvfs import ClockModel, ClockState, clock_model_for
+from repro.hw.interconnect import PCIE_3_X16, RING_BUS, TransferModel
+from repro.hw.specs import DeviceSpec
+from repro.nn.builders import ModelSpec
+from repro.nn.flops import ModelCost, model_cost
+
+__all__ = ["KernelTiming", "CostModel", "parallel_width"]
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Phase-by-phase timing of one batched classification."""
+
+    transfer_in_s: float
+    launch_s: float
+    compute_s: float
+    transfer_out_s: float
+    occupancy: float
+    clock_start: ClockState
+    clock_end: ClockState
+    compute_warm_s: float  # compute time had the clocks been warm
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end time: transfers + launches + compute."""
+        return self.transfer_in_s + self.launch_s + self.compute_s + self.transfer_out_s
+
+    @property
+    def warmup_penalty_s(self) -> float:
+        """Extra seconds attributable to the clock ramp."""
+        return self.compute_s - self.compute_warm_s
+
+
+@functools.lru_cache(maxsize=None)
+def _cost_for(spec: ModelSpec) -> ModelCost:
+    return model_cost(spec)
+
+
+def parallel_width(spec: ModelSpec) -> float:
+    """Per-sample parallel work items: the widest layer's output elements.
+
+    The kernels assign a work-item per node (FFNN) or per output position x
+    filter (CNN), so the widest layer bounds how much parallelism one
+    sample exposes; the total pool is ``batch * width``.
+    """
+    cost = _cost_for(spec)
+    return max(layer.activation_elems for layer in cost.layers)
+
+
+class CostModel:
+    """Execution-time model for one device.
+
+    Parameters
+    ----------
+    device:
+        The device spec (published + calibration constants).
+    transfer:
+        Data-movement model; defaults to PCIe for discrete devices and the
+        zero-copy ring bus for host-shared ones.
+    clock:
+        DVFS model; defaults to the per-class model in :mod:`repro.hw.dvfs`.
+    """
+
+    def __init__(
+        self,
+        device: DeviceSpec,
+        transfer: TransferModel | None = None,
+        clock: ClockModel | None = None,
+    ):
+        self.device = device
+        if transfer is None:
+            transfer = RING_BUS if device.shares_host_memory else PCIE_3_X16
+        self.transfer = transfer
+        self.clock = clock if clock is not None else clock_model_for(device.device_class)
+
+    def timing(
+        self,
+        spec: ModelSpec,
+        batch: int,
+        state: ClockState | None = None,
+        workgroup_eff: float = 1.0,
+        pinned: bool = True,
+        overlap_transfers: bool = False,
+    ) -> KernelTiming:
+        """Timing breakdown for classifying ``batch`` samples of ``spec``.
+
+        ``workgroup_eff`` in (0, 1] derates compute throughput when the
+        caller configured a non-optimal work-group size (§IV-B ablation);
+        ``pinned=False`` models pageable host buffers on the PCIe path.
+
+        ``overlap_transfers=True`` models double-buffered streaming on
+        discrete devices (separate copy engines): the input DMA is chunked
+        and hidden behind compute, so the charged transfer-in time is only
+        the first chunk plus any bandwidth shortfall — ``max(T_in,
+        T_compute)`` replaces ``T_in + T_compute``.  Host-shared devices
+        are already zero-copy, so the flag is a no-op there.
+        """
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        if not (0.0 < workgroup_eff <= 1.0):
+            raise ValueError(f"workgroup_eff must be in (0, 1], got {workgroup_eff}")
+        if state is None:
+            state = self.clock.warm_state()
+
+        dev = self.device
+        cost = _cost_for(spec)
+
+        t_in = self.transfer.transfer_time(spec.sample_bytes * batch, pinned)
+        t_out = self.transfer.transfer_time(spec.n_classes * 4 * batch, pinned)
+        t_launch = cost.total_launches * dev.kernel_launch_s
+
+        work_items = batch * parallel_width(spec)
+        occ = dev.occupancy(work_items)
+        flop_time = (cost.flops_per_sample * batch) / (
+            dev.effective_flops * occ * workgroup_eff
+        )
+        # All memory traffic is derated by occupancy: sustaining bandwidth
+        # needs in-flight work-items to cover DRAM latency.  Note the
+        # consequence for weight-heavy models at tiny batches: the weight
+        # stream is fixed-size work whose only parallelism comes from the
+        # batch (thread-per-node kernels do not pad), so *total* time can
+        # genuinely dip as the batch grows while throughput — the paper's
+        # plotted quantity — stays monotone (T(2b) <= 2*T(b) always).
+        mem_time = (cost.bytes_per_sample(batch) * batch) / (dev.mem_bandwidth * occ)
+        compute_warm = max(flop_time, mem_time) + batch * dev.per_sample_overhead_s
+
+        if overlap_transfers and not self.transfer.zero_copy:
+            # Double buffering: all but the priming chunk of the input DMA
+            # hides behind compute.  Chunk granularity = one 16-chunk slice
+            # of the batch (or the whole batch when tiny).
+            chunk = max(1, batch // 16)
+            prime = self.transfer.transfer_time(spec.sample_bytes * chunk, pinned)
+            t_in = prime + max(0.0, (t_in - prime) - compute_warm)
+
+        # The clock ramp stretches kernel dispatch and compute (both run at
+        # device core clocks); DMA transfers are host/IO-paced.
+        _, pre_state = self._advance(state, t_in)
+        on_device_warm = t_launch + compute_warm
+        on_device_actual, end_state = self.clock.time_to_complete(pre_state, on_device_warm)
+        _, final_state = self._advance(end_state, t_out)
+        ramp_stretch = on_device_actual - on_device_warm
+
+        return KernelTiming(
+            transfer_in_s=t_in,
+            launch_s=t_launch,
+            compute_s=compute_warm + ramp_stretch,
+            transfer_out_s=t_out,
+            occupancy=occ,
+            clock_start=state,
+            clock_end=final_state,
+            compute_warm_s=compute_warm,
+        )
+
+    def _advance(self, state: ClockState, dt: float) -> tuple[float, ClockState]:
+        """Advance the timestamp without warming or cooling (host phases are
+        short relative to both time constants)."""
+        from dataclasses import replace
+
+        return dt, replace(state, timestamp=state.timestamp + dt)
+
+    def idle_state(self) -> ClockState:
+        """Convenience: the device's cold/idle clock state."""
+        return self.clock.idle_state()
+
+    def warm_state(self) -> ClockState:
+        """Convenience: the device's fully warmed clock state."""
+        return self.clock.warm_state()

@@ -1,0 +1,156 @@
+"""Clock/boost behaviour — the dGPU's *idle* vs *warmed-up* states.
+
+The paper's footnote 1 (§IV-C): NVIDIA Boost 3.0 adjusts GPU clocks
+automatically; starting a measurement from an idle GPU can cost up to ~7x
+throughput until the clocks ramp, and the gap closes once enough work has
+been pushed (Mnist-Small: idle matches warm at >=64K samples).
+
+We model the clock as a first-order system: the effective clock fraction
+``c`` relaxes exponentially toward 1.0 while the device is busy (time
+constant ``tau_warm``) and back toward ``idle_frac`` while it sits idle
+(``tau_cool``).  The time to execute ``work`` FLOPs starting from clock
+fraction ``c0`` solves
+
+    work = R_max * \\int_0^T [1 - (1 - c0) * exp(-t / tau_warm)] dt
+
+which :meth:`ClockModel.time_to_complete` inverts with Newton iterations
+(the integrand is monotone so convergence is certain).
+
+A key identity the energy model exploits: the *dynamic* energy of a ramped
+run equals that of a warm run, because \\int c(t) dt = work / R_max exactly;
+only the idle-power-times-longer-runtime term differs.  Hence an idle-start
+run always costs more joules than a warm one — precisely the paper's
+observation in §IV-C ("when the GPU starts from an idle state, it always
+consumes more energy ... than if it is warmed-up").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["ClockModel", "ClockState"]
+
+
+@dataclass(frozen=True)
+class ClockState:
+    """Instantaneous DVFS state of a device: clock fraction at a timestamp."""
+
+    clock_frac: float = 1.0
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.clock_frac <= 1.0):
+            raise ValueError(f"clock_frac must be in (0, 1], got {self.clock_frac}")
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """Boost-clock dynamics for one device.
+
+    ``idle_frac = 1.0`` (CPU, iGPU) makes the model a no-op: those devices'
+    OS governors ramp in microseconds, invisible at our resolution; only the
+    dGPU's P-state machinery is slow enough to matter (paper footnote 1).
+    """
+
+    idle_frac: float = 1.0
+    tau_warm_s: float = 8e-3
+    tau_cool_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.idle_frac <= 1.0):
+            raise ValueError(f"idle_frac must be in (0, 1], got {self.idle_frac}")
+        if self.tau_warm_s <= 0.0 or self.tau_cool_s <= 0.0:
+            raise ValueError("time constants must be positive")
+
+    @property
+    def is_static(self) -> bool:
+        """True when the clock never ramps (CPU/iGPU governors)."""
+        return self.idle_frac >= 1.0
+
+    def idle_state(self, timestamp: float = 0.0) -> ClockState:
+        """State of a device that has been idle long enough to down-clock."""
+        return ClockState(clock_frac=self.idle_frac, timestamp=timestamp)
+
+    def warm_state(self, timestamp: float = 0.0) -> ClockState:
+        """State of a fully warmed-up device."""
+        return ClockState(clock_frac=1.0, timestamp=timestamp)
+
+    def cool(self, state: ClockState, until: float) -> ClockState:
+        """Relax the clock toward ``idle_frac`` during an idle gap."""
+        if until < state.timestamp:
+            raise ValueError("cannot cool backwards in time")
+        if self.is_static:
+            return replace(state, timestamp=until)
+        import math
+
+        dt = until - state.timestamp
+        decay = math.exp(-dt / self.tau_cool_s)
+        c = self.idle_frac + (state.clock_frac - self.idle_frac) * decay
+        return ClockState(clock_frac=max(self.idle_frac, c), timestamp=until)
+
+    def time_to_complete(self, state: ClockState, warm_seconds: float) -> tuple[float, ClockState]:
+        """Wall time to finish work that would take ``warm_seconds`` at full
+        clock, starting from ``state``; returns (elapsed, new state).
+
+        Solves ``warm_seconds = T - (1-c0) * tau * (1 - exp(-T/tau))`` for T.
+        """
+        if warm_seconds < 0.0:
+            raise ValueError(f"warm_seconds must be >= 0, got {warm_seconds}")
+        if warm_seconds == 0.0 or self.is_static or state.clock_frac >= 1.0:
+            end = state.timestamp + warm_seconds
+            return warm_seconds, replace(state, timestamp=end)
+
+        import math
+
+        c0 = state.clock_frac
+        tau = self.tau_warm_s
+        deficit = (1.0 - c0) * tau
+
+        def done(t: float) -> float:
+            return t - deficit * (1.0 - math.exp(-t / tau)) - warm_seconds
+
+        # Bracket: at full clock T = warm_seconds; at worst T = warm/c0 + tau-ish.
+        lo = warm_seconds
+        hi = warm_seconds / c0 + 5.0 * tau
+        t = warm_seconds / max(c0, 1e-6)  # initial guess: constant slow clock
+        for _ in range(60):
+            f = done(t)
+            if abs(f) < 1e-15 + 1e-12 * warm_seconds:
+                break
+            df = 1.0 - (deficit / tau) * math.exp(-t / tau)
+            step = f / df
+            t_new = t - step
+            if not (lo <= t_new <= hi):  # Newton escaped: bisect
+                if f > 0:
+                    hi = t
+                else:
+                    lo = t
+                t_new = 0.5 * (lo + hi)
+            t = t_new
+        c_end = 1.0 - (1.0 - c0) * math.exp(-t / tau)
+        return t, ClockState(clock_frac=min(1.0, c_end), timestamp=state.timestamp + t)
+
+    def slowdown(self, state: ClockState, warm_seconds: float) -> float:
+        """Multiplicative penalty ``elapsed / warm_seconds`` for a run."""
+        if warm_seconds <= 0.0:
+            return 1.0
+        elapsed, _ = self.time_to_complete(state, warm_seconds)
+        return elapsed / warm_seconds
+
+
+#: Per-device clock models.  Only the dGPU ramps; idle_frac tuned so the
+#: worst-case idle-vs-warm gap is ~6-7x (paper: "differences up to 7x").
+CLOCK_MODELS = {
+    "cpu": ClockModel(idle_frac=1.0),
+    "igpu": ClockModel(idle_frac=1.0),
+    "dgpu": ClockModel(idle_frac=0.15, tau_warm_s=8e-3, tau_cool_s=2.0),
+}
+
+
+def clock_model_for(device_class) -> ClockModel:
+    """Clock model for a :class:`~repro.hw.specs.DeviceClass` (or its value)."""
+    key = getattr(device_class, "value", device_class)
+    try:
+        return CLOCK_MODELS[key]
+    except KeyError:
+        raise KeyError(f"no clock model for device class {device_class!r}") from None

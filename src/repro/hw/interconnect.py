@@ -1,0 +1,79 @@
+"""Data-movement models: PCIe for the dGPU, on-die ring bus for CPU/iGPU.
+
+Paper §II-A: a discrete-GPU classification performs four steps — copy into
+the I/O region, DMA to device memory, the kernel, and the result DMA back.
+The iGPU instead shares physical memory with the CPU, so buffers are mapped
+in place (``clEnqueueMapBuffer``) with no bulk copy.
+
+The PCIe model is the standard latency + size/bandwidth affine model, with
+an efficiency knee for small transfers ("the PCIe interconnect [is unable]
+to handle small data transfers efficiently") and a pinned-memory bandwidth
+bonus (the paper stages classifications through page-locked buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TransferModel", "PCIE_3_X16", "RING_BUS"]
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Affine + small-transfer-penalty transfer-time model."""
+
+    name: str
+    latency_s: float          # per-transaction fixed latency (DMA setup, doorbell)
+    bandwidth_gb_s: float     # large-transfer asymptotic bandwidth (pinned)
+    pageable_penalty: float   # bandwidth divisor when the host buffer is pageable
+    small_knee_bytes: float   # transfers below this see degraded efficiency
+    zero_copy: bool = False   # shared physical memory: map instead of copy
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0.0 or self.bandwidth_gb_s <= 0.0:
+            raise ValueError(f"{self.name}: bad latency/bandwidth")
+        if self.pageable_penalty < 1.0:
+            raise ValueError(f"{self.name}: pageable_penalty must be >= 1")
+
+    def effective_bandwidth(self, n_bytes: float, pinned: bool = True) -> float:
+        """Achieved bytes/s for a transfer of ``n_bytes``."""
+        bw = self.bandwidth_gb_s * 1e9
+        if not pinned:
+            bw /= self.pageable_penalty
+        if n_bytes < self.small_knee_bytes:
+            # Linear ramp from ~0 efficiency at 0 bytes to full at the knee:
+            # models per-TLP overheads dominating tiny DMA bursts.
+            bw *= max(n_bytes / self.small_knee_bytes, 1e-3)
+        return bw
+
+    def transfer_time(self, n_bytes: float, pinned: bool = True) -> float:
+        """Seconds to move ``n_bytes`` one way."""
+        if n_bytes < 0.0:
+            raise ValueError(f"transfer size must be >= 0, got {n_bytes}")
+        if self.zero_copy:
+            # Mapping cost only: page-table walk amortized, no bulk copy.
+            return self.latency_s
+        if n_bytes == 0.0:
+            return self.latency_s
+        return self.latency_s + n_bytes / self.effective_bandwidth(n_bytes, pinned)
+
+
+#: PCIe 3.0 x16: ~12 GB/s effective pinned h2d, ~8 us doorbell+DMA setup.
+PCIE_3_X16 = TransferModel(
+    name="pcie3-x16",
+    latency_s=8e-6,
+    bandwidth_gb_s=12.0,
+    pageable_penalty=2.2,
+    small_knee_bytes=16 * 1024,
+)
+
+#: On-die ring bus shared by CPU cores and iGPU: zero-copy mapped buffers,
+#: only a (small) map/unmap bookkeeping latency.
+RING_BUS = TransferModel(
+    name="ring-bus",
+    latency_s=1.5e-6,
+    bandwidth_gb_s=41.6,
+    pageable_penalty=1.0,
+    small_knee_bytes=0.0,
+    zero_copy=True,
+)

@@ -1,0 +1,99 @@
+"""Power and energy accounting (the PCM / nvidia-smi substitute).
+
+Paper §IV-C fixes the accounting rule we follow: *charge every component
+required for the execution*.  A dGPU classification charges the GPU board
+plus the host CPU that stages buffers, programs DMA and polls completion;
+a CPU or iGPU classification excludes the discrete GPU entirely ("when we
+use the CPU (or the integrated GPU), we exclude the discrete GPU, as it is
+not needed").
+
+Per component the draw is the usual idle + dynamic split::
+
+    P(t) = P_idle + (P_busy - P_idle) * occupancy * c(t)
+
+where ``c(t)`` is the clock fraction.  Because the integral of ``c`` over a
+run equals ``work / R_max`` regardless of the ramp (see
+:mod:`repro.hw.dvfs`), dynamic energy is ramp-invariant and the idle-start
+penalty is exactly ``P_idle * (elapsed_idle - elapsed_warm)`` — always
+positive, matching the paper's observation that an idle-start GPU run
+always costs more joules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.costmodel import KernelTiming
+from repro.hw.specs import DeviceClass, DeviceSpec
+
+__all__ = ["EnergyBreakdown", "PowerModel", "LAUNCH_UTILIZATION"]
+
+#: Fraction of a device's dynamic power drawn while dispatching kernels:
+#: enqueue paths keep roughly a core's worth of logic busy on every device
+#: (the CPU spinning in its own runtime, a GPU's command processor).
+LAUNCH_UTILIZATION = 0.25
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules per involved component for one classification."""
+
+    device_j: float
+    host_j: float
+    duration_s: float
+
+    @property
+    def total_j(self) -> float:
+        """Device plus host-assist joules."""
+        return self.device_j + self.host_j
+
+    @property
+    def avg_watts(self) -> float:
+        """Mean draw over the run — the quantity Fig. 3 plots as 'Power'."""
+        if self.duration_s <= 0.0:
+            return 0.0
+        return self.total_j / self.duration_s
+
+
+class PowerModel:
+    """Energy accounting for one device's classifications."""
+
+    def __init__(self, device: DeviceSpec):
+        self.device = device
+
+    def energy(self, timing: KernelTiming) -> EnergyBreakdown:
+        """Energy of the run described by ``timing``.
+
+        Dynamic energy is charged for the compute phase at the achieved
+        occupancy; idle draw is charged for the whole run; transfers charge
+        the host-assist (and, on the PCIe path, the device's idle draw is
+        already covered by the whole-run idle term).
+        """
+        dev = self.device
+        total = timing.total_s
+
+        dyn = dev.busy_watts - dev.idle_watts
+        # Ramp-invariant dynamic energy: occupancy * (P_busy - P_idle) *
+        # compute_warm (the clock integral identity), plus the dispatch
+        # draw during launches, plus the idle floor for the full duration.
+        device_j = (
+            dev.idle_watts * total
+            + dyn * timing.occupancy * timing.compute_warm_s
+            + dyn * LAUNCH_UTILIZATION * timing.launch_s
+        )
+
+        if dev.device_class is DeviceClass.CPU:
+            host_j = 0.0  # the CPU *is* the host; its draw is device_j
+        else:
+            # The host's staging/polling work scales with how busy it keeps
+            # the device: full-rate during transfers and launches,
+            # occupancy-weighted while the kernel runs.
+            host_active = (
+                timing.transfer_in_s
+                + timing.launch_s
+                + timing.transfer_out_s
+                + timing.occupancy * timing.compute_s
+            )
+            host_j = dev.host_assist_watts * host_active
+
+        return EnergyBreakdown(device_j=device_j, host_j=host_j, duration_s=total)

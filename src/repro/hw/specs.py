@@ -1,0 +1,202 @@
+"""Device specifications for the paper's testbed (§III-A).
+
+Each :class:`DeviceSpec` carries two groups of fields:
+
+* **published** numbers taken straight from the paper / vendor datasheets
+  (core counts, peak GFLOPS, memory bandwidth, TDP);
+* **calibration** constants for the analytical execution model (effective
+  sustained FLOPS under OpenCL, kernel-launch overhead, per-sample
+  dispatch overhead, parallelism half-saturation point, power envelope).
+
+Calibration constants were tuned so the characterization sweep reproduces
+the crossover structure the paper reports (DESIGN.md §4); the tuning lives
+in ``tests/experiments/test_shapes.py`` which fails if a future edit drifts
+the shape.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "DeviceClass",
+    "DeviceSpec",
+    "CPU_I7_8700",
+    "IGPU_UHD_630",
+    "DGPU_GTX_1080TI",
+    "TESTBED",
+    "get_device_spec",
+]
+
+
+class DeviceClass(enum.Enum):
+    """The three device families of the paper (plus room for more: the
+    scheduler is device-agnostic, §V-A)."""
+
+    CPU = "cpu"
+    IGPU = "igpu"
+    DGPU = "dgpu"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one computational device."""
+
+    name: str
+    device_class: DeviceClass
+    vendor: str
+
+    # -- published ---------------------------------------------------------
+    compute_units: int            # cores / EUs / SMs
+    hw_threads: int               # parallel hardware contexts
+    base_clock_mhz: float
+    boost_clock_mhz: float
+    peak_gflops: float            # vendor fp32 peak
+    mem_bandwidth_gb_s: float     # device-visible memory bandwidth
+    mem_bytes: int                # dedicated memory (0 = shares host DRAM)
+    tdp_watts: float
+    shares_host_memory: bool      # iGPU/CPU: zero-copy via ring bus
+
+    # -- calibration: execution time ---------------------------------------
+    sustained_eff: float          # fraction of peak GFLOPS OpenCL sustains
+    kernel_launch_s: float        # fixed cost per kernel launch
+    per_sample_overhead_s: float  # dispatch cost per classified sample
+    halfsat_workitems: float      # work-items for 50% occupancy
+    optimal_workgroup: int        # paper §IV-B: CPU 4096, GPUs 256
+
+    # -- calibration: power --------------------------------------------------
+    idle_watts: float             # draw when powered but not computing
+    busy_watts: float             # draw at full occupancy
+    host_assist_watts: float      # CPU-side draw while orchestrating this device
+
+    def __post_init__(self) -> None:
+        if self.compute_units <= 0 or self.hw_threads <= 0:
+            raise ValueError(f"{self.name}: bad compute resources")
+        if not (0.0 < self.sustained_eff <= 1.0):
+            raise ValueError(f"{self.name}: sustained_eff must be in (0, 1]")
+        if self.busy_watts < self.idle_watts:
+            raise ValueError(f"{self.name}: busy_watts < idle_watts")
+
+    @property
+    def effective_flops(self) -> float:
+        """Sustained fp32 FLOP/s the OpenCL kernels reach at full occupancy."""
+        return self.peak_gflops * 1e9 * self.sustained_eff
+
+    @property
+    def mem_bandwidth(self) -> float:
+        """Memory bandwidth in bytes/s."""
+        return self.mem_bandwidth_gb_s * 1e9
+
+    def occupancy(self, work_items: float) -> float:
+        """Fraction of peak throughput sustained for a given parallel width.
+
+        Saturating ``p / (p + p_half)`` law: devices with many hardware
+        contexts (the dGPU's 3584 cores with latency-hiding) need a large
+        work-item pool to reach peak, while the CPU's 12 threads saturate
+        almost immediately — the §IV-C observation that "GPU is suitable
+        for big sample sizes, while the CPU is more suitable for small".
+        """
+        if work_items <= 0.0:
+            return 0.0
+        return work_items / (work_items + self.halfsat_workitems)
+
+
+#: Intel Core i7-8700 "Coffee Lake": 6 cores / 12 threads @ 3.7 GHz
+#: (4.3 boost), AVX2: ~355 GFLOPS fp32 peak, 41.6 GB/s dual-channel
+#: DDR4-2666, 95 W package TDP.
+CPU_I7_8700 = DeviceSpec(
+    name="i7-8700",
+    device_class=DeviceClass.CPU,
+    vendor="Intel",
+    compute_units=6,
+    hw_threads=12,
+    base_clock_mhz=3700.0,
+    boost_clock_mhz=4300.0,
+    peak_gflops=355.0,
+    mem_bandwidth_gb_s=41.6,
+    mem_bytes=0,
+    tdp_watts=95.0,
+    shares_host_memory=True,
+    sustained_eff=0.45,          # OpenCL-on-CPU GEMM efficiency
+    kernel_launch_s=4e-6,
+    per_sample_overhead_s=5e-9,  # caps tiny-model throughput ~15 Gbit/s
+    halfsat_workitems=32.0,      # 12 threads saturate almost immediately
+    optimal_workgroup=4096,
+    idle_watts=8.0,
+    busy_watts=70.0,
+    host_assist_watts=0.0,       # it *is* the host
+)
+
+#: Intel UHD Graphics 630: 24 EUs, 64-thread dispatcher, 460.8 GFLOPS at
+#: 1200 MHz, shares the 41.6 GB/s DRAM and LLC with the CPU, ~20 W.
+IGPU_UHD_630 = DeviceSpec(
+    name="uhd-630",
+    device_class=DeviceClass.IGPU,
+    vendor="Intel",
+    compute_units=24,
+    hw_threads=64 * 7,           # 64-thread dispatcher, 7-way SIMD lanes
+    base_clock_mhz=350.0,
+    boost_clock_mhz=1200.0,
+    peak_gflops=460.8,
+    mem_bandwidth_gb_s=41.6,
+    mem_bytes=0,
+    tdp_watts=20.0,
+    shares_host_memory=True,
+    sustained_eff=0.60,
+    kernel_launch_s=6e-6,
+    per_sample_overhead_s=3e-9,
+    halfsat_workitems=1.5e3,
+    optimal_workgroup=256,
+    idle_watts=2.0,
+    busy_watts=19.0,
+    host_assist_watts=14.0,      # CPU core feeding/mapping buffers
+)
+
+#: NVIDIA GTX 1080 Ti: 3584 CUDA cores in 28 SMs, 11 GB GDDR5X @ 484 GB/s,
+#: 10.6 TFLOPS fp32, 250 W TDP, attached over PCIe 3.0 x16.
+DGPU_GTX_1080TI = DeviceSpec(
+    name="gtx-1080ti",
+    device_class=DeviceClass.DGPU,
+    vendor="NVIDIA",
+    compute_units=28,
+    hw_threads=3584,
+    base_clock_mhz=1480.0,
+    boost_clock_mhz=1890.0,
+    peak_gflops=10600.0,
+    mem_bandwidth_gb_s=484.0,
+    mem_bytes=11 * 1024**3,
+    tdp_watts=250.0,
+    shares_host_memory=False,
+    sustained_eff=0.28,
+    kernel_launch_s=10e-6,
+    per_sample_overhead_s=1e-9,
+    halfsat_workitems=2.5e5,     # needs huge batches to hide latency
+    optimal_workgroup=256,
+    idle_watts=55.0,
+    busy_watts=230.0,
+    host_assist_watts=22.0,      # CPU staging, DMA setup, completion polling
+)
+
+#: The paper's full testbed, in scheduler class order (CPU, dGPU, iGPU --
+#: matching the 30/40/30 class indices of §V-B).
+TESTBED: tuple[DeviceSpec, ...] = (CPU_I7_8700, DGPU_GTX_1080TI, IGPU_UHD_630)
+
+_BY_NAME = {d.name: d for d in TESTBED}
+_BY_CLASS = {d.device_class: d for d in TESTBED}
+
+
+def get_device_spec(key: "str | DeviceClass") -> DeviceSpec:
+    """Look up a testbed device by name ('i7-8700') or DeviceClass."""
+    if isinstance(key, DeviceClass):
+        return _BY_CLASS[key]
+    if key in _BY_NAME:
+        return _BY_NAME[key]
+    try:
+        return _BY_CLASS[DeviceClass(key)]
+    except ValueError:
+        known = sorted(_BY_NAME) + [c.value for c in DeviceClass]
+        raise KeyError(f"unknown device {key!r}; known: {', '.join(known)}") from None

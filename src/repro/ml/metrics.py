@@ -1,0 +1,137 @@
+"""Classification metrics: accuracy, confusion matrix, P/R/F1.
+
+The paper evaluates the scheduler with accuracy (Table II) and — because
+the device classes are imbalanced (~30/40/30, §V-B) — with weighted
+F1/precision/recall (Table III).  Weighted averaging matches sklearn's
+``average='weighted'``: per-class scores weighted by class support.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "precision_recall_f1",
+    "classification_report",
+]
+
+
+def _check_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true has shape {y_true.shape} but y_pred has {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("cannot score empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, n_classes: int | None = None) -> np.ndarray:
+    """Counts[i, j] = samples with true class i predicted as class j."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    labels = np.union1d(np.unique(y_true), np.unique(y_pred))
+    if not np.issubdtype(labels.dtype, np.integer):
+        raise ValueError("confusion_matrix expects integer-encoded labels")
+    k = int(labels.max()) + 1 if n_classes is None else int(n_classes)
+    cm = np.zeros((k, k), dtype=np.int64)
+    np.add.at(cm, (y_true, y_pred), 1)
+    return cm
+
+
+def _per_class_prf(y_true, y_pred) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    cm = confusion_matrix(y_true, y_pred)
+    tp = np.diag(cm).astype(np.float64)
+    support = cm.sum(axis=1).astype(np.float64)
+    predicted = cm.sum(axis=0).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(support > 0, tp / support, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return precision, recall, f1, support
+
+
+def _average(values: np.ndarray, support: np.ndarray, average: str) -> float:
+    present = support > 0
+    if average == "macro":
+        return float(values[present].mean())
+    if average == "weighted":
+        return float(np.average(values[present], weights=support[present]))
+    raise ValueError(f"average must be 'macro' or 'weighted', got {average!r}")
+
+
+def precision_score(y_true, y_pred, average: str = "weighted") -> float:
+    """Support-averaged precision."""
+    p, _, _, s = _per_class_prf(y_true, y_pred)
+    return _average(p, s, average)
+
+
+def recall_score(y_true, y_pred, average: str = "weighted") -> float:
+    """Support-averaged recall."""
+    _, r, _, s = _per_class_prf(y_true, y_pred)
+    return _average(r, s, average)
+
+
+def f1_score(y_true, y_pred, average: str = "weighted") -> float:
+    """Support-averaged F1 (the Table III headline metric)."""
+    _, _, f, s = _per_class_prf(y_true, y_pred)
+    return _average(f, s, average)
+
+
+def precision_recall_f1(
+    y_true, y_pred, average: str = "weighted"
+) -> tuple[float, float, float]:
+    """(precision, recall, f1) in one confusion-matrix pass."""
+    p, r, f, s = _per_class_prf(y_true, y_pred)
+    return _average(p, s, average), _average(r, s, average), _average(f, s, average)
+
+
+def classification_report(
+    y_true, y_pred, target_names: "list[str] | None" = None
+) -> str:
+    """Per-class P/R/F1/support table plus weighted averages (text).
+
+    ``target_names`` maps class indices to labels — e.g. the device-class
+    names of the scheduler dataset.
+    """
+    p, r, f, s = _per_class_prf(y_true, y_pred)
+    k = len(s)
+    if target_names is None:
+        target_names = [str(i) for i in range(k)]
+    if len(target_names) < k:
+        raise ValueError(
+            f"need >= {k} target names, got {len(target_names)}"
+        )
+    width = max(12, max(len(n) for n in target_names[:k]) + 2)
+    header = f"{'':>{width}} {'precision':>10} {'recall':>10} {'f1':>10} {'support':>9}"
+    lines = [header]
+    for i in range(k):
+        if s[i] == 0 and p[i] == 0:
+            continue
+        lines.append(
+            f"{target_names[i]:>{width}} {p[i]:>10.3f} {r[i]:>10.3f} "
+            f"{f[i]:>10.3f} {int(s[i]):>9d}"
+        )
+    wp, wr, wf = (
+        _average(p, s, "weighted"),
+        _average(r, s, "weighted"),
+        _average(f, s, "weighted"),
+    )
+    lines.append(
+        f"{'weighted avg':>{width}} {wp:>10.3f} {wr:>10.3f} {wf:>10.3f} "
+        f"{int(s.sum()):>9d}"
+    )
+    return "\n".join(lines)

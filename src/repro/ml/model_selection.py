@@ -1,0 +1,233 @@
+"""Model selection: stratified k-fold, CV, grid search, nested CV (§V-C).
+
+The paper's training protocol: *stratified* k-fold (the device classes are
+imbalanced ~30/40/30), cross-validation against overestimation, *nested*
+so the inner loop picks hyperparameters while the outer loop scores
+generalization, reporting F1 rather than plain accuracy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.metrics import accuracy_score, f1_score
+from repro.rng import ensure_rng
+
+__all__ = [
+    "StratifiedKFold",
+    "train_test_split",
+    "cross_val_score",
+    "GridSearchCV",
+    "NestedCVResult",
+    "nested_cross_validation",
+]
+
+
+class StratifiedKFold:
+    """K folds preserving per-class proportions.
+
+    Samples of each class are shuffled (if requested) then dealt
+    round-robin into folds, so every fold's class histogram matches the
+    dataset's within one sample — the imbalance fix of §V-C.
+    """
+
+    def __init__(
+        self,
+        n_splits: int = 5,
+        shuffle: bool = True,
+        random_state: "int | np.random.Generator | None" = None,
+    ):
+        if n_splits < 2:
+            raise ValueError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, x, y) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield (train_indices, test_indices) per fold."""
+        y = np.asarray(y)
+        n = y.shape[0]
+        if n < self.n_splits:
+            raise ValueError(f"cannot split {n} samples into {self.n_splits} folds")
+        rng = ensure_rng(self.random_state)
+        fold_of = np.empty(n, dtype=np.int64)
+        for cls in np.unique(y):
+            idx = np.flatnonzero(y == cls)
+            if self.shuffle:
+                idx = rng.permutation(idx)
+            if idx.size < self.n_splits:
+                raise ValueError(
+                    f"class {cls!r} has {idx.size} samples < n_splits={self.n_splits}"
+                )
+            fold_of[idx] = np.arange(idx.size) % self.n_splits
+        for k in range(self.n_splits):
+            test = np.flatnonzero(fold_of == k)
+            train = np.flatnonzero(fold_of != k)
+            yield train, test
+
+
+def train_test_split(
+    x,
+    y,
+    test_size: float = 0.25,
+    stratify: bool = True,
+    random_state: "int | np.random.Generator | None" = None,
+):
+    """Single stratified split; returns (x_tr, x_te, y_tr, y_te)."""
+    if not (0.0 < test_size < 1.0):
+        raise ValueError(f"test_size must be in (0, 1), got {test_size}")
+    x = np.asarray(x)
+    y = np.asarray(y)
+    rng = ensure_rng(random_state)
+    test_idx: list[np.ndarray] = []
+    if stratify:
+        for cls in np.unique(y):
+            idx = rng.permutation(np.flatnonzero(y == cls))
+            k = max(1, int(round(idx.size * test_size)))
+            test_idx.append(idx[:k])
+        test = np.concatenate(test_idx)
+    else:
+        perm = rng.permutation(y.shape[0])
+        test = perm[: max(1, int(round(y.shape[0] * test_size)))]
+    mask = np.zeros(y.shape[0], dtype=bool)
+    mask[test] = True
+    return x[~mask], x[mask], y[~mask], y[mask]
+
+
+def _scorer(name: "str | Callable") -> Callable:
+    if callable(name):
+        return name
+    if name == "accuracy":
+        return lambda yt, yp: accuracy_score(yt, yp)
+    if name == "f1":
+        return lambda yt, yp: f1_score(yt, yp, average="weighted")
+    raise ValueError(f"unknown scorer {name!r}; use 'accuracy', 'f1' or a callable")
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    x,
+    y,
+    cv: StratifiedKFold | int = 5,
+    scoring: "str | Callable" = "accuracy",
+) -> np.ndarray:
+    """Per-fold test scores for an estimator."""
+    if isinstance(cv, int):
+        cv = StratifiedKFold(n_splits=cv)
+    score = _scorer(scoring)
+    x = np.asarray(x)
+    y = np.asarray(y)
+    out = []
+    for train, test in cv.split(x, y):
+        est = clone(estimator)
+        est.fit(x[train], y[train])
+        out.append(score(y[test], est.predict(x[test])))
+    return np.asarray(out)
+
+
+class GridSearchCV:
+    """Exhaustive hyperparameter search scored by inner cross-validation."""
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_grid: dict[str, list],
+        cv: StratifiedKFold | int = 3,
+        scoring: "str | Callable" = "f1",
+    ):
+        if not param_grid:
+            raise ValueError("param_grid must not be empty")
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.cv = cv
+        self.scoring = scoring
+        self.best_params_: dict | None = None
+        self.best_score_: float = float("-inf")
+        self.best_estimator_: BaseEstimator | None = None
+        self.results_: list[tuple[dict, float]] = []
+
+    def _candidates(self) -> Iterator[dict]:
+        keys = sorted(self.param_grid)
+        for combo in itertools.product(*(self.param_grid[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+    def fit(self, x, y) -> "GridSearchCV":
+        x = np.asarray(x)
+        y = np.asarray(y)
+        self.results_ = []
+        for params in self._candidates():
+            est = clone(self.estimator).set_params(**params)
+            scores = cross_val_score(est, x, y, cv=self.cv, scoring=self.scoring)
+            mean = float(scores.mean())
+            self.results_.append((params, mean))
+            if mean > self.best_score_:
+                self.best_score_ = mean
+                self.best_params_ = params
+        self.best_estimator_ = clone(self.estimator).set_params(**self.best_params_)
+        self.best_estimator_.fit(x, y)
+        return self
+
+    def predict(self, x) -> np.ndarray:
+        if self.best_estimator_ is None:
+            raise RuntimeError("GridSearchCV must be fitted before predict")
+        return self.best_estimator_.predict(x)
+
+
+@dataclass
+class NestedCVResult:
+    """Outcome of one stratified nested cross-validation run."""
+
+    fold_scores: list[float] = field(default_factory=list)
+    fold_params: list[dict] = field(default_factory=list)
+    y_true: np.ndarray | None = None
+    y_pred: np.ndarray | None = None
+
+    @property
+    def mean_score(self) -> float:
+        """Mean outer-fold score."""
+        return float(np.mean(self.fold_scores))
+
+    @property
+    def std_score(self) -> float:
+        """Stddev of outer-fold scores."""
+        return float(np.std(self.fold_scores))
+
+
+def nested_cross_validation(
+    estimator: BaseEstimator,
+    x,
+    y,
+    param_grid: dict[str, list],
+    outer_cv: StratifiedKFold | int = 5,
+    inner_cv: StratifiedKFold | int = 3,
+    scoring: "str | Callable" = "f1",
+) -> NestedCVResult:
+    """Stratified nested CV (§V-C): inner grid search, outer scoring.
+
+    Returns per-outer-fold scores and the pooled out-of-fold predictions
+    (which is what Table III's precision/recall/F1 are computed from).
+    """
+    if isinstance(outer_cv, int):
+        outer_cv = StratifiedKFold(n_splits=outer_cv)
+    x = np.asarray(x)
+    y = np.asarray(y)
+    score = _scorer(scoring)
+    result = NestedCVResult()
+    all_true: list[np.ndarray] = []
+    all_pred: list[np.ndarray] = []
+    for train, test in outer_cv.split(x, y):
+        search = GridSearchCV(estimator, param_grid, cv=inner_cv, scoring=scoring)
+        search.fit(x[train], y[train])
+        pred = search.predict(x[test])
+        result.fold_scores.append(score(y[test], pred))
+        result.fold_params.append(search.best_params_)
+        all_true.append(y[test])
+        all_pred.append(pred)
+    result.y_true = np.concatenate(all_true)
+    result.y_pred = np.concatenate(all_pred)
+    return result

@@ -1,0 +1,78 @@
+"""Feature scaling and label encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.ml.base import BaseEstimator
+
+__all__ = ["StandardScaler", "LabelEncoder"]
+
+
+class StandardScaler(BaseEstimator):
+    """Zero-mean unit-variance scaling; constant features pass through."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y=None) -> "StandardScaler":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        # Treat numerically-constant features (std at float rounding noise
+        # relative to the feature magnitude) as constant: dividing by an
+        # ~1e-16 std would amplify cancellation garbage.
+        eps = 1e-12 * np.maximum(1.0, np.abs(self.mean_))
+        self.scale_ = np.where(std > eps, std, 1.0)
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler must be fitted before transform")
+        x = np.asarray(x, dtype=np.float64)
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray, y=None) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler must be fitted before use")
+        return np.asarray(x, dtype=np.float64) * self.scale_ + self.mean_
+
+
+class LabelEncoder:
+    """Map arbitrary hashable labels to contiguous integers 0..K-1."""
+
+    def __init__(self) -> None:
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, y) -> "LabelEncoder":
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotFittedError("LabelEncoder must be fitted before transform")
+        y = np.asarray(y)
+        idx = np.searchsorted(self.classes_, y)
+        bad = (idx >= len(self.classes_)) | (self.classes_[np.clip(idx, 0, len(self.classes_) - 1)] != y)
+        if np.any(bad):
+            unknown = sorted(set(np.asarray(y)[bad].tolist()))
+            raise ValueError(f"unseen labels: {unknown}")
+        return idx.astype(np.int64)
+
+    def fit_transform(self, y) -> np.ndarray:
+        return self.fit(y).transform(y)
+
+    def inverse_transform(self, idx) -> np.ndarray:
+        if self.classes_ is None:
+            raise NotFittedError("LabelEncoder must be fitted before use")
+        idx = np.asarray(idx, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= len(self.classes_)):
+            raise ValueError("encoded labels out of range")
+        return self.classes_[idx]

@@ -1,0 +1,49 @@
+"""Neural-network inference and training substrate.
+
+This subpackage implements, from scratch on numpy, everything the paper's
+workload models need: feed-forward layers, 2-D convolution and max-pooling,
+a :class:`~repro.nn.model.Sequential` container, FLOP accounting, minibatch
+SGD training, synthetic stand-ins for the Iris/MNIST/CIFAR-10 datasets, and
+the model zoo (the five paper models plus the sixteen data-augmentation
+architectures of §V-B).
+
+The forward passes here are the *real* computation that the OpenCL-style
+execution layer (:mod:`repro.ocl`) dispatches; only timing and power are
+simulated.
+"""
+
+from repro.nn.activations import ACTIVATIONS, Activation, get_activation
+from repro.nn.builders import CNNSpec, FFNNSpec, ModelSpec, build_model
+from repro.nn.layers import Conv2D, Dense, Flatten, Layer, MaxPool2D
+from repro.nn.model import Sequential
+from repro.nn.flops import LayerCost, model_cost
+from repro.nn.zoo import (
+    AUGMENTATION_SPECS,
+    PAPER_MODELS,
+    UNSEEN_SPECS,
+    get_model_spec,
+    list_model_specs,
+)
+
+__all__ = [
+    "ACTIVATIONS",
+    "Activation",
+    "get_activation",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "Flatten",
+    "Sequential",
+    "ModelSpec",
+    "FFNNSpec",
+    "CNNSpec",
+    "build_model",
+    "LayerCost",
+    "model_cost",
+    "PAPER_MODELS",
+    "AUGMENTATION_SPECS",
+    "UNSEEN_SPECS",
+    "get_model_spec",
+    "list_model_specs",
+]

@@ -1,0 +1,103 @@
+"""Activation functions used by the workload models (paper §II-B).
+
+Each activation is a small value object bundling the forward map and its
+derivative (in terms of the *pre-activation* input), so the training code in
+:mod:`repro.nn.train` can backpropagate without special cases.  All maps are
+vectorized numpy ufunc compositions — no Python-level loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Activation", "ACTIVATIONS", "get_activation", "softmax"]
+
+
+@dataclass(frozen=True)
+class Activation:
+    """A named elementwise nonlinearity with its derivative.
+
+    ``forward`` maps pre-activations ``z`` to activations ``a``;
+    ``derivative`` maps ``z`` to ``da/dz`` (elementwise).
+    """
+
+    name: str
+    forward: Callable[[np.ndarray], np.ndarray] = field(repr=False)
+    derivative: Callable[[np.ndarray], np.ndarray] = field(repr=False)
+
+    def __call__(self, z: np.ndarray) -> np.ndarray:
+        return self.forward(z)
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def _relu_grad(z: np.ndarray) -> np.ndarray:
+    return (z > 0.0).astype(z.dtype)
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Numerically stable split form: avoids exp overflow for large |z|.
+    out = np.empty_like(z, dtype=np.result_type(z.dtype, np.float32))
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def _sigmoid_grad(z: np.ndarray) -> np.ndarray:
+    s = _sigmoid(z)
+    return s * (1.0 - s)
+
+
+def _tanh_grad(z: np.ndarray) -> np.ndarray:
+    t = np.tanh(z)
+    return 1.0 - t * t
+
+def _identity(z: np.ndarray) -> np.ndarray:
+    return z
+
+
+def _identity_grad(z: np.ndarray) -> np.ndarray:
+    return np.ones_like(z)
+
+
+#: Registry of activations by name.  ``linear`` is the paper's "directly
+#: passed at the output" case (y = sum w_j x_j).
+ACTIVATIONS: dict[str, Activation] = {
+    act.name: act
+    for act in (
+        Activation("relu", _relu, _relu_grad),
+        Activation("sigmoid", _sigmoid, _sigmoid_grad),
+        Activation("tanh", np.tanh, _tanh_grad),
+        Activation("linear", _identity, _identity_grad),
+    )
+}
+
+
+def get_activation(name: "str | Activation") -> Activation:
+    """Look up an activation by name (idempotent on Activation instances)."""
+    if isinstance(name, Activation):
+        return name
+    try:
+        return ACTIVATIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(ACTIVATIONS))
+        raise KeyError(f"unknown activation {name!r}; known: {known}") from None
+
+
+def softmax(z: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Row-wise softmax with max-subtraction for numerical stability.
+
+    Kept separate from :data:`ACTIVATIONS` because it is not elementwise;
+    the output layer combines it with cross-entropy in the loss, where the
+    joint gradient is simply ``p - y``.
+    """
+    shifted = z - np.max(z, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)

@@ -1,0 +1,185 @@
+"""Model specifications and the Model Building module (paper Fig. 2).
+
+The paper describes training as spec-driven: "For FFNNs, we pass the depth
+of the neural network, together with the number of nodes of each layer and
+the activation functions.  For CNNs we also give the size and the number of
+filters of the convolutions, the size of the pooling, ... and finally the
+description of the FFNN."  :class:`FFNNSpec` and :class:`CNNSpec` are those
+descriptions; :func:`build_model` is the Model Building module that turns a
+spec into a runnable :class:`~repro.nn.model.Sequential`.
+
+Specs are also the *feature source* for the scheduler (§V-B): an FFNN is
+summarized by (depth, total neurons) and a CNN additionally by (number of
+VGG blocks, convolutions per block, filter size, pooling size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import BuildError
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D
+from repro.nn.model import Sequential
+
+__all__ = ["ModelSpec", "FFNNSpec", "CNNSpec", "build_model"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Common spec fields shared by both network families."""
+
+    name: str
+    input_shape: tuple[int, ...]
+    n_classes: int
+
+    @property
+    def family(self) -> str:
+        """'ffnn' or 'cnn'."""
+        raise NotImplementedError
+
+    @property
+    def sample_bytes(self) -> int:
+        """Bytes of one float32 input sample (drives Gbit/s accounting)."""
+        return int(np.prod(self.input_shape)) * 4
+
+    def __post_init__(self) -> None:
+        if self.n_classes < 2:
+            raise BuildError(f"{self.name}: need >= 2 classes, got {self.n_classes}")
+        if not self.input_shape or any(int(s) <= 0 for s in self.input_shape):
+            raise BuildError(f"{self.name}: bad input shape {self.input_shape}")
+
+
+@dataclass(frozen=True)
+class FFNNSpec(ModelSpec):
+    """A feed-forward network: input -> hidden layers -> softmax output.
+
+    ``hidden_layers`` lists the node counts, e.g. Mnist-Deep is
+    ``(2500, 2000, 1500, 1000, 500)``.
+    """
+
+    hidden_layers: tuple[int, ...] = ()
+    activation: str = "relu"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.input_shape) != 1:
+            raise BuildError(
+                f"{self.name}: FFNN input must be flat, got {self.input_shape}"
+            )
+        if any(int(h) <= 0 for h in self.hidden_layers):
+            raise BuildError(f"{self.name}: bad hidden layers {self.hidden_layers}")
+
+    @property
+    def family(self) -> str:
+        """'ffnn' or 'cnn'."""
+        return "ffnn"
+
+    @property
+    def depth(self) -> int:
+        """Number of hidden layers — the first scheduler feature (§V-B)."""
+        return len(self.hidden_layers)
+
+    @property
+    def total_neurons(self) -> int:
+        """Total neuron count — the second scheduler feature (§V-B)."""
+        return int(sum(self.hidden_layers)) + self.n_classes
+
+
+@dataclass(frozen=True)
+class CNNSpec(ModelSpec):
+    """A VGG-block CNN followed by a dense head.
+
+    A "VGG block" (§II-B2) is ``convs_per_block`` convolution layers
+    followed by one max-pooling layer; ``vgg_blocks`` of them are stacked,
+    then flattened into ``dense_layers`` and the softmax output.
+    """
+
+    vgg_blocks: int = 2
+    convs_per_block: int = 1
+    filters: int = 32
+    filter_size: int = 3
+    pool_size: int = 2
+    dense_layers: tuple[int, ...] = (128,)
+    activation: str = "relu"
+    padding: str = "same"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.input_shape) != 3:
+            raise BuildError(
+                f"{self.name}: CNN input must be (H, W, C), got {self.input_shape}"
+            )
+        for label, v in (
+            ("vgg_blocks", self.vgg_blocks),
+            ("convs_per_block", self.convs_per_block),
+            ("filters", self.filters),
+            ("filter_size", self.filter_size),
+            ("pool_size", self.pool_size),
+        ):
+            if int(v) <= 0:
+                raise BuildError(f"{self.name}: {label} must be positive, got {v}")
+        if self.padding not in ("valid", "same"):
+            raise BuildError(f"{self.name}: bad padding {self.padding!r}")
+        # Check the spatial extent survives all blocks.
+        for h, w in (self.spatial_extents(),):
+            if h <= 0 or w <= 0:
+                raise BuildError(
+                    f"{self.name}: spatial extent collapses before "
+                    f"{self.vgg_blocks} blocks complete"
+                )
+
+    def spatial_extents(self) -> tuple[int, int]:
+        """Spatial (H, W) after all VGG blocks (0 if the stack collapses)."""
+        h, w = int(self.input_shape[0]), int(self.input_shape[1])
+        shrink = 0 if self.padding == "same" else self.filter_size - 1
+        for _ in range(self.vgg_blocks):
+            for _ in range(self.convs_per_block):
+                h -= shrink
+                w -= shrink
+            h //= self.pool_size
+            w //= self.pool_size
+            if h <= 0 or w <= 0:
+                return 0, 0
+        return h, w
+
+    @property
+    def family(self) -> str:
+        """'ffnn' or 'cnn'."""
+        return "cnn"
+
+    @property
+    def depth(self) -> int:
+        """Layer depth analogue used in the feature vector."""
+        return self.vgg_blocks * (self.convs_per_block + 1) + len(self.dense_layers)
+
+    @property
+    def total_neurons(self) -> int:
+        """Dense-head neuron count (the conv part is covered by CNN features)."""
+        return int(sum(self.dense_layers)) + self.n_classes
+
+
+def build_model(
+    spec: ModelSpec, rng: "int | np.random.Generator | None" = None
+) -> Sequential:
+    """Model Building module: instantiate and build a network from a spec."""
+    if isinstance(spec, FFNNSpec):
+        layers = [Dense(h, spec.activation) for h in spec.hidden_layers]
+        layers.append(Dense(spec.n_classes, "linear"))
+    elif isinstance(spec, CNNSpec):
+        layers = []
+        for _ in range(spec.vgg_blocks):
+            for _ in range(spec.convs_per_block):
+                layers.append(
+                    Conv2D(spec.filters, spec.filter_size, spec.activation,
+                           padding=spec.padding)
+                )
+            layers.append(MaxPool2D(spec.pool_size))
+        layers.append(Flatten())
+        for units in spec.dense_layers:
+            layers.append(Dense(units, spec.activation))
+        layers.append(Dense(spec.n_classes, "linear"))
+    else:
+        raise BuildError(f"unknown spec type {type(spec).__name__}")
+    return Sequential(layers, name=spec.name).build(spec.input_shape, rng)

@@ -1,0 +1,147 @@
+"""Analytical FLOP / byte accounting per model spec.
+
+The execution-time cost model (:mod:`repro.hw.costmodel`) is a roofline: it
+needs, per inference sample, the floating-point work and the memory traffic.
+Both are computed symbolically from the :class:`~repro.nn.builders.ModelSpec`
+so the scheduler's characterization sweep never has to instantiate weights
+to estimate cost (mirroring how the paper's features are purely structural).
+
+Conventions: one multiply-accumulate = 2 FLOPs; activations cost 1 FLOP per
+element; max-pooling costs 1 compare per window element.  Memory traffic
+counts each parameter once and each activation tensor once (write) plus
+once (read by the next layer) — the streaming lower bound a cache-resident
+GEMM achieves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import BuildError
+from repro.nn.builders import CNNSpec, FFNNSpec, ModelSpec
+
+__all__ = ["LayerCost", "ModelCost", "model_cost"]
+
+_DTYPE_BYTES = 4  # float32 everywhere, matching the paper's int4/float4 vectors
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Per-sample cost of a single layer."""
+
+    name: str
+    flops: float
+    activation_elems: float  # output tensor elements
+    param_elems: float       # weights + biases
+    launches: int = 1        # kernel enqueues (conv: one per filter, §IV-B)
+
+    @property
+    def param_bytes(self) -> float:
+        return self.param_elems * _DTYPE_BYTES
+
+    @property
+    def activation_bytes(self) -> float:
+        """Bytes of this layer's output tensor (float32)."""
+        return self.activation_elems * _DTYPE_BYTES
+
+
+@dataclass(frozen=True)
+class ModelCost:
+    """Aggregate per-sample cost of a model."""
+
+    spec_name: str
+    layers: tuple[LayerCost, ...]
+
+    @property
+    def flops_per_sample(self) -> float:
+        """Total floating-point operations per classified sample."""
+        return float(sum(l.flops for l in self.layers))
+
+    @property
+    def param_bytes(self) -> float:
+        return float(sum(l.param_bytes for l in self.layers))
+
+    @property
+    def activation_bytes_per_sample(self) -> float:
+        """Intermediate tensor traffic per sample (written once, read once)."""
+        return float(sum(2.0 * l.activation_bytes for l in self.layers))
+
+    @property
+    def total_launches(self) -> int:
+        """Kernel enqueues per classification (batch-independent).
+
+        The paper's decomposition (§IV-B) computes "all the convolution
+        operations of a single filter" per enqueue, so a convolution layer
+        costs one enqueue per filter; dense and pooling layers cost one.
+        """
+        return int(sum(l.launches for l in self.layers))
+
+    def bytes_per_sample(self, batch: int) -> float:
+        """Memory traffic per sample at a given batch size.
+
+        Parameters are shared across the batch, so their traffic amortizes
+        as ``param_bytes / batch`` (they are streamed once per batch when
+        the batch fits the reuse pattern of the GEMM).
+        """
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        return self.activation_bytes_per_sample + self.param_bytes / float(batch)
+
+
+def _dense_cost(name: str, fan_in: int, units: int) -> LayerCost:
+    flops = 2.0 * fan_in * units + units  # MACs + activation
+    return LayerCost(name, flops, float(units), float(fan_in * units + units))
+
+
+def _ffnn_cost(spec: FFNNSpec) -> tuple[LayerCost, ...]:
+    layers: list[LayerCost] = []
+    fan_in = int(spec.input_shape[0])
+    for i, units in enumerate(spec.hidden_layers):
+        layers.append(_dense_cost(f"dense_{i}", fan_in, int(units)))
+        fan_in = int(units)
+    layers.append(_dense_cost("output", fan_in, spec.n_classes))
+    return tuple(layers)
+
+
+def _cnn_cost(spec: CNNSpec) -> tuple[LayerCost, ...]:
+    layers: list[LayerCost] = []
+    h, w, c = map(int, spec.input_shape)
+    k, f, p = spec.filter_size, spec.filters, spec.pool_size
+    shrink = 0 if spec.padding == "same" else k - 1
+    for b in range(spec.vgg_blocks):
+        for cv in range(spec.convs_per_block):
+            oh, ow = h - shrink, w - shrink
+            macs = oh * ow * f * k * k * c
+            out_elems = oh * ow * f
+            layers.append(
+                LayerCost(
+                    f"block{b}_conv{cv}",
+                    2.0 * macs + out_elems,
+                    float(out_elems),
+                    float(k * k * c * f + f),
+                    launches=f,
+                )
+            )
+            h, w, c = oh, ow, f
+        oh, ow = h // p, w // p
+        layers.append(
+            LayerCost(f"block{b}_pool", float(oh * ow * c * p * p), float(oh * ow * c), 0.0)
+        )
+        h, w = oh, ow
+    fan_in = h * w * c
+    for i, units in enumerate(spec.dense_layers):
+        layers.append(_dense_cost(f"dense_{i}", fan_in, int(units)))
+        fan_in = int(units)
+    layers.append(_dense_cost("output", fan_in, spec.n_classes))
+    return tuple(layers)
+
+
+def model_cost(spec: ModelSpec) -> ModelCost:
+    """Compute the per-sample analytical cost of a model spec."""
+    if isinstance(spec, FFNNSpec):
+        return ModelCost(spec.name, _ffnn_cost(spec))
+    if isinstance(spec, CNNSpec):
+        return ModelCost(spec.name, _cnn_cost(spec))
+    raise BuildError(f"unknown spec type {type(spec).__name__}")

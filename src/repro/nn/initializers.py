@@ -1,0 +1,64 @@
+"""Weight initializers for the workload models.
+
+The paper trains its networks offline (§III-B); we do the same with our own
+backprop, so the initial weights matter.  Glorot/He scaling keeps the deep
+Mnist-Deep model (six hidden layers) trainable without normalization layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+__all__ = ["glorot_uniform", "he_normal", "zeros", "get_initializer"]
+
+
+def glorot_uniform(
+    shape: tuple[int, ...],
+    fan_in: int,
+    fan_out: int,
+    rng: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """Glorot/Xavier uniform init: U(-limit, limit), limit = sqrt(6/(fi+fo))."""
+    gen = ensure_rng(rng)
+    limit = np.sqrt(6.0 / float(fan_in + fan_out))
+    return gen.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(
+    shape: tuple[int, ...],
+    fan_in: int,
+    fan_out: int,
+    rng: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """He normal init: N(0, sqrt(2/fan_in)); the right scale for relu nets."""
+    gen = ensure_rng(rng)
+    std = np.sqrt(2.0 / float(fan_in))
+    return (gen.standard_normal(shape) * std).astype(np.float32)
+
+
+def zeros(
+    shape: tuple[int, ...],
+    fan_in: int = 0,
+    fan_out: int = 0,
+    rng: "int | np.random.Generator | None" = None,
+) -> np.ndarray:
+    """All-zero init (biases)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+_REGISTRY = {
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "zeros": zeros,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer function by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown initializer {name!r}; known: {known}") from None

@@ -1,0 +1,158 @@
+"""The :class:`Sequential` container used for every workload model.
+
+A Sequential owns an ordered list of layers, propagates shapes at build
+time, and exposes the inference API that the OpenCL-style execution layer
+dispatches (:meth:`forward` / :meth:`predict`), plus weight import/export in
+flat ``dict[str, ndarray]`` form for the Weights Building module (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import BuildError, ShapeError
+from repro.nn.activations import softmax
+from repro.nn.layers import Layer
+from repro.rng import ensure_rng
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """Ordered stack of layers with a softmax classification head.
+
+    Parameters
+    ----------
+    layers:
+        Layer instances, applied in order.
+    name:
+        Identifier used by the zoo / scheduler dataset ("mnist-deep", ...).
+    """
+
+    def __init__(self, layers: Iterable[Layer], name: str = "model"):
+        self.layers: list[Layer] = list(layers)
+        if not self.layers:
+            raise BuildError("Sequential needs at least one layer")
+        self.name = name
+        self.input_shape: tuple[int, ...] | None = None
+        self.output_shape: tuple[int, ...] | None = None
+
+    # -- construction -----------------------------------------------------
+
+    def build(
+        self,
+        input_shape: tuple[int, ...],
+        rng: "int | np.random.Generator | None" = None,
+    ) -> "Sequential":
+        """Propagate ``input_shape`` (sans batch axis) through all layers."""
+        gen = ensure_rng(rng)
+        shape = tuple(int(s) for s in input_shape)
+        self.input_shape = shape
+        for layer in self.layers:
+            shape = layer.build(shape, gen)
+        self.output_shape = shape
+        return self
+
+    @property
+    def built(self) -> bool:
+        """Whether build() has run (shapes propagated, weights allocated)."""
+        return self.output_shape is not None
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise BuildError(f"model {self.name!r} used before build()")
+
+    # -- inference ---------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the network on a batch; returns raw output-layer activations."""
+        self._require_built()
+        if x.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"model {self.name!r} expects input {self.input_shape}, "
+                f"got array of shape {x.shape}"
+            )
+        out = np.ascontiguousarray(x, dtype=np.float32)
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities via softmax over the output layer."""
+        return softmax(self.forward(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class labels (argmax)."""
+        return np.argmax(self.forward(x), axis=1)
+
+    def forward_train(self, x: np.ndarray) -> np.ndarray:
+        """Training-mode forward pass retaining per-layer caches."""
+        self._require_built()
+        out = np.ascontiguousarray(x, dtype=np.float32)
+        for layer in self.layers:
+            out = layer.forward_train(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate through all layers; returns dL/d(input)."""
+        g = grad_out
+        for layer in reversed(self.layers):
+            g = layer.backward(g)
+        return g
+
+    # -- parameters ---------------------------------------------------------
+
+    def params(self) -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``("<i>.<name>", array)`` for all trainable parameters."""
+        for i, layer in enumerate(self.layers):
+            for name, p in layer.params():
+                yield f"{i}.{name}", p
+
+    def grads(self) -> Iterator[tuple[str, np.ndarray]]:
+        for i, layer in enumerate(self.layers):
+            for name, g in layer.grads():
+                yield f"{i}.{name}", g
+
+    @property
+    def n_params(self) -> int:
+        """Total trainable scalar parameter count."""
+        return sum(int(p.size) for _, p in self.params())
+
+    def get_weights(self) -> dict[str, np.ndarray]:
+        """Export weights as a flat dict (copies, safe to mutate)."""
+        self._require_built()
+        return {name: p.copy() for name, p in self.params()}
+
+    def set_weights(self, weights: dict[str, np.ndarray]) -> None:
+        """Import weights produced by :meth:`get_weights` (in-place)."""
+        self._require_built()
+        own = dict(self.params())
+        missing = own.keys() - weights.keys()
+        extra = weights.keys() - own.keys()
+        if missing or extra:
+            raise BuildError(
+                f"weight dict mismatch for {self.name!r}: "
+                f"missing={sorted(missing)}, unexpected={sorted(extra)}"
+            )
+        for name, p in own.items():
+            src = np.asarray(weights[name], dtype=p.dtype)
+            if src.shape != p.shape:
+                raise ShapeError(
+                    f"weight {name!r}: expected shape {p.shape}, got {src.shape}"
+                )
+            p[...] = src
+
+    def save_weights(self, path) -> None:
+        """Persist weights to an ``.npz`` file."""
+        np.savez(path, **self.get_weights())
+
+    def load_weights(self, path) -> None:
+        """Load weights persisted by :meth:`save_weights`."""
+        with np.load(path) as data:
+            self.set_weights({k: data[k] for k in data.files})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(l) for l in self.layers)
+        return f"Sequential(name={self.name!r}, layers=[{inner}])"

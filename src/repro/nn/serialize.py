@@ -1,0 +1,78 @@
+"""Model-spec (de)serialization: specs as JSON-able dicts.
+
+The dispatcher pipeline (Fig. 2) is spec-driven, so configuration files
+and cross-process hand-offs need a stable textual form.  Round-trips are
+exact: ``spec_from_dict(spec_to_dict(s)) == s``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import BuildError
+from repro.nn.builders import CNNSpec, FFNNSpec, ModelSpec
+
+__all__ = ["spec_to_dict", "spec_from_dict", "spec_to_json", "spec_from_json"]
+
+
+def spec_to_dict(spec: ModelSpec) -> dict:
+    """Serialize a spec to a plain dict (JSON-compatible values only)."""
+    if isinstance(spec, FFNNSpec):
+        return {
+            "family": "ffnn",
+            "name": spec.name,
+            "input_shape": list(spec.input_shape),
+            "n_classes": spec.n_classes,
+            "hidden_layers": list(spec.hidden_layers),
+            "activation": spec.activation,
+        }
+    if isinstance(spec, CNNSpec):
+        return {
+            "family": "cnn",
+            "name": spec.name,
+            "input_shape": list(spec.input_shape),
+            "n_classes": spec.n_classes,
+            "vgg_blocks": spec.vgg_blocks,
+            "convs_per_block": spec.convs_per_block,
+            "filters": spec.filters,
+            "filter_size": spec.filter_size,
+            "pool_size": spec.pool_size,
+            "dense_layers": list(spec.dense_layers),
+            "activation": spec.activation,
+            "padding": spec.padding,
+        }
+    raise BuildError(f"cannot serialize spec of type {type(spec).__name__}")
+
+
+def spec_from_dict(payload: dict) -> ModelSpec:
+    """Rebuild a spec from :func:`spec_to_dict` output (validating)."""
+    try:
+        family = payload["family"]
+    except (TypeError, KeyError):
+        raise BuildError("spec payload missing 'family'") from None
+    if family not in ("ffnn", "cnn"):
+        raise BuildError(f"unknown spec family {family!r}")
+    data = {k: v for k, v in payload.items() if k != "family"}
+    try:
+        data["input_shape"] = tuple(data["input_shape"])
+        if family == "ffnn":
+            data["hidden_layers"] = tuple(data["hidden_layers"])
+            return FFNNSpec(**data)
+        data["dense_layers"] = tuple(data["dense_layers"])
+        return CNNSpec(**data)
+    except (KeyError, TypeError) as exc:
+        raise BuildError(f"malformed {family} spec payload: {exc}") from exc
+
+
+def spec_to_json(spec: ModelSpec) -> str:
+    """Serialize a spec to a JSON string."""
+    return json.dumps(spec_to_dict(spec), sort_keys=True)
+
+
+def spec_from_json(text: str) -> ModelSpec:
+    """Rebuild a spec from :func:`spec_to_json` output."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise BuildError(f"invalid spec JSON: {exc}") from exc
+    return spec_from_dict(payload)

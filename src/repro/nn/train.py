@@ -1,0 +1,158 @@
+"""Offline training of workload models (paper §III-B / Fig. 2).
+
+The training phase runs once, offline; the inference phase is what gets
+scheduled.  Two optimizers are provided — minibatch SGD with momentum and
+Adam — plus softmax cross-entropy, per-epoch validation and early
+stopping: enough to train every zoo model on the synthetic datasets so the
+weights loaded by the Weights Building module are real, not random.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.activations import softmax
+from repro.nn.model import Sequential
+from repro.rng import ensure_rng
+
+__all__ = ["TrainConfig", "TrainResult", "cross_entropy", "train_model", "evaluate"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters for :func:`train_model`."""
+
+    epochs: int = 10
+    batch_size: int = 32
+    lr: float = 0.05
+    momentum: float = 0.9
+    lr_decay: float = 1.0  # multiplicative per-epoch decay
+    shuffle: bool = True
+    optimizer: str = "sgd"          # 'sgd' (momentum) or 'adam'
+    beta2: float = 0.999            # Adam second-moment decay
+    adam_eps: float = 1e-8
+    patience: int | None = None     # early stop after N non-improving epochs
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if not (0.0 < self.lr):
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if not (0.0 <= self.momentum < 1.0):
+            raise ValueError(f"momentum must be in [0, 1), got {self.momentum}")
+        if self.optimizer not in ("sgd", "adam"):
+            raise ValueError(f"optimizer must be 'sgd' or 'adam', got {self.optimizer!r}")
+        if not (0.0 <= self.beta2 < 1.0):
+            raise ValueError(f"beta2 must be in [0, 1), got {self.beta2}")
+        if self.patience is not None and self.patience < 1:
+            raise ValueError(f"patience must be >= 1, got {self.patience}")
+
+
+@dataclass
+class TrainResult:
+    """Loss/accuracy trajectory of a training run."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+    epoch_accuracies: list[float] = field(default_factory=list)
+    val_accuracies: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def final_loss(self) -> float:
+        """Last epoch's mean training loss (NaN before training)."""
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+    @property
+    def final_accuracy(self) -> float:
+        """Last epoch's training accuracy (NaN before training)."""
+        return self.epoch_accuracies[-1] if self.epoch_accuracies else float("nan")
+
+
+def cross_entropy(logits: np.ndarray, y: np.ndarray) -> tuple[float, np.ndarray]:
+    """Softmax cross-entropy loss and its gradient wrt the logits.
+
+    Returns ``(mean_loss, dL/dlogits)``; the gradient is ``(p - onehot)/N``,
+    the standard fused softmax+CE form.
+    """
+    n = logits.shape[0]
+    p = softmax(logits)
+    idx = (np.arange(n), y)
+    loss = float(-np.mean(np.log(np.clip(p[idx], 1e-12, None))))
+    grad = p.copy()
+    grad[idx] -= 1.0
+    grad /= n
+    return loss, grad.astype(np.float32)
+
+
+def train_model(
+    model: Sequential,
+    x: np.ndarray,
+    y: np.ndarray,
+    config: TrainConfig | None = None,
+    rng: "int | np.random.Generator | None" = None,
+    validation: "tuple[np.ndarray, np.ndarray] | None" = None,
+) -> TrainResult:
+    """Train ``model`` in place; returns the loss/accuracy trajectory.
+
+    ``validation=(x_val, y_val)`` tracks held-out accuracy per epoch and —
+    together with ``config.patience`` — stops early once it has not
+    improved for ``patience`` epochs (the §II-B overfitting guard).
+    """
+    cfg = config or TrainConfig()
+    gen = ensure_rng(rng)
+    x = np.ascontiguousarray(x, dtype=np.float32)
+    y = np.asarray(y, dtype=np.int64)
+    n = x.shape[0]
+    state: dict[str, tuple[np.ndarray, np.ndarray]] = {
+        name: (np.zeros_like(p), np.zeros_like(p)) for name, p in model.params()
+    }
+    result = TrainResult()
+    lr = cfg.lr
+    step = 0
+    best_val, stale = -np.inf, 0
+    for _ in range(cfg.epochs):
+        order = gen.permutation(n) if cfg.shuffle else np.arange(n)
+        losses = []
+        for start in range(0, n, cfg.batch_size):
+            idx = order[start : start + cfg.batch_size]
+            logits = model.forward_train(x[idx])
+            loss, grad = cross_entropy(logits, y[idx])
+            model.backward(grad)
+            step += 1
+            params = dict(model.params())
+            for name, g in model.grads():
+                m, v = state[name]
+                if cfg.optimizer == "sgd":
+                    m *= cfg.momentum
+                    m -= lr * g
+                    params[name] += m
+                else:  # adam
+                    m += (1.0 - cfg.momentum) * (g - m)
+                    v += (1.0 - cfg.beta2) * (g * g - v)
+                    m_hat = m / (1.0 - cfg.momentum**step)
+                    v_hat = v / (1.0 - cfg.beta2**step)
+                    params[name] -= lr * m_hat / (np.sqrt(v_hat) + cfg.adam_eps)
+            losses.append(loss)
+        result.epoch_losses.append(float(np.mean(losses)))
+        result.epoch_accuracies.append(evaluate(model, x, y))
+        if validation is not None:
+            val_acc = evaluate(model, validation[0], validation[1])
+            result.val_accuracies.append(val_acc)
+            if cfg.patience is not None:
+                if val_acc > best_val + 1e-12:
+                    best_val, stale = val_acc, 0
+                else:
+                    stale += 1
+                    if stale >= cfg.patience:
+                        result.stopped_early = True
+                        break
+        lr *= cfg.lr_decay
+    return result
+
+
+def evaluate(model: Sequential, x: np.ndarray, y: np.ndarray) -> float:
+    """Classification accuracy of ``model`` on ``(x, y)``."""
+    pred = model.predict(np.ascontiguousarray(x, dtype=np.float32))
+    return float(np.mean(pred == np.asarray(y)))

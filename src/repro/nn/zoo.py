@@ -1,0 +1,185 @@
+"""Model zoo: the paper's workload models and augmentation architectures.
+
+Three groups (paper §III-B and §V-B):
+
+* :data:`PAPER_MODELS` — the five benchmarked models: Simple (Iris),
+  Mnist-Small, Mnist-Deep, Mnist-CNN and Cifar-10.
+* :data:`AUGMENTATION_SPECS` — the sixteen extra architectures measured to
+  augment the scheduler's training set; eight FFNNs sweeping depth and
+  width, eight CNNs sweeping VGG-block count, convolutions per block,
+  filter size and pooling size (the four CNN parameters §V-B names).
+* :data:`UNSEEN_SPECS` — architectures excluded from scheduler training,
+  used for the "models never seen before" evaluation (Fig. 6, 91%).
+
+Mnist-Deep follows the paper's stated formation 784-2500-2000-1500-1000-500
+read as the six hidden layers ("a feed-forward neural network with six
+hidden layers, of the following formation"); Mnist-Small takes "the first
+layer consists of 784 nodes, while the second consists of 800" as its two
+hidden layers.
+"""
+
+from __future__ import annotations
+
+from repro.nn.builders import CNNSpec, FFNNSpec, ModelSpec
+
+__all__ = [
+    "SIMPLE",
+    "MNIST_SMALL",
+    "MNIST_DEEP",
+    "MNIST_CNN",
+    "CIFAR10",
+    "PAPER_MODELS",
+    "AUGMENTATION_SPECS",
+    "UNSEEN_SPECS",
+    "ALL_SPECS",
+    "get_model_spec",
+    "list_model_specs",
+]
+
+_IRIS_IN = (4,)
+_MNIST_IN_FLAT = (784,)
+_MNIST_IN_IMG = (28, 28, 1)
+_CIFAR_IN = (32, 32, 3)
+
+#: §III-B1 — two hidden layers of six nodes, Iris (4 features, 3 classes).
+SIMPLE = FFNNSpec(
+    name="simple", input_shape=_IRIS_IN, n_classes=3, hidden_layers=(6, 6)
+)
+
+#: §III-B2 — two hidden layers (784, 800), 10-class output.
+MNIST_SMALL = FFNNSpec(
+    name="mnist-small",
+    input_shape=_MNIST_IN_FLAT,
+    n_classes=10,
+    hidden_layers=(784, 800),
+)
+
+#: §III-B3 — six hidden layers 784-2500-2000-1500-1000-500.
+MNIST_DEEP = FFNNSpec(
+    name="mnist-deep",
+    input_shape=_MNIST_IN_FLAT,
+    n_classes=10,
+    hidden_layers=(784, 2500, 2000, 1500, 1000, 500),
+)
+
+#: §III-B4 — two VGG blocks (1 conv each, 3x3x32 filters, 2x2 pool), dense 128.
+MNIST_CNN = CNNSpec(
+    name="mnist-cnn",
+    input_shape=_MNIST_IN_IMG,
+    n_classes=10,
+    vgg_blocks=2,
+    convs_per_block=1,
+    filters=32,
+    filter_size=3,
+    pool_size=2,
+    dense_layers=(128,),
+)
+
+#: §III-B5 — three VGG blocks (2 convs each, 3x3x32, 2x2 pool), dense 128.
+CIFAR10 = CNNSpec(
+    name="cifar-10",
+    input_shape=_CIFAR_IN,
+    n_classes=10,
+    vgg_blocks=3,
+    convs_per_block=2,
+    filters=32,
+    filter_size=3,
+    pool_size=2,
+    dense_layers=(128,),
+)
+
+PAPER_MODELS: tuple[ModelSpec, ...] = (
+    SIMPLE,
+    MNIST_SMALL,
+    MNIST_DEEP,
+    MNIST_CNN,
+    CIFAR10,
+)
+
+
+def _ffnn(name: str, hidden: tuple[int, ...], inp=_MNIST_IN_FLAT, classes=10) -> FFNNSpec:
+    return FFNNSpec(name=name, input_shape=inp, n_classes=classes, hidden_layers=hidden)
+
+
+def _cnn(name: str, blocks: int, convs: int, filt: int, pool: int,
+         inp=_CIFAR_IN, filters: int = 32) -> CNNSpec:
+    return CNNSpec(
+        name=name,
+        input_shape=inp,
+        n_classes=10,
+        vgg_blocks=blocks,
+        convs_per_block=convs,
+        filters=filters,
+        filter_size=filt,
+        pool_size=pool,
+        dense_layers=(128,),
+    )
+
+
+#: The sixteen augmentation architectures (§V-B): with each we capture how a
+#: single structural parameter moves the sustained metrics.
+AUGMENTATION_SPECS: tuple[ModelSpec, ...] = (
+    # -- FFNN depth sweep (constant-ish width) ---------------------------
+    _ffnn("aug-ffnn-depth1", (512,)),
+    _ffnn("aug-ffnn-depth3", (512, 512, 512)),
+    _ffnn("aug-ffnn-depth8", (512,) * 8),
+    _ffnn("aug-ffnn-depth12", (256,) * 12),
+    # -- FFNN width sweep (constant depth 2) -----------------------------
+    _ffnn("aug-ffnn-tiny", (16, 16), inp=(16,), classes=4),
+    _ffnn("aug-ffnn-narrow", (64, 64)),
+    _ffnn("aug-ffnn-wide", (2048, 2048)),
+    _ffnn("aug-ffnn-huge", (4096, 4096)),
+    # -- CNN block-count sweep -------------------------------------------
+    _cnn("aug-cnn-blocks1", blocks=1, convs=1, filt=3, pool=2),
+    _cnn("aug-cnn-blocks2", blocks=2, convs=1, filt=3, pool=2),
+    _cnn("aug-cnn-blocks4", blocks=4, convs=1, filt=3, pool=2),
+    # -- CNN convs-per-block sweep ----------------------------------------
+    _cnn("aug-cnn-convs2", blocks=2, convs=2, filt=3, pool=2),
+    _cnn("aug-cnn-convs3", blocks=2, convs=3, filt=3, pool=2),
+    # -- CNN filter-size sweep ---------------------------------------------
+    _cnn("aug-cnn-filter5", blocks=2, convs=1, filt=5, pool=2),
+    _cnn("aug-cnn-filter7", blocks=2, convs=1, filt=7, pool=2),
+    # -- CNN pooling-size sweep ---------------------------------------------
+    _cnn("aug-cnn-pool4", blocks=2, convs=1, filt=3, pool=4),
+)
+
+#: Hold-out architectures for the unseen-model evaluation (Fig. 6).  They
+#: interpolate/extrapolate the training sweeps without duplicating any spec.
+UNSEEN_SPECS: tuple[ModelSpec, ...] = (
+    _ffnn("unseen-ffnn-mid", (1024, 1024, 512)),
+    _ffnn("unseen-ffnn-deep", (384,) * 10),
+    _cnn("unseen-cnn-mixed", blocks=3, convs=1, filt=5, pool=2),
+    _cnn("unseen-cnn-heavy", blocks=2, convs=2, filt=3, pool=2, filters=48),
+)
+
+ALL_SPECS: tuple[ModelSpec, ...] = PAPER_MODELS + AUGMENTATION_SPECS + UNSEEN_SPECS
+
+_BY_NAME = {spec.name: spec for spec in ALL_SPECS}
+if len(_BY_NAME) != len(ALL_SPECS):  # pragma: no cover - import-time invariant
+    raise RuntimeError("duplicate model names in zoo")
+
+
+def get_model_spec(name: str) -> ModelSpec:
+    """Look up any zoo spec by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown model {name!r}; known: {known}") from None
+
+
+def list_model_specs(group: str = "all") -> tuple[ModelSpec, ...]:
+    """List zoo specs by group: 'paper', 'augmentation', 'unseen' or 'all'."""
+    groups = {
+        "paper": PAPER_MODELS,
+        "augmentation": AUGMENTATION_SPECS,
+        "unseen": UNSEEN_SPECS,
+        "training": PAPER_MODELS + AUGMENTATION_SPECS,
+        "all": ALL_SPECS,
+    }
+    try:
+        return groups[group]
+    except KeyError:
+        raise KeyError(
+            f"unknown group {group!r}; known: {', '.join(sorted(groups))}"
+        ) from None

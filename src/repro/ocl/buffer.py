@@ -1,0 +1,132 @@
+"""Memory objects: device buffers, host staging, zero-copy maps.
+
+Paper §IV-B's memory-model treatment, reproduced:
+
+* For the discrete GPU, host data is staged through a **page-locked
+  (pinned) buffer** and DMA'd over PCIe; pageable staging is supported but
+  slower (the cost model charges the pageable penalty).
+* For the CPU and iGPU, whose global memory *is* host memory, buffers are
+  **mapped in place** (``clEnqueueMapBuffer``) — no bulk copy ever happens,
+  and the map returns a numpy *view*, not a copy, which tests assert.
+* Mapping a dGPU buffer raises :class:`~repro.errors.MemoryMapError`, as
+  the paper's architecture discussion (§II-A) explains there is no shared
+  physical memory to map.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import MemoryMapError
+from repro.ocl.context import Context
+
+__all__ = ["MemFlags", "MapFlags", "Buffer"]
+
+
+class MemFlags(enum.Flag):
+    """Buffer allocation flags (subset of ``cl_mem_flags``)."""
+
+    READ_WRITE = enum.auto()
+    READ_ONLY = enum.auto()
+    WRITE_ONLY = enum.auto()
+    ALLOC_HOST_PTR = enum.auto()  # pinned / page-locked host allocation
+
+
+class MapFlags(enum.Flag):
+    """Map direction flags (subset of ``cl_map_flags``)."""
+
+    READ = enum.auto()
+    WRITE = enum.auto()
+
+
+class Buffer:
+    """A memory object shared by the devices of one context.
+
+    The backing store is always a host numpy array (this is a simulator);
+    what differs per device is the *accounted* movement: PCIe DMA time for
+    the dGPU, zero-copy map for host-shared devices.
+    """
+
+    def __init__(
+        self,
+        context: Context,
+        nbytes: int | None = None,
+        hostbuf: np.ndarray | None = None,
+        flags: MemFlags = MemFlags.READ_WRITE,
+    ):
+        if hostbuf is None and nbytes is None:
+            raise ValueError("Buffer needs nbytes or hostbuf")
+        if hostbuf is not None:
+            self._array = np.ascontiguousarray(hostbuf)
+        else:
+            if nbytes <= 0:
+                raise ValueError(f"buffer size must be positive, got {nbytes}")
+            self._array = np.zeros(int(nbytes), dtype=np.uint8)
+        self.context = context
+        self.flags = flags
+        self._mapped = False
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the backing allocation in bytes."""
+        return int(self._array.nbytes)
+
+    @property
+    def pinned(self) -> bool:
+        """Whether the host allocation is page-locked (affects PCIe speed)."""
+        return bool(self.flags & MemFlags.ALLOC_HOST_PTR)
+
+    @property
+    def is_mapped(self) -> bool:
+        """Whether a host mapping is currently outstanding."""
+        return self._mapped
+
+    # -- host access ----------------------------------------------------------
+
+    def map(self, device, flags: MapFlags = MapFlags.READ | MapFlags.WRITE) -> np.ndarray:
+        """Zero-copy map for host-shared devices; returns a *view*.
+
+        Raises :class:`MemoryMapError` for discrete devices (their global
+        memory is physically separate, §II-A).
+        """
+        if not device.spec.shares_host_memory:
+            raise MemoryMapError(
+                f"cannot map buffer into host space for discrete device "
+                f"{device.name!r}; use enqueue_read/enqueue_write"
+            )
+        if self._mapped:
+            raise MemoryMapError("buffer is already mapped")
+        self._mapped = True
+        view = self._array.view()
+        if not (flags & MapFlags.WRITE):
+            view.setflags(write=False)
+        return view
+
+    def unmap(self) -> None:
+        """Release a mapping created by :meth:`map`."""
+        if not self._mapped:
+            raise MemoryMapError("buffer is not mapped")
+        self._mapped = False
+
+    # -- simulator-internal access ------------------------------------------
+
+    def data(self) -> np.ndarray:
+        """Raw backing array (simulator internal; kernels read through this)."""
+        return self._array
+
+    def write_host(self, array: np.ndarray) -> None:
+        """Copy host data into the buffer (the host side of a DMA write)."""
+        src = np.ascontiguousarray(array)
+        if src.nbytes != self.nbytes or src.dtype != self._array.dtype:
+            self._array = src.copy()
+        else:
+            self._array[...] = src
+
+    def read_host(self) -> np.ndarray:
+        """Copy buffer contents out to host memory."""
+        return self._array.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Buffer(nbytes={self.nbytes}, pinned={self.pinned})"

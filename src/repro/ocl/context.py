@@ -1,0 +1,36 @@
+"""Contexts: the resource scope shared by queues and buffers."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import DeviceError
+from repro.ocl.device import Device
+
+__all__ = ["Context"]
+
+
+class Context:
+    """A set of devices that can share buffers (``clCreateContext``)."""
+
+    def __init__(self, devices: Iterable[Device]):
+        self.devices: list[Device] = list(devices)
+        if not self.devices:
+            raise DeviceError("a context needs at least one device")
+        names = [d.name for d in self.devices]
+        if len(set(names)) != len(names):
+            raise DeviceError(f"duplicate devices in context: {names}")
+
+    def get_device(self, name: str) -> Device:
+        """Find a context device by spec name or device-class value."""
+        for d in self.devices:
+            if d.name == name or d.device_class.value == name:
+                return d
+        known = ", ".join(d.name for d in self.devices)
+        raise DeviceError(f"device {name!r} not in context (has: {known})")
+
+    def __contains__(self, device: Device) -> bool:
+        return device in self.devices
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Context({[d.name for d in self.devices]})"

@@ -1,0 +1,73 @@
+"""Profiling events, mirroring ``clGetEventProfilingInfo`` semantics.
+
+Every enqueue returns an :class:`Event` carrying four virtual timestamps
+(queued / submitted / started / ended, all in queue time) plus — because
+this runtime doubles as the power instrumentation (§III-A1) — the energy
+breakdown of the command.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hw.power import EnergyBreakdown
+
+__all__ = ["EventStatus", "Event"]
+
+
+class EventStatus(enum.Enum):
+    """Command lifecycle states (a subset of OpenCL's)."""
+
+    QUEUED = "queued"
+    COMPLETE = "complete"
+
+
+@dataclass
+class Event:
+    """One completed (or pending) command on a queue."""
+
+    command: str
+    time_queued: float
+    time_submitted: float = 0.0
+    time_started: float = 0.0
+    time_ended: float = 0.0
+    status: EventStatus = EventStatus.QUEUED
+    energy: EnergyBreakdown | None = None
+    meta: dict = field(default_factory=dict)
+
+    def complete(
+        self,
+        submitted: float,
+        started: float,
+        ended: float,
+        energy: EnergyBreakdown | None = None,
+    ) -> "Event":
+        """Mark the command finished with its profiling timestamps."""
+        if not (self.time_queued <= submitted <= started <= ended):
+            raise ValueError(
+                f"non-monotonic event timestamps: queued={self.time_queued}, "
+                f"submitted={submitted}, started={started}, ended={ended}"
+            )
+        self.time_submitted = submitted
+        self.time_started = started
+        self.time_ended = ended
+        self.energy = energy
+        self.status = EventStatus.COMPLETE
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        """Start-to-end execution time (the profiling delta OpenCL reports)."""
+        self._require_complete()
+        return self.time_ended - self.time_started
+
+    @property
+    def latency_s(self) -> float:
+        """Queue-to-end time: what a caller waiting on the event observes."""
+        self._require_complete()
+        return self.time_ended - self.time_queued
+
+    def _require_complete(self) -> None:
+        if self.status is not EventStatus.COMPLETE:
+            raise RuntimeError(f"event {self.command!r} has not completed")

@@ -1,0 +1,60 @@
+"""Platform discovery, mirroring ``clGetPlatformIDs``.
+
+The paper's system (§IV) uses two OpenCL platforms: the Intel runtime for
+the Core CPU + HD Graphics, and the NVIDIA CUDA-toolkit implementation for
+the GTX 1080 Ti.  :func:`get_platforms` reproduces that topology over the
+simulated devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.specs import CPU_I7_8700, DGPU_GTX_1080TI, IGPU_UHD_630, DeviceClass
+from repro.ocl.device import Device, DeviceState
+
+__all__ = ["Platform", "get_platforms", "get_all_devices"]
+
+
+@dataclass
+class Platform:
+    """An OpenCL platform: a vendor runtime exposing devices."""
+
+    name: str
+    vendor: str
+    version: str
+    devices: list[Device] = field(default_factory=list)
+
+    def get_devices(self, device_class: DeviceClass | None = None) -> list[Device]:
+        """Devices on this platform, optionally filtered by class."""
+        if device_class is None:
+            return list(self.devices)
+        return [d for d in self.devices if d.device_class is device_class]
+
+
+def get_platforms(start_state: DeviceState = DeviceState.IDLE) -> list[Platform]:
+    """Enumerate the simulated testbed's two platforms with fresh devices."""
+    intel = Platform(
+        name="Intel(R) OpenCL",
+        vendor="Intel(R) Corporation",
+        version="OpenCL 2.1",
+        devices=[
+            Device(CPU_I7_8700, start_state),
+            Device(IGPU_UHD_630, start_state),
+        ],
+    )
+    nvidia = Platform(
+        name="NVIDIA CUDA",
+        vendor="NVIDIA Corporation",
+        version="OpenCL 1.2 CUDA 10.0",
+        devices=[Device(DGPU_GTX_1080TI, start_state)],
+    )
+    return [intel, nvidia]
+
+
+def get_all_devices(start_state: DeviceState = DeviceState.IDLE) -> list[Device]:
+    """All devices across platforms: [CPU, iGPU, dGPU]."""
+    devices: list[Device] = []
+    for platform in get_platforms(start_state):
+        devices.extend(platform.devices)
+    return devices

@@ -1,0 +1,49 @@
+"""Programs: kernel factories per model architecture.
+
+A :class:`Program` plays the role of ``clCreateProgramWithSource`` +
+``clBuildProgram``: given model specs it produces ready-to-launch
+:class:`~repro.ocl.kernels.InferenceKernel` objects, caching builds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import KernelError
+from repro.nn.builders import ModelSpec
+from repro.nn.model import Sequential
+from repro.ocl.context import Context
+from repro.ocl.kernels import InferenceKernel
+
+__all__ = ["Program"]
+
+
+class Program:
+    """A built program holding one kernel per registered model spec."""
+
+    def __init__(self, context: Context, specs: Iterable[ModelSpec] = ()):
+        self.context = context
+        self._kernels: dict[str, InferenceKernel] = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: ModelSpec, model: Sequential | None = None) -> InferenceKernel:
+        """Build (or rebuild) the kernel for ``spec``."""
+        kernel = InferenceKernel(spec, model)
+        self._kernels[spec.name] = kernel
+        return kernel
+
+    def get_kernel(self, name: str) -> InferenceKernel:
+        """Fetch a built kernel by model name (``clCreateKernel``)."""
+        try:
+            return self._kernels[name]
+        except KeyError:
+            known = ", ".join(sorted(self._kernels)) or "<none>"
+            raise KernelError(f"kernel {name!r} not built; built: {known}") from None
+
+    def kernel_names(self) -> list[str]:
+        """Names of all built kernels, sorted."""
+        return sorted(self._kernels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kernels

@@ -1,0 +1,58 @@
+"""Work-group sizing rules (paper §IV-B).
+
+"From our experiments we have found out that the best configuration for the
+CPU is 4096 work-items per work-group, whilst the best configuration for
+the GPU is 256" — GPUs want many small groups their schedulers can juggle
+to hide memory latency; CPUs want few big groups to amortize thread-pool
+dispatch.
+
+:func:`workgroup_efficiency` converts a configured group size into a
+multiplicative throughput derating relative to the device's optimum.  The
+penalty grows with the log-distance from optimal and floors out: even a
+badly-sized kernel still makes progress, just slowly (roughly matching the
+2-3x swings such misconfiguration causes in practice).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import KernelError
+from repro.hw.specs import DeviceSpec
+
+__all__ = ["workgroup_efficiency", "validate_workgroup", "MAX_WORKGROUP"]
+
+#: Largest work-group any of our devices accepts (the CPU runtime's cap).
+MAX_WORKGROUP = 8192
+
+#: Throughput lost per doubling away from the optimal group size.
+_PENALTY_PER_OCTAVE = 0.12
+
+#: Efficiency never drops below this (kernels still run, §IV-B).
+_FLOOR = 0.35
+
+
+def validate_workgroup(device: DeviceSpec, local_size: int) -> None:
+    """Reject work-group sizes a real runtime would refuse."""
+    if local_size <= 0:
+        raise KernelError(f"work-group size must be positive, got {local_size}")
+    if local_size > MAX_WORKGROUP:
+        raise KernelError(
+            f"work-group size {local_size} exceeds device limit {MAX_WORKGROUP}"
+        )
+    if local_size & (local_size - 1):
+        raise KernelError(
+            f"work-group size must be a power of two, got {local_size}"
+        )
+
+
+def workgroup_efficiency(device: DeviceSpec, local_size: int | None = None) -> float:
+    """Throughput multiplier in (0, 1] for the chosen work-group size.
+
+    ``None`` means "let the runtime pick" — it picks the optimum.
+    """
+    if local_size is None:
+        return 1.0
+    validate_workgroup(device, local_size)
+    octaves = abs(math.log2(local_size / device.optimal_workgroup))
+    return max(_FLOOR, 1.0 - _PENALTY_PER_OCTAVE * octaves)

@@ -1,0 +1,62 @@
+"""The adaptive inference scheduler — the paper's contribution (§V).
+
+Pipeline:
+
+1. :mod:`repro.sched.dataset` sweeps the testbed to produce the labelled
+   training set (the 1480-sample set of §V-B: 21 architectures x batch
+   sizes x dGPU states, labelled with the ground-truth best device per
+   policy).
+2. :mod:`repro.sched.predictor` wraps any :mod:`repro.ml` classifier as a
+   device predictor over the structural feature encoding of
+   :mod:`repro.sched.features`.
+3. :mod:`repro.sched.scheduler` is the online scheduler of Fig. 5: read
+   the request, probe the dGPU state over PCIe, predict the device for the
+   active policy, dispatch through the Fig. 2 dispatcher.
+4. :mod:`repro.sched.runtime` runs request *streams* against the scheduler
+   over virtual time, which is where the adaptivity claims (bursts,
+   overloads, device-state changes) are exercised.
+5. :mod:`repro.sched.adaptive` closes the online loop: realized-outcome
+   feedback (:mod:`repro.sched.feedback`) plus bounded exploration correct
+   the offline predictor when the system changes (e.g. dGPU contention).
+6. :mod:`repro.sched.backlog` adds queue-aware spilling so overloads do
+   not pile onto a single "best" device.
+7. :mod:`repro.sched.persistence` ships trained artifacts between runs.
+"""
+
+from repro.sched.adaptive import AdaptiveDecision, AdaptiveScheduler
+from repro.sched.backlog import BacklogAwareScheduler, BacklogDecision
+from repro.sched.dataset import SchedulerDataset, generate_dataset
+from repro.sched.feedback import CellKey, OutcomeTable
+from repro.sched.partition import BatchPartitioner, PartitionPlan
+from repro.sched.dispatcher import Dispatcher
+from repro.sched.features import FEATURE_NAMES, encode_point, encode_spec
+from repro.sched.policies import Policy
+from repro.sched.predictor import DevicePredictor
+from repro.sched.runtime import StreamResult, StreamRunner
+from repro.sched.service import InferenceService, ServiceResponse
+from repro.sched.scheduler import OnlineScheduler, SchedulingDecision
+
+__all__ = [
+    "Policy",
+    "FEATURE_NAMES",
+    "encode_spec",
+    "encode_point",
+    "SchedulerDataset",
+    "generate_dataset",
+    "DevicePredictor",
+    "Dispatcher",
+    "OnlineScheduler",
+    "SchedulingDecision",
+    "StreamRunner",
+    "StreamResult",
+    "CellKey",
+    "OutcomeTable",
+    "AdaptiveScheduler",
+    "AdaptiveDecision",
+    "BacklogAwareScheduler",
+    "BacklogDecision",
+    "BatchPartitioner",
+    "PartitionPlan",
+    "InferenceService",
+    "ServiceResponse",
+]

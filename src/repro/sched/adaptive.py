@@ -1,0 +1,223 @@
+"""The online-adaptation layer: prediction + feedback + exploration.
+
+The trained random forest is a snapshot of the offline characterization.
+When the system changes — another application grabs the dGPU, a device
+throttles — the snapshot goes stale, and only the *realized* metrics of
+live requests reveal it.  :class:`AdaptiveScheduler` closes that loop:
+
+* every dispatch's realized metric (throughput/latency/energy) feeds the
+  :class:`~repro.sched.feedback.OutcomeTable`;
+* a small exploration rate occasionally routes a request to the device
+  with the stalest estimate for its cell, so alternatives stay measured;
+* when fresh observations disagree with the predictor by more than a
+  switch margin, the observed-best device wins.
+
+This is the mechanism behind the paper's "respond quickly to dynamic
+fluctuations that occur at real-time, such as data bursts, application
+overloads and system changes" — the predictor supplies the prior, the
+feedback supplies the correction, and estimates age out so a recovered
+device gets reconsidered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.nn.builders import ModelSpec
+from repro.ocl.event import Event
+from repro.rng import ensure_rng
+from repro.sched.dataset import DEVICE_CLASSES
+from repro.sched.feedback import CellKey, OutcomeTable
+from repro.sched.policies import Policy
+from repro.sched.scheduler import OnlineScheduler, SchedulingDecision
+
+__all__ = ["AdaptiveDecision", "AdaptiveScheduler"]
+
+
+@dataclass(frozen=True)
+class AdaptiveDecision:
+    """A placement decision annotated with its source."""
+
+    base: SchedulingDecision
+    source: str  # 'predictor' | 'feedback' | 'explore'
+
+    @property
+    def device(self) -> str:
+        """Chosen device-class value."""
+        return self.base.device
+
+    @property
+    def device_name(self) -> str:
+        """Chosen device's spec name."""
+        return self.base.device_name
+
+
+class AdaptiveScheduler:
+    """Feedback-corrected wrapper around an :class:`OnlineScheduler`.
+
+    Parameters
+    ----------
+    scheduler:
+        The base predictor-driven scheduler.
+    explore_rate:
+        Probability of routing a request to the least-recently-measured
+        device for its cell (keeps alternative estimates fresh).
+    switch_margin:
+        Relative advantage the observed-best device must show over the
+        predictor's choice before feedback overrides the prediction
+        (hysteresis against noise).
+    ttl_s / alpha:
+        Outcome-table freshness horizon and EWMA weight.
+    """
+
+    def __init__(
+        self,
+        scheduler: OnlineScheduler,
+        explore_rate: float = 0.05,
+        switch_margin: float = 0.15,
+        ttl_s: float = 30.0,
+        alpha: float = 0.4,
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        if not (0.0 <= explore_rate < 1.0):
+            raise ValueError(f"explore_rate must be in [0, 1), got {explore_rate}")
+        if switch_margin < 0.0:
+            raise ValueError(f"switch_margin must be >= 0, got {switch_margin}")
+        self.scheduler = scheduler
+        self.explore_rate = explore_rate
+        self.switch_margin = switch_margin
+        self._rng = ensure_rng(rng)
+        self._tables: dict[Policy, OutcomeTable] = {
+            policy: OutcomeTable(policy=policy, alpha=alpha, ttl_s=ttl_s)
+            for policy in scheduler.predictors
+        }
+        self._device_classes = [
+            d.device_class.value for d in scheduler.context.devices
+        ]
+        self.n_overrides = 0
+        self.n_explorations = 0
+        self.n_predictions = 0
+
+    # -- decision -----------------------------------------------------------
+
+    def decide(
+        self, spec: ModelSpec, batch: int, policy: "Policy | str", now: float
+    ) -> AdaptiveDecision:
+        """Pick a device for the request arriving at virtual ``now``."""
+        policy = Policy.parse(policy)
+        table = self._table_for(policy)
+        base = self.scheduler.decide(spec, batch, policy, now=now)
+        cell = CellKey.of(spec.name, batch, base.gpu_state)
+
+        # Exploration: keep alternative devices' estimates alive — but only
+        # while they are actually stale.  A device probed within the TTL is
+        # not re-probed, which bounds steady-state exploration overhead to
+        # one dispatch per device per cell per TTL window.
+        if self._rng.random() < self.explore_rate:
+            target = table.least_recently_measured(cell, self._device_classes, now)
+            if target != base.device and table.estimate(cell, target, now) is None:
+                self.n_explorations += 1
+                return AdaptiveDecision(
+                    base=self._redirect(base, target), source="explore"
+                )
+
+        # Feedback override: fresh observations beat the stale prior.
+        observed_best = table.best_device(cell, now)
+        if observed_best is not None and observed_best != base.device:
+            best = table.estimate(cell, observed_best, now)
+            chosen = table.estimate(cell, base.device, now)
+            if chosen is not None and self._wins_by_margin(policy, best.value, chosen.value):
+                self.n_overrides += 1
+                return AdaptiveDecision(
+                    base=self._redirect(base, observed_best), source="feedback"
+                )
+
+        self.n_predictions += 1
+        return AdaptiveDecision(base=base, source="predictor")
+
+    def _wins_by_margin(self, policy: Policy, candidate: float, incumbent: float) -> bool:
+        if policy.maximize:
+            return candidate > incumbent * (1.0 + self.switch_margin)
+        return candidate < incumbent * (1.0 - self.switch_margin)
+
+    def _redirect(self, base: SchedulingDecision, device_class: str) -> SchedulingDecision:
+        device = self.scheduler.context.get_device(device_class)
+        return SchedulingDecision(
+            model=base.model,
+            batch=base.batch,
+            policy=base.policy,
+            gpu_state=base.gpu_state,
+            device=device_class,
+            device_name=device.name,
+        )
+
+    # -- dispatch + learning ---------------------------------------------------
+
+    def submit_virtual(
+        self, spec: ModelSpec, batch: int, policy: "Policy | str", arrival_s: float
+    ) -> tuple[AdaptiveDecision, Event]:
+        """Decide, dispatch (timing-only) and learn from the outcome."""
+        policy = Policy.parse(policy)
+        decision = self.decide(spec, batch, policy, now=arrival_s)
+        queue = self.scheduler.queue_for(decision.device_name)
+        if queue.current_time < arrival_s:
+            queue.advance_to(arrival_s)
+        kernel = self.scheduler.dispatcher.kernel_for(decision.device_name, spec.name)
+        event = queue.enqueue_inference_virtual(kernel, batch)
+        self.record_outcome(spec, batch, decision, event)
+        return decision, event
+
+    def record_outcome(
+        self,
+        spec: ModelSpec,
+        batch: int,
+        decision: AdaptiveDecision,
+        event: Event,
+    ) -> None:
+        """Fold one served request's realized metric into the table."""
+        policy = decision.base.policy
+        table = self._table_for(policy)
+        metric = self._realized_metric(policy, spec, batch, event)
+        cell = CellKey.of(spec.name, batch, decision.base.gpu_state)
+        table.observe(cell, decision.device, metric, now=event.time_ended)
+
+    @staticmethod
+    def _realized_metric(
+        policy: Policy, spec: ModelSpec, batch: int, event: Event
+    ) -> float:
+        if policy is Policy.THROUGHPUT:
+            return batch * spec.sample_bytes / event.duration_s
+        if policy is Policy.LATENCY:
+            return event.duration_s
+        return event.energy.total_j
+
+    def _table_for(self, policy: Policy) -> OutcomeTable:
+        try:
+            return self._tables[policy]
+        except KeyError:
+            known = ", ".join(str(p) for p in self._tables)
+            raise SchedulerError(
+                f"no outcome table for policy {policy}; known: {known}"
+            ) from None
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Decision-source counters (predictor / feedback / explore)."""
+        return {
+            "predictor": self.n_predictions,
+            "feedback_overrides": self.n_overrides,
+            "explorations": self.n_explorations,
+        }
+
+    def table(self, policy: "Policy | str") -> OutcomeTable:
+        """The outcome table backing a policy's feedback."""
+        return self._table_for(Policy.parse(policy))
+
+    @staticmethod
+    def device_classes() -> tuple[str, ...]:
+        """The canonical device-class ordering."""
+        return DEVICE_CLASSES

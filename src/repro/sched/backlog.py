@@ -1,0 +1,144 @@
+"""Backlog-aware placement: don't pile every request on the 'best' device.
+
+Under an overload (§I: "application overloads"), the predictor keeps
+naming the same winner for every request, and its queue grows without
+bound while the other devices idle.  :class:`BacklogAwareScheduler`
+accounts the queue: each candidate device's *completion* time is its
+current backlog plus a learned service-time estimate, and the request goes
+to the earliest finisher among the devices the predictor ranks highly.
+
+Service times are learned online per (cell, device) from realized
+dispatches — the same outcome-table machinery as the adaptive layer — so
+no oracle previews are consulted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.builders import ModelSpec
+from repro.ocl.event import Event
+from repro.sched.feedback import CellKey, OutcomeTable
+from repro.sched.features import encode_point
+from repro.sched.policies import Policy
+from repro.sched.scheduler import OnlineScheduler
+
+__all__ = ["BacklogDecision", "BacklogAwareScheduler"]
+
+
+@dataclass(frozen=True)
+class BacklogDecision:
+    """A queue-aware placement."""
+
+    device: str
+    device_name: str
+    gpu_state: str
+    wait_s: float             # backlog the request will sit behind
+    ranked: tuple[str, ...]   # predictor's device ranking for the request
+    spilled: bool             # True if we skipped the top-ranked device
+
+
+class BacklogAwareScheduler:
+    """Queue-aware wrapper around an :class:`OnlineScheduler`.
+
+    Parameters
+    ----------
+    scheduler:
+        The base scheduler (its predictor supplies the ranking prior).
+    policy:
+        The policy whose predictor ranks candidates.
+    max_rank:
+        How many of the predictor's ranked devices are eligible (the
+        remaining ones are considered wrong-by-architecture, not merely
+        busy, and are never spilled to).
+    """
+
+    def __init__(
+        self,
+        scheduler: OnlineScheduler,
+        policy: "Policy | str" = Policy.THROUGHPUT,
+        max_rank: int = 2,
+        service_alpha: float = 0.5,
+        service_ttl_s: float = 60.0,
+    ):
+        if max_rank < 1:
+            raise ValueError(f"max_rank must be >= 1, got {max_rank}")
+        self.scheduler = scheduler
+        self.policy = Policy.parse(policy)
+        self.max_rank = max_rank
+        # Service-time table: lower is better -> LATENCY direction.
+        self._service = OutcomeTable(
+            policy=Policy.LATENCY, alpha=service_alpha, ttl_s=service_ttl_s
+        )
+        self.n_spills = 0
+
+    # -- ranking -----------------------------------------------------------
+
+    def rank_devices(self, spec: ModelSpec, batch: int, gpu_state: str) -> tuple[str, ...]:
+        """Predictor's device ranking (probability order; fall back to the
+        argmax-first order when the estimator has no predict_proba)."""
+        predictor = self.scheduler.predictors[self.policy]
+        estimator = predictor.estimator
+        classes = ("cpu", "dgpu", "igpu")
+        features = encode_point(spec, batch, gpu_state)[None, :]
+        if hasattr(estimator, "predict_proba"):
+            proba = estimator.predict_proba(features)[0]
+            order = np.argsort(proba)[::-1]
+            return tuple(classes[i] for i in order if i < len(classes))
+        top = predictor.predict_device(spec, batch, gpu_state)
+        rest = [c for c in classes if c != top]
+        return (top, *rest)
+
+    # -- placement ---------------------------------------------------------
+
+    def decide(self, spec: ModelSpec, batch: int, arrival_s: float) -> BacklogDecision:
+        """Pick the earliest-finishing device among the top-ranked ones."""
+        gpu_state = self.scheduler.probe_gpu_state(now=arrival_s)
+        ranked = self.rank_devices(spec, batch, gpu_state)
+        eligible = ranked[: self.max_rank]
+        cell = CellKey.of(spec.name, batch, gpu_state)
+
+        best_device, best_completion = None, float("inf")
+        for device_class in eligible:
+            device = self.scheduler.context.get_device(device_class)
+            queue = self.scheduler.queue_for(device.name)
+            wait = max(0.0, queue.current_time - arrival_s)
+            est = self._service.estimate(cell, device_class, arrival_s)
+            # Unmeasured candidates assume zero service: optimistic start
+            # that self-corrects after the first dispatch.
+            service = est.value if est is not None else 0.0
+            completion = wait + service
+            if completion < best_completion:
+                best_device, best_completion = device_class, completion
+
+        spilled = best_device != ranked[0]
+        if spilled:
+            self.n_spills += 1
+        device = self.scheduler.context.get_device(best_device)
+        queue = self.scheduler.queue_for(device.name)
+        return BacklogDecision(
+            device=best_device,
+            device_name=device.name,
+            gpu_state=gpu_state,
+            wait_s=max(0.0, queue.current_time - arrival_s),
+            ranked=ranked,
+            spilled=spilled,
+        )
+
+    def submit_virtual(
+        self, spec: ModelSpec, batch: int, arrival_s: float
+    ) -> tuple[BacklogDecision, Event]:
+        """Decide, dispatch (timing-only), and learn the service time."""
+        decision = self.decide(spec, batch, arrival_s)
+        queue = self.scheduler.queue_for(decision.device_name)
+        if queue.current_time < arrival_s:
+            queue.advance_to(arrival_s)
+        kernel = self.scheduler.dispatcher.kernel_for(decision.device_name, spec.name)
+        event = queue.enqueue_inference_virtual(kernel, batch)
+        cell = CellKey.of(spec.name, batch, decision.gpu_state)
+        self._service.observe(
+            cell, decision.device, event.duration_s, now=event.time_ended
+        )
+        return decision, event

@@ -1,0 +1,86 @@
+"""Feature encoding for the device predictor (paper §V-B).
+
+"For the representation of the feed-forward neural networks, we use two
+parameters, one representing the network depth and another representing
+the total number of neurons.  Lastly, for the representation of the
+convolutional neural networks, we have four additional parameters that
+represent the number of the VGG blocks, the convolutions per VGG block,
+the size of the convolution filter and the size of the pooling layer."
+
+Plus the two run-time parameters §V-B calls the most important: the
+samples (batch) size and the dGPU state.
+
+Features are **raw** (no scaling, no log transforms), as in the paper —
+which is also why its distance- and gradient-based predictors (k-NN, SVM,
+FFNN) score so poorly in Table II: neuron counts reach ~9000 and batch
+sizes 131072, dwarfing every other column.  Tree models are scale-
+invariant, so the production random forest is unaffected.  The ablation
+bench quantifies exactly this (standardized features vs raw).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.builders import CNNSpec, FFNNSpec, ModelSpec
+
+__all__ = ["FEATURE_NAMES", "encode_spec", "encode_point", "encode_batch_grid"]
+
+#: Column order of the feature matrix.
+FEATURE_NAMES: tuple[str, ...] = (
+    "is_cnn",
+    "depth",
+    "total_neurons",
+    "vgg_blocks",
+    "convs_per_block",
+    "filter_size",
+    "pool_size",
+    "batch",
+    "gpu_warm",
+)
+
+
+def encode_spec(spec: ModelSpec) -> np.ndarray:
+    """Structural (run-time-independent) half of the feature vector."""
+    if isinstance(spec, FFNNSpec):
+        return np.array(
+            [0.0, float(spec.depth), float(spec.total_neurons),
+             0.0, 0.0, 0.0, 0.0],
+            dtype=np.float64,
+        )
+    if isinstance(spec, CNNSpec):
+        return np.array(
+            [1.0, float(spec.depth), float(spec.total_neurons),
+             float(spec.vgg_blocks), float(spec.convs_per_block),
+             float(spec.filter_size), float(spec.pool_size)],
+            dtype=np.float64,
+        )
+    raise TypeError(f"cannot encode spec of type {type(spec).__name__}")
+
+
+def encode_point(spec: ModelSpec, batch: int, gpu_state: str) -> np.ndarray:
+    """Full feature vector for one scheduling decision."""
+    if batch <= 0:
+        raise ValueError(f"batch must be positive, got {batch}")
+    if gpu_state not in ("warm", "idle"):
+        raise ValueError(f"gpu_state must be 'warm' or 'idle', got {gpu_state!r}")
+    head = encode_spec(spec)
+    tail = np.array(
+        [float(batch), 1.0 if gpu_state == "warm" else 0.0], dtype=np.float64
+    )
+    return np.concatenate([head, tail])
+
+
+def encode_batch_grid(
+    spec: ModelSpec, batches: "list[int]", gpu_state: str
+) -> np.ndarray:
+    """Feature matrix for one model across many batch sizes (vectorized)."""
+    head = encode_spec(spec)
+    rows = np.tile(head, (len(batches), 1))
+    tail = np.column_stack(
+        [
+            np.asarray(batches, dtype=np.float64),
+            np.full(len(batches), 1.0 if gpu_state == "warm" else 0.0),
+        ]
+    )
+    return np.hstack([rows, tail])

@@ -1,0 +1,135 @@
+"""Outcome feedback: what the scheduler learns from its own dispatches.
+
+The trained predictor encodes the *offline* characterization; the paper's
+adaptivity claims ("respond quickly to dynamic fluctuations ... application
+overloads and system changes", §I/§V) need an *online* signal too.  This
+module provides it: an :class:`OutcomeTable` of exponentially-weighted
+per-cell, per-device estimates of the realized policy metric, built purely
+from the requests the scheduler actually served (plus optional exploration
+probes).  Estimates age out after a TTL of virtual time so a recovered
+device gets re-tried.
+
+A *cell* coarsens a request to (model, log2-batch bucket, dGPU state) —
+the same granularity at which the characterization found behaviour to
+change.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.sched.policies import Policy
+
+__all__ = ["CellKey", "Estimate", "OutcomeTable"]
+
+
+@dataclass(frozen=True)
+class CellKey:
+    """Coarsened request signature."""
+
+    model: str
+    batch_bucket: int     # floor(log2(batch))
+    gpu_state: str
+
+    @classmethod
+    def of(cls, model: str, batch: int, gpu_state: str) -> "CellKey":
+        """Build the cell for a concrete (model, batch, gpu_state) request."""
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        return cls(model=model, batch_bucket=int(math.log2(batch)), gpu_state=gpu_state)
+
+
+@dataclass
+class Estimate:
+    """EWMA of one (cell, device)'s realized policy metric."""
+
+    value: float
+    updated_at: float
+    n_samples: int = 1
+
+
+@dataclass
+class OutcomeTable:
+    """Per-(cell, device) running estimates of a policy metric.
+
+    Parameters
+    ----------
+    policy:
+        Determines the metric direction (throughput maximizes; latency and
+        energy minimize).
+    alpha:
+        EWMA weight of a new observation.
+    ttl_s:
+        Virtual seconds after which an estimate is considered stale.
+    """
+
+    policy: Policy
+    alpha: float = 0.4
+    ttl_s: float = 30.0
+    _table: dict[tuple[CellKey, str], Estimate] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.alpha <= 1.0):
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.ttl_s <= 0.0:
+            raise ValueError(f"ttl must be positive, got {self.ttl_s}")
+
+    def observe(self, cell: CellKey, device: str, value: float, now: float) -> None:
+        """Fold a realized metric observation into the estimate."""
+        key = (cell, device)
+        prior = self._table.get(key)
+        if prior is None or now - prior.updated_at > self.ttl_s:
+            self._table[key] = Estimate(value=value, updated_at=now)
+            return
+        prior.value += self.alpha * (value - prior.value)
+        prior.updated_at = now
+        prior.n_samples += 1
+
+    def estimate(self, cell: CellKey, device: str, now: float) -> "Estimate | None":
+        """Fresh estimate for (cell, device), or None if absent/stale."""
+        est = self._table.get((cell, device))
+        if est is None or now - est.updated_at > self.ttl_s:
+            return None
+        return est
+
+    def fresh_devices(self, cell: CellKey, now: float) -> dict[str, Estimate]:
+        """All devices with a fresh estimate for the cell."""
+        out = {}
+        for (c, device), est in self._table.items():
+            if c == cell and now - est.updated_at <= self.ttl_s:
+                out[device] = est
+        return out
+
+    def best_device(self, cell: CellKey, now: float) -> "str | None":
+        """Observed-best device for a cell (None without >= 2 fresh views).
+
+        Requiring at least two devices prevents 'best' from meaning
+        'only one we ever tried'.
+        """
+        fresh = self.fresh_devices(cell, now)
+        if len(fresh) < 2:
+            return None
+        pick = max if self.policy.maximize else min
+        return pick(fresh, key=lambda d: fresh[d].value)
+
+    def least_recently_measured(
+        self, cell: CellKey, devices: "list[str]", now: float
+    ) -> str:
+        """Exploration target: the device with the oldest (or no) estimate."""
+        if not devices:
+            raise ValueError("no devices to choose from")
+
+        def age(device: str) -> float:
+            est = self._table.get((cell, device))
+            return now - est.updated_at if est is not None else math.inf
+
+        return max(devices, key=age)
+
+    @property
+    def n_cells(self) -> int:
+        """Distinct cells with at least one estimate."""
+        return len({cell for cell, _ in self._table})
+
+    def __len__(self) -> int:
+        return len(self._table)

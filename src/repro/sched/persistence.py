@@ -1,0 +1,100 @@
+"""Persistence for scheduler artifacts.
+
+Characterizing the testbed and training the forest take seconds here but
+took the paper's authors real measurement campaigns; a production
+deployment trains once and ships the artifacts.  This module persists:
+
+* :class:`~repro.sched.dataset.SchedulerDataset` — as ``.npz`` (portable,
+  numpy-only, safe to load);
+* trained :class:`~repro.sched.predictor.DevicePredictor` — via pickle
+  (the estimator trees are arbitrary object graphs).  **Only load
+  predictor files you created yourself**: pickle executes code on load.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.sched.dataset import SchedulerDataset
+from repro.sched.policies import Policy
+from repro.sched.predictor import DevicePredictor
+
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "save_predictor",
+    "load_predictor",
+    "FORMAT_VERSION",
+]
+
+FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: SchedulerDataset, path) -> None:
+    """Persist a labelled dataset to ``.npz``."""
+    np.savez(
+        path,
+        version=np.int64(FORMAT_VERSION),
+        policy=np.str_(dataset.policy.value),
+        x=dataset.x,
+        y=dataset.y,
+        specs=np.array(dataset.specs, dtype=np.str_),
+        batches=(
+            dataset.batches
+            if dataset.batches is not None
+            else np.zeros(0, dtype=np.int64)
+        ),
+        gpu_states=np.array(dataset.gpu_states, dtype=np.str_),
+    )
+
+
+def load_dataset(path) -> SchedulerDataset:
+    """Load a dataset persisted by :func:`save_dataset`."""
+    with np.load(path) as data:
+        version = int(data["version"])
+        if version != FORMAT_VERSION:
+            raise SchedulerError(
+                f"dataset format v{version} unsupported (expected v{FORMAT_VERSION})"
+            )
+        batches = data["batches"]
+        return SchedulerDataset(
+            policy=Policy(str(data["policy"])),
+            x=data["x"],
+            y=data["y"],
+            specs=[str(s) for s in data["specs"]],
+            batches=batches if batches.size else None,
+            gpu_states=[str(s) for s in data["gpu_states"]],
+        )
+
+
+def save_predictor(predictor: DevicePredictor, path) -> None:
+    """Persist a *trained* predictor (pickle; trusted storage only)."""
+    if not predictor._fitted:  # noqa: SLF001 - persistence is a friend module
+        raise SchedulerError("refusing to persist an unfitted predictor")
+    payload = {
+        "version": FORMAT_VERSION,
+        "policy": predictor.policy.value,
+        "estimator": predictor.estimator,
+    }
+    with open(path, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_predictor(path) -> DevicePredictor:
+    """Load a predictor persisted by :func:`save_predictor`.
+
+    Security note: this unpickles; only open files you wrote.
+    """
+    with open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    if payload.get("version") != FORMAT_VERSION:
+        raise SchedulerError(
+            f"predictor format v{payload.get('version')} unsupported "
+            f"(expected v{FORMAT_VERSION})"
+        )
+    predictor = DevicePredictor(payload["policy"], payload["estimator"])
+    predictor._fitted = True  # noqa: SLF001
+    return predictor

@@ -1,0 +1,73 @@
+"""Device predictors: a classifier over the §V-B features, per policy.
+
+:class:`DevicePredictor` adapts any :mod:`repro.ml` estimator to the
+scheduling problem: it trains on a :class:`~repro.sched.dataset.SchedulerDataset`
+and answers "which device?" for a (model spec, batch, dGPU state) triple.
+The default estimator is the paper's pick — a random forest (§V-A) — with
+the Table I-winning hyperparameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.ml.base import BaseEstimator, clone
+from repro.ml.forest import RandomForestClassifier
+from repro.nn.builders import ModelSpec
+from repro.sched.dataset import DEVICE_CLASSES, SchedulerDataset
+from repro.sched.features import encode_point
+from repro.sched.policies import Policy
+
+__all__ = ["DevicePredictor", "default_estimator"]
+
+
+def default_estimator(random_state: int = 7) -> BaseEstimator:
+    """The paper's production configuration: a tuned random forest."""
+    return RandomForestClassifier(
+        n_estimators=50,
+        criterion="entropy",
+        max_depth=10,
+        min_samples_leaf=1,
+        random_state=random_state,
+    )
+
+
+class DevicePredictor:
+    """A trained device-selection model for one policy."""
+
+    def __init__(self, policy: "Policy | str", estimator: BaseEstimator | None = None):
+        self.policy = Policy.parse(policy)
+        self.estimator = estimator if estimator is not None else default_estimator()
+        self._fitted = False
+
+    def fit(self, dataset: SchedulerDataset) -> "DevicePredictor":
+        """Train on a labelled sweep; the dataset's policy must match."""
+        if dataset.policy is not self.policy:
+            raise SchedulerError(
+                f"dataset labelled for policy {dataset.policy}, "
+                f"predictor is for {self.policy}"
+            )
+        self.estimator = clone(self.estimator)
+        self.estimator.fit(dataset.x, dataset.y)
+        self._fitted = True
+        return self
+
+    def predict_index(self, spec: ModelSpec, batch: int, gpu_state: str) -> int:
+        """Class index (0=CPU, 1=dGPU, 2=iGPU) for one decision."""
+        self._require_fitted()
+        features = encode_point(spec, batch, gpu_state)[None, :]
+        return int(self.estimator.predict(features)[0])
+
+    def predict_device(self, spec: ModelSpec, batch: int, gpu_state: str) -> str:
+        """Device-class value ('cpu' / 'dgpu' / 'igpu') for one decision."""
+        return DEVICE_CLASSES[self.predict_index(spec, batch, gpu_state)]
+
+    def predict_batch(self, x: np.ndarray) -> np.ndarray:
+        """Vectorized prediction over a prepared feature matrix."""
+        self._require_fitted()
+        return self.estimator.predict(np.asarray(x, dtype=np.float64))
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise SchedulerError("DevicePredictor used before fit()")

@@ -1,0 +1,213 @@
+"""Streaming runtime: the scheduler under live request traffic.
+
+This is where the adaptivity claims are exercised: requests arrive over
+virtual time (bursts, overloads, diurnal cycles from
+:mod:`repro.workloads`), the dGPU warms and cools between them, and every
+placement re-probes the device state — so the same model at the same batch
+size can be routed differently at different moments, exactly the behaviour
+the paper sells ("respond quickly to dynamic fluctuations that occur at
+real-time").
+
+Per request the runner can also cost the *oracle* placement (best device
+in hindsight) to quantify prediction accuracy and the performance lost to
+mispredictions — the Fig. 6 methodology, applied to streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.nn.builders import ModelSpec
+from repro.ocl.device import DeviceState
+from repro.sched.policies import Policy
+from repro.sched.scheduler import OnlineScheduler
+from repro.workloads.requests import InferenceRequest, RequestTrace
+
+__all__ = ["RequestRecord", "StreamResult", "StreamRunner"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Outcome of one streamed request."""
+
+    request: InferenceRequest
+    device: str              # chosen device-class value
+    gpu_state: str           # probed dGPU state at dispatch
+    start_s: float           # when the device began serving it
+    end_s: float
+    wait_s: float            # queueing delay (start - arrival)
+    energy_j: float
+    oracle_device: str | None = None   # hindsight-best device (if computed)
+    oracle_metric: float | None = None
+    achieved_metric: float | None = None
+
+    @property
+    def service_s(self) -> float:
+        """Device service time (excludes queueing)."""
+        return self.end_s - self.start_s
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-completion time."""
+        return self.end_s - self.request.arrival_s
+
+    @property
+    def correct(self) -> bool | None:
+        """Did the scheduler match the oracle (None if oracle not costed)?"""
+        if self.oracle_device is None:
+            return None
+        return self.device == self.oracle_device
+
+
+@dataclass
+class StreamResult:
+    """Aggregate outcome of a streamed trace."""
+
+    records: list[RequestRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Joules across all served requests."""
+        return float(sum(r.energy_j for r in self.records))
+
+    @property
+    def total_samples(self) -> int:
+        """Samples across all served requests."""
+        return sum(r.request.batch for r in self.records)
+
+    @property
+    def makespan_s(self) -> float:
+        """Completion time of the last request."""
+        if not self.records:
+            return 0.0
+        return max(r.end_s for r in self.records)
+
+    def latency_percentile(self, q: float) -> float:
+        """q-th percentile of request latency in seconds."""
+        if not self.records:
+            raise SchedulerError("no records in stream result")
+        return float(np.percentile([r.latency_s for r in self.records], q))
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean arrival-to-completion latency."""
+        return float(np.mean([r.latency_s for r in self.records]))
+
+    def device_shares(self) -> dict[str, float]:
+        """Fraction of requests routed to each device class."""
+        if not self.records:
+            return {}
+        counts: dict[str, int] = {}
+        for r in self.records:
+            counts[r.device] = counts.get(r.device, 0) + 1
+        n = len(self.records)
+        return {d: c / n for d, c in sorted(counts.items())}
+
+    @property
+    def prediction_accuracy(self) -> float:
+        """Fraction of oracle-matching placements (oracle runs required)."""
+        flags = [r.correct for r in self.records if r.correct is not None]
+        if not flags:
+            raise SchedulerError("stream was run without oracle costing")
+        return float(np.mean(flags))
+
+    def records_between(self, t0: float, t1: float) -> list[RequestRecord]:
+        """Records whose arrival falls in [t0, t1)."""
+        return [r for r in self.records if t0 <= r.request.arrival_s < t1]
+
+
+class StreamRunner:
+    """Drives a request trace through an :class:`OnlineScheduler`."""
+
+    def __init__(
+        self,
+        scheduler: OnlineScheduler,
+        specs: "dict[str, ModelSpec]",
+        cost_oracle: bool = False,
+    ):
+        self.scheduler = scheduler
+        self.specs = dict(specs)
+        self.cost_oracle = cost_oracle
+
+    def run(self, trace: RequestTrace) -> StreamResult:
+        """Serve every request at its arrival time; returns the outcome."""
+        result = StreamResult()
+        for req in trace:
+            result.records.append(self._serve(req))
+        return result
+
+    def _serve(self, req: InferenceRequest) -> RequestRecord:
+        try:
+            spec = self.specs[req.model]
+        except KeyError:
+            raise SchedulerError(f"request for unknown model {req.model!r}") from None
+        policy = Policy.parse(req.policy)
+
+        # Probe the dGPU *at the request's arrival* (cooling applies).
+        gpu_state = self.scheduler.probe_gpu_state(now=req.arrival_s)
+        predictor = self.scheduler.predictors.get(policy)
+        if predictor is None:
+            raise SchedulerError(f"no predictor for policy {policy}")
+        device_class = predictor.predict_device(spec, req.batch, gpu_state)
+        device = self.scheduler.context.get_device(device_class)
+
+        oracle_device, oracle_metric, achieved = None, None, None
+        if self.cost_oracle:
+            oracle_device, oracle_metric, achieved = self._oracle(
+                spec, req.batch, gpu_state, policy, device_class
+            )
+
+        queue = self.scheduler.queue_for(device.name)
+        if queue.current_time < req.arrival_s:
+            queue.advance_to(req.arrival_s)
+        start = queue.current_time
+        kernel = self.scheduler.dispatcher.kernel_for(device.name, spec.name)
+        event = queue.enqueue_inference_virtual(kernel, req.batch)
+
+        return RequestRecord(
+            request=req,
+            device=device_class,
+            gpu_state=gpu_state,
+            start_s=start,
+            end_s=queue.current_time,
+            wait_s=start - req.arrival_s,
+            energy_j=event.energy.total_j,
+            oracle_device=oracle_device,
+            oracle_metric=oracle_metric,
+            achieved_metric=achieved,
+        )
+
+    def _oracle(
+        self,
+        spec: ModelSpec,
+        batch: int,
+        gpu_state: str,
+        policy: Policy,
+        chosen: str,
+    ) -> tuple[str, float, float]:
+        """Hindsight-best device and the metric achieved by the choice.
+
+        Uses stateless previews (idle/warm pinned to the probed state), so
+        costing the alternatives does not perturb the live devices.
+        """
+        state = DeviceState.WARM if gpu_state == "warm" else DeviceState.IDLE
+        values: dict[str, float] = {}
+        for device in self.scheduler.context.devices:
+            timing, energy = device.preview(spec, batch, state=state)
+            if policy is Policy.THROUGHPUT:
+                values[device.device_class.value] = (
+                    batch * spec.sample_bytes / timing.total_s
+                )
+            elif policy is Policy.LATENCY:
+                values[device.device_class.value] = timing.total_s
+            else:
+                values[device.device_class.value] = energy.total_j
+        pick = max if policy.maximize else min
+        best = pick(values, key=values.get)
+        return best, values[best], values[chosen]

@@ -1,0 +1,210 @@
+"""The one-class façade: deploy models, classify batches, stay adaptive.
+
+Everything in this package composes into a pipeline a downstream user
+should not have to wire by hand: discover the testbed, deploy models
+through the Fig. 2 dispatcher, characterize, train per-policy predictors,
+and route live requests (optionally with online adaptation).
+:class:`InferenceService` is that pipeline as one object::
+
+    service = InferenceService().deploy(MNIST_SMALL).warm_up()
+    response = service.classify("mnist-small", x, policy="energy")
+    response.scores        # real class scores
+    response.device        # where it ran
+    response.energy_j      # what it cost
+
+The service runs kernels for real (scores are actual forward passes);
+timing and energy come from the virtual testbed as everywhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.nn.builders import ModelSpec
+from repro.ocl.context import Context
+from repro.ocl.platform import get_all_devices
+from repro.sched.adaptive import AdaptiveScheduler
+from repro.sched.dataset import generate_dataset
+from repro.sched.dispatcher import Dispatcher
+from repro.sched.policies import Policy
+from repro.sched.predictor import DevicePredictor
+from repro.sched.scheduler import OnlineScheduler
+
+__all__ = ["ServiceResponse", "InferenceService"]
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """Outcome of one classification request."""
+
+    model: str
+    device: str          # device-class value the request ran on
+    device_name: str
+    policy: str
+    gpu_state: str       # probed dGPU state at decision time
+    decision_source: str  # 'predictor' | 'feedback' | 'explore'
+    scores: np.ndarray
+    latency_s: float
+    energy_j: float
+
+    @property
+    def labels(self) -> np.ndarray:
+        """Hard class labels (argmax over scores)."""
+        return np.argmax(self.scores, axis=1)
+
+
+class InferenceService:
+    """Deploy → warm up → classify, with the full scheduling stack inside.
+
+    Parameters
+    ----------
+    policies:
+        Policies to support; a predictor is trained per policy at
+        :meth:`warm_up`.
+    adaptive:
+        Enable the online feedback/exploration layer (recommended: it is
+        what absorbs contention and other system changes).
+    devices:
+        Override the testbed (device-agnostic deployments).
+    seed:
+        Drives predictor training and exploration.
+    """
+
+    def __init__(
+        self,
+        policies: "tuple[Policy | str, ...]" = (Policy.THROUGHPUT, Policy.ENERGY),
+        adaptive: bool = True,
+        devices=None,
+        seed: int = 7,
+    ):
+        if not policies:
+            raise SchedulerError("service needs at least one policy")
+        self.policies = tuple(Policy.parse(p) for p in policies)
+        self.seed = seed
+        self._devices = devices if devices is not None else get_all_devices()
+        self.context = Context(self._devices)
+        self.dispatcher = Dispatcher(self.context)
+        self._specs: dict[str, ModelSpec] = {}
+        self._scheduler: OnlineScheduler | None = None
+        self._adaptive: AdaptiveScheduler | None = None
+        self._use_adaptive = adaptive
+        self._now = 0.0
+
+    # -- setup ------------------------------------------------------------
+
+    def deploy(
+        self,
+        spec: ModelSpec,
+        weights: "dict[str, np.ndarray] | None" = None,
+        rng: "int | np.random.Generator | None" = 0,
+    ) -> "InferenceService":
+        """Build + deploy a model on every device (Fig. 2 end to end)."""
+        self.dispatcher.build_model(spec, rng=rng)
+        if weights is not None:
+            self.dispatcher.load_weights(spec, weights)
+        else:
+            model = self.dispatcher._require_model(spec.name)  # noqa: SLF001
+            self.dispatcher.load_weights(spec, model.get_weights())
+        self.dispatcher.deploy(spec)
+        self._specs[spec.name] = spec
+        self._scheduler = None  # predictors must be retrained for new mix
+        return self
+
+    def warm_up(self, batches: "tuple[int, ...] | None" = None) -> "InferenceService":
+        """Characterize the testbed and train one predictor per policy."""
+        if not self._specs:
+            raise SchedulerError("deploy at least one model before warm_up()")
+        predictors = {}
+        for policy in self.policies:
+            kwargs = {} if batches is None else {"batches": batches}
+            dataset = generate_dataset(policy, **kwargs)
+            predictors[policy] = DevicePredictor(policy).fit(dataset)
+        self._scheduler = OnlineScheduler(self.context, self.dispatcher, predictors)
+        self._adaptive = (
+            AdaptiveScheduler(self._scheduler, rng=self.seed)
+            if self._use_adaptive
+            else None
+        )
+        return self
+
+    @property
+    def ready(self) -> bool:
+        """Whether warm_up() has trained the predictors."""
+        return self._scheduler is not None
+
+    # -- serving -------------------------------------------------------------
+
+    def classify(
+        self,
+        model_name: str,
+        x: np.ndarray,
+        policy: "Policy | str | None" = None,
+        arrival_s: "float | None" = None,
+    ) -> ServiceResponse:
+        """Route and run one classification batch.
+
+        ``arrival_s`` places the request on the virtual timeline (requests
+        default to back-to-back submission); real class scores come back
+        alongside where-it-ran and what-it-cost.
+        """
+        if not self.ready:
+            raise SchedulerError("call warm_up() before classify()")
+        try:
+            spec = self._specs[model_name]
+        except KeyError:
+            known = ", ".join(sorted(self._specs)) or "<none>"
+            raise SchedulerError(
+                f"model {model_name!r} not deployed; deployed: {known}"
+            ) from None
+        policy = Policy.parse(policy) if policy is not None else self.policies[0]
+        if policy not in self._scheduler.predictors:
+            raise SchedulerError(f"policy {policy} was not in this service's set")
+        now = self._now if arrival_s is None else float(arrival_s)
+
+        if self._adaptive is not None:
+            decision = self._adaptive.decide(spec, int(x.shape[0]), policy, now=now)
+            base, source = decision.base, decision.source
+        else:
+            base = self._scheduler.decide(spec, int(x.shape[0]), policy, now=now)
+            source = "predictor"
+
+        queue = self._scheduler.queue_for(base.device_name)
+        if queue.current_time < now:
+            queue.advance_to(now)
+        kernel = self.dispatcher.kernel_for(base.device_name, spec.name)
+        event = queue.enqueue_inference(kernel, np.asarray(x, dtype=np.float32))
+        if self._adaptive is not None:
+            from repro.sched.adaptive import AdaptiveDecision
+
+            self._adaptive.record_outcome(
+                spec, int(x.shape[0]), AdaptiveDecision(base=base, source=source), event
+            )
+        self._now = max(self._now, event.time_ended)
+
+        return ServiceResponse(
+            model=model_name,
+            device=base.device,
+            device_name=base.device_name,
+            policy=policy.value,
+            gpu_state=base.gpu_state,
+            decision_source=source,
+            scores=event.meta["scores"],
+            latency_s=event.latency_s,
+            energy_j=event.energy.total_j,
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def deployed_models(self) -> list[str]:
+        """Names of deployed models, sorted."""
+        return sorted(self._specs)
+
+    def stats(self) -> dict:
+        """Decision-source counters (adaptive mode) and virtual time."""
+        out: dict = {"virtual_time_s": self._now, "models": self.deployed_models()}
+        if self._adaptive is not None:
+            out.update(self._adaptive.stats())
+        return out

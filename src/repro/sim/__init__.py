@@ -1,0 +1,14 @@
+"""Minimal discrete-event core for the streaming experiments.
+
+The characterization sweeps are closed-form; the *adaptivity* claims
+(§V: "respond quickly to dynamic fluctuations ... data bursts, application
+overloads and system changes") need requests arriving over time against
+devices whose state evolves.  :class:`~repro.sim.engine.EventLoop` provides
+that: a heap of timestamped events, processes scheduling further events,
+and a shared virtual clock.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.engine import EventLoop, ScheduledEvent
+
+__all__ = ["VirtualClock", "EventLoop", "ScheduledEvent"]

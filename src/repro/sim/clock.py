@@ -1,0 +1,33 @@
+"""A monotone virtual clock."""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Simulation time in seconds; can only move forward."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock to ``t`` (>= now); returns the new time."""
+        if t < self._now:
+            raise ValueError(f"clock cannot move backwards: {t} < {self._now}")
+        self._now = float(t)
+        return self._now
+
+    def advance_by(self, dt: float) -> float:
+        """Move the clock forward by ``dt`` (>= 0)."""
+        if dt < 0.0:
+            raise ValueError(f"cannot advance by negative dt {dt}")
+        return self.advance_to(self._now + dt)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,94 @@
+"""Heap-based discrete-event loop."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.clock import VirtualClock
+
+__all__ = ["ScheduledEvent", "EventLoop"]
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A timestamped callback; ties break by insertion order (FIFO)."""
+
+    time: float
+    seq: int
+    action: Callable[["EventLoop"], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+
+
+class EventLoop:
+    """Run callbacks in virtual-time order.
+
+    Callbacks receive the loop and may schedule further events (at or
+    after the current time).  ``run(until=...)`` drains the heap.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.clock = VirtualClock(start)
+        self._heap: list[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        """Events still queued."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Events processed since construction."""
+        return self._processed
+
+    def schedule(
+        self, time: float, action: Callable[["EventLoop"], Any], label: str = ""
+    ) -> ScheduledEvent:
+        """Enqueue ``action`` to fire at virtual ``time`` (>= now)."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule into the past: {time} < now={self.clock.now}"
+            )
+        ev = ScheduledEvent(time=float(time), seq=next(self._seq), action=action, label=label)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_after(
+        self, delay: float, action: Callable[["EventLoop"], Any], label: str = ""
+    ) -> ScheduledEvent:
+        """Enqueue an action at now + delay."""
+        if delay < 0.0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule(self.clock.now + delay, action, label)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events in order; returns the final virtual time.
+
+        ``until`` stops before events later than the horizon (they stay
+        queued); ``max_events`` bounds the number processed (runaway guard).
+        """
+        processed_here = 0
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                break
+            if max_events is not None and processed_here >= max_events:
+                break
+            ev = heapq.heappop(self._heap)
+            self.clock.advance_to(ev.time)
+            ev.action(self)
+            self._processed += 1
+            processed_here += 1
+        if until is not None and self.clock.now < until and (
+            not self._heap or self._heap[0].time > until
+        ):
+            self.clock.advance_to(until)
+        return self.clock.now

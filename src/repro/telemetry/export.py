@@ -1,0 +1,75 @@
+"""Plot-ready exports for the figure sweeps.
+
+The repo renders figures as text; for actual plotting this module emits
+gnuplot/pgfplots-ready ``.dat`` files — one per (model, metric), one column
+per device-state curve, log-friendly batch axis — plus the raw-grid CSV
+the recorder already provides.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ExperimentError
+from repro.telemetry.recorder import SweepRecorder
+
+__all__ = ["figure_dat", "export_figure_dats", "CURVES"]
+
+#: Column order: (device spec name, dGPU start state, column header).
+CURVES: tuple[tuple[str, str, str], ...] = (
+    ("i7-8700", "warm", "cpu"),
+    ("uhd-630", "warm", "igpu"),
+    ("gtx-1080ti", "warm", "dgpu_warm"),
+    ("gtx-1080ti", "idle", "dgpu_idle"),
+)
+
+_METRICS = ("throughput", "latency", "power", "energy")
+
+
+def figure_dat(recorder: SweepRecorder, model: str, metric: str) -> str:
+    """One gnuplot table: ``batch  cpu  igpu  dgpu_warm  dgpu_idle``.
+
+    Missing cells raise — a partial sweep should fail loudly rather than
+    silently plotting holes.
+    """
+    if metric not in _METRICS:
+        raise ExperimentError(f"metric must be one of {_METRICS}, got {metric!r}")
+    batches = recorder.batches(model)
+    if not batches:
+        raise ExperimentError(f"no sweep cells recorded for model {model!r}")
+    series = {
+        header: dict(recorder.series(model, device, state, metric))
+        for device, state, header in CURVES
+    }
+    lines = ["# " + "\t".join(["batch"] + [h for _, _, h in CURVES])]
+    for batch in batches:
+        row = [str(batch)]
+        for _, _, header in CURVES:
+            try:
+                row.append(f"{series[header][batch]:.9g}")
+            except KeyError:
+                raise ExperimentError(
+                    f"sweep cell missing: model={model} curve={header} batch={batch}"
+                ) from None
+        lines.append("\t".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def export_figure_dats(
+    recorder: SweepRecorder,
+    directory,
+    models: "list[str] | None" = None,
+    metrics: "tuple[str, ...]" = ("throughput", "latency", "power", "energy"),
+) -> list[str]:
+    """Write one .dat per (model, metric) into ``directory``; returns paths."""
+    os.makedirs(directory, exist_ok=True)
+    if models is None:
+        models = sorted({m.model for m in recorder})
+    written = []
+    for model in models:
+        for metric in metrics:
+            path = os.path.join(directory, f"{model}_{metric}.dat")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(figure_dat(recorder, model, metric))
+            written.append(path)
+    return written

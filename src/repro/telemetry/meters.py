@@ -1,0 +1,84 @@
+"""Power meters: live sampling of component draw over virtual time.
+
+The paper reads board power from ``nvidia-smi`` and package power from
+Intel PCM "in a live manner" (§III-A1).  :class:`EnergyMeter` reproduces
+that interface over the simulated timeline: commands deposit
+(start, end, watts) intervals, and the meter can be sampled at any virtual
+timestamp or integrated over a window.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+__all__ = ["PowerSample", "EnergyMeter"]
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """Draw of one component over one interval of virtual time."""
+
+    start_s: float
+    end_s: float
+    watts: float
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ValueError("interval ends before it starts")
+        if self.watts < 0.0:
+            raise ValueError(f"watts must be >= 0, got {self.watts}")
+
+    @property
+    def joules(self) -> float:
+        """Energy of this interval (watts x duration)."""
+        return self.watts * (self.end_s - self.start_s)
+
+
+@dataclass
+class EnergyMeter:
+    """Per-component power trace with sampling and integration.
+
+    ``idle_watts`` is reported whenever no interval covers the queried
+    time (the component's floor draw).
+    """
+
+    component: str
+    idle_watts: float = 0.0
+    _samples: list[PowerSample] = field(default_factory=list)
+
+    def record(self, start_s: float, end_s: float, watts: float) -> None:
+        """Append an activity interval; intervals must be non-overlapping
+        and time-ordered (queues are in-order, so this holds naturally)."""
+        if self._samples and start_s < self._samples[-1].end_s - 1e-15:
+            raise ValueError(
+                f"{self.component}: overlapping interval at {start_s} "
+                f"(last ends {self._samples[-1].end_s})"
+            )
+        self._samples.append(PowerSample(start_s, end_s, watts))
+
+    def sample(self, t: float) -> float:
+        """Instantaneous draw at virtual time ``t`` (the nvidia-smi poll)."""
+        i = bisect.bisect_right(self._samples, t, key=lambda s: s.start_s) - 1
+        if i >= 0 and self._samples[i].start_s <= t < self._samples[i].end_s:
+            return self._samples[i].watts
+        return self.idle_watts
+
+    def energy(self, start_s: float = 0.0, end_s: float | None = None) -> float:
+        """Joules consumed in [start, end] including the idle floor."""
+        if end_s is None:
+            end_s = self._samples[-1].end_s if self._samples else start_s
+        if end_s < start_s:
+            raise ValueError("window ends before it starts")
+        total = self.idle_watts * (end_s - start_s)
+        for s in self._samples:
+            lo = max(s.start_s, start_s)
+            hi = min(s.end_s, end_s)
+            if hi > lo:
+                total += (s.watts - self.idle_watts) * (hi - lo)
+        return total
+
+    @property
+    def n_samples(self) -> int:
+        """Number of recorded activity intervals."""
+        return len(self._samples)

@@ -1,0 +1,68 @@
+"""The atomic measurement record used by every figure and table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import seconds_to_ms, throughput_gbit_s
+
+__all__ = ["Measurement"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One characterization point: a (model, device, state, batch) cell.
+
+    Stores raw SI quantities; the reporting properties convert to the
+    units the paper plots (Gbit/s, ms, W, J).
+    """
+
+    model: str
+    device: str
+    gpu_state: str          # 'warm' | 'idle' (dGPU start state for the run)
+    batch: int
+    sample_bytes: int
+    elapsed_s: float
+    energy_j: float
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0:
+            raise ValueError(f"batch must be positive, got {self.batch}")
+        if self.elapsed_s <= 0.0:
+            raise ValueError(f"elapsed_s must be positive, got {self.elapsed_s}")
+        if self.energy_j < 0.0:
+            raise ValueError(f"energy_j must be >= 0, got {self.energy_j}")
+
+    @property
+    def bytes_processed(self) -> int:
+        """Total input bytes classified (batch x sample bytes)."""
+        return self.batch * self.sample_bytes
+
+    @property
+    def throughput_gbit_s(self) -> float:
+        """Sustained input throughput — Fig. 3's left axis."""
+        return throughput_gbit_s(self.bytes_processed, self.elapsed_s)
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end batch latency — Fig. 3's right axis."""
+        return seconds_to_ms(self.elapsed_s)
+
+    @property
+    def avg_power_w(self) -> float:
+        """Mean draw over the run — Fig. 3's power curves."""
+        return self.energy_j / self.elapsed_s
+
+    @property
+    def joules(self) -> float:
+        """Total energy — Fig. 4's axis."""
+        return self.energy_j
+
+    @property
+    def joules_per_sample(self) -> float:
+        """Energy per classified sample."""
+        return self.energy_j / self.batch
+
+    def key(self) -> tuple[str, str, str, int]:
+        """Grid key for recorder lookups."""
+        return (self.model, self.device, self.gpu_state, self.batch)

@@ -1,0 +1,125 @@
+"""Sweep recorder: grids of measurements with CSV/JSON export."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, Iterator
+
+from repro.errors import ExperimentError
+from repro.telemetry.metrics import Measurement
+
+__all__ = ["SweepRecorder"]
+
+_CSV_FIELDS = (
+    "model",
+    "device",
+    "gpu_state",
+    "batch",
+    "sample_bytes",
+    "elapsed_s",
+    "energy_j",
+    "throughput_gbit_s",
+    "latency_ms",
+    "avg_power_w",
+)
+
+
+class SweepRecorder:
+    """Collects measurements and answers grid queries.
+
+    Keys are ``(model, device, gpu_state, batch)``; adding a duplicate key
+    raises (a sweep should visit each cell once — re-running a sweep means
+    a bug in the harness, not new data).
+    """
+
+    def __init__(self) -> None:
+        self._grid: dict[tuple[str, str, str, int], Measurement] = {}
+
+    def add(self, m: Measurement) -> None:
+        """Record one sweep cell; duplicate keys raise."""
+        key = m.key()
+        if key in self._grid:
+            raise ExperimentError(f"duplicate sweep cell {key}")
+        self._grid[key] = m
+
+    def extend(self, ms: Iterable[Measurement]) -> None:
+        """Record many sweep cells."""
+        for m in ms:
+            self.add(m)
+
+    def __len__(self) -> int:
+        return len(self._grid)
+
+    def __iter__(self) -> Iterator[Measurement]:
+        return iter(self._grid.values())
+
+    def get(self, model: str, device: str, gpu_state: str, batch: int) -> Measurement:
+        """Fetch one cell by its exact grid key; missing cells raise."""
+        try:
+            return self._grid[(model, device, gpu_state, batch)]
+        except KeyError:
+            raise ExperimentError(
+                f"missing sweep cell ({model}, {device}, {gpu_state}, {batch})"
+            ) from None
+
+    def select(
+        self,
+        model: str | None = None,
+        device: str | None = None,
+        gpu_state: str | None = None,
+    ) -> list[Measurement]:
+        """All cells matching the given filters, ordered by batch."""
+        out = [
+            m
+            for m in self._grid.values()
+            if (model is None or m.model == model)
+            and (device is None or m.device == device)
+            and (gpu_state is None or m.gpu_state == gpu_state)
+        ]
+        out.sort(key=lambda m: (m.model, m.device, m.gpu_state, m.batch))
+        return out
+
+    def batches(self, model: str) -> list[int]:
+        """Distinct batch sizes recorded for a model, sorted."""
+        return sorted({m.batch for m in self._grid.values() if m.model == model})
+
+    def series(
+        self, model: str, device: str, gpu_state: str, metric: str
+    ) -> list[tuple[int, float]]:
+        """(batch, value) series for one curve of Fig. 3/4."""
+        cells = self.select(model=model, device=device, gpu_state=gpu_state)
+        attr = {
+            "throughput": "throughput_gbit_s",
+            "latency": "latency_ms",
+            "power": "avg_power_w",
+            "energy": "joules",
+        }.get(metric)
+        if attr is None:
+            raise ExperimentError(f"unknown metric {metric!r}")
+        return [(m.batch, getattr(m, attr)) for m in cells]
+
+    # -- export ---------------------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Render the grid as CSV text (one row per cell)."""
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for m in sorted(self._grid.values(), key=lambda m: m.key()):
+            writer.writerow({f: getattr(m, f) for f in _CSV_FIELDS})
+        return buf.getvalue()
+
+    def to_json(self) -> str:
+        """Render the grid as a JSON list of cell dicts."""
+        rows = [
+            {f: getattr(m, f) for f in _CSV_FIELDS}
+            for m in sorted(self._grid.values(), key=lambda m: m.key())
+        ]
+        return json.dumps(rows, indent=2)
+
+    def save_csv(self, path) -> None:
+        """Write the grid as CSV to a file path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_csv())

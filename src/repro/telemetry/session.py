@@ -1,0 +1,113 @@
+"""Measurement sessions: one-call characterization of a sweep point.
+
+A :class:`MeasurementSession` owns the simulated testbed (all three
+devices) and produces :class:`~repro.telemetry.metrics.Measurement`
+records for any (model, device, gpu-state, batch) combination, via the
+OpenCL-style layer.  It is the workhorse behind Fig. 3, Fig. 4 and the
+scheduler's training-set generation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.nn.builders import ModelSpec
+from repro.ocl.device import Device, DeviceState
+from repro.ocl.platform import get_all_devices
+from repro.telemetry.metrics import Measurement
+
+__all__ = ["MeasurementSession", "GPU_STATES"]
+
+GPU_STATES = ("warm", "idle")
+
+
+class MeasurementSession:
+    """Characterizes models across the simulated testbed.
+
+    The session uses :meth:`~repro.ocl.device.Device.preview` so sweep
+    points are independent (each sees a pristine idle or warm device) —
+    exactly how the paper measures its two dGPU curves side by side.
+    """
+
+    def __init__(self, devices: "list[Device] | None" = None):
+        self.devices: list[Device] = devices if devices is not None else get_all_devices()
+        if not self.devices:
+            raise ExperimentError("session needs at least one device")
+        self._by_name = {d.name: d for d in self.devices}
+        for d in self.devices:
+            self._by_name.setdefault(d.device_class.value, d)
+
+    def device(self, name: str) -> Device:
+        """Resolve a device by spec name or device-class value."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            known = ", ".join(sorted(self._by_name))
+            raise ExperimentError(f"unknown device {name!r}; known: {known}") from None
+
+    def device_names(self) -> list[str]:
+        """Spec names of the session's devices, in testbed order."""
+        return [d.name for d in self.devices]
+
+    def measure(
+        self,
+        spec: ModelSpec,
+        device: str,
+        batch: int,
+        gpu_state: str = "warm",
+        local_size: int | None = None,
+        pinned: bool = True,
+    ) -> Measurement:
+        """Characterize one sweep point.
+
+        ``gpu_state`` selects the dGPU starting state; it is carried on the
+        record even for CPU/iGPU runs (whose clocks do not ramp) so grid
+        keys stay uniform.
+        """
+        if gpu_state not in GPU_STATES:
+            raise ExperimentError(
+                f"gpu_state must be one of {GPU_STATES}, got {gpu_state!r}"
+            )
+        dev = self.device(device)
+        state = DeviceState.WARM if gpu_state == "warm" else DeviceState.IDLE
+        from repro.ocl.workgroup import workgroup_efficiency
+
+        wg_eff = workgroup_efficiency(dev.spec, local_size)
+        timing, energy = dev.preview(
+            spec, batch, state=state, workgroup_eff=wg_eff, pinned=pinned
+        )
+        return Measurement(
+            model=spec.name,
+            device=dev.name,
+            gpu_state=gpu_state,
+            batch=batch,
+            sample_bytes=spec.sample_bytes,
+            elapsed_s=timing.total_s,
+            energy_j=energy.total_j,
+        )
+
+    def measure_all_devices(
+        self, spec: ModelSpec, batch: int, gpu_state: str = "warm"
+    ) -> dict[str, Measurement]:
+        """One batch point on every device, keyed by device name."""
+        return {
+            d.name: self.measure(spec, d.name, batch, gpu_state) for d in self.devices
+        }
+
+    def best_device(
+        self, spec: ModelSpec, batch: int, gpu_state: str, metric: str
+    ) -> str:
+        """Ground-truth oracle: the device optimizing ``metric``.
+
+        ``metric`` is 'throughput', 'latency' or 'energy'.  This is the
+        labelling function for the scheduler's training set (§V-B).
+        """
+        points = self.measure_all_devices(spec, batch, gpu_state)
+        if metric == "throughput":
+            return max(points, key=lambda d: points[d].throughput_gbit_s)
+        if metric == "latency":
+            return min(points, key=lambda d: points[d].latency_ms)
+        if metric == "energy":
+            return min(points, key=lambda d: points[d].joules)
+        raise ExperimentError(
+            f"metric must be throughput/latency/energy, got {metric!r}"
+        )

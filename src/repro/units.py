@@ -1,0 +1,84 @@
+"""Unit helpers shared across the library.
+
+The paper reports throughput in Gbit/s, latency in milliseconds and energy
+in joules.  Internally everything is SI (seconds, bytes, watts, joules); the
+helpers here convert at the reporting boundary so no magic constants appear
+in experiment code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BITS_PER_BYTE",
+    "KIB",
+    "MIB",
+    "GIB",
+    "bytes_to_gbit",
+    "throughput_gbit_s",
+    "seconds_to_ms",
+    "ms_to_seconds",
+    "joules",
+    "fmt_si",
+]
+
+BITS_PER_BYTE = 8
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def bytes_to_gbit(n_bytes: float) -> float:
+    """Convert a byte count to gigabits (decimal giga, as in the paper)."""
+    return n_bytes * BITS_PER_BYTE / 1e9
+
+
+def throughput_gbit_s(n_bytes: float, seconds: float) -> float:
+    """Sustained throughput in Gbit/s for ``n_bytes`` moved in ``seconds``."""
+    if seconds <= 0.0:
+        raise ValueError(f"elapsed time must be positive, got {seconds!r}")
+    return bytes_to_gbit(n_bytes) / seconds
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Seconds -> milliseconds."""
+    return seconds * 1e3
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Milliseconds -> seconds."""
+    return ms * 1e-3
+
+
+def joules(watts: float, seconds: float) -> float:
+    """Energy for a constant draw of ``watts`` over ``seconds``."""
+    if seconds < 0.0:
+        raise ValueError(f"duration must be non-negative, got {seconds!r}")
+    return watts * seconds
+
+
+_SI_PREFIXES = (
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "K"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+)
+
+
+def fmt_si(value: float, unit: str = "", precision: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``fmt_si(2.5e9, 'bit/s')``.
+
+    Used by the report renderer so the regenerated tables read like the
+    paper's axes (``20 Gbit/s``, ``3.35 ms``, ``10 KJ``).
+    """
+    if value == 0.0:
+        return f"0 {unit}".rstrip()
+    mag = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if mag >= scale:
+            return f"{value / scale:.{precision}g} {prefix}{unit}".rstrip()
+    scale, prefix = _SI_PREFIXES[-1]
+    return f"{value / scale:.{precision}g} {prefix}{unit}".rstrip()

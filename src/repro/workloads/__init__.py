@@ -1,0 +1,31 @@
+"""Workload generators for the streaming experiments.
+
+:mod:`repro.workloads.streams` builds arrival processes — constant-rate,
+bursty, diurnal and overload — and :mod:`repro.workloads.requests` turns
+them into classification requests over the zoo models.  These drive the
+adaptivity evaluation: the paper motivates the energy policy with
+low-load periods ("diurnal patterns") and the responsiveness claim with
+"data bursts [and] application overloads".
+"""
+
+from repro.workloads.requests import InferenceRequest, RequestTrace, make_trace
+from repro.workloads.streams import (
+    ArrivalProcess,
+    BurstStream,
+    ConstantStream,
+    DiurnalStream,
+    OverloadStream,
+    PoissonStream,
+)
+
+__all__ = [
+    "InferenceRequest",
+    "RequestTrace",
+    "make_trace",
+    "ArrivalProcess",
+    "ConstantStream",
+    "PoissonStream",
+    "BurstStream",
+    "DiurnalStream",
+    "OverloadStream",
+]

@@ -1,0 +1,124 @@
+"""Classification requests and traces for the streaming runtime.
+
+Traces serialize to JSON (:meth:`RequestTrace.to_json` / ``from_json``) so
+a stream experiment can be replayed exactly across processes or shipped as
+a benchmark artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.nn.builders import ModelSpec
+from repro.rng import ensure_rng
+from repro.workloads.streams import ArrivalProcess
+
+__all__ = ["InferenceRequest", "RequestTrace", "make_trace"]
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One unit of schedulable work: a batch for one deployed model."""
+
+    request_id: int
+    arrival_s: float
+    model: str
+    batch: int
+    policy: str = "throughput"
+
+    def __post_init__(self) -> None:
+        if self.batch <= 0:
+            raise ValueError(f"batch must be positive, got {self.batch}")
+        if self.arrival_s < 0.0:
+            raise ValueError(f"arrival must be >= 0, got {self.arrival_s}")
+
+
+@dataclass(frozen=True)
+class RequestTrace:
+    """A time-ordered sequence of requests."""
+
+    requests: tuple[InferenceRequest, ...]
+
+    def __post_init__(self) -> None:
+        times = [r.arrival_s for r in self.requests]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("requests must be time-ordered")
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+    @property
+    def horizon_s(self) -> float:
+        """Arrival time of the last request (0 for an empty trace)."""
+        return self.requests[-1].arrival_s if self.requests else 0.0
+
+    @property
+    def total_samples(self) -> int:
+        """Samples summed over all requests."""
+        return sum(r.batch for r in self.requests)
+
+    # -- persistence -----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the trace (order and fields preserved exactly)."""
+        return json.dumps([asdict(r) for r in self.requests])
+
+    @classmethod
+    def from_json(cls, text: str) -> "RequestTrace":
+        """Rebuild a trace serialized by :meth:`to_json` (validating)."""
+        try:
+            rows = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid trace JSON: {exc}") from exc
+        if not isinstance(rows, list):
+            raise ValueError("trace JSON must be a list of requests")
+        try:
+            requests = tuple(InferenceRequest(**row) for row in rows)
+        except TypeError as exc:
+            raise ValueError(f"malformed request record: {exc}") from exc
+        return cls(requests=requests)
+
+    def save(self, path) -> None:
+        """Write the trace as JSON to a file path."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "RequestTrace":
+        """Read a trace written by save()."""
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+
+def make_trace(
+    process: ArrivalProcess,
+    specs: "list[ModelSpec]",
+    policy: str = "throughput",
+    rng: "int | np.random.Generator | None" = None,
+) -> RequestTrace:
+    """Instantiate an arrival process into requests over the given models.
+
+    Each arrival picks its model uniformly — the mixed-application setting
+    the scheduler targets (§V: models with "strong diversity").
+    """
+    if not specs:
+        raise ValueError("make_trace needs at least one model spec")
+    gen = ensure_rng(rng)
+    arrivals = process.generate(gen)
+    requests = tuple(
+        InferenceRequest(
+            request_id=i,
+            arrival_s=t,
+            model=specs[int(gen.integers(len(specs)))].name,
+            batch=batch,
+            policy=policy,
+        )
+        for i, (t, batch) in enumerate(arrivals)
+    )
+    return RequestTrace(requests=requests)

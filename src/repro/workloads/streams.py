@@ -1,0 +1,199 @@
+"""Arrival processes: when requests show up and how big they are.
+
+Each process generates ``(arrival_time_s, batch_size)`` pairs over a
+horizon.  Batch size tracks load: at high arrival intensity the producer
+has accumulated more samples per request (the paper's observation that
+data volume and velocity vary together under bursts/diurnal patterns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+__all__ = [
+    "ArrivalProcess",
+    "ConstantStream",
+    "PoissonStream",
+    "BurstStream",
+    "DiurnalStream",
+    "OverloadStream",
+]
+
+
+def _clip_batch(values: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    return np.clip(np.round(values), lo, hi).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Base class: subclasses implement :meth:`generate`."""
+
+    horizon_s: float = 10.0
+
+    def generate(
+        self, rng: "int | np.random.Generator | None" = None
+    ) -> list[tuple[float, int]]:
+        """Return time-ordered ``(arrival_s, batch)`` pairs in [0, horizon)."""
+        raise NotImplementedError
+
+    def _check(self) -> None:
+        if self.horizon_s <= 0.0:
+            raise ValueError(f"horizon must be positive, got {self.horizon_s}")
+
+
+@dataclass(frozen=True)
+class ConstantStream(ArrivalProcess):
+    """Fixed interval, fixed batch — the steady baseline."""
+
+    interval_s: float = 0.1
+    batch: int = 256
+
+    def generate(self, rng=None) -> list[tuple[float, int]]:
+        self._check()
+        if self.interval_s <= 0.0 or self.batch <= 0:
+            raise ValueError("interval and batch must be positive")
+        times = np.arange(0.0, self.horizon_s, self.interval_s)
+        return [(float(t), self.batch) for t in times]
+
+
+@dataclass(frozen=True)
+class PoissonStream(ArrivalProcess):
+    """Poisson arrivals with geometric-ish lognormal batch sizes."""
+
+    rate_hz: float = 20.0
+    mean_batch: int = 256
+    batch_sigma: float = 1.0
+    max_batch: int = 1 << 17
+
+    def generate(self, rng=None) -> list[tuple[float, int]]:
+        self._check()
+        if self.rate_hz <= 0.0 or self.mean_batch <= 0:
+            raise ValueError("rate and mean batch must be positive")
+        gen = ensure_rng(rng)
+        n_expected = int(np.ceil(self.rate_hz * self.horizon_s * 1.5)) + 8
+        gaps = gen.exponential(1.0 / self.rate_hz, size=n_expected)
+        times = np.cumsum(gaps)
+        times = times[times < self.horizon_s]
+        batches = _clip_batch(
+            np.exp(np.log(self.mean_batch) + self.batch_sigma * gen.standard_normal(times.size)),
+            1,
+            self.max_batch,
+        )
+        return list(zip(times.tolist(), batches.tolist()))
+
+
+@dataclass(frozen=True)
+class BurstStream(ArrivalProcess):
+    """Quiet background traffic punctuated by dense bursts.
+
+    During a burst the arrival rate multiplies by ``burst_factor`` and
+    batches grow accordingly — the "data bursts" the scheduler must absorb.
+    """
+
+    base_rate_hz: float = 5.0
+    burst_factor: float = 20.0
+    burst_duration_s: float = 0.5
+    burst_every_s: float = 3.0
+    base_batch: int = 64
+    max_batch: int = 1 << 17
+
+    def generate(self, rng=None) -> list[tuple[float, int]]:
+        self._check()
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        gen = ensure_rng(rng)
+        out: list[tuple[float, int]] = []
+        t = 0.0
+        while t < self.horizon_s:
+            in_burst = (t % self.burst_every_s) < self.burst_duration_s
+            rate = self.base_rate_hz * (self.burst_factor if in_burst else 1.0)
+            batch = self.base_batch * (int(self.burst_factor) if in_burst else 1)
+            out.append((t, int(min(batch, self.max_batch))))
+            t += float(gen.exponential(1.0 / rate))
+        return out
+
+    def burst_windows(self) -> list[tuple[float, float]]:
+        """The [start, end) intervals where bursts are active."""
+        windows = []
+        start = 0.0
+        while start < self.horizon_s:
+            windows.append((start, min(start + self.burst_duration_s, self.horizon_s)))
+            start += self.burst_every_s
+        return windows
+
+
+@dataclass(frozen=True)
+class DiurnalStream(ArrivalProcess):
+    """Sinusoidal day/night load: batch and rate follow a slow cycle.
+
+    Models the diurnal patterns of §I whose low-load valleys are where the
+    energy policy pays off (a low-end device suffices at night).
+    """
+
+    period_s: float = 8.0
+    peak_rate_hz: float = 40.0
+    trough_rate_hz: float = 2.0
+    peak_batch: int = 4096
+    trough_batch: int = 8
+
+    def generate(self, rng=None) -> list[tuple[float, int]]:
+        self._check()
+        if self.trough_rate_hz <= 0 or self.peak_rate_hz < self.trough_rate_hz:
+            raise ValueError("need 0 < trough_rate <= peak_rate")
+        gen = ensure_rng(rng)
+        out: list[tuple[float, int]] = []
+        t = 0.0
+        while t < self.horizon_s:
+            phase = 0.5 * (1.0 - np.cos(2.0 * np.pi * t / self.period_s))  # 0..1
+            rate = self.trough_rate_hz + phase * (self.peak_rate_hz - self.trough_rate_hz)
+            batch = int(
+                round(
+                    np.exp(
+                        np.log(self.trough_batch)
+                        + phase * (np.log(self.peak_batch) - np.log(self.trough_batch))
+                    )
+                )
+            )
+            out.append((t, max(1, batch)))
+            t += float(gen.exponential(1.0 / rate))
+        return out
+
+    def phase_at(self, t: float) -> float:
+        """Load phase in [0, 1] at time ``t`` (0 = trough, 1 = peak)."""
+        return float(0.5 * (1.0 - np.cos(2.0 * np.pi * t / self.period_s)))
+
+
+@dataclass(frozen=True)
+class OverloadStream(ArrivalProcess):
+    """A step overload: normal load, then a sustained flood.
+
+    Exercises the "application overloads" responsiveness claim — the
+    scheduler should shift to the high-throughput device when the flood
+    hits and back when it recedes.
+    """
+
+    normal_rate_hz: float = 5.0
+    overload_rate_hz: float = 100.0
+    overload_start_s: float = 3.0
+    overload_end_s: float = 7.0
+    normal_batch: int = 32
+    overload_batch: int = 8192
+
+    def generate(self, rng=None) -> list[tuple[float, int]]:
+        self._check()
+        if not (0.0 <= self.overload_start_s < self.overload_end_s):
+            raise ValueError("overload window is empty or negative")
+        gen = ensure_rng(rng)
+        out: list[tuple[float, int]] = []
+        t = 0.0
+        while t < self.horizon_s:
+            overloaded = self.overload_start_s <= t < self.overload_end_s
+            rate = self.overload_rate_hz if overloaded else self.normal_rate_hz
+            batch = self.overload_batch if overloaded else self.normal_batch
+            out.append((t, batch))
+            t += float(gen.exponential(1.0 / rate))
+        return out

@@ -1,0 +1,70 @@
+"""Shared fixtures: cached sessions, small sweeps, trained predictors.
+
+Heavyweight artifacts (scheduler datasets, trained forests) are
+session-scoped so the suite pays for them once; tests that need mutation
+get fresh copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.zoo import MNIST_CNN, MNIST_SMALL, PAPER_MODELS, SIMPLE
+from repro.sched.dataset import generate_dataset
+from repro.sched.policies import Policy
+from repro.sched.predictor import DevicePredictor
+from repro.telemetry.session import MeasurementSession
+
+#: Small batch grid for fast sweeps (still spans the crossover range).
+SMALL_BATCHES: tuple[int, ...] = (1, 8, 64, 512, 4096, 32768, 262144)
+
+
+@pytest.fixture(scope="session")
+def session() -> MeasurementSession:
+    return MeasurementSession()
+
+
+@pytest.fixture(scope="session")
+def throughput_dataset():
+    """Full-size throughput-policy scheduler dataset (1470 rows)."""
+    return generate_dataset("throughput")
+
+
+@pytest.fixture(scope="session")
+def energy_dataset():
+    return generate_dataset("energy")
+
+
+@pytest.fixture(scope="session")
+def small_throughput_dataset():
+    """Reduced dataset for tests that train many estimators.
+
+    All five paper models over a 10-point batch grid (100 rows): big
+    enough for the tree models to stay in their accuracy band, small
+    enough that six-estimator comparisons run in seconds.
+    """
+    return generate_dataset(
+        "throughput",
+        specs=list(PAPER_MODELS),
+        batches=(1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144),
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_predictors(throughput_dataset, energy_dataset):
+    """One trained predictor per evaluated policy."""
+    return {
+        Policy.THROUGHPUT: DevicePredictor(Policy.THROUGHPUT).fit(throughput_dataset),
+        Policy.ENERGY: DevicePredictor(Policy.ENERGY).fit(energy_dataset),
+    }
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def paper_models():
+    return PAPER_MODELS

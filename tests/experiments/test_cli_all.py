@@ -1,0 +1,32 @@
+"""CLI --all snapshot mode (on the fast experiments only, for test speed)."""
+
+import os
+
+import pytest
+
+from repro.cli import _run_all
+
+
+class TestRunAll:
+    @pytest.fixture(scope="class")
+    def out_dir(self, tmp_path_factory, monkeyclass=None):
+        return tmp_path_factory.mktemp("results")
+
+    def test_writes_one_file_per_experiment(self, out_dir, monkeypatch):
+        # Narrow the registry to cheap experiments so the test stays fast;
+        # the Makefile 'repro' target exercises the full set.
+        import repro.experiments.registry as registry
+
+        full = registry.list_experiments()
+        cheap = [e for e in full if e.exp_id in ("table1", "crossovers")]
+        monkeypatch.setattr(registry, "list_experiments", lambda: cheap)
+        monkeypatch.setattr("repro.cli.list_experiments", lambda: cheap)
+
+        rc = _run_all(str(out_dir))
+        assert rc == 0
+        names = set(os.listdir(out_dir))
+        assert {"table1.txt", "crossovers.txt"} <= names
+
+    def test_rendered_content(self, out_dir):
+        text = (out_dir / "table1.txt").read_text()
+        assert "Hyperparameter" in text

@@ -1,0 +1,78 @@
+"""Crossover extraction harness."""
+
+import pytest
+
+from repro.experiments.crossovers import (
+    PAPER_CLAIMS,
+    CrossoverClaim,
+    CrossoverRow,
+    measure_crossover,
+    run_crossovers,
+)
+from repro.nn.zoo import SIMPLE
+
+
+@pytest.fixture(scope="module")
+def result(session):
+    return run_crossovers(session=session)
+
+
+class TestClaims:
+    def test_ten_paper_claims(self):
+        assert len(PAPER_CLAIMS) == 10
+
+    def test_covers_all_five_models(self):
+        assert len({c.spec.name for c in PAPER_CLAIMS}) == 5
+
+
+class TestMeasurement:
+    def test_every_claim_measured(self, result):
+        assert len(result.rows) == len(PAPER_CLAIMS)
+
+    def test_qualitative_agreement(self, result):
+        """Every flip exists where the paper saw one (and only there)."""
+        for row in result.rows:
+            assert row.agrees_in_kind, row.claim
+
+    def test_positions_within_3_octaves(self, result):
+        """EXPERIMENTS.md's fidelity contract: <= 8x positional deviation."""
+        assert result.max_ratio_deviation <= 3.0
+
+    def test_idle_crossovers_not_left_of_warm(self, result):
+        by_key = {
+            (r.claim.spec.name, r.claim.metric, r.claim.gpu_state): r.measured
+            for r in result.rows
+        }
+        for (model, metric, state), measured in by_key.items():
+            if state != "warm":
+                continue
+            idle = by_key.get((model, metric, "idle"))
+            if measured is None or idle is None:
+                continue
+            assert idle >= measured
+
+    def test_simple_idle_cpu_wins_everywhere(self, session):
+        claim = CrossoverClaim(SIMPLE, "throughput", "idle", None, "Fig. 3(a)")
+        assert measure_crossover(session, claim) is None
+
+
+class TestRowSemantics:
+    def test_ratio_none_when_unbounded(self):
+        claim = CrossoverClaim(SIMPLE, "throughput", "idle", None, "x")
+        assert CrossoverRow(claim=claim, measured=None).ratio is None
+
+    def test_ratio_value(self):
+        claim = CrossoverClaim(SIMPLE, "throughput", "warm", 8, "x")
+        assert CrossoverRow(claim=claim, measured=32).ratio == pytest.approx(4.0)
+
+    def test_kind_disagreement_detected(self):
+        claim = CrossoverClaim(SIMPLE, "throughput", "warm", 8, "x")
+        assert not CrossoverRow(claim=claim, measured=None).agrees_in_kind
+
+
+class TestRender:
+    def test_render(self, result):
+        text = result.render()
+        assert "paper vs measured" in text
+        assert "all sizes" in text
+        assert "largest deviation" in text

@@ -1,0 +1,52 @@
+"""Fig. 3 harness."""
+
+import pytest
+
+from repro.experiments.fig3 import DEVICE_STATES, curve_label, run_fig3
+from repro.nn.zoo import MNIST_SMALL, SIMPLE
+
+SMALL_BATCHES = (1, 64, 4096)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig3(models=(SIMPLE, MNIST_SMALL), batches=SMALL_BATCHES)
+
+
+class TestRun:
+    def test_grid_complete(self, result):
+        assert len(result.recorder) == 2 * len(DEVICE_STATES) * len(SMALL_BATCHES)
+
+    def test_four_curves(self):
+        assert DEVICE_STATES == (
+            ("cpu", "warm"),
+            ("igpu", "warm"),
+            ("dgpu", "warm"),
+            ("dgpu", "idle"),
+        )
+
+    def test_series_retrieval(self, result):
+        series = result.series("simple", "cpu", "warm", "throughput")
+        assert [b for b, _ in series] == list(SMALL_BATCHES)
+        assert all(v > 0 for _, v in series)
+
+    def test_power_series(self, result):
+        series = result.series("mnist-small", "dgpu", "warm", "power")
+        assert all(v >= 50.0 for _, v in series)  # above dGPU idle floor
+
+
+class TestLabels:
+    def test_paper_legend_names(self):
+        assert curve_label("cpu", "warm") == "i7 CPU"
+        assert curve_label("igpu", "warm") == "HD Graphics"
+        assert curve_label("dgpu", "warm") == "GTX 1080 Ti"
+        assert curve_label("dgpu", "idle") == "idle GTX 1080 Ti"
+
+
+class TestRender:
+    def test_render_mentions_models_and_devices(self, result):
+        text = result.render()
+        assert "Fig. 3: simple" in text
+        assert "Fig. 3: mnist-small" in text
+        assert "idle GTX 1080 Ti" in text
+        assert "throughput" in text and "latency" in text and "power" in text

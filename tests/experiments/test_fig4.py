@@ -1,0 +1,43 @@
+"""Fig. 4 harness."""
+
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+from repro.nn.zoo import MNIST_DEEP, MNIST_SMALL
+
+SMALL_BATCHES = (8, 1024, 65536)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig4(models=(MNIST_SMALL, MNIST_DEEP), batches=SMALL_BATCHES)
+
+
+class TestRun:
+    def test_grid_complete(self, result):
+        assert len(result.recorder) == 2 * 4 * len(SMALL_BATCHES)
+
+    def test_energy_series_monotone(self, result):
+        series = result.series("mnist-deep", "cpu", "warm")
+        values = [v for _, v in series]
+        assert values == sorted(values)
+
+    def test_idle_curve_above_warm(self, result):
+        warm = dict(result.series("mnist-small", "dgpu", "warm"))
+        idle = dict(result.series("mnist-small", "dgpu", "idle"))
+        assert all(idle[b] > warm[b] for b in SMALL_BATCHES)
+
+
+class TestWinner:
+    def test_mnist_deep_small_batch_igpu(self, result):
+        assert result.winner("mnist-deep", 8, "warm") == "igpu"
+
+    def test_mnist_deep_large_batch_dgpu(self, result):
+        assert result.winner("mnist-deep", 65536, "warm") == "dgpu"
+
+
+class TestRender:
+    def test_render(self, result):
+        text = result.render()
+        assert "Fig. 4: mnist-deep (joules)" in text
+        assert "idle GTX 1080 Ti" in text

@@ -1,0 +1,77 @@
+"""Fig. 6 harness: unseen-architecture predictions."""
+
+import pytest
+
+from repro.experiments.fig6 import Fig6Point, run_fig6
+from repro.nn.zoo import UNSEEN_SPECS
+
+TEST_BATCHES = (8, 256, 8192, 131072)
+
+
+@pytest.fixture(scope="module")
+def result(session):
+    return run_fig6(batches=TEST_BATCHES, session=session)
+
+
+class TestPoints:
+    def test_grid_size(self, result):
+        # 2 policies x 4 unseen models x 2 states x len(batches)
+        assert len(result.points) == 2 * len(UNSEEN_SPECS) * 2 * len(TEST_BATCHES)
+
+    def test_only_unseen_models(self, result):
+        names = {p.model for p in result.points}
+        assert names == {s.name for s in UNSEEN_SPECS}
+
+    def test_correct_points_have_zero_loss(self, result):
+        for p in result.points:
+            if p.correct:
+                assert p.relative_loss == 0.0
+
+    def test_losses_bounded(self, result):
+        for p in result.points:
+            assert 0.0 <= p.relative_loss <= 1.0
+
+
+class TestHeadlineNumbers:
+    def test_combined_accuracy_near_paper_91(self, result):
+        assert result.combined_accuracy > 0.8  # paper: 91%
+
+    def test_per_policy_accuracy(self, result):
+        assert result.accuracy("throughput") > 0.75
+        assert result.accuracy("energy") > 0.75
+
+    def test_mean_loss_below_5_percent(self, result):
+        """Paper: performance loss from mispredictions < 5%."""
+        assert result.mean_loss() < 0.05
+
+
+class TestLossSemantics:
+    def test_throughput_loss_direction(self):
+        p = Fig6Point(
+            policy="throughput", model="m", batch=8, gpu_state="warm",
+            predicted="cpu", oracle="dgpu", achieved=5.0, ideal=10.0,
+        )
+        assert p.relative_loss == pytest.approx(0.5)
+
+    def test_energy_loss_direction(self):
+        p = Fig6Point(
+            policy="energy", model="m", batch=8, gpu_state="warm",
+            predicted="cpu", oracle="igpu", achieved=2.0, ideal=1.0,
+        )
+        assert p.relative_loss == pytest.approx(0.5)
+
+
+class TestLeakGuard:
+    def test_unseen_overlap_rejected(self, session):
+        from repro.nn.zoo import SIMPLE
+
+        with pytest.raises(ValueError, match="leak"):
+            run_fig6(unseen=(SIMPLE,), batches=(8,), session=session)
+
+
+class TestRender:
+    def test_render(self, result):
+        text = result.render()
+        assert "Fig. 6" in text
+        assert "combined accuracy" in text
+        assert "throughput" in text and "energy" in text

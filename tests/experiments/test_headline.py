@@ -1,0 +1,49 @@
+"""Headline numbers (§I / §VIII)."""
+
+import pytest
+
+from repro.experiments.headline import energy_savings, run_headline
+from repro.sched.policies import Policy
+from repro.sched.predictor import DevicePredictor
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_headline(cv_splits=3)
+
+
+class TestHeadline:
+    def test_seen_accuracy_near_92_5(self, result):
+        assert result.seen_accuracy > 0.88  # paper: 92.5%
+
+    def test_unseen_accuracy_near_91(self, result):
+        assert result.unseen_accuracy > 0.8  # paper: 91%
+
+    def test_unseen_close_to_seen(self, result):
+        """The generalization story: unseen within a few points of seen."""
+        assert abs(result.seen_accuracy - result.unseen_accuracy) < 0.12
+
+    def test_energy_savings_positive_up_to_10pct(self, result):
+        """Paper: 'consuming up to 10% less energy'."""
+        assert 0.0 < result.max_savings < 0.20
+        assert result.mean_savings >= 0.0
+
+    def test_per_model_savings_cover_paper_models(self, result):
+        assert set(result.savings_per_model) == {
+            "simple", "mnist-small", "mnist-deep", "mnist-cnn", "cifar-10",
+        }
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Headline" in text
+        assert "energy savings" in text
+
+
+class TestEnergySavings:
+    def test_scheduler_never_much_worse_than_static(
+        self, energy_dataset, session
+    ):
+        predictor = DevicePredictor(Policy.ENERGY).fit(energy_dataset)
+        savings = energy_savings(predictor, session, batches=(8, 512, 32768))
+        for name, s in savings.items():
+            assert s > -0.05, f"{name}: scheduler lost {-s:.1%} vs static"

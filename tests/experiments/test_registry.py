@@ -1,0 +1,67 @@
+"""Experiment registry and CLI."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import get_experiment, list_experiments
+from repro.experiments.registry import register
+
+
+class TestRegistry:
+    def test_all_artifacts_registered(self):
+        ids = {e.exp_id for e in list_experiments()}
+        assert ids == {
+            "fig3", "fig4", "fig6", "headline", "crossovers",
+            "table1", "table2", "table3", "sensitivity", "policies",
+        }
+
+    def test_lookup(self):
+        exp = get_experiment("table1")
+        assert exp.paper_ref == "Table I"
+        assert callable(exp.runner)
+
+    def test_unknown(self):
+        with pytest.raises(ExperimentError, match="table1"):
+            get_experiment("fig9")
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ExperimentError, match="twice"):
+            register("table1", "x", "y")(lambda: None)
+
+    def test_runner_produces_renderable(self):
+        artifact = get_experiment("table1").runner()
+        assert "Hyperparameter" in artifact.render()
+
+
+class TestCLI:
+    def test_list_mode(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.cli"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+        assert "table2" in out and "fig6" in out
+
+    def test_run_experiment(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "table1"],
+            capture_output=True, text=True, check=True,
+        ).stdout
+        assert "1344 combinations" in out
+
+    def test_output_file(self, tmp_path):
+        target = tmp_path / "t1.txt"
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", "table1", "--out", str(target)],
+            capture_output=True, text=True, check=True,
+        )
+        assert "Hyperparameter" in target.read_text()
+
+    def test_unknown_experiment_fails(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "fig99"],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode != 0

@@ -1,0 +1,41 @@
+"""Report rendering helpers."""
+
+from repro.experiments.report import fmt_pct, fmt_value, render_series, render_table
+
+
+class TestFmt:
+    def test_pct(self):
+        assert fmt_pct(0.9322) == "93.22%"
+
+    def test_pct_precision(self):
+        assert fmt_pct(0.5, precision=0) == "50%"
+
+    def test_value_none(self):
+        assert fmt_value(None) == "-"
+
+    def test_value_si(self):
+        assert fmt_value(2.5e9, "bit/s") == "2.5 Gbit/s"
+
+
+class TestTable:
+    def test_alignment(self):
+        text = render_table(("A", "Bee"), [("x", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_title_and_rule(self):
+        text = render_table(("A",), [("x",)], title="T")
+        assert text.startswith("T\n=")
+
+    def test_all_cells_present(self):
+        text = render_table(("m", "v"), [("rf", "93%"), ("dt", "92%")])
+        for token in ("rf", "dt", "93%", "92%"):
+            assert token in text
+
+
+class TestSeries:
+    def test_points_rendered(self):
+        text = render_series("cpu", [(1, 0.5e9), (1024, 2e9)], "bit/s")
+        assert text.startswith("cpu:")
+        assert "1:" in text and "1024:" in text
+        assert "Gbit/s" in text

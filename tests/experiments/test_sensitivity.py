@@ -1,0 +1,58 @@
+"""Calibration-sensitivity harness."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    PERTURBED_FIELDS,
+    Perturbation,
+    run_sensitivity,
+)
+from repro.hw.specs import CPU_I7_8700, DGPU_GTX_1080TI
+
+
+class TestPerturbation:
+    def test_apply_scales_field(self):
+        p = Perturbation("x", CPU_I7_8700, "kernel_launch_s", 2.0)
+        assert p.apply().kernel_launch_s == pytest.approx(
+            2 * CPU_I7_8700.kernel_launch_s
+        )
+
+    def test_efficiency_capped_at_one(self):
+        base = dataclasses.replace(DGPU_GTX_1080TI, sustained_eff=0.8)
+        p = Perturbation("x", base, "sustained_eff", 2.0)
+        assert p.apply().sustained_eff == 1.0
+
+    def test_other_fields_untouched(self):
+        p = Perturbation("x", CPU_I7_8700, "halfsat_workitems", 0.5)
+        spec = p.apply()
+        assert spec.sustained_eff == CPU_I7_8700.sustained_eff
+        assert spec.name == CPU_I7_8700.name
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Single-direction perturbation keeps the test fast; the bench runs
+        # both directions.
+        return run_sensitivity(factors=(2.0,))
+
+    def test_one_row_per_field(self, result):
+        assert len(result.rows) == len(PERTURBED_FIELDS)
+
+    def test_ordering_facts_robust(self, result):
+        """The headline qualitative facts survive every x2 perturbation."""
+        assert result.n_fact_violations == 0
+
+    def test_accuracy_stays_useful(self, result):
+        """Scheduling stays far above the 35% random baseline everywhere."""
+        assert result.worst_accuracy > 0.6
+
+    def test_baseline_recorded(self, result):
+        assert 0.7 < result.baseline_accuracy <= 1.0
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Calibration sensitivity" in text
+        assert "F1-F4" in text

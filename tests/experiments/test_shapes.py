@@ -1,0 +1,213 @@
+"""Calibration shape tests — the DESIGN.md §4 contract.
+
+These assertions pin the *qualitative* structure of the paper's Fig. 3 and
+Fig. 4 (who wins at which batch size, where crossovers fall, the idle-GPU
+penalty).  If an edit to the cost model or device constants drifts the
+shape, these tests fail — they are the regression net for the calibration.
+
+Crossover positions are asserted in bands (paper value /4 .. x4 unless the
+measured value matches more tightly); EXPERIMENTS.md records the exact
+paper-vs-measured numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.zoo import CIFAR10, MNIST_CNN, MNIST_DEEP, MNIST_SMALL, SIMPLE
+
+BATCHES = tuple(2**k for k in range(19))  # 1 .. 256K
+
+
+def tput(session, spec, device, state):
+    return {
+        b: session.measure(spec, device, b, state).throughput_gbit_s for b in BATCHES
+    }
+
+
+def crossover(a: dict, b: dict) -> "int | None":
+    """Smallest batch from which b stays at least as fast as a."""
+    batches = sorted(a)
+    for i, batch in enumerate(batches):
+        if all(b[x] >= a[x] for x in batches[i:]):
+            return batch
+    return None
+
+
+class TestThroughputCrossovers:
+    """Fig. 3 structure: CPU wins small batches, dGPU wins large."""
+
+    def test_simple_cpu_wins_up_to_2048(self, session):
+        """Paper: on Simple the CPU performs best only up to ~2048 samples
+        (warm dGPU); past the crossover another device takes over (here
+        first the iGPU, then the dGPU)."""
+        cpu = tput(session, SIMPLE, "cpu", "warm")
+        igpu = tput(session, SIMPLE, "igpu", "warm")
+        dgpu = tput(session, SIMPLE, "dgpu", "warm")
+        best_other = {b: max(igpu[b], dgpu[b]) for b in BATCHES}
+        x = crossover(cpu, best_other)
+        assert x is not None and 512 <= x <= 8192  # paper: 2048
+
+    def test_simple_cpu_beats_idle_dgpu_everywhere(self, session):
+        """Paper: vs an idle dGPU the CPU wins at every size tested."""
+        cpu = tput(session, SIMPLE, "cpu", "warm")
+        gpu = tput(session, SIMPLE, "dgpu", "idle")
+        assert all(cpu[b] > gpu[b] for b in BATCHES)
+
+    def test_mnist_deep_crossover_near_8_regardless_of_state(self, session):
+        """Paper: CPU better <= 8 whether the dGPU starts idle or warm."""
+        cpu = tput(session, MNIST_DEEP, "cpu", "warm")
+        for state, hi in (("warm", 32), ("idle", 64)):
+            gpu = tput(session, MNIST_DEEP, "dgpu", state)
+            x = crossover(cpu, gpu)
+            assert x is not None and 2 <= x <= hi
+
+    def test_mnist_cnn_crossovers(self, session):
+        """Paper: CPU <= 32 (warm dGPU), <= 256 (idle dGPU)."""
+        cpu = tput(session, MNIST_CNN, "cpu", "warm")
+        warm = crossover(cpu, tput(session, MNIST_CNN, "dgpu", "warm"))
+        idle = crossover(cpu, tput(session, MNIST_CNN, "dgpu", "idle"))
+        assert warm is not None and 8 <= warm <= 128
+        assert idle is not None and 64 <= idle <= 1024
+        assert idle > warm
+
+    def test_cifar_crossovers(self, session):
+        """Paper: CPU <= 8 (warm), <= 128 (idle)."""
+        cpu = tput(session, CIFAR10, "cpu", "warm")
+        warm = crossover(cpu, tput(session, CIFAR10, "dgpu", "warm"))
+        idle = crossover(cpu, tput(session, CIFAR10, "dgpu", "idle"))
+        assert warm is not None and 2 <= warm <= 32
+        assert idle is not None and idle >= warm
+        assert idle <= 512
+
+    def test_mnist_small_latency_crossovers(self, session):
+        """Paper (latency): CPU best <= 4 (warm) / <= 32 (idle)."""
+        def latency(device, state):
+            return {
+                b: session.measure(MNIST_SMALL, device, b, state).latency_ms
+                for b in BATCHES
+            }
+
+        cpu = latency("cpu", "warm")
+        for state, lo, hi in (("warm", 2, 32), ("idle", 16, 256)):
+            gpu = latency("dgpu", state)
+            batches = sorted(cpu)
+            x = next(
+                (
+                    b
+                    for i, b in enumerate(batches)
+                    if all(gpu[c] <= cpu[c] for c in batches[i:])
+                ),
+                None,
+            )
+            assert x is not None and lo <= x <= hi
+
+
+class TestThroughputEnvelopes:
+    def test_peak_ranges_match_paper(self, session):
+        """Paper: dGPU peaks 0.8-20 Gbit/s; CPU 0.05-15 Gbit/s (by model)."""
+        gpu_peaks = [
+            max(tput(session, s, "dgpu", "warm").values())
+            for s in (SIMPLE, MNIST_SMALL, MNIST_DEEP, MNIST_CNN, CIFAR10)
+        ]
+        cpu_peaks = [
+            max(tput(session, s, "cpu", "warm").values())
+            for s in (SIMPLE, MNIST_SMALL, MNIST_DEEP, MNIST_CNN, CIFAR10)
+        ]
+        assert 10 <= max(gpu_peaks) <= 60
+        assert min(gpu_peaks) < 5
+        assert 8 <= max(cpu_peaks) <= 30
+        assert min(cpu_peaks) < 1
+
+    def test_throughput_monotone_and_saturating(self, session):
+        for device in ("cpu", "igpu", "dgpu"):
+            series = tput(session, MNIST_SMALL, device, "warm")
+            values = [series[b] for b in BATCHES]
+            assert all(b >= a * 0.999 for a, b in zip(values, values[1:]))
+            # saturation: last doubling gains < 5%
+            assert values[-1] / values[-2] < 1.05
+
+    def test_idle_warm_gap_up_to_7x(self, session):
+        """Paper: dGPU state differences up to ~7x."""
+        gaps = []
+        for spec in (SIMPLE, MNIST_SMALL, MNIST_DEEP, MNIST_CNN, CIFAR10):
+            warm = tput(session, spec, "dgpu", "warm")
+            idle = tput(session, spec, "dgpu", "idle")
+            gaps.append(max(warm[b] / idle[b] for b in BATCHES))
+        assert 4.0 <= max(gaps) <= 12.0
+
+    def test_idle_converges_to_warm_at_64k(self, session):
+        """Paper: Mnist-Small idle matches warm for >= 64K samples."""
+        warm = tput(session, MNIST_SMALL, "dgpu", "warm")
+        idle = tput(session, MNIST_SMALL, "dgpu", "idle")
+        assert idle[1 << 16] / warm[1 << 16] > 0.85
+        assert idle[1 << 18] / warm[1 << 18] > 0.95
+
+    def test_latency_spans_orders_of_magnitude(self, session):
+        """Paper: ~1 ms up to minutes across the grid."""
+        lats = []
+        for spec in (SIMPLE, CIFAR10):
+            for device in ("cpu", "dgpu"):
+                for b in (1, 1 << 18):
+                    lats.append(session.measure(spec, device, b, "warm").latency_ms)
+        assert min(lats) < 5.0
+        assert max(lats) > 10_000.0
+
+    def test_latency_linear_beyond_saturation(self, session):
+        l1 = session.measure(CIFAR10, "cpu", 1 << 17, "warm").latency_ms
+        l2 = session.measure(CIFAR10, "cpu", 1 << 18, "warm").latency_ms
+        assert l2 / l1 == pytest.approx(2.0, rel=0.05)
+
+
+class TestEnergyShapes:
+    """Fig. 4 structure."""
+
+    def joules(self, session, spec, device, state):
+        return {b: session.measure(spec, device, b, state).joules for b in BATCHES}
+
+    def test_no_device_rules_them_all(self, session):
+        """Energy winner varies across models and batch sizes."""
+        winners = set()
+        for spec in (SIMPLE, MNIST_SMALL, MNIST_DEEP, MNIST_CNN, CIFAR10):
+            for b in (8, 1024, 1 << 17):
+                winners.add(session.best_device(spec, b, "warm", "energy"))
+        assert len(winners) >= 2
+
+    def test_mnist_deep_igpu_small_dgpu_large(self, session):
+        """Paper Fig. 4(c): iGPU best small batches, dGPU best large."""
+        assert session.best_device(MNIST_DEEP, 8, "warm", "energy") == "uhd-630"
+        assert (
+            session.best_device(MNIST_DEEP, 1 << 16, "warm", "energy")
+            == "gtx-1080ti"
+        )
+
+    def test_gpu_state_flips_energy_winner(self, session):
+        """Paper Fig. 4(b): the dGPU state changes the most efficient
+        device for mid-size Mnist-Small batches."""
+        flips = [
+            b
+            for b in BATCHES
+            if session.best_device(MNIST_SMALL, b, "warm", "energy")
+            != session.best_device(MNIST_SMALL, b, "idle", "energy")
+        ]
+        assert flips, "dGPU state never changed the energy winner"
+
+    def test_cpu_worst_energy_on_heavy_models(self, session):
+        """Paper: 'the CPU is in many models the worst performing device'."""
+        for spec in (MNIST_SMALL, MNIST_DEEP, MNIST_CNN, CIFAR10):
+            cells = session.measure_all_devices(spec, 1 << 15, "warm")
+            worst = max(cells, key=lambda d: cells[d].joules)
+            assert worst == "i7-8700"
+
+    def test_energy_linear_beyond_saturation(self, session):
+        e = self.joules(session, MNIST_SMALL, "cpu", "warm")
+        assert e[1 << 18] / e[1 << 17] == pytest.approx(2.0, rel=0.05)
+
+    def test_energy_range_spans_mj_to_kj(self, session):
+        """Paper: ~1 mJ up to ~10 kJ across the grid."""
+        values = []
+        for spec in (SIMPLE, CIFAR10):
+            for device in ("cpu", "igpu", "dgpu"):
+                for b in (1, 1 << 18):
+                    values.append(session.measure(spec, device, b, "warm").joules)
+        assert min(values) < 5e-3
+        assert max(values) > 100.0

@@ -1,0 +1,30 @@
+"""Table I harness."""
+
+from repro.experiments.table1 import FULL_GRID, REDUCED_GRID, grid_size, run_table1
+
+
+class TestGrid:
+    def test_paper_axes_verbatim(self):
+        assert FULL_GRID["n_estimators"] == [5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 100, 200]
+        assert FULL_GRID["max_depth"] == [3, 4, 5, 6, 7, 8, 9, 10]
+        assert FULL_GRID["criterion"] == ["entropy", "gini"]
+        assert FULL_GRID["min_samples_leaf"] == [1, 2, 3, 4, 5, 10, 15]
+
+    def test_combination_count(self):
+        assert grid_size(FULL_GRID) == 12 * 8 * 2 * 7
+
+    def test_reduced_covers_same_axes(self):
+        assert set(REDUCED_GRID) == set(FULL_GRID)
+        for key, values in REDUCED_GRID.items():
+            assert set(values) <= set(FULL_GRID[key])
+
+
+class TestRender:
+    def test_render(self):
+        text = run_table1().render()
+        assert "n_estimators" in text
+        assert "1344 combinations" in text
+
+    def test_reduced_variant(self):
+        text = run_table1(full=False).render()
+        assert "16 combinations" in text

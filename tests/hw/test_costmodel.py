@@ -1,0 +1,125 @@
+"""Roofline execution-time model."""
+
+import pytest
+
+from repro.hw.costmodel import CostModel, parallel_width
+from repro.hw.specs import CPU_I7_8700, DGPU_GTX_1080TI, IGPU_UHD_630
+from repro.nn.flops import model_cost
+from repro.nn.zoo import CIFAR10, MNIST_CNN, MNIST_DEEP, MNIST_SMALL, SIMPLE
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return CostModel(CPU_I7_8700)
+
+
+@pytest.fixture(scope="module")
+def igpu():
+    return CostModel(IGPU_UHD_630)
+
+
+@pytest.fixture(scope="module")
+def dgpu():
+    return CostModel(DGPU_GTX_1080TI)
+
+
+class TestParallelWidth:
+    def test_ffnn_width_is_max_layer(self):
+        assert parallel_width(MNIST_DEEP) == 2500.0
+
+    def test_simple_width(self):
+        assert parallel_width(SIMPLE) == 6.0
+
+    def test_cnn_width_is_conv_grid(self):
+        # same-padded 28x28x32 conv output dominates
+        assert parallel_width(MNIST_CNN) == 28 * 28 * 32
+
+
+class TestTimingStructure:
+    def test_phases_positive(self, dgpu):
+        t = dgpu.timing(MNIST_SMALL, 64)
+        assert t.transfer_in_s > 0
+        assert t.launch_s > 0
+        assert t.compute_s > 0
+        assert t.transfer_out_s > 0
+        assert t.total_s == pytest.approx(
+            t.transfer_in_s + t.launch_s + t.compute_s + t.transfer_out_s
+        )
+
+    def test_launch_count_uses_per_filter_enqueues(self, dgpu):
+        t = dgpu.timing(MNIST_CNN, 1)
+        expected = model_cost(MNIST_CNN).total_launches * DGPU_GTX_1080TI.kernel_launch_s
+        assert t.launch_s == pytest.approx(expected)
+
+    def test_zero_copy_transfer_for_cpu(self, cpu, dgpu):
+        big = 1 << 14
+        assert cpu.timing(CIFAR10, big).transfer_in_s < dgpu.timing(CIFAR10, big).transfer_in_s
+
+    def test_batch_monotone_total(self, cpu):
+        times = [cpu.timing(MNIST_SMALL, b).total_s for b in (1, 16, 256, 4096)]
+        assert times == sorted(times)
+
+    def test_invalid_batch(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.timing(SIMPLE, 0)
+
+    def test_invalid_workgroup_eff(self, cpu):
+        with pytest.raises(ValueError):
+            cpu.timing(SIMPLE, 8, workgroup_eff=0.0)
+
+    def test_workgroup_derating_slows_compute(self, cpu):
+        fast = cpu.timing(MNIST_DEEP, 256, workgroup_eff=1.0)
+        slow = cpu.timing(MNIST_DEEP, 256, workgroup_eff=0.5)
+        assert slow.compute_s > fast.compute_s
+
+    def test_pageable_slows_dgpu_transfer(self, dgpu):
+        pinned = dgpu.timing(CIFAR10, 4096, pinned=True)
+        pageable = dgpu.timing(CIFAR10, 4096, pinned=False)
+        assert pageable.transfer_in_s > pinned.transfer_in_s
+
+
+class TestWarmup:
+    def test_idle_start_slower_on_dgpu(self, dgpu):
+        warm = dgpu.timing(MNIST_SMALL, 1024, state=dgpu.warm_state())
+        idle = dgpu.timing(MNIST_SMALL, 1024, state=dgpu.idle_state())
+        assert idle.total_s > warm.total_s
+        assert idle.warmup_penalty_s > 0
+        assert warm.warmup_penalty_s == pytest.approx(0.0, abs=1e-12)
+
+    def test_idle_start_noop_on_cpu(self, cpu):
+        warm = cpu.timing(MNIST_SMALL, 1024, state=cpu.warm_state())
+        idle = cpu.timing(MNIST_SMALL, 1024, state=cpu.idle_state())
+        assert idle.total_s == pytest.approx(warm.total_s)
+
+    def test_clock_end_warmer_than_start(self, dgpu):
+        t = dgpu.timing(MNIST_DEEP, 4096, state=dgpu.idle_state())
+        assert t.clock_end.clock_frac > t.clock_start.clock_frac
+
+    def test_large_batch_amortizes_ramp(self, dgpu):
+        small = dgpu.timing(MNIST_SMALL, 16, state=dgpu.idle_state())
+        large = dgpu.timing(MNIST_SMALL, 1 << 18, state=dgpu.idle_state())
+        small_ratio = small.total_s / dgpu.timing(MNIST_SMALL, 16).total_s
+        large_ratio = large.total_s / dgpu.timing(MNIST_SMALL, 1 << 18).total_s
+        assert small_ratio > 2.0
+        assert large_ratio < 1.2
+
+
+class TestRooflineBehaviour:
+    def test_occupancy_rises_with_batch(self, dgpu):
+        small = dgpu.timing(MNIST_SMALL, 4)
+        large = dgpu.timing(MNIST_SMALL, 1 << 16)
+        assert large.occupancy > small.occupancy
+
+    def test_per_sample_time_falls_with_batch(self, dgpu):
+        t16 = dgpu.timing(CIFAR10, 16).total_s / 16
+        t16k = dgpu.timing(CIFAR10, 1 << 14).total_s / (1 << 14)
+        assert t16k < t16
+
+    def test_heavier_model_takes_longer(self, cpu):
+        assert (
+            cpu.timing(MNIST_DEEP, 256).total_s > cpu.timing(MNIST_SMALL, 256).total_s
+        )
+
+    def test_default_transfer_matches_topology(self):
+        assert CostModel(CPU_I7_8700).transfer.zero_copy
+        assert not CostModel(DGPU_GTX_1080TI).transfer.zero_copy

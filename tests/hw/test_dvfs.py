@@ -1,0 +1,119 @@
+"""Boost-clock dynamics: ramping, cooling, completion-time inversion."""
+
+import math
+
+import pytest
+
+from repro.hw.dvfs import CLOCK_MODELS, ClockModel, ClockState, clock_model_for
+from repro.hw.specs import DeviceClass
+
+
+@pytest.fixture()
+def gpu_clock() -> ClockModel:
+    return CLOCK_MODELS["dgpu"]
+
+
+class TestClockState:
+    def test_valid_range(self):
+        ClockState(clock_frac=0.5)
+        with pytest.raises(ValueError):
+            ClockState(clock_frac=0.0)
+        with pytest.raises(ValueError):
+            ClockState(clock_frac=1.5)
+
+
+class TestStaticModels:
+    def test_cpu_and_igpu_static(self):
+        assert CLOCK_MODELS["cpu"].is_static
+        assert CLOCK_MODELS["igpu"].is_static
+
+    def test_static_time_is_identity(self):
+        model = CLOCK_MODELS["cpu"]
+        elapsed, state = model.time_to_complete(model.idle_state(), 0.5)
+        assert elapsed == pytest.approx(0.5)
+        assert state.timestamp == pytest.approx(0.5)
+
+    def test_static_cool_noop(self):
+        model = CLOCK_MODELS["cpu"]
+        state = model.cool(model.warm_state(), until=10.0)
+        assert state.clock_frac == 1.0
+
+
+class TestRamp:
+    def test_warm_start_no_penalty(self, gpu_clock):
+        elapsed, _ = gpu_clock.time_to_complete(gpu_clock.warm_state(), 1e-3)
+        assert elapsed == pytest.approx(1e-3)
+
+    def test_idle_start_slower(self, gpu_clock):
+        warm, _ = gpu_clock.time_to_complete(gpu_clock.warm_state(), 1e-3)
+        idle, _ = gpu_clock.time_to_complete(gpu_clock.idle_state(), 1e-3)
+        assert idle > warm
+
+    def test_short_work_penalty_approaches_inverse_idle_frac(self, gpu_clock):
+        """For work << tau the device never leaves its idle clock."""
+        slow = gpu_clock.slowdown(gpu_clock.idle_state(), 1e-7)
+        assert slow == pytest.approx(1.0 / gpu_clock.idle_frac, rel=0.01)
+
+    def test_long_work_penalty_amortizes(self, gpu_clock):
+        slow = gpu_clock.slowdown(gpu_clock.idle_state(), 10.0)
+        assert slow < 1.01
+
+    def test_penalty_monotone_in_work(self, gpu_clock):
+        works = [1e-6, 1e-4, 1e-2, 1.0]
+        slows = [gpu_clock.slowdown(gpu_clock.idle_state(), w) for w in works]
+        assert slows == sorted(slows, reverse=True)
+
+    def test_inversion_consistency(self, gpu_clock):
+        """time_to_complete inverts the work integral exactly."""
+        state = ClockState(clock_frac=0.4)
+        warm_work = 5e-3
+        elapsed, _ = gpu_clock.time_to_complete(state, warm_work)
+        tau = gpu_clock.tau_warm_s
+        integral = elapsed - (1 - 0.4) * tau * (1 - math.exp(-elapsed / tau))
+        assert integral == pytest.approx(warm_work, rel=1e-6)
+
+    def test_zero_work(self, gpu_clock):
+        elapsed, state = gpu_clock.time_to_complete(gpu_clock.idle_state(), 0.0)
+        assert elapsed == 0.0
+        assert state.clock_frac == gpu_clock.idle_frac
+
+    def test_negative_work_rejected(self, gpu_clock):
+        with pytest.raises(ValueError):
+            gpu_clock.time_to_complete(gpu_clock.idle_state(), -1.0)
+
+    def test_state_warms_during_run(self, gpu_clock):
+        _, state = gpu_clock.time_to_complete(gpu_clock.idle_state(), 5e-2)
+        assert state.clock_frac > gpu_clock.idle_frac
+
+
+class TestCooling:
+    def test_cools_toward_idle(self, gpu_clock):
+        warm = gpu_clock.warm_state(timestamp=0.0)
+        cooled = gpu_clock.cool(warm, until=gpu_clock.tau_cool_s)
+        assert gpu_clock.idle_frac < cooled.clock_frac < 1.0
+
+    def test_long_idle_reaches_idle_frac(self, gpu_clock):
+        warm = gpu_clock.warm_state(timestamp=0.0)
+        cooled = gpu_clock.cool(warm, until=100.0)
+        assert cooled.clock_frac == pytest.approx(gpu_clock.idle_frac, rel=1e-3)
+
+    def test_cool_backwards_rejected(self, gpu_clock):
+        with pytest.raises(ValueError):
+            gpu_clock.cool(gpu_clock.warm_state(timestamp=5.0), until=1.0)
+
+
+class TestModelValidation:
+    def test_bad_idle_frac(self):
+        with pytest.raises(ValueError):
+            ClockModel(idle_frac=0.0)
+
+    def test_bad_tau(self):
+        with pytest.raises(ValueError):
+            ClockModel(tau_warm_s=-1.0)
+
+    def test_lookup_by_class(self):
+        assert clock_model_for(DeviceClass.DGPU) is CLOCK_MODELS["dgpu"]
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            clock_model_for("fpga")

@@ -1,0 +1,61 @@
+"""PCIe and ring-bus transfer models."""
+
+import pytest
+
+from repro.hw.interconnect import PCIE_3_X16, RING_BUS, TransferModel
+
+
+class TestPCIe:
+    def test_latency_floor(self):
+        assert PCIE_3_X16.transfer_time(0) == pytest.approx(PCIE_3_X16.latency_s)
+
+    def test_large_transfer_hits_bandwidth(self):
+        size = 1 << 30  # 1 GiB
+        t = PCIE_3_X16.transfer_time(size)
+        expected = PCIE_3_X16.latency_s + size / (PCIE_3_X16.bandwidth_gb_s * 1e9)
+        assert t == pytest.approx(expected, rel=1e-6)
+
+    def test_small_transfers_inefficient(self):
+        """Per-byte cost should be much worse below the knee (paper §II-A)."""
+        small = PCIE_3_X16.transfer_time(256) / 256
+        large = PCIE_3_X16.transfer_time(1 << 24) / (1 << 24)
+        assert small > 50 * large
+
+    def test_pageable_slower_than_pinned(self):
+        size = 1 << 24
+        assert PCIE_3_X16.transfer_time(size, pinned=False) > PCIE_3_X16.transfer_time(
+            size, pinned=True
+        )
+
+    def test_monotone_in_size(self):
+        sizes = [0, 64, 4096, 1 << 16, 1 << 22, 1 << 28]
+        times = [PCIE_3_X16.transfer_time(s) for s in sizes]
+        assert times == sorted(times)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            PCIE_3_X16.transfer_time(-1)
+
+
+class TestRingBus:
+    def test_zero_copy_is_size_independent(self):
+        assert RING_BUS.transfer_time(64) == RING_BUS.transfer_time(1 << 30)
+
+    def test_map_cost_is_latency(self):
+        assert RING_BUS.transfer_time(4096) == pytest.approx(RING_BUS.latency_s)
+
+    def test_much_cheaper_than_pcie_for_bulk(self):
+        size = 1 << 26
+        assert RING_BUS.transfer_time(size) < PCIE_3_X16.transfer_time(size) / 100
+
+
+class TestValidation:
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            TransferModel("x", latency_s=0.0, bandwidth_gb_s=0.0,
+                          pageable_penalty=1.0, small_knee_bytes=0)
+
+    def test_bad_penalty(self):
+        with pytest.raises(ValueError):
+            TransferModel("x", latency_s=0.0, bandwidth_gb_s=1.0,
+                          pageable_penalty=0.5, small_knee_bytes=0)

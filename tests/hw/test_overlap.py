@@ -1,0 +1,51 @@
+"""Transfer/compute overlap (double buffering) on the dGPU."""
+
+import pytest
+
+from repro.hw.costmodel import CostModel
+from repro.hw.specs import CPU_I7_8700, DGPU_GTX_1080TI
+from repro.nn.zoo import CIFAR10, MNIST_SMALL, SIMPLE
+
+
+@pytest.fixture(scope="module")
+def dgpu():
+    return CostModel(DGPU_GTX_1080TI)
+
+
+class TestOverlap:
+    def test_never_slower(self, dgpu):
+        for spec in (SIMPLE, MNIST_SMALL, CIFAR10):
+            for batch in (16, 1 << 12, 1 << 17):
+                staged = dgpu.timing(spec, batch)
+                overlapped = dgpu.timing(spec, batch, overlap_transfers=True)
+                assert overlapped.total_s <= staged.total_s + 1e-15
+
+    def test_transfer_heavy_model_gains(self, dgpu):
+        """Cifar-10's 12 KiB samples are where hiding DMA pays off."""
+        batch = 1 << 17
+        staged = dgpu.timing(CIFAR10, batch)
+        overlapped = dgpu.timing(CIFAR10, batch, overlap_transfers=True)
+        assert overlapped.total_s < staged.total_s * 0.97
+        assert overlapped.transfer_in_s < staged.transfer_in_s
+
+    def test_transfer_fully_hidden_when_compute_dominates(self, dgpu):
+        """Mnist-Deep-style compute-bound runs hide all but the prime chunk."""
+        from repro.nn.zoo import MNIST_DEEP
+
+        batch = 1 << 14
+        overlapped = dgpu.timing(MNIST_DEEP, batch, overlap_transfers=True)
+        prime = dgpu.transfer.transfer_time(
+            MNIST_DEEP.sample_bytes * max(1, batch // 16)
+        )
+        assert overlapped.transfer_in_s == pytest.approx(prime)
+
+    def test_noop_on_host_shared_devices(self):
+        cpu = CostModel(CPU_I7_8700)
+        a = cpu.timing(CIFAR10, 1 << 14)
+        b = cpu.timing(CIFAR10, 1 << 14, overlap_transfers=True)
+        assert a.total_s == pytest.approx(b.total_s)
+
+    def test_compute_unchanged(self, dgpu):
+        staged = dgpu.timing(CIFAR10, 1 << 14)
+        overlapped = dgpu.timing(CIFAR10, 1 << 14, overlap_transfers=True)
+        assert overlapped.compute_warm_s == pytest.approx(staged.compute_warm_s)

@@ -1,0 +1,87 @@
+"""Power/energy accounting (the §IV-C rules)."""
+
+import pytest
+
+from repro.hw.costmodel import CostModel
+from repro.hw.power import PowerModel
+from repro.hw.specs import CPU_I7_8700, DGPU_GTX_1080TI, IGPU_UHD_630, TESTBED
+from repro.nn.zoo import MNIST_DEEP, MNIST_SMALL, SIMPLE
+
+
+def run(devspec, spec, batch, state="warm"):
+    cm = CostModel(devspec)
+    st = cm.warm_state() if state == "warm" else cm.idle_state()
+    timing = cm.timing(spec, batch, state=st)
+    return timing, PowerModel(devspec).energy(timing)
+
+
+class TestAccountingRules:
+    def test_cpu_charges_no_host_assist(self):
+        _, e = run(CPU_I7_8700, MNIST_SMALL, 256)
+        assert e.host_j == 0.0
+
+    def test_dgpu_charges_host_assist(self):
+        t, e = run(DGPU_GTX_1080TI, MNIST_SMALL, 256)
+        active = t.transfer_in_s + t.launch_s + t.transfer_out_s + t.occupancy * t.compute_s
+        assert e.host_j == pytest.approx(DGPU_GTX_1080TI.host_assist_watts * active)
+        assert e.host_j > 0.0
+
+    def test_igpu_charges_host_assist(self):
+        _, e = run(IGPU_UHD_630, MNIST_SMALL, 256)
+        assert e.host_j > 0.0
+
+    def test_total_is_sum(self):
+        _, e = run(DGPU_GTX_1080TI, MNIST_DEEP, 64)
+        assert e.total_j == pytest.approx(e.device_j + e.host_j)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("devspec", TESTBED, ids=lambda d: d.name)
+    def test_avg_power_within_envelope(self, devspec):
+        _, e = run(devspec, MNIST_SMALL, 1024)
+        floor = devspec.idle_watts
+        ceiling = devspec.busy_watts + devspec.host_assist_watts
+        assert floor <= e.avg_watts <= ceiling + 1e-9
+
+    def test_igpu_draw_lowest(self):
+        """§IV-C: the iGPU is the most power-efficient device everywhere."""
+        for spec in (SIMPLE, MNIST_SMALL, MNIST_DEEP):
+            for batch in (8, 1024, 1 << 15):
+                draws = {d.name: run(d, spec, batch)[1].avg_watts for d in TESTBED}
+                assert min(draws, key=draws.get) == "uhd-630"
+
+    def test_power_rises_with_batch(self):
+        low = run(DGPU_GTX_1080TI, MNIST_DEEP, 4)[1].avg_watts
+        high = run(DGPU_GTX_1080TI, MNIST_DEEP, 1 << 15)[1].avg_watts
+        assert high > low
+
+
+class TestRampInvariance:
+    def test_idle_start_always_costs_more_joules(self):
+        """§IV-C: an idle-start GPU run always consumes more energy."""
+        for spec in (SIMPLE, MNIST_SMALL, MNIST_DEEP):
+            for batch in (8, 256, 1 << 14):
+                warm = run(DGPU_GTX_1080TI, spec, batch, "warm")[1].total_j
+                idle = run(DGPU_GTX_1080TI, spec, batch, "idle")[1].total_j
+                assert idle > warm
+
+    def test_idle_penalty_is_floor_power_times_extra_time(self):
+        tw, ew = run(DGPU_GTX_1080TI, MNIST_SMALL, 512, "warm")
+        ti, ei = run(DGPU_GTX_1080TI, MNIST_SMALL, 512, "idle")
+        extra_time = ti.total_s - tw.total_s
+        # Dynamic device energy is ramp-invariant; the extra joules are the
+        # idle floor plus the occupancy-weighted host polling for the
+        # stretched compute phase.
+        expected = (
+            DGPU_GTX_1080TI.idle_watts
+            + DGPU_GTX_1080TI.host_assist_watts * tw.occupancy
+        ) * extra_time
+        assert ei.total_j - ew.total_j == pytest.approx(expected, rel=1e-6)
+
+
+class TestLinearity:
+    def test_energy_linear_at_saturation(self):
+        """Beyond the saturation point joules grow linearly in batch."""
+        e1 = run(CPU_I7_8700, MNIST_DEEP, 1 << 14)[1].total_j
+        e2 = run(CPU_I7_8700, MNIST_DEEP, 1 << 15)[1].total_j
+        assert e2 / e1 == pytest.approx(2.0, rel=0.05)

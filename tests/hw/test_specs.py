@@ -1,0 +1,106 @@
+"""Device specifications."""
+
+import dataclasses
+
+import pytest
+
+from repro.hw.specs import (
+    CPU_I7_8700,
+    DGPU_GTX_1080TI,
+    IGPU_UHD_630,
+    TESTBED,
+    DeviceClass,
+    DeviceSpec,
+    get_device_spec,
+)
+
+
+class TestPublishedNumbers:
+    """The paper's §III-A hardware facts."""
+
+    def test_cpu_cores_and_threads(self):
+        assert CPU_I7_8700.compute_units == 6
+        assert CPU_I7_8700.hw_threads == 12
+
+    def test_cpu_memory_bandwidth(self):
+        assert CPU_I7_8700.mem_bandwidth_gb_s == pytest.approx(41.6)
+
+    def test_dgpu_published(self):
+        assert DGPU_GTX_1080TI.hw_threads == 3584
+        assert DGPU_GTX_1080TI.compute_units == 28
+        assert DGPU_GTX_1080TI.peak_gflops == pytest.approx(10600.0)
+        assert DGPU_GTX_1080TI.tdp_watts == 250.0
+        assert DGPU_GTX_1080TI.mem_bytes == 11 * 1024**3
+
+    def test_igpu_published(self):
+        assert IGPU_UHD_630.compute_units == 24
+        assert IGPU_UHD_630.peak_gflops == pytest.approx(460.8)
+        assert IGPU_UHD_630.boost_clock_mhz == 1200.0
+
+    def test_shared_memory_topology(self):
+        assert CPU_I7_8700.shares_host_memory
+        assert IGPU_UHD_630.shares_host_memory
+        assert not DGPU_GTX_1080TI.shares_host_memory
+
+    def test_workgroup_optima_match_paper(self):
+        assert CPU_I7_8700.optimal_workgroup == 4096
+        assert IGPU_UHD_630.optimal_workgroup == 256
+        assert DGPU_GTX_1080TI.optimal_workgroup == 256
+
+
+class TestDerived:
+    def test_effective_flops_below_peak(self):
+        for dev in TESTBED:
+            assert dev.effective_flops < dev.peak_gflops * 1e9
+
+    def test_occupancy_monotone(self):
+        for dev in TESTBED:
+            occs = [dev.occupancy(w) for w in (1, 10, 100, 1e4, 1e6, 1e8)]
+            assert occs == sorted(occs)
+
+    def test_occupancy_bounds(self):
+        for dev in TESTBED:
+            assert dev.occupancy(0) == 0.0
+            assert 0.0 < dev.occupancy(1) < 1.0
+            assert dev.occupancy(1e12) == pytest.approx(1.0, abs=1e-3)
+
+    def test_cpu_saturates_before_dgpu(self):
+        w = 1000.0
+        assert CPU_I7_8700.occupancy(w) > DGPU_GTX_1080TI.occupancy(w)
+
+    def test_igpu_lowest_power_envelope(self):
+        assert IGPU_UHD_630.busy_watts < CPU_I7_8700.busy_watts
+        assert IGPU_UHD_630.busy_watts < DGPU_GTX_1080TI.busy_watts
+
+
+class TestValidation:
+    def test_busy_below_idle_rejected(self):
+        with pytest.raises(ValueError, match="busy_watts"):
+            dataclasses.replace(CPU_I7_8700, busy_watts=1.0)
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ValueError, match="sustained_eff"):
+            dataclasses.replace(CPU_I7_8700, sustained_eff=1.5)
+
+    def test_bad_resources_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(CPU_I7_8700, compute_units=0)
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert get_device_spec("i7-8700") is CPU_I7_8700
+
+    def test_by_class(self):
+        assert get_device_spec(DeviceClass.DGPU) is DGPU_GTX_1080TI
+
+    def test_by_class_value(self):
+        assert get_device_spec("igpu") is IGPU_UHD_630
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_device_spec("tpu-v4")
+
+    def test_testbed_order(self):
+        classes = [d.device_class for d in TESTBED]
+        assert classes == [DeviceClass.CPU, DeviceClass.DGPU, DeviceClass.IGPU]

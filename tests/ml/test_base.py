@@ -1,0 +1,74 @@
+"""Estimator base: params, clone, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+from repro.ml.base import check_fitted, check_xy, clone
+
+
+class TestParams:
+    def test_get_params(self):
+        est = DecisionTreeClassifier(max_depth=5, criterion="entropy")
+        p = est.get_params()
+        assert p["max_depth"] == 5
+        assert p["criterion"] == "entropy"
+
+    def test_set_params(self):
+        est = DecisionTreeClassifier().set_params(max_depth=3)
+        assert est.max_depth == 3
+
+    def test_set_unknown_rejected(self):
+        with pytest.raises(ValueError, match="max_depth"):
+            DecisionTreeClassifier().set_params(depth=3)
+
+
+class TestClone:
+    def test_copies_params(self):
+        est = RandomForestClassifier(n_estimators=7, max_depth=4)
+        c = clone(est)
+        assert c is not est
+        assert c.n_estimators == 7
+        assert c.max_depth == 4
+
+    def test_clone_is_unfitted(self, rng):
+        x = rng.standard_normal((20, 3))
+        y = rng.integers(0, 2, 20)
+        est = DecisionTreeClassifier().fit(x, y)
+        c = clone(est)
+        assert c.root_ is None
+
+
+class TestCheckXY:
+    def test_valid(self, rng):
+        x, y = check_xy(rng.standard_normal((5, 2)), np.zeros(5, dtype=int))
+        assert x.dtype == np.float64
+
+    def test_1d_x_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_xy(np.zeros(5), np.zeros(5))
+
+    def test_2d_y_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_xy(np.zeros((5, 2)), np.zeros((5, 1)))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            check_xy(np.zeros((5, 2)), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_xy(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestScoreAndFitted:
+    def test_score_is_accuracy(self, rng):
+        x = rng.standard_normal((40, 2))
+        y = (x[:, 0] > 0).astype(int)
+        est = DecisionTreeClassifier().fit(x, y)
+        assert est.score(x, y) > 0.95
+
+    def test_check_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            check_fitted(DecisionTreeClassifier(), "root_")

@@ -1,0 +1,69 @@
+"""No-skill baselines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.dummy import DummyClassifier
+
+
+@pytest.fixture()
+def data(rng):
+    y = rng.choice(3, size=600, p=[0.2, 0.5, 0.3])
+    return rng.standard_normal((600, 2)), y
+
+
+class TestStrategies:
+    def test_most_frequent(self, data):
+        x, y = data
+        clf = DummyClassifier("most_frequent").fit(x, y)
+        assert set(clf.predict(x)) == {1}
+        assert clf.score(x, y) == pytest.approx(np.mean(y == 1))
+
+    def test_uniform_near_chance(self, data):
+        x, y = data
+        clf = DummyClassifier("uniform", random_state=0).fit(x, y)
+        assert clf.score(x, y) == pytest.approx(1 / 3, abs=0.07)
+
+    def test_stratified_matches_prior_sq(self, data):
+        x, y = data
+        clf = DummyClassifier("stratified", random_state=0).fit(x, y)
+        expected = float(np.sum(clf.class_prior_**2))
+        assert clf.score(x, y) == pytest.approx(expected, abs=0.07)
+
+    def test_ignores_features(self, data):
+        x, y = data
+        clf = DummyClassifier("uniform", random_state=5).fit(x, y)
+        a = clf.predict(np.zeros((50, 2)))
+        clf2 = DummyClassifier("uniform", random_state=5).fit(x, y)
+        b = clf2.predict(np.ones((50, 2)) * 1e9)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestProba:
+    def test_uniform_rows(self, data):
+        x, y = data
+        p = DummyClassifier("uniform").fit(x, y).predict_proba(x[:3])
+        np.testing.assert_allclose(p, 1 / 3)
+
+    def test_stratified_rows_match_prior(self, data):
+        x, y = data
+        clf = DummyClassifier("stratified").fit(x, y)
+        p = clf.predict_proba(x[:2])
+        np.testing.assert_allclose(p[0], clf.class_prior_, atol=1e-12)
+
+
+class TestValidation:
+    def test_bad_strategy(self):
+        with pytest.raises(ValueError):
+            DummyClassifier("oracle")
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            DummyClassifier().predict(np.zeros((1, 2)))
+
+    def test_missing_classes_not_predicted(self, rng):
+        x = rng.standard_normal((30, 1))
+        y = np.array([0, 4] * 15)  # classes 1-3 absent
+        clf = DummyClassifier("uniform", random_state=0).fit(x, y)
+        assert set(clf.predict(x)) <= {0, 4}

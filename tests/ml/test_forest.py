@@ -1,0 +1,82 @@
+"""Random forest."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def blobs(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 3, n)
+    centers = np.array([[0, 0], [4, 0], [0, 4]], dtype=float)
+    return centers[y] + rng.standard_normal((n, 2)), y
+
+
+class TestFit:
+    def test_learns_blobs(self):
+        x, y = blobs()
+        rf = RandomForestClassifier(n_estimators=15, random_state=0).fit(x, y)
+        assert rf.score(x, y) > 0.95
+
+    def test_tree_count(self):
+        x, y = blobs(100)
+        rf = RandomForestClassifier(n_estimators=7, random_state=0).fit(x, y)
+        assert len(rf.trees_) == 7
+
+    def test_trees_differ(self):
+        """Bootstrap + feature subsampling should decorrelate trees."""
+        x, y = blobs(200, seed=1)
+        rf = RandomForestClassifier(n_estimators=10, random_state=0).fit(x, y)
+        preds = [t.predict(x) for t in rf.trees_]
+        assert any(not np.array_equal(preds[0], p) for p in preds[1:])
+
+    def test_deterministic(self):
+        x, y = blobs(150)
+        a = RandomForestClassifier(n_estimators=5, random_state=9).fit(x, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=9).fit(x, y)
+        np.testing.assert_array_equal(a.predict(x), b.predict(x))
+
+    def test_no_bootstrap_mode(self):
+        x, y = blobs(100)
+        rf = RandomForestClassifier(n_estimators=3, bootstrap=False, random_state=0)
+        rf.fit(x, y)
+        assert rf.score(x, y) > 0.9
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_proba_width_uniform_even_if_bootstrap_misses_class(self):
+        """A rare top class must not shrink any tree's proba output."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((60, 2))
+        y = np.zeros(60, dtype=int)
+        y[:2] = 2  # class 2 is rare; many bootstraps will miss it
+        rf = RandomForestClassifier(n_estimators=20, random_state=1).fit(x, y)
+        assert rf.predict_proba(x).shape == (60, 3)
+
+
+class TestPredict:
+    def test_proba_rows_sum_to_one(self):
+        x, y = blobs()
+        rf = RandomForestClassifier(n_estimators=5, random_state=0).fit(x, y)
+        np.testing.assert_allclose(rf.predict_proba(x[:5]).sum(axis=1), 1.0, atol=1e-9)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+
+    def test_beats_single_deep_tree_on_noise(self):
+        """Averaging should not do worse than a fully-grown single tree."""
+        rng = np.random.default_rng(7)
+        n = 400
+        x = rng.standard_normal((n, 6))
+        y = ((x[:, 0] + 0.5 * x[:, 1] + rng.standard_normal(n)) > 0).astype(int)
+        xt, yt = x[:300], y[:300]
+        xv, yv = x[300:], y[300:]
+        tree = DecisionTreeClassifier().fit(xt, yt)
+        rf = RandomForestClassifier(n_estimators=25, random_state=0).fit(xt, yt)
+        assert rf.score(xv, yv) >= tree.score(xv, yv) - 0.02

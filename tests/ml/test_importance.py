@@ -1,0 +1,69 @@
+"""Feature importances (mean decrease in impurity)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def labelled_by_first_feature(n=300, seed=0, n_features=4):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n, n_features))
+    y = (x[:, 0] > 0).astype(int)
+    return x, y
+
+
+class TestTreeImportances:
+    def test_informative_feature_dominates(self):
+        x, y = labelled_by_first_feature()
+        tree = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        imp = tree.feature_importances_
+        assert imp[0] > 0.8
+        assert np.argmax(imp) == 0
+
+    def test_normalized(self):
+        x, y = labelled_by_first_feature()
+        imp = DecisionTreeClassifier(max_depth=5).fit(x, y).feature_importances_
+        assert imp.sum() == pytest.approx(1.0)
+        assert (imp >= 0).all()
+
+    def test_pure_data_zero_importances(self):
+        x = np.random.default_rng(0).standard_normal((20, 3))
+        tree = DecisionTreeClassifier().fit(x, np.zeros(20, dtype=int))
+        np.testing.assert_array_equal(tree.feature_importances_, 0.0)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            _ = DecisionTreeClassifier().feature_importances_
+
+
+class TestForestImportances:
+    def test_informative_feature_dominates(self):
+        x, y = labelled_by_first_feature(seed=1)
+        rf = RandomForestClassifier(n_estimators=15, random_state=0).fit(x, y)
+        imp = rf.feature_importances_
+        assert np.argmax(imp) == 0
+        assert imp.sum() == pytest.approx(1.0)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            _ = RandomForestClassifier().feature_importances_
+
+
+class TestSchedulerFeatureImportance:
+    def test_paper_claim_batch_and_gpu_state_matter(self, throughput_dataset):
+        """§V-B: 'the most important parameters is the samples size and the
+        state of the GPU' — batch must rank first overall, and gpu_warm
+        first among the non-structural run-time flags."""
+        from repro.sched.features import FEATURE_NAMES
+        from repro.sched.predictor import default_estimator
+
+        rf = default_estimator()
+        rf.fit(throughput_dataset.x, throughput_dataset.y)
+        imp = dict(zip(FEATURE_NAMES, rf.feature_importances_))
+        assert max(imp, key=imp.get) == "batch"
+        # gpu_warm beats every per-architecture CNN flag.
+        for flag in ("vgg_blocks", "convs_per_block", "filter_size", "pool_size", "is_cnn"):
+            assert imp["gpu_warm"] > imp[flag]

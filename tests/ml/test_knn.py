@@ -1,0 +1,87 @@
+"""k-nearest neighbours."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.knn import KNeighborsClassifier
+
+
+def blobs(n=150, seed=0):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    centers = np.array([[0.0, 0.0], [3.0, 3.0]])
+    return centers[y] + 0.6 * rng.standard_normal((n, 2)), y
+
+
+class TestFitPredict:
+    def test_one_nn_memorizes(self):
+        x, y = blobs()
+        knn = KNeighborsClassifier(n_neighbors=1).fit(x, y)
+        np.testing.assert_array_equal(knn.predict(x), y)
+
+    def test_learns_blobs(self):
+        x, y = blobs(300, seed=2)
+        knn = KNeighborsClassifier(n_neighbors=5).fit(x[:200], y[:200])
+        assert knn.score(x[200:], y[200:]) > 0.9
+
+    def test_k_larger_than_train_rejected(self):
+        x, y = blobs(10)
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=20).fit(x, y)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(weights="gaussian")
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            KNeighborsClassifier().predict(np.zeros((1, 2)))
+
+    def test_wrong_dim(self):
+        x, y = blobs()
+        knn = KNeighborsClassifier().fit(x, y)
+        with pytest.raises(ValueError):
+            knn.predict(np.zeros((1, 3)))
+
+
+class TestVoting:
+    def test_proba_rows_sum_to_one(self):
+        x, y = blobs()
+        knn = KNeighborsClassifier(n_neighbors=5).fit(x, y)
+        np.testing.assert_allclose(knn.predict_proba(x[:7]).sum(axis=1), 1.0)
+
+    def test_distance_weighting_breaks_ties(self):
+        # 2 far neighbours of class 0, 1 near of class 1 -> distance wins
+        x = np.array([[0.0], [10.0], [10.1]])
+        y = np.array([1, 0, 0])
+        uniform = KNeighborsClassifier(n_neighbors=3, weights="uniform").fit(x, y)
+        distance = KNeighborsClassifier(n_neighbors=3, weights="distance").fit(x, y)
+        q = np.array([[0.5]])
+        assert uniform.predict(q)[0] == 0
+        assert distance.predict(q)[0] == 1
+
+    def test_block_processing_consistent(self):
+        """Results must not depend on the internal block size."""
+        import repro.ml.knn as knn_mod
+
+        x, y = blobs(500, seed=3)
+        knn = KNeighborsClassifier(n_neighbors=3).fit(x, y)
+        full = knn.predict(x)
+        orig = knn_mod._BLOCK
+        try:
+            knn_mod._BLOCK = 64
+            blocked = knn.predict(x)
+        finally:
+            knn_mod._BLOCK = orig
+        np.testing.assert_array_equal(full, blocked)
+
+    def test_exact_duplicate_query_zero_distance_safe(self):
+        x, y = blobs()
+        knn = KNeighborsClassifier(n_neighbors=3, weights="distance").fit(x, y)
+        pred = knn.predict(x[:1])
+        assert pred[0] in (0, 1)

@@ -1,0 +1,82 @@
+"""Linear models: least-squares classifier and logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.linear import LinearRegressionClassifier, LogisticRegression
+
+
+def separable(n=200, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 3, n)
+    centers = scale * np.array([[0, 0], [5, 0], [0, 5]], dtype=float)
+    return centers[y] + rng.standard_normal((n, 2)), y
+
+
+class TestLinearRegressionClassifier:
+    def test_learns_separable(self):
+        x, y = separable()
+        est = LinearRegressionClassifier().fit(x, y)
+        assert est.score(x, y) > 0.9
+
+    def test_scale_robust(self):
+        """Closed-form least squares is unaffected by raw feature scales."""
+        x, y = separable()
+        a = LinearRegressionClassifier().fit(x, y).score(x, y)
+        b = LinearRegressionClassifier().fit(x * 1e5, y).score(x * 1e5, y)
+        assert b == pytest.approx(a, abs=0.02)
+
+    def test_decision_function_shape(self):
+        x, y = separable()
+        est = LinearRegressionClassifier().fit(x, y)
+        assert est.decision_function(x[:4]).shape == (4, 3)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            LinearRegressionClassifier().predict(np.zeros((1, 2)))
+
+    def test_wrong_dim(self):
+        x, y = separable()
+        est = LinearRegressionClassifier().fit(x, y)
+        with pytest.raises(ValueError):
+            est.predict(np.zeros((1, 7)))
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRegressionClassifier(l2=-1.0)
+
+    def test_deterministic(self):
+        x, y = separable()
+        a = LinearRegressionClassifier().fit(x, y)
+        b = LinearRegressionClassifier().fit(x, y)
+        np.testing.assert_allclose(a.coef_, b.coef_)
+
+
+class TestLogisticRegression:
+    def test_learns_separable(self):
+        x, y = separable()
+        est = LogisticRegression(max_iter=300).fit(x, y)
+        assert est.score(x, y) > 0.9
+
+    def test_proba_rows_sum_to_one(self):
+        x, y = separable()
+        est = LogisticRegression(max_iter=100).fit(x, y)
+        np.testing.assert_allclose(est.predict_proba(x[:5]).sum(axis=1), 1.0, atol=1e-9)
+
+    def test_converges_early_with_tol(self):
+        x, y = separable(100)
+        est = LogisticRegression(max_iter=5000, tol=1e-4).fit(x, y)
+        assert est.n_iter_ < 5000
+
+    def test_l2_shrinks_weights(self):
+        x, y = separable()
+        weak = LogisticRegression(l2=1e-6, max_iter=200).fit(x, y)
+        strong = LogisticRegression(l2=1.0, max_iter=200).fit(x, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(lr=0.0)
+        with pytest.raises(ValueError):
+            LogisticRegression(max_iter=0)

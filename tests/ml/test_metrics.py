@@ -1,0 +1,91 @@
+"""Classification metrics vs hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_recall_f1,
+    precision_score,
+    recall_score,
+)
+
+Y_TRUE = np.array([0, 0, 0, 1, 1, 2, 2, 2, 2, 2])
+Y_PRED = np.array([0, 0, 1, 1, 1, 2, 2, 2, 0, 1])
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_value(self):
+        assert accuracy_score(Y_TRUE, Y_PRED) == pytest.approx(0.7)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0, 1], [0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_values(self):
+        cm = confusion_matrix(Y_TRUE, Y_PRED)
+        expected = np.array([[2, 1, 0], [0, 2, 0], [1, 1, 3]])
+        np.testing.assert_array_equal(cm, expected)
+
+    def test_row_sums_are_supports(self):
+        cm = confusion_matrix(Y_TRUE, Y_PRED)
+        np.testing.assert_array_equal(cm.sum(axis=1), [3, 2, 5])
+
+    def test_explicit_n_classes(self):
+        cm = confusion_matrix([0, 1], [0, 1], n_classes=4)
+        assert cm.shape == (4, 4)
+
+    def test_float_labels_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            confusion_matrix([0.5, 1.0], [0.5, 1.0])
+
+
+class TestPrecisionRecallF1:
+    # Per class: P = [2/3, 2/4, 3/3], R = [2/3, 2/2, 3/5]
+    def test_weighted_precision(self):
+        expected = (3 * 2 / 3 + 2 * 0.5 + 5 * 1.0) / 10
+        assert precision_score(Y_TRUE, Y_PRED) == pytest.approx(expected)
+
+    def test_weighted_recall(self):
+        expected = (3 * 2 / 3 + 2 * 1.0 + 5 * 0.6) / 10
+        assert recall_score(Y_TRUE, Y_PRED) == pytest.approx(expected)
+
+    def test_macro_averages_equally(self):
+        expected = (2 / 3 + 0.5 + 1.0) / 3
+        assert precision_score(Y_TRUE, Y_PRED, average="macro") == pytest.approx(expected)
+
+    def test_f1_between_p_and_r_bounds(self):
+        p = precision_score(Y_TRUE, Y_PRED)
+        r = recall_score(Y_TRUE, Y_PRED)
+        f = f1_score(Y_TRUE, Y_PRED)
+        assert min(p, r) * 0.8 <= f <= max(p, r)
+
+    def test_combined_matches_individual(self):
+        p, r, f = precision_recall_f1(Y_TRUE, Y_PRED)
+        assert p == pytest.approx(precision_score(Y_TRUE, Y_PRED))
+        assert r == pytest.approx(recall_score(Y_TRUE, Y_PRED))
+        assert f == pytest.approx(f1_score(Y_TRUE, Y_PRED))
+
+    def test_perfect_prediction(self):
+        p, r, f = precision_recall_f1(Y_TRUE, Y_TRUE)
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    def test_unknown_average(self):
+        with pytest.raises(ValueError):
+            f1_score(Y_TRUE, Y_PRED, average="micro")
+
+    def test_class_never_predicted_gets_zero_precision(self):
+        # class 1 never predicted
+        p = precision_score([0, 1, 1], [0, 0, 0], average="macro")
+        assert p == pytest.approx(0.5 * (1 / 3 + 0))

@@ -1,0 +1,45 @@
+"""MLP classifier adapter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.nnclf import MLPClassifier
+
+
+def blobs(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    centers = np.array([[0.0, 0.0], [3.0, 3.0]])
+    return centers[y] + 0.7 * rng.standard_normal((n, 2)), y
+
+
+class TestMLP:
+    def test_learns_blobs(self):
+        x, y = blobs()
+        clf = MLPClassifier(hidden_layers=(16,), epochs=40, random_state=0).fit(x, y)
+        assert clf.score(x, y) > 0.9
+
+    def test_deterministic(self):
+        x, y = blobs()
+        a = MLPClassifier(epochs=10, random_state=5).fit(x, y).predict(x)
+        b = MLPClassifier(epochs=10, random_state=5).fit(x, y).predict(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_proba_shape(self):
+        x, y = blobs()
+        clf = MLPClassifier(epochs=5, random_state=0).fit(x, y)
+        p = clf.predict_proba(x[:6])
+        assert p.shape == (6, 2)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            MLPClassifier().predict(np.zeros((1, 2)))
+
+    def test_get_set_params_roundtrip(self):
+        clf = MLPClassifier(hidden_layers=(8, 8), epochs=3)
+        params = clf.get_params()
+        assert params["hidden_layers"] == (8, 8)
+        clf.set_params(epochs=7)
+        assert clf.epochs == 7

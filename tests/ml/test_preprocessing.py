@@ -1,0 +1,60 @@
+"""Scalers and label encoders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.preprocessing import LabelEncoder, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_std(self, rng):
+        x = rng.standard_normal((100, 3)) * 5 + 2
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_feature_passthrough(self):
+        x = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z[:, 0], 0.0)
+
+    def test_inverse_roundtrip(self, rng):
+        x = rng.standard_normal((50, 4))
+        sc = StandardScaler().fit(x)
+        np.testing.assert_allclose(sc.inverse_transform(sc.transform(x)), x, atol=1e-12)
+
+    def test_transform_unfitted(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))
+
+
+class TestLabelEncoder:
+    def test_roundtrip_strings(self):
+        labels = np.array(["igpu", "cpu", "dgpu", "cpu"])
+        enc = LabelEncoder().fit(labels)
+        codes = enc.transform(labels)
+        np.testing.assert_array_equal(enc.inverse_transform(codes), labels)
+
+    def test_codes_contiguous_sorted(self):
+        enc = LabelEncoder().fit(["c", "a", "b", "a"])
+        np.testing.assert_array_equal(enc.classes_, ["a", "b", "c"])
+        np.testing.assert_array_equal(enc.transform(["a", "b", "c"]), [0, 1, 2])
+
+    def test_unseen_label_rejected(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError, match="unseen"):
+            enc.transform(["z"])
+
+    def test_out_of_range_code_rejected(self):
+        enc = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError):
+            enc.inverse_transform([5])
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            LabelEncoder().transform(["a"])

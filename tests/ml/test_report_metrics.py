@@ -1,0 +1,40 @@
+"""classification_report."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import classification_report, precision_recall_f1
+
+Y_TRUE = np.array([0, 0, 0, 1, 1, 2, 2, 2, 2, 2])
+Y_PRED = np.array([0, 0, 1, 1, 1, 2, 2, 2, 0, 1])
+
+
+class TestReport:
+    def test_contains_all_classes(self):
+        text = classification_report(Y_TRUE, Y_PRED, ["cpu", "dgpu", "igpu"])
+        for name in ("cpu", "dgpu", "igpu", "weighted avg"):
+            assert name in text
+
+    def test_weighted_row_matches_prf(self):
+        text = classification_report(Y_TRUE, Y_PRED)
+        p, r, f = precision_recall_f1(Y_TRUE, Y_PRED)
+        last = text.splitlines()[-1].split()
+        assert float(last[-4]) == pytest.approx(p, abs=5e-4)
+        assert float(last[-3]) == pytest.approx(r, abs=5e-4)
+        assert float(last[-2]) == pytest.approx(f, abs=5e-4)
+
+    def test_support_column(self):
+        text = classification_report(Y_TRUE, Y_PRED)
+        assert text.splitlines()[-1].endswith("10")
+
+    def test_default_names_are_indices(self):
+        text = classification_report(Y_TRUE, Y_PRED)
+        assert " 0 " in text.splitlines()[1] or text.splitlines()[1].strip().startswith("0")
+
+    def test_too_few_names_rejected(self):
+        with pytest.raises(ValueError):
+            classification_report(Y_TRUE, Y_PRED, ["only-one"])
+
+    def test_perfect_prediction(self):
+        text = classification_report(Y_TRUE, Y_TRUE)
+        assert "1.000" in text

@@ -1,0 +1,105 @@
+"""Activation functions and derivatives."""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import ACTIVATIONS, Activation, get_activation, softmax
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(ACTIVATIONS) == {"relu", "sigmoid", "tanh", "linear"}
+
+    def test_lookup_by_name(self):
+        assert get_activation("relu").name == "relu"
+
+    def test_lookup_idempotent(self):
+        act = get_activation("tanh")
+        assert get_activation(act) is act
+
+    def test_unknown_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="relu"):
+            get_activation("swish")
+
+
+class TestForward:
+    def test_relu_clamps_negatives(self):
+        z = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+        np.testing.assert_array_equal(
+            get_activation("relu")(z), [0.0, 0.0, 0.0, 0.5, 2.0]
+        )
+
+    def test_sigmoid_range(self):
+        z = np.linspace(-50, 50, 101)
+        s = get_activation("sigmoid")(z)
+        assert np.all((s >= 0) & (s <= 1))
+        # Strictly interior where float64 can resolve it.
+        interior = np.abs(z) < 30
+        assert np.all((s[interior] > 0) & (s[interior] < 1))
+
+    def test_sigmoid_extreme_values_stable(self):
+        s = get_activation("sigmoid")(np.array([-1000.0, 1000.0]))
+        assert np.isfinite(s).all()
+        assert s[0] == pytest.approx(0.0, abs=1e-12)
+        assert s[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_sigmoid_symmetry(self):
+        z = np.array([0.3, 1.7, 4.0])
+        s = get_activation("sigmoid")
+        np.testing.assert_allclose(s(z) + s(-z), 1.0, atol=1e-12)
+
+    def test_tanh_matches_numpy(self):
+        z = np.linspace(-3, 3, 7)
+        np.testing.assert_allclose(get_activation("tanh")(z), np.tanh(z))
+
+    def test_linear_identity(self):
+        z = np.array([[1.0, -2.0]])
+        np.testing.assert_array_equal(get_activation("linear")(z), z)
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("name", ["relu", "sigmoid", "tanh", "linear"])
+    def test_matches_finite_difference(self, name):
+        act = get_activation(name)
+        z = np.linspace(-2.0, 2.0, 41) + 0.01  # avoid relu kink at 0
+        eps = 1e-6
+        fd = (act(z + eps) - act(z - eps)) / (2 * eps)
+        np.testing.assert_allclose(act.derivative(z), fd, atol=1e-5)
+
+    def test_relu_grad_at_negative_is_zero(self):
+        g = get_activation("relu").derivative(np.array([-1.0]))
+        assert g[0] == 0.0
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        p = softmax(rng.standard_normal((8, 5)))
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_shift_invariance(self, rng):
+        z = rng.standard_normal((4, 3))
+        np.testing.assert_allclose(softmax(z), softmax(z + 100.0), atol=1e-12)
+
+    def test_large_logits_stable(self):
+        p = softmax(np.array([[1000.0, 0.0, -1000.0]]))
+        assert np.isfinite(p).all()
+        assert p[0, 0] == pytest.approx(1.0)
+
+    def test_ordering_preserved(self):
+        p = softmax(np.array([[1.0, 3.0, 2.0]]))
+        assert np.argmax(p) == 1
+
+    def test_custom_axis(self, rng):
+        z = rng.standard_normal((3, 4))
+        p = softmax(z, axis=0)
+        np.testing.assert_allclose(p.sum(axis=0), 1.0, atol=1e-12)
+
+
+class TestActivationObject:
+    def test_frozen(self):
+        act = get_activation("relu")
+        with pytest.raises(AttributeError):
+            act.name = "other"
+
+    def test_callable(self):
+        assert isinstance(get_activation("relu"), Activation)

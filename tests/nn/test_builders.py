@@ -1,0 +1,121 @@
+"""Model specs and the Model Building module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BuildError
+from repro.nn.builders import CNNSpec, FFNNSpec, build_model
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D
+
+
+def ffnn(**kw):
+    base = dict(name="f", input_shape=(10,), n_classes=3, hidden_layers=(4, 4))
+    base.update(kw)
+    return FFNNSpec(**base)
+
+
+def cnn(**kw):
+    base = dict(name="c", input_shape=(12, 12, 1), n_classes=3)
+    base.update(kw)
+    return CNNSpec(**base)
+
+
+class TestFFNNSpec:
+    def test_depth(self):
+        assert ffnn(hidden_layers=(4, 5, 6)).depth == 3
+
+    def test_total_neurons_includes_output(self):
+        assert ffnn(hidden_layers=(4, 5)).total_neurons == 4 + 5 + 3
+
+    def test_family(self):
+        assert ffnn().family == "ffnn"
+
+    def test_sample_bytes(self):
+        assert ffnn(input_shape=(784,)).sample_bytes == 784 * 4
+
+    def test_rejects_image_input(self):
+        with pytest.raises(BuildError):
+            ffnn(input_shape=(4, 4, 1))
+
+    def test_rejects_bad_hidden(self):
+        with pytest.raises(BuildError):
+            ffnn(hidden_layers=(4, 0))
+
+    def test_rejects_single_class(self):
+        with pytest.raises(BuildError):
+            ffnn(n_classes=1)
+
+    def test_frozen_and_hashable(self):
+        assert hash(ffnn()) == hash(ffnn())
+
+
+class TestCNNSpec:
+    def test_family(self):
+        assert cnn().family == "cnn"
+
+    def test_depth_counts_blocks_and_dense(self):
+        spec = cnn(vgg_blocks=2, convs_per_block=2, dense_layers=(128,))
+        assert spec.depth == 2 * 3 + 1
+
+    def test_sample_bytes(self):
+        assert cnn(input_shape=(32, 32, 3)).sample_bytes == 32 * 32 * 3 * 4
+
+    def test_spatial_extents_same_padding(self):
+        spec = cnn(vgg_blocks=2, pool_size=2, padding="same")
+        assert spec.spatial_extents() == (3, 3)
+
+    def test_collapsing_stack_rejected(self):
+        with pytest.raises(BuildError, match="collapses"):
+            cnn(vgg_blocks=5, pool_size=2, padding="same")  # 12 -> 6 -> 3 -> 1 -> 0
+
+    def test_valid_padding_shrinks(self):
+        spec = cnn(vgg_blocks=1, padding="valid", filter_size=3)
+        assert spec.spatial_extents() == (5, 5)
+
+    def test_rejects_flat_input(self):
+        with pytest.raises(BuildError):
+            cnn(input_shape=(100,))
+
+    def test_rejects_bad_padding(self):
+        with pytest.raises(BuildError):
+            cnn(padding="reflect")
+
+    @pytest.mark.parametrize(
+        "field", ["vgg_blocks", "convs_per_block", "filters", "filter_size", "pool_size"]
+    )
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(BuildError):
+            cnn(**{field: 0})
+
+
+class TestBuildModel:
+    def test_ffnn_layer_structure(self):
+        m = build_model(ffnn(hidden_layers=(4, 5)), rng=0)
+        kinds = [type(l) for l in m.layers]
+        assert kinds == [Dense, Dense, Dense]
+        assert m.layers[-1].units == 3
+        assert m.layers[-1].activation.name == "linear"
+
+    def test_cnn_layer_structure(self):
+        spec = cnn(vgg_blocks=2, convs_per_block=2, dense_layers=(16,))
+        m = build_model(spec, rng=0)
+        kinds = [type(l) for l in m.layers]
+        assert kinds == [
+            Conv2D, Conv2D, MaxPool2D,
+            Conv2D, Conv2D, MaxPool2D,
+            Flatten, Dense, Dense,
+        ]
+
+    def test_built_and_named(self):
+        m = build_model(ffnn(), rng=0)
+        assert m.built
+        assert m.name == "f"
+
+    def test_cnn_forward_works(self, rng):
+        m = build_model(cnn(), rng=0)
+        out = m.forward(rng.standard_normal((2, 12, 12, 1)).astype(np.float32))
+        assert out.shape == (2, 3)
+
+    def test_unknown_spec_type(self):
+        with pytest.raises(BuildError):
+            build_model(object())

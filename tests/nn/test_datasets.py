@@ -1,0 +1,84 @@
+"""Synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.nn.datasets import load_dataset, make_cifar10, make_iris, make_mnist
+
+
+class TestIris:
+    def test_shapes(self):
+        ds = make_iris(n_samples=150, rng=0)
+        assert ds.x_train.shape[1:] == (4,)
+        assert ds.n_classes == 3
+        assert ds.x_train.shape[0] + ds.x_test.shape[0] == 150
+
+    def test_all_classes_present(self):
+        ds = make_iris(rng=0)
+        assert set(np.unique(ds.y_train)) == {0, 1, 2}
+
+    def test_deterministic(self):
+        a = make_iris(rng=1)
+        b = make_iris(rng=1)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+
+    def test_class_zero_separable(self):
+        """Setosa-like class should be far from the other two centroids."""
+        ds = make_iris(n_samples=300, rng=2)
+        x = np.vstack([ds.x_train, ds.x_test])
+        y = np.concatenate([ds.y_train, ds.y_test])
+        c0 = x[y == 0].mean(axis=0)
+        c1 = x[y == 1].mean(axis=0)
+        c2 = x[y == 2].mean(axis=0)
+        assert np.linalg.norm(c0 - c1) > np.linalg.norm(c1 - c2)
+
+
+class TestMnist:
+    def test_shapes(self):
+        ds = make_mnist(n_samples=100, rng=0)
+        assert ds.input_shape == (28, 28, 1)
+        assert ds.n_classes == 10
+
+    def test_normalized(self):
+        ds = make_mnist(n_samples=50, rng=0)
+        assert float(np.abs(ds.x_train).max()) <= 1.0 + 1e-6
+
+    def test_dtype(self):
+        assert make_mnist(n_samples=20, rng=0).x_train.dtype == np.float32
+
+    def test_prototypes_fixed_across_seeds(self):
+        """Same class has correlated structure regardless of sample seed."""
+        a = make_mnist(n_samples=200, rng=1)
+        b = make_mnist(n_samples=200, rng=2)
+        # mean image of class 0 should correlate between independent draws
+        ma = a.x_train[a.y_train == 0].mean(axis=0).ravel()
+        mb = b.x_train[b.y_train == 0].mean(axis=0).ravel()
+        corr = np.corrcoef(ma, mb)[0, 1]
+        assert corr > 0.8
+
+
+class TestCifar:
+    def test_shapes(self):
+        ds = make_cifar10(n_samples=60, rng=0)
+        assert ds.input_shape == (32, 32, 3)
+        assert ds.n_classes == 10
+
+    def test_channels_differ(self):
+        ds = make_cifar10(n_samples=60, rng=0)
+        img = ds.x_train[0]
+        assert not np.allclose(img[..., 0], img[..., 1])
+
+
+class TestLoader:
+    @pytest.mark.parametrize("name", ["iris", "mnist", "cifar10"])
+    def test_known(self, name):
+        ds = load_dataset(name, n_samples=30, rng=0)
+        assert ds.name == name
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="iris"):
+            load_dataset("imagenet")
+
+    def test_default_sizes(self):
+        ds = load_dataset("iris")
+        assert ds.x_train.shape[0] > 0

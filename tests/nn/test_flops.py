@@ -1,0 +1,103 @@
+"""Analytical FLOP/byte accounting vs hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BuildError
+from repro.nn.builders import CNNSpec, FFNNSpec
+from repro.nn.flops import model_cost
+from repro.nn.zoo import CIFAR10, MNIST_CNN, MNIST_DEEP, MNIST_SMALL, SIMPLE
+
+
+class TestFFNNCost:
+    def test_simple_flops_by_hand(self):
+        # 4->6->6->3: MACs = 24+36+18 = 78; flops = 2*78 + (6+6+3) acts
+        cost = model_cost(SIMPLE)
+        assert cost.flops_per_sample == pytest.approx(2 * 78 + 15)
+
+    def test_param_bytes_match_built_model(self):
+        from repro.nn.builders import build_model
+
+        for spec in (SIMPLE, MNIST_SMALL):
+            cost = model_cost(spec)
+            model = build_model(spec, rng=0)
+            assert cost.param_bytes == pytest.approx(model.n_params * 4)
+
+    def test_layer_names(self):
+        names = [l.name for l in model_cost(SIMPLE).layers]
+        assert names == ["dense_0", "dense_1", "output"]
+
+    def test_deep_has_more_flops_than_small(self):
+        assert (
+            model_cost(MNIST_DEEP).flops_per_sample
+            > model_cost(MNIST_SMALL).flops_per_sample * 5
+        )
+
+
+class TestCNNCost:
+    def test_mnist_cnn_structure(self):
+        names = [l.name for l in model_cost(MNIST_CNN).layers]
+        assert names == [
+            "block0_conv0", "block0_pool",
+            "block1_conv0", "block1_pool",
+            "dense_0", "output",
+        ]
+
+    def test_same_padding_conv_flops_by_hand(self):
+        # Block 0 conv on 28x28x1, 32 filters 3x3, same padding:
+        # macs = 28*28*32*9*1, +out elems activation
+        cost = model_cost(MNIST_CNN)
+        conv0 = cost.layers[0]
+        macs = 28 * 28 * 32 * 9 * 1
+        assert conv0.flops == pytest.approx(2 * macs + 28 * 28 * 32)
+
+    def test_conv_launches_equal_filters(self):
+        cost = model_cost(MNIST_CNN)
+        assert cost.layers[0].launches == 32
+        assert cost.layers[1].launches == 1  # pool
+
+    def test_total_launches(self):
+        # 2 convs (32 each) + 2 pools + 2 dense
+        assert model_cost(MNIST_CNN).total_launches == 64 + 2 + 2
+
+    def test_cifar_heavier_than_mnist_cnn(self):
+        assert (
+            model_cost(CIFAR10).flops_per_sample
+            > model_cost(MNIST_CNN).flops_per_sample
+        )
+
+    def test_pool_has_no_params(self):
+        cost = model_cost(MNIST_CNN)
+        assert cost.layers[1].param_elems == 0
+
+
+class TestBytesPerSample:
+    def test_param_amortization(self):
+        cost = model_cost(MNIST_SMALL)
+        b1 = cost.bytes_per_sample(1)
+        b1024 = cost.bytes_per_sample(1024)
+        assert b1 > b1024
+        assert b1 - cost.param_bytes == pytest.approx(
+            b1024 - cost.param_bytes / 1024
+        )
+
+    def test_large_batch_approaches_activation_traffic(self):
+        cost = model_cost(MNIST_SMALL)
+        assert cost.bytes_per_sample(10**9) == pytest.approx(
+            cost.activation_bytes_per_sample, rel=1e-3
+        )
+
+    def test_zero_batch_rejected(self):
+        with pytest.raises(ValueError):
+            model_cost(SIMPLE).bytes_per_sample(0)
+
+
+class TestValidation:
+    def test_unknown_spec(self):
+        with pytest.raises(BuildError):
+            model_cost(object())
+
+    def test_valid_padding_cost_differs_from_same(self):
+        same = CNNSpec(name="s", input_shape=(12, 12, 1), n_classes=3, padding="same")
+        valid = CNNSpec(name="v", input_shape=(12, 12, 1), n_classes=3, padding="valid")
+        assert model_cost(same).flops_per_sample > model_cost(valid).flops_per_sample

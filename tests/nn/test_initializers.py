@@ -1,0 +1,50 @@
+"""Weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import get_initializer, glorot_uniform, he_normal, zeros
+
+
+class TestGlorot:
+    def test_bounds(self):
+        w = glorot_uniform((200, 100), fan_in=200, fan_out=100, rng=0)
+        limit = np.sqrt(6.0 / 300)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_dtype_float32(self):
+        assert glorot_uniform((4, 4), 4, 4, rng=0).dtype == np.float32
+
+    def test_deterministic(self):
+        a = glorot_uniform((8, 8), 8, 8, rng=3)
+        b = glorot_uniform((8, 8), 8, 8, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestHeNormal:
+    def test_std_close_to_expected(self):
+        fan_in = 1000
+        w = he_normal((fan_in, 500), fan_in, 500, rng=1)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / fan_in), rel=0.05)
+
+    def test_zero_mean(self):
+        w = he_normal((1000, 100), 1000, 100, rng=2)
+        assert abs(w.mean()) < 0.005
+
+
+class TestZeros:
+    def test_all_zero(self):
+        assert not zeros((5,)).any()
+
+    def test_shape(self):
+        assert zeros((3, 7)).shape == (3, 7)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["glorot_uniform", "he_normal", "zeros"])
+    def test_known(self, name):
+        assert callable(get_initializer(name))
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="he_normal"):
+            get_initializer("orthogonal")

@@ -1,0 +1,114 @@
+"""Sequential model: building, inference, weight IO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BuildError, ShapeError
+from repro.nn.layers import Dense, Flatten
+from repro.nn.model import Sequential
+
+
+def make_model():
+    return Sequential([Dense(8, "relu"), Dense(3, "linear")], name="t").build((5,), rng=0)
+
+
+class TestBuild:
+    def test_shapes_propagate(self):
+        m = make_model()
+        assert m.input_shape == (5,)
+        assert m.output_shape == (3,)
+
+    def test_empty_rejected(self):
+        with pytest.raises(BuildError):
+            Sequential([])
+
+    def test_use_before_build(self):
+        m = Sequential([Dense(2)])
+        with pytest.raises(BuildError):
+            m.forward(np.zeros((1, 5), dtype=np.float32))
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.standard_normal((4, 5)).astype(np.float32)
+        a = Sequential([Dense(8), Dense(3, "linear")]).build((5,), rng=7).forward(x)
+        b = Sequential([Dense(8), Dense(3, "linear")]).build((5,), rng=7).forward(x)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestInference:
+    def test_forward_shape(self, rng):
+        out = make_model().forward(rng.standard_normal((6, 5)).astype(np.float32))
+        assert out.shape == (6, 3)
+
+    def test_predict_labels_in_range(self, rng):
+        labels = make_model().predict(rng.standard_normal((10, 5)).astype(np.float32))
+        assert set(labels) <= {0, 1, 2}
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        p = make_model().predict_proba(rng.standard_normal((4, 5)).astype(np.float32))
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_wrong_input_shape(self, rng):
+        with pytest.raises(ShapeError, match="expects input"):
+            make_model().forward(rng.standard_normal((2, 4)).astype(np.float32))
+
+    def test_float64_input_accepted(self, rng):
+        out = make_model().forward(rng.standard_normal((2, 5)))
+        assert out.dtype == np.float32
+
+
+class TestWeights:
+    def test_roundtrip(self, rng):
+        m1, m2 = make_model(), make_model()
+        m2.set_weights(m1.get_weights())
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        np.testing.assert_array_equal(m1.forward(x), m2.forward(x))
+
+    def test_get_returns_copies(self):
+        m = make_model()
+        w = m.get_weights()
+        key = next(iter(w))
+        w[key][...] = 99.0
+        assert not np.any(m.get_weights()[key] == 99.0)
+
+    def test_missing_key_rejected(self):
+        m = make_model()
+        w = m.get_weights()
+        w.pop("0.w")
+        with pytest.raises(BuildError, match="missing"):
+            m.set_weights(w)
+
+    def test_extra_key_rejected(self):
+        m = make_model()
+        w = m.get_weights()
+        w["9.q"] = np.zeros(3)
+        with pytest.raises(BuildError, match="unexpected"):
+            m.set_weights(w)
+
+    def test_shape_mismatch_rejected(self):
+        m = make_model()
+        w = m.get_weights()
+        w["0.w"] = np.zeros((2, 2))
+        with pytest.raises(ShapeError):
+            m.set_weights(w)
+
+    def test_save_load_file(self, tmp_path, rng):
+        m1, m2 = make_model(), make_model()
+        path = tmp_path / "weights.npz"
+        m1.save_weights(path)
+        m2.load_weights(path)
+        x = rng.standard_normal((2, 5)).astype(np.float32)
+        np.testing.assert_array_equal(m1.forward(x), m2.forward(x))
+
+    def test_n_params(self):
+        assert make_model().n_params == (5 * 8 + 8) + (8 * 3 + 3)
+
+    def test_param_names_indexed_by_layer(self):
+        names = [n for n, _ in make_model().params()]
+        assert names == ["0.w", "0.b", "1.w", "1.b"]
+
+
+class TestMixedTopology:
+    def test_flatten_then_dense(self, rng):
+        m = Sequential([Flatten(), Dense(4, "linear")]).build((2, 3, 1), rng=0)
+        out = m.forward(rng.standard_normal((5, 2, 3, 1)).astype(np.float32))
+        assert out.shape == (5, 4)

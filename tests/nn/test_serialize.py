@@ -1,0 +1,60 @@
+"""Spec serialization round-trips."""
+
+import pytest
+
+from repro.errors import BuildError
+from repro.nn.serialize import (
+    spec_from_dict,
+    spec_from_json,
+    spec_to_dict,
+    spec_to_json,
+)
+from repro.nn.zoo import ALL_SPECS, CIFAR10, SIMPLE
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_dict_roundtrip_exact(self, spec):
+        assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    @pytest.mark.parametrize("spec", (SIMPLE, CIFAR10), ids=lambda s: s.name)
+    def test_json_roundtrip_exact(self, spec):
+        assert spec_from_json(spec_to_json(spec)) == spec
+
+    def test_json_is_stable(self):
+        assert spec_to_json(SIMPLE) == spec_to_json(SIMPLE)
+
+    def test_roundtripped_spec_builds(self):
+        from repro.nn.builders import build_model
+
+        rebuilt = spec_from_json(spec_to_json(CIFAR10))
+        model = build_model(rebuilt, rng=0)
+        assert model.output_shape == (10,)
+
+
+class TestValidation:
+    def test_missing_family(self):
+        with pytest.raises(BuildError, match="family"):
+            spec_from_dict({"name": "x"})
+
+    def test_unknown_family(self):
+        with pytest.raises(BuildError, match="unknown"):
+            spec_from_dict({"family": "transformer", "name": "x"})
+
+    def test_malformed_payload(self):
+        with pytest.raises(BuildError, match="malformed"):
+            spec_from_dict({"family": "ffnn", "name": "x"})
+
+    def test_invalid_json(self):
+        with pytest.raises(BuildError, match="invalid"):
+            spec_from_json("{not json")
+
+    def test_bad_values_rejected_by_spec_validation(self):
+        payload = spec_to_dict(SIMPLE)
+        payload["n_classes"] = 1
+        with pytest.raises(BuildError):
+            spec_from_dict(payload)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(BuildError):
+            spec_to_dict(object())

@@ -1,0 +1,107 @@
+"""Training loop: losses fall, accuracy rises, models actually learn."""
+
+import numpy as np
+import pytest
+
+from repro.nn.builders import FFNNSpec, build_model
+from repro.nn.datasets import make_iris
+from repro.nn.train import TrainConfig, cross_entropy, evaluate, train_model
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0, 0.0]], dtype=np.float32)
+        loss, _ = cross_entropy(logits, np.array([0]))
+        assert loss < 1e-6
+
+    def test_uniform_loss_is_log_k(self):
+        logits = np.zeros((4, 3), dtype=np.float32)
+        loss, _ = cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss == pytest.approx(np.log(3), rel=1e-6)
+
+    def test_gradient_shape_and_sum(self):
+        logits = np.random.default_rng(0).standard_normal((5, 3)).astype(np.float32)
+        _, grad = cross_entropy(logits, np.array([0, 1, 2, 1, 0]))
+        assert grad.shape == (5, 3)
+        # Each row of softmax-CE grad sums to zero.
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-6)
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((3, 4)).astype(np.float64)
+        y = np.array([1, 3, 0])
+        _, grad = cross_entropy(logits, y)
+        eps = 1e-5
+        for i in range(3):
+            for j in range(4):
+                logits[i, j] += eps
+                lp, _ = cross_entropy(logits, y)
+                logits[i, j] -= 2 * eps
+                lm, _ = cross_entropy(logits, y)
+                logits[i, j] += eps
+                assert grad[i, j] == pytest.approx((lp - lm) / (2 * eps), abs=1e-4)
+
+
+class TestTrainConfig:
+    def test_defaults_valid(self):
+        TrainConfig()
+
+    @pytest.mark.parametrize(
+        "kw", [dict(epochs=0), dict(batch_size=0), dict(lr=0.0), dict(momentum=1.0)]
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ValueError):
+            TrainConfig(**kw)
+
+
+class TestTrainModel:
+    @pytest.fixture(scope="class")
+    def iris(self):
+        return make_iris(rng=3)
+
+    def test_loss_decreases(self, iris):
+        spec = FFNNSpec(name="t", input_shape=(4,), n_classes=3, hidden_layers=(8,))
+        model = build_model(spec, rng=0)
+        result = train_model(
+            model, iris.x_train, iris.y_train, TrainConfig(epochs=30, lr=0.05), rng=1
+        )
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+    def test_learns_above_chance(self, iris):
+        spec = FFNNSpec(name="t", input_shape=(4,), n_classes=3, hidden_layers=(8, 8))
+        model = build_model(spec, rng=0)
+        train_model(
+            model, iris.x_train, iris.y_train, TrainConfig(epochs=50, lr=0.05), rng=1
+        )
+        assert evaluate(model, iris.x_test, iris.y_test) > 0.7
+
+    def test_deterministic(self, iris):
+        spec = FFNNSpec(name="t", input_shape=(4,), n_classes=3, hidden_layers=(6,))
+        results = []
+        for _ in range(2):
+            model = build_model(spec, rng=5)
+            r = train_model(
+                model, iris.x_train, iris.y_train, TrainConfig(epochs=5), rng=9
+            )
+            results.append(r.epoch_losses)
+        np.testing.assert_allclose(results[0], results[1])
+
+    def test_result_accessors(self, iris):
+        spec = FFNNSpec(name="t", input_shape=(4,), n_classes=3, hidden_layers=(6,))
+        model = build_model(spec, rng=0)
+        r = train_model(model, iris.x_train, iris.y_train, TrainConfig(epochs=3), rng=1)
+        assert len(r.epoch_losses) == 3
+        assert r.final_loss == r.epoch_losses[-1]
+        assert 0.0 <= r.final_accuracy <= 1.0
+
+    def test_momentum_zero_works(self, iris):
+        spec = FFNNSpec(name="t", input_shape=(4,), n_classes=3, hidden_layers=(6,))
+        model = build_model(spec, rng=0)
+        r = train_model(
+            model,
+            iris.x_train,
+            iris.y_train,
+            TrainConfig(epochs=5, momentum=0.0),
+            rng=1,
+        )
+        assert np.isfinite(r.final_loss)

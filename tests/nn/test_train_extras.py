@@ -1,0 +1,88 @@
+"""Adam optimizer, validation tracking and early stopping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.builders import FFNNSpec, build_model
+from repro.nn.datasets import make_iris
+from repro.nn.train import TrainConfig, evaluate, train_model
+
+SPEC = FFNNSpec(name="t", input_shape=(4,), n_classes=3, hidden_layers=(8, 8))
+
+
+@pytest.fixture(scope="module")
+def iris():
+    return make_iris(n_samples=300, rng=3)
+
+
+class TestAdam:
+    def test_learns(self, iris):
+        model = build_model(SPEC, rng=0)
+        train_model(
+            model, iris.x_train, iris.y_train,
+            TrainConfig(epochs=30, lr=0.01, optimizer="adam"), rng=1,
+        )
+        assert evaluate(model, iris.x_test, iris.y_test) > 0.7
+
+    def test_loss_decreases(self, iris):
+        model = build_model(SPEC, rng=0)
+        r = train_model(
+            model, iris.x_train, iris.y_train,
+            TrainConfig(epochs=20, lr=0.01, optimizer="adam"), rng=1,
+        )
+        assert r.epoch_losses[-1] < r.epoch_losses[0]
+
+    def test_deterministic(self, iris):
+        losses = []
+        for _ in range(2):
+            model = build_model(SPEC, rng=5)
+            r = train_model(
+                model, iris.x_train, iris.y_train,
+                TrainConfig(epochs=5, optimizer="adam", lr=0.01), rng=9,
+            )
+            losses.append(r.epoch_losses)
+        np.testing.assert_allclose(losses[0], losses[1])
+
+    def test_invalid_optimizer(self):
+        with pytest.raises(ValueError):
+            TrainConfig(optimizer="rmsprop")
+
+    def test_invalid_beta2(self):
+        with pytest.raises(ValueError):
+            TrainConfig(beta2=1.0)
+
+
+class TestValidationAndEarlyStop:
+    def test_val_accuracy_tracked(self, iris):
+        model = build_model(SPEC, rng=0)
+        r = train_model(
+            model, iris.x_train, iris.y_train,
+            TrainConfig(epochs=5), rng=1,
+            validation=(iris.x_test, iris.y_test),
+        )
+        assert len(r.val_accuracies) == 5
+        assert all(0.0 <= v <= 1.0 for v in r.val_accuracies)
+
+    def test_early_stop_triggers(self, iris):
+        """Zero learning rate progress: patience must cut training short."""
+        model = build_model(SPEC, rng=0)
+        r = train_model(
+            model, iris.x_train, iris.y_train,
+            TrainConfig(epochs=50, lr=1e-9, patience=3), rng=1,
+            validation=(iris.x_test, iris.y_test),
+        )
+        assert r.stopped_early
+        assert len(r.epoch_losses) < 50
+
+    def test_no_validation_no_early_stop(self, iris):
+        model = build_model(SPEC, rng=0)
+        r = train_model(
+            model, iris.x_train, iris.y_train,
+            TrainConfig(epochs=4, patience=1), rng=1,
+        )
+        assert not r.stopped_early
+        assert len(r.epoch_losses) == 4
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            TrainConfig(patience=0)

@@ -1,0 +1,124 @@
+"""The model zoo: paper models, augmentation set, unseen hold-outs."""
+
+import numpy as np
+import pytest
+
+from repro.nn.builders import CNNSpec, FFNNSpec, build_model
+from repro.nn.zoo import (
+    ALL_SPECS,
+    AUGMENTATION_SPECS,
+    CIFAR10,
+    MNIST_CNN,
+    MNIST_DEEP,
+    MNIST_SMALL,
+    PAPER_MODELS,
+    SIMPLE,
+    UNSEEN_SPECS,
+    get_model_spec,
+    list_model_specs,
+)
+
+
+class TestPaperModels:
+    def test_five_models(self):
+        assert len(PAPER_MODELS) == 5
+
+    def test_simple_is_iris_shaped(self):
+        assert SIMPLE.input_shape == (4,)
+        assert SIMPLE.n_classes == 3
+        assert SIMPLE.hidden_layers == (6, 6)
+
+    def test_mnist_small_formation(self):
+        assert MNIST_SMALL.hidden_layers == (784, 800)
+        assert MNIST_SMALL.n_classes == 10
+
+    def test_mnist_deep_has_six_hidden_layers(self):
+        assert MNIST_DEEP.depth == 6
+        assert MNIST_DEEP.hidden_layers == (784, 2500, 2000, 1500, 1000, 500)
+
+    def test_mnist_cnn_structure(self):
+        assert MNIST_CNN.vgg_blocks == 2
+        assert MNIST_CNN.convs_per_block == 1
+        assert MNIST_CNN.filters == 32
+        assert MNIST_CNN.filter_size == 3
+        assert MNIST_CNN.pool_size == 2
+        assert MNIST_CNN.dense_layers == (128,)
+
+    def test_cifar_structure(self):
+        assert CIFAR10.vgg_blocks == 3
+        assert CIFAR10.convs_per_block == 2
+        assert CIFAR10.input_shape == (32, 32, 3)
+
+    @pytest.mark.parametrize("spec", PAPER_MODELS, ids=lambda s: s.name)
+    def test_all_buildable_and_runnable(self, spec, rng):
+        model = build_model(spec, rng=0)
+        x = rng.standard_normal((2, *spec.input_shape)).astype(np.float32)
+        assert model.forward(x).shape == (2, spec.n_classes)
+
+
+class TestAugmentation:
+    def test_sixteen_models(self):
+        assert len(AUGMENTATION_SPECS) == 16
+
+    def test_covers_both_families(self):
+        families = {s.family for s in AUGMENTATION_SPECS}
+        assert families == {"ffnn", "cnn"}
+
+    def test_ffnn_depth_parameter_swept(self):
+        depths = {s.depth for s in AUGMENTATION_SPECS if isinstance(s, FFNNSpec)}
+        assert len(depths) >= 4
+
+    def test_cnn_parameters_swept(self):
+        cnns = [s for s in AUGMENTATION_SPECS if isinstance(s, CNNSpec)]
+        assert len({s.vgg_blocks for s in cnns}) >= 3
+        assert len({s.convs_per_block for s in cnns}) >= 2
+        assert len({s.filter_size for s in cnns}) >= 3
+        assert len({s.pool_size for s in cnns}) >= 2
+
+
+class TestUnseen:
+    def test_disjoint_from_training(self):
+        training = {s.name for s in list_model_specs("training")}
+        unseen = {s.name for s in UNSEEN_SPECS}
+        assert not (training & unseen)
+
+    def test_no_duplicate_architectures(self):
+        """Unseen specs must differ structurally from every training spec."""
+        def signature(s):
+            if isinstance(s, FFNNSpec):
+                return ("ffnn", s.input_shape, s.hidden_layers)
+            return (
+                "cnn", s.input_shape, s.vgg_blocks, s.convs_per_block,
+                s.filters, s.filter_size, s.pool_size,
+            )
+
+        training_sigs = {signature(s) for s in list_model_specs("training")}
+        for s in UNSEEN_SPECS:
+            assert signature(s) not in training_sigs
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert get_model_spec("cifar-10") is CIFAR10
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="cifar-10"):
+            get_model_spec("resnet-50")
+
+    @pytest.mark.parametrize(
+        "group,count",
+        [("paper", 5), ("augmentation", 16), ("unseen", 4), ("training", 21)],
+    )
+    def test_groups(self, group, count):
+        assert len(list_model_specs(group)) == count
+
+    def test_all_group(self):
+        assert len(list_model_specs("all")) == len(ALL_SPECS) == 25
+
+    def test_unknown_group(self):
+        with pytest.raises(KeyError):
+            list_model_specs("production")
+
+    def test_unique_names(self):
+        names = [s.name for s in ALL_SPECS]
+        assert len(names) == len(set(names))

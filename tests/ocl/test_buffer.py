@@ -1,0 +1,97 @@
+"""Buffers: pinning, zero-copy maps, discrete-device restrictions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryMapError
+from repro.ocl.buffer import Buffer, MapFlags, MemFlags
+from repro.ocl.context import Context
+from repro.ocl.platform import get_all_devices
+
+
+@pytest.fixture()
+def ctx():
+    return Context(get_all_devices())
+
+
+class TestAllocation:
+    def test_by_size(self, ctx):
+        assert Buffer(ctx, nbytes=128).nbytes == 128
+
+    def test_by_hostbuf(self, ctx, rng):
+        arr = rng.standard_normal(16).astype(np.float32)
+        buf = Buffer(ctx, hostbuf=arr)
+        assert buf.nbytes == arr.nbytes
+
+    def test_needs_size_or_data(self, ctx):
+        with pytest.raises(ValueError):
+            Buffer(ctx)
+
+    def test_rejects_nonpositive_size(self, ctx):
+        with pytest.raises(ValueError):
+            Buffer(ctx, nbytes=0)
+
+    def test_pinned_flag(self, ctx):
+        assert Buffer(ctx, nbytes=8, flags=MemFlags.READ_WRITE | MemFlags.ALLOC_HOST_PTR).pinned
+        assert not Buffer(ctx, nbytes=8).pinned
+
+
+class TestMapping:
+    def test_map_returns_view_not_copy(self, ctx, rng):
+        arr = rng.standard_normal(8).astype(np.float32)
+        buf = Buffer(ctx, hostbuf=arr)
+        cpu = ctx.get_device("cpu")
+        view = buf.map(cpu)
+        view[0] = 42.0
+        buf.unmap()
+        assert buf.data()[0] == 42.0  # zero-copy: write went through
+
+    def test_read_only_map(self, ctx, rng):
+        buf = Buffer(ctx, hostbuf=rng.standard_normal(8).astype(np.float32))
+        view = buf.map(ctx.get_device("igpu"), MapFlags.READ)
+        with pytest.raises((ValueError, RuntimeError)):
+            view[0] = 1.0
+        buf.unmap()
+
+    def test_dgpu_map_rejected(self, ctx):
+        """§II-A: discrete-GPU memory is physically separate."""
+        buf = Buffer(ctx, nbytes=64)
+        with pytest.raises(MemoryMapError, match="discrete"):
+            buf.map(ctx.get_device("dgpu"))
+
+    def test_double_map_rejected(self, ctx):
+        buf = Buffer(ctx, nbytes=64)
+        buf.map(ctx.get_device("cpu"))
+        with pytest.raises(MemoryMapError, match="already"):
+            buf.map(ctx.get_device("cpu"))
+
+    def test_unmap_without_map_rejected(self, ctx):
+        with pytest.raises(MemoryMapError):
+            Buffer(ctx, nbytes=64).unmap()
+
+    def test_map_unmap_cycle(self, ctx):
+        buf = Buffer(ctx, nbytes=64)
+        buf.map(ctx.get_device("cpu"))
+        buf.unmap()
+        buf.map(ctx.get_device("cpu"))
+        buf.unmap()
+
+
+class TestHostIO:
+    def test_write_then_read_roundtrip(self, ctx, rng):
+        buf = Buffer(ctx, nbytes=32)
+        data = rng.integers(0, 255, size=32).astype(np.uint8)
+        buf.write_host(data)
+        np.testing.assert_array_equal(buf.read_host(), data)
+
+    def test_read_returns_copy(self, ctx):
+        buf = Buffer(ctx, nbytes=8)
+        out = buf.read_host()
+        out[0] = 7
+        assert buf.data()[0] == 0
+
+    def test_write_reshapes_on_dtype_change(self, ctx, rng):
+        buf = Buffer(ctx, nbytes=8)
+        floats = rng.standard_normal(4).astype(np.float32)
+        buf.write_host(floats)
+        np.testing.assert_array_equal(buf.read_host(), floats)

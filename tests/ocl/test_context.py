@@ -1,0 +1,44 @@
+"""Contexts."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.ocl.context import Context
+from repro.ocl.platform import get_all_devices
+
+
+class TestContext:
+    def test_holds_devices(self):
+        devices = get_all_devices()
+        ctx = Context(devices)
+        assert len(ctx.devices) == 3
+        for d in devices:
+            assert d in ctx
+
+    def test_empty_rejected(self):
+        with pytest.raises(DeviceError):
+            Context([])
+
+    def test_duplicates_rejected(self):
+        d = get_all_devices()[0]
+        with pytest.raises(DeviceError, match="duplicate"):
+            Context([d, d])
+
+    def test_lookup_by_name(self):
+        ctx = Context(get_all_devices())
+        assert ctx.get_device("gtx-1080ti").name == "gtx-1080ti"
+
+    def test_lookup_by_class_value(self):
+        ctx = Context(get_all_devices())
+        assert ctx.get_device("igpu").name == "uhd-630"
+
+    def test_lookup_unknown(self):
+        ctx = Context(get_all_devices())
+        with pytest.raises(DeviceError, match="not in the context|not in context"):
+            ctx.get_device("fpga")
+
+    def test_subset_context(self):
+        devices = get_all_devices()[:2]
+        ctx = Context(devices)
+        with pytest.raises(DeviceError):
+            ctx.get_device("dgpu")

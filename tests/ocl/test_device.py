@@ -1,0 +1,77 @@
+"""Runtime Device objects: probing, cooling, execution state."""
+
+import pytest
+
+from repro.hw.specs import CPU_I7_8700, DGPU_GTX_1080TI
+from repro.nn.zoo import MNIST_SMALL
+from repro.ocl.device import Device, DeviceState
+
+
+@pytest.fixture()
+def dgpu():
+    return Device(DGPU_GTX_1080TI)
+
+
+@pytest.fixture()
+def cpu():
+    return Device(CPU_I7_8700)
+
+
+class TestProbe:
+    def test_starts_idle(self, dgpu):
+        assert dgpu.probe_state(0.0) is DeviceState.IDLE
+
+    def test_cpu_always_warm(self, cpu):
+        assert cpu.probe_state(0.0) is DeviceState.WARM
+
+    def test_warms_after_execution(self, dgpu):
+        now = 0.0
+        for _ in range(4):
+            timing, _ = dgpu.execute(MNIST_SMALL, 1 << 15, now=now)
+            now = timing.clock_end.timestamp
+        assert dgpu.probe_state(now) is DeviceState.WARM
+
+    def test_cools_after_long_gap(self, dgpu):
+        timing, _ = dgpu.execute(MNIST_SMALL, 1 << 16, now=0.0)
+        end = timing.clock_end.timestamp
+        assert dgpu.probe_state(end) is DeviceState.WARM
+        assert dgpu.probe_state(end + 60.0) is DeviceState.IDLE
+
+    def test_force_state(self, dgpu):
+        dgpu.force_state(DeviceState.WARM)
+        assert dgpu.probe_state(0.0) is DeviceState.WARM
+        dgpu.force_state(DeviceState.IDLE)
+        assert dgpu.probe_state(0.0) is DeviceState.IDLE
+
+
+class TestExecute:
+    def test_back_to_back_speeds_up(self, dgpu):
+        t1, _ = dgpu.execute(MNIST_SMALL, 4096, now=0.0)
+        t2, _ = dgpu.execute(MNIST_SMALL, 4096, now=t1.clock_end.timestamp)
+        assert t2.total_s < t1.total_s
+
+    def test_returns_energy(self, cpu):
+        _, energy = cpu.execute(MNIST_SMALL, 64, now=0.0)
+        assert energy.total_j > 0
+
+    def test_state_committed(self, dgpu):
+        before = dgpu.clock_state.clock_frac
+        dgpu.execute(MNIST_SMALL, 1 << 14, now=0.0)
+        assert dgpu.clock_state.clock_frac > before
+
+
+class TestPreview:
+    def test_preview_does_not_mutate(self, dgpu):
+        before = dgpu.clock_state
+        dgpu.preview(MNIST_SMALL, 1 << 14, state=DeviceState.WARM)
+        assert dgpu.clock_state == before
+
+    def test_preview_states_differ(self, dgpu):
+        warm, _ = dgpu.preview(MNIST_SMALL, 1024, state=DeviceState.WARM)
+        idle, _ = dgpu.preview(MNIST_SMALL, 1024, state=DeviceState.IDLE)
+        assert idle.total_s > warm.total_s
+
+    def test_preview_default_uses_current_state(self, dgpu):
+        cur, _ = dgpu.preview(MNIST_SMALL, 1024)
+        idle, _ = dgpu.preview(MNIST_SMALL, 1024, state=DeviceState.IDLE)
+        assert cur.total_s == pytest.approx(idle.total_s)

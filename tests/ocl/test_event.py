@@ -1,0 +1,41 @@
+"""Profiling events."""
+
+import pytest
+
+from repro.ocl.event import Event, EventStatus
+
+
+class TestLifecycle:
+    def test_starts_queued(self):
+        ev = Event("cmd", time_queued=1.0)
+        assert ev.status is EventStatus.QUEUED
+
+    def test_complete_sets_timestamps(self):
+        ev = Event("cmd", time_queued=1.0).complete(1.0, 1.5, 2.0)
+        assert ev.status is EventStatus.COMPLETE
+        assert ev.duration_s == pytest.approx(0.5)
+        assert ev.latency_s == pytest.approx(1.0)
+
+    def test_non_monotone_rejected(self):
+        with pytest.raises(ValueError, match="non-monotonic"):
+            Event("cmd", time_queued=1.0).complete(0.5, 1.5, 2.0)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            Event("cmd", time_queued=0.0).complete(0.0, 2.0, 1.0)
+
+    def test_profiling_before_complete_rejected(self):
+        ev = Event("cmd", time_queued=0.0)
+        with pytest.raises(RuntimeError):
+            _ = ev.duration_s
+        with pytest.raises(RuntimeError):
+            _ = ev.latency_s
+
+    def test_zero_duration_ok(self):
+        ev = Event("cmd", time_queued=0.0).complete(0.0, 0.0, 0.0)
+        assert ev.duration_s == 0.0
+
+    def test_meta_dict_independent(self):
+        a, b = Event("a", 0.0), Event("b", 0.0)
+        a.meta["k"] = 1
+        assert "k" not in b.meta

@@ -1,0 +1,80 @@
+"""Inference kernels and programs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelError
+from repro.nn.builders import build_model
+from repro.nn.zoo import MNIST_CNN, SIMPLE
+from repro.ocl.context import Context
+from repro.ocl.kernels import InferenceKernel
+from repro.ocl.platform import get_all_devices
+from repro.ocl.program import Program
+
+
+@pytest.fixture()
+def ctx():
+    return Context(get_all_devices())
+
+
+class TestKernel:
+    def test_lazy_default_model(self, rng):
+        k = InferenceKernel(SIMPLE)
+        out = k.run(rng.standard_normal((4, 4)).astype(np.float32))
+        assert out.shape == (4, 3)
+
+    def test_bound_model_used(self, rng):
+        model = build_model(SIMPLE, rng=1)
+        k = InferenceKernel(SIMPLE, model)
+        x = rng.standard_normal((2, 4)).astype(np.float32)
+        np.testing.assert_array_equal(k.run(x), model.forward(x))
+
+    def test_unbuilt_model_rejected(self):
+        from repro.nn.layers import Dense
+        from repro.nn.model import Sequential
+
+        with pytest.raises(KernelError, match="not built"):
+            InferenceKernel(SIMPLE, Sequential([Dense(3)]))
+
+    def test_shape_mismatch_rejected(self):
+        model = build_model(MNIST_CNN, rng=0)
+        with pytest.raises(KernelError, match="input"):
+            InferenceKernel(SIMPLE, model)
+
+    def test_non_batch_input_rejected(self, rng):
+        k = InferenceKernel(SIMPLE)
+        with pytest.raises(KernelError, match="batch"):
+            k.run(rng.standard_normal(4).astype(np.float32))
+
+    def test_bind_weights(self, rng):
+        k = InferenceKernel(SIMPLE)
+        donor = build_model(SIMPLE, rng=9)
+        k.bind_weights(donor.get_weights())
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        np.testing.assert_array_equal(k.run(x), donor.forward(x))
+
+
+class TestProgram:
+    def test_register_and_get(self, ctx):
+        prog = Program(ctx, [SIMPLE, MNIST_CNN])
+        assert prog.kernel_names() == ["mnist-cnn", "simple"]
+        assert prog.get_kernel("simple").spec is SIMPLE
+
+    def test_missing_kernel(self, ctx):
+        prog = Program(ctx)
+        with pytest.raises(KernelError, match="not built"):
+            prog.get_kernel("simple")
+
+    def test_contains(self, ctx):
+        prog = Program(ctx, [SIMPLE])
+        assert "simple" in prog
+        assert "cifar-10" not in prog
+
+    def test_reregister_replaces(self, ctx, rng):
+        prog = Program(ctx, [SIMPLE])
+        model = build_model(SIMPLE, rng=5)
+        prog.register(SIMPLE, model)
+        x = rng.standard_normal((2, 4)).astype(np.float32)
+        np.testing.assert_array_equal(
+            prog.get_kernel("simple").run(x), model.forward(x)
+        )

@@ -1,0 +1,46 @@
+"""Platform discovery topology."""
+
+from repro.hw.specs import DeviceClass
+from repro.ocl.device import DeviceState
+from repro.ocl.platform import get_all_devices, get_platforms
+
+
+class TestTopology:
+    def test_two_platforms(self):
+        platforms = get_platforms()
+        assert [p.vendor for p in platforms] == [
+            "Intel(R) Corporation",
+            "NVIDIA Corporation",
+        ]
+
+    def test_intel_hosts_cpu_and_igpu(self):
+        intel = get_platforms()[0]
+        classes = {d.device_class for d in intel.devices}
+        assert classes == {DeviceClass.CPU, DeviceClass.IGPU}
+
+    def test_nvidia_hosts_dgpu(self):
+        nvidia = get_platforms()[1]
+        assert [d.device_class for d in nvidia.devices] == [DeviceClass.DGPU]
+
+    def test_filter_by_class(self):
+        intel = get_platforms()[0]
+        cpus = intel.get_devices(DeviceClass.CPU)
+        assert len(cpus) == 1
+        assert cpus[0].name == "i7-8700"
+
+    def test_all_devices_order(self):
+        names = [d.name for d in get_all_devices()]
+        assert names == ["i7-8700", "uhd-630", "gtx-1080ti"]
+
+
+class TestStartState:
+    def test_default_idle(self):
+        dgpu = get_all_devices()[2]
+        assert dgpu.probe_state(0.0) is DeviceState.IDLE
+
+    def test_warm_start(self):
+        dgpu = get_all_devices(DeviceState.WARM)[2]
+        assert dgpu.probe_state(0.0) is DeviceState.WARM
+
+    def test_fresh_devices_each_call(self):
+        assert get_all_devices()[0] is not get_all_devices()[0]

@@ -1,0 +1,53 @@
+"""Work-group sizing rules (§IV-B)."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.hw.specs import CPU_I7_8700, DGPU_GTX_1080TI
+from repro.ocl.workgroup import MAX_WORKGROUP, validate_workgroup, workgroup_efficiency
+
+
+class TestEfficiency:
+    def test_none_is_optimal(self):
+        assert workgroup_efficiency(CPU_I7_8700, None) == 1.0
+
+    def test_exact_optimum(self):
+        assert workgroup_efficiency(CPU_I7_8700, 4096) == 1.0
+        assert workgroup_efficiency(DGPU_GTX_1080TI, 256) == 1.0
+
+    def test_swapped_configs_penalized(self):
+        """The §IV-B ablation: CPU at GPU's 256, GPU at CPU's 4096."""
+        assert workgroup_efficiency(CPU_I7_8700, 256) < 1.0
+        assert workgroup_efficiency(DGPU_GTX_1080TI, 4096) < 1.0
+
+    def test_penalty_grows_with_distance(self):
+        e1 = workgroup_efficiency(DGPU_GTX_1080TI, 512)
+        e2 = workgroup_efficiency(DGPU_GTX_1080TI, 2048)
+        e3 = workgroup_efficiency(DGPU_GTX_1080TI, 8192)
+        assert e1 > e2 > e3
+
+    def test_symmetric_in_log_space(self):
+        up = workgroup_efficiency(DGPU_GTX_1080TI, 512)
+        down = workgroup_efficiency(DGPU_GTX_1080TI, 128)
+        assert up == pytest.approx(down)
+
+    def test_floor(self):
+        assert workgroup_efficiency(DGPU_GTX_1080TI, 1) >= 0.35
+
+
+class TestValidation:
+    def test_nonpositive(self):
+        with pytest.raises(KernelError):
+            validate_workgroup(CPU_I7_8700, 0)
+
+    def test_over_limit(self):
+        with pytest.raises(KernelError):
+            validate_workgroup(CPU_I7_8700, MAX_WORKGROUP * 2)
+
+    def test_non_power_of_two(self):
+        with pytest.raises(KernelError, match="power of two"):
+            validate_workgroup(CPU_I7_8700, 100)
+
+    def test_valid_sizes_pass(self):
+        for size in (1, 64, 256, 4096, 8192):
+            validate_workgroup(CPU_I7_8700, size)

@@ -1,0 +1,114 @@
+"""Property-based tests for the hardware cost/power models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.costmodel import CostModel
+from repro.hw.dvfs import CLOCK_MODELS, ClockState
+from repro.hw.power import PowerModel
+from repro.hw.specs import TESTBED
+from repro.nn.zoo import PAPER_MODELS
+
+devices = st.sampled_from(TESTBED)
+specs = st.sampled_from(PAPER_MODELS)
+batch_sizes = st.integers(1, 1 << 18)
+
+
+class TestTimingInvariants:
+    @settings(deadline=None, max_examples=60)
+    @given(dev=devices, spec=specs, batch=batch_sizes)
+    def test_total_positive_and_finite(self, dev, spec, batch):
+        timing = CostModel(dev).timing(spec, batch)
+        assert np.isfinite(timing.total_s)
+        assert timing.total_s > 0
+
+    @settings(deadline=None, max_examples=40)
+    @given(dev=devices, spec=specs, batch=st.integers(1, 1 << 17))
+    def test_throughput_monotone_in_batch(self, dev, spec, batch):
+        """T(2b) <= 2*T(b): doubling the batch never halves the rate.
+
+        Total time itself may dip for weight-heavy models at tiny batches
+        (the weight stream's parallelism comes from the batch in a
+        thread-per-node kernel), but sustained throughput — the quantity
+        Fig. 3 plots — is monotone non-decreasing.
+        """
+        cm = CostModel(dev)
+        assert (
+            cm.timing(spec, 2 * batch).total_s
+            <= 2.0 * cm.timing(spec, batch).total_s + 1e-15
+        )
+
+    @settings(deadline=None, max_examples=40)
+    @given(dev=devices, spec=specs, batch=batch_sizes)
+    def test_idle_never_faster_than_warm(self, dev, spec, batch):
+        cm = CostModel(dev)
+        warm = cm.timing(spec, batch, state=cm.warm_state())
+        idle = cm.timing(spec, batch, state=cm.idle_state())
+        assert idle.total_s >= warm.total_s - 1e-15
+
+    @settings(deadline=None, max_examples=40)
+    @given(dev=devices, spec=specs, batch=batch_sizes,
+           eff=st.floats(0.35, 1.0, allow_nan=False))
+    def test_workgroup_derating_never_speeds_up(self, dev, spec, batch, eff):
+        cm = CostModel(dev)
+        assert (
+            cm.timing(spec, batch, workgroup_eff=eff).total_s
+            >= cm.timing(spec, batch).total_s - 1e-15
+        )
+
+    @settings(deadline=None, max_examples=30)
+    @given(dev=devices, spec=specs, batch=batch_sizes)
+    def test_occupancy_in_unit_interval(self, dev, spec, batch):
+        timing = CostModel(dev).timing(spec, batch)
+        assert 0.0 < timing.occupancy <= 1.0
+
+
+class TestEnergyInvariants:
+    @settings(deadline=None, max_examples=60)
+    @given(dev=devices, spec=specs, batch=batch_sizes)
+    def test_energy_positive_within_envelope(self, dev, spec, batch):
+        cm = CostModel(dev)
+        timing = cm.timing(spec, batch)
+        e = PowerModel(dev).energy(timing)
+        assert e.total_j > 0
+        assert e.avg_watts >= dev.idle_watts - 1e-9
+        assert e.avg_watts <= dev.busy_watts + dev.host_assist_watts + 1e-9
+
+    @settings(deadline=None, max_examples=40)
+    @given(spec=specs, batch=batch_sizes)
+    def test_dgpu_idle_start_always_costs_more(self, spec, batch):
+        dev = TESTBED[1]  # gtx-1080ti
+        cm = CostModel(dev)
+        pm = PowerModel(dev)
+        warm = pm.energy(cm.timing(spec, batch, state=cm.warm_state()))
+        idle = pm.energy(cm.timing(spec, batch, state=cm.idle_state()))
+        assert idle.total_j >= warm.total_j
+
+
+class TestClockInvariants:
+    @settings(deadline=None, max_examples=60)
+    @given(
+        c0=st.floats(0.15, 1.0, allow_nan=False),
+        work=st.floats(1e-7, 1.0, allow_nan=False),
+    )
+    def test_completion_bounds(self, c0, work):
+        """Elapsed time is between warm-time and warm-time/idle_frac."""
+        model = CLOCK_MODELS["dgpu"]
+        state = ClockState(clock_frac=c0)
+        elapsed, end = model.time_to_complete(state, work)
+        assert work - 1e-12 <= elapsed <= work / min(c0, 1.0) + 1e-9
+        assert end.clock_frac >= c0 - 1e-12
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        work_a=st.floats(1e-6, 0.5, allow_nan=False),
+        work_b=st.floats(1e-6, 0.5, allow_nan=False),
+    )
+    def test_split_work_takes_same_time(self, work_a, work_b):
+        """Running A then B from a cold clock == running A+B at once."""
+        model = CLOCK_MODELS["dgpu"]
+        t_ab, _ = model.time_to_complete(model.idle_state(), work_a + work_b)
+        t_a, mid = model.time_to_complete(model.idle_state(), work_a)
+        t_b, _ = model.time_to_complete(mid, work_b)
+        assert t_a + t_b == __import__("pytest").approx(t_ab, rel=1e-6)

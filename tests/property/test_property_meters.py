@@ -1,0 +1,97 @@
+"""Property-based tests for meters, recorder keys and the event loop."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import EventLoop
+from repro.telemetry.meters import EnergyMeter
+
+intervals = st.lists(
+    st.tuples(
+        st.floats(0.0, 100.0, allow_nan=False),
+        st.floats(0.001, 5.0, allow_nan=False),
+        st.floats(0.0, 300.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=10,
+)
+
+
+def build_meter(raw, idle=10.0):
+    """Lay raw (start, duration, watts) tuples end to end, non-overlapping."""
+    meter = EnergyMeter("dev", idle_watts=idle)
+    t = 0.0
+    laid = []
+    for gap, dur, watts in raw:
+        start = t + gap
+        end = start + dur
+        meter.record(start, end, watts)
+        laid.append((start, end, watts))
+        t = end
+    return meter, laid
+
+
+class TestMeterProperties:
+    @settings(deadline=None)
+    @given(raw=intervals)
+    def test_energy_additive_over_windows(self, raw):
+        meter, laid = build_meter(raw)
+        end = laid[-1][1]
+        mid = end / 2
+        total = meter.energy(0.0, end)
+        split = meter.energy(0.0, mid) + meter.energy(mid, end)
+        assert split == pytest.approx(total, rel=1e-9, abs=1e-9)
+
+    @settings(deadline=None)
+    @given(raw=intervals)
+    def test_energy_at_least_idle_floor(self, raw):
+        """Holds when activity draw never dips below the idle floor (a
+        physical device cannot draw less than idle while active)."""
+        idle = 5.0
+        raw = [(gap, dur, max(watts, idle)) for gap, dur, watts in raw]
+        meter, laid = build_meter(raw, idle=idle)
+        end = laid[-1][1]
+        assert meter.energy(0.0, end) >= idle * end - 1e-9
+
+    @settings(deadline=None)
+    @given(raw=intervals, t=st.floats(0.0, 600.0, allow_nan=False))
+    def test_sample_matches_interval_bounds(self, raw, t):
+        meter, laid = build_meter(raw)
+        expected = 10.0
+        for start, end, watts in laid:
+            if start <= t < end:
+                expected = watts
+        assert meter.sample(t) == expected
+
+
+class TestEventLoopProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        times=st.lists(
+            st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=30
+        )
+    )
+    def test_processed_in_sorted_order(self, times):
+        loop = EventLoop()
+        seen = []
+        for t in times:
+            loop.schedule(t, lambda l, t=t: seen.append(t))
+        loop.run()
+        assert seen == sorted(times)
+        assert loop.processed == len(times)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        times=st.lists(st.floats(0.0, 50.0, allow_nan=False), min_size=1, max_size=20),
+        horizon=st.floats(0.0, 60.0, allow_nan=False),
+    )
+    def test_horizon_respected(self, times, horizon):
+        loop = EventLoop()
+        seen = []
+        for t in times:
+            loop.schedule(t, lambda l, t=t: seen.append(t))
+        loop.run(until=horizon)
+        assert all(t <= horizon for t in seen)
+        assert loop.pending == sum(1 for t in times if t > horizon)

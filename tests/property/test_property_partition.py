@@ -1,0 +1,79 @@
+"""Property tests for the batch partitioner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.zoo import CIFAR10, MNIST_DEEP, MNIST_SMALL, SIMPLE
+from repro.ocl.context import Context
+from repro.ocl.device import DeviceState
+from repro.ocl.platform import get_all_devices
+from repro.sched.dispatcher import Dispatcher
+from repro.sched.partition import BatchPartitioner
+
+SPECS = (SIMPLE, MNIST_SMALL, MNIST_DEEP, CIFAR10)
+
+
+@pytest.fixture(scope="module")
+def partitioner():
+    ctx = Context(get_all_devices())
+    dispatcher = Dispatcher(ctx)
+    for spec in SPECS:
+        dispatcher.deploy_fresh(spec, rng=0)
+    return ctx, BatchPartitioner(dispatcher, ctx.devices)
+
+
+class TestPlanProperties:
+    @settings(deadline=None, max_examples=40)
+    @given(spec=st.sampled_from(SPECS), batch=st.integers(1, 1 << 18))
+    def test_shares_always_sum_to_batch(self, partitioner, spec, batch):
+        _, part = partitioner
+        plan = part.plan(spec, batch)
+        assert plan.total == batch
+        assert all(n > 0 for n in plan.shares.values())
+
+    @settings(deadline=None, max_examples=30)
+    @given(spec=st.sampled_from(SPECS), batch=st.integers(1, 1 << 18))
+    def test_plan_no_worse_than_best_single_in_its_own_model(
+        self, partitioner, spec, batch
+    ):
+        """Within the affine model the plan is provably no worse than the
+        best single device (water-filling optimality + rounding)."""
+        from repro.sched.partition import AffineTimeModel
+
+        ctx, part = partitioner
+        plan = part.plan(spec, batch)
+        best_affine = min(
+            AffineTimeModel.fit(d, spec, DeviceState.WARM).time(batch)
+            for d in ctx.devices
+        )
+        assert plan.predicted_makespan_s <= best_affine * 1.0 + 1e-12
+
+    @settings(deadline=None, max_examples=30)
+    @given(spec=st.sampled_from(SPECS), batch=st.integers(1, 1 << 18))
+    def test_plan_close_to_true_best_single(self, partitioner, spec, batch):
+        """Against the *true* cost curve the affine approximation may err
+        at tiny batches, but never grossly (the fit's extrapolation
+        envelope is ~1.5x there and converges at scale)."""
+        ctx, part = partitioner
+        plan = part.plan(spec, batch)
+        best_single = min(
+            d.preview(spec, batch, state=DeviceState.WARM)[0].total_s
+            for d in ctx.devices
+        )
+        slack = 1.5 if batch < 1 << 10 else 1.1
+        assert plan.predicted_makespan_s <= best_single * slack
+
+    @settings(deadline=None, max_examples=25)
+    @given(spec=st.sampled_from(SPECS), batch=st.integers(1 << 10, 1 << 17))
+    def test_makespan_monotone_in_batch(self, partitioner, spec, batch):
+        _, part = partitioner
+        small = part.plan(spec, batch).predicted_makespan_s
+        large = part.plan(spec, 2 * batch).predicted_makespan_s
+        assert large >= small * 0.99
+
+    @settings(deadline=None, max_examples=25)
+    @given(spec=st.sampled_from(SPECS), batch=st.integers(1, 1 << 18))
+    def test_deterministic(self, partitioner, spec, batch):
+        _, part = partitioner
+        assert part.plan(spec, batch).shares == part.plan(spec, batch).shares

@@ -1,0 +1,137 @@
+"""The online-adaptation layer (system changes, exploration, overrides)."""
+
+import pytest
+
+from repro.nn.zoo import MNIST_DEEP, MNIST_SMALL
+from repro.ocl.context import Context
+from repro.ocl.platform import get_all_devices
+from repro.sched.adaptive import AdaptiveScheduler
+from repro.sched.dispatcher import Dispatcher
+from repro.sched.policies import Policy
+from repro.sched.scheduler import OnlineScheduler
+
+
+@pytest.fixture()
+def base(trained_predictors):
+    ctx = Context(get_all_devices())
+    dispatcher = Dispatcher(ctx)
+    for spec in (MNIST_SMALL, MNIST_DEEP):
+        dispatcher.deploy_fresh(spec, rng=0)
+    return OnlineScheduler(ctx, dispatcher, trained_predictors)
+
+
+def drain(ada, spec, batch, n, t0=0.0, gap=0.01, policy="throughput"):
+    """Submit n back-to-back requests, returning the device sequence."""
+    devices, t = [], t0
+    for _ in range(n):
+        decision, event = ada.submit_virtual(spec, batch, policy, arrival_s=t)
+        devices.append(decision.device)
+        t = event.time_ended + gap
+    return devices, t
+
+
+class TestSteadyState:
+    def test_follows_predictor_without_disturbance(self, base):
+        ada = AdaptiveScheduler(base, explore_rate=0.0, rng=0)
+        devices, _ = drain(ada, MNIST_DEEP, 1 << 14, 10)
+        assert set(devices) == {"dgpu"}  # big batches: predictor is right
+        assert ada.stats()["feedback_overrides"] == 0
+
+    def test_exploration_visits_other_devices(self, base):
+        ada = AdaptiveScheduler(base, explore_rate=0.3, rng=2)
+        devices, _ = drain(ada, MNIST_DEEP, 1 << 14, 40)
+        assert len(set(devices)) >= 2
+        assert ada.stats()["explorations"] > 0
+
+    def test_zero_exploration_never_explores(self, base):
+        ada = AdaptiveScheduler(base, explore_rate=0.0, rng=0)
+        drain(ada, MNIST_SMALL, 256, 20)
+        assert ada.stats()["explorations"] == 0
+
+
+class TestSystemChanges:
+    def test_contention_triggers_override(self, base):
+        """§V adaptivity: when another app grabs the dGPU, realized
+        throughput collapses and the feedback layer reroutes."""
+        ada = AdaptiveScheduler(base, explore_rate=0.15, rng=1)
+        _, t = drain(ada, MNIST_DEEP, 1 << 14, 20)
+
+        base.context.get_device("dgpu").set_background_load(0.95)
+        devices, _ = drain(ada, MNIST_DEEP, 1 << 14, 50, t0=t)
+        late = devices[-15:]
+        assert late.count("dgpu") < len(late) / 2
+        assert ada.stats()["feedback_overrides"] > 0
+
+    def test_recovery_after_contention_clears(self, base):
+        """Estimates age out: once the dGPU frees up, traffic returns."""
+        ada = AdaptiveScheduler(base, explore_rate=0.2, ttl_s=5.0, rng=3)
+        _, t = drain(ada, MNIST_DEEP, 1 << 14, 10)
+        dgpu = base.context.get_device("dgpu")
+
+        dgpu.set_background_load(0.95)
+        _, t = drain(ada, MNIST_DEEP, 1 << 14, 30, t0=t)
+
+        dgpu.set_background_load(0.0)
+        # Long quiet gap: stale estimates expire, exploration re-probes.
+        devices, _ = drain(ada, MNIST_DEEP, 1 << 14, 40, t0=t + 30.0)
+        assert devices[-10:].count("dgpu") >= 5
+
+
+class TestMechanics:
+    def test_decision_sources_labelled(self, base):
+        ada = AdaptiveScheduler(base, explore_rate=0.5, rng=4)
+        sources = set()
+        t = 0.0
+        for _ in range(30):
+            d, ev = ada.submit_virtual(MNIST_SMALL, 512, "throughput", arrival_s=t)
+            sources.add(d.source)
+            t = ev.time_ended + 0.01
+        assert "predictor" in sources
+        assert "explore" in sources
+
+    def test_unknown_policy_rejected(self, base):
+        from repro.errors import SchedulerError
+
+        ada = AdaptiveScheduler(base)
+        with pytest.raises(SchedulerError):
+            ada.submit_virtual(MNIST_SMALL, 8, Policy.LATENCY, arrival_s=0.0)
+
+    def test_invalid_params(self, base):
+        with pytest.raises(ValueError):
+            AdaptiveScheduler(base, explore_rate=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveScheduler(base, switch_margin=-0.1)
+
+    def test_stats_shape(self, base):
+        ada = AdaptiveScheduler(base, explore_rate=0.0, rng=0)
+        drain(ada, MNIST_SMALL, 64, 5)
+        stats = ada.stats()
+        assert set(stats) == {"predictor", "feedback_overrides", "explorations"}
+        assert sum(stats.values()) == 5
+
+
+class TestDeviceContention:
+    def test_background_load_slows_execution(self):
+        devices = get_all_devices()
+        dgpu = devices[2]
+        t_free, _ = dgpu.preview(MNIST_DEEP, 1024)
+        dgpu.set_background_load(0.5)
+        timing, _ = dgpu.execute(MNIST_DEEP, 1024, now=0.0)
+        dgpu.force_state(__import__("repro.ocl.device", fromlist=["DeviceState"]).DeviceState.IDLE)
+        assert timing.compute_warm_s > t_free.compute_warm_s
+
+    def test_invalid_load_rejected(self):
+        device = get_all_devices()[0]
+        with pytest.raises(ValueError):
+            device.set_background_load(1.0)
+        with pytest.raises(ValueError):
+            device.set_background_load(-0.1)
+
+    def test_preview_ignores_contention(self):
+        """Previews model the offline characterization, which contention
+        invalidates — that gap is what the adaptive layer closes."""
+        device = get_all_devices()[0]
+        before, _ = device.preview(MNIST_SMALL, 256)
+        device.set_background_load(0.8)
+        after, _ = device.preview(MNIST_SMALL, 256)
+        assert after.total_s == pytest.approx(before.total_s)

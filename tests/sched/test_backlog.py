@@ -1,0 +1,106 @@
+"""Backlog-aware placement under overload."""
+
+import pytest
+
+from repro.nn.zoo import MNIST_SMALL, SIMPLE
+from repro.ocl.context import Context
+from repro.ocl.platform import get_all_devices
+from repro.sched.backlog import BacklogAwareScheduler
+from repro.sched.dispatcher import Dispatcher
+from repro.sched.scheduler import OnlineScheduler
+
+
+@pytest.fixture()
+def base(trained_predictors):
+    ctx = Context(get_all_devices())
+    dispatcher = Dispatcher(ctx)
+    for spec in (SIMPLE, MNIST_SMALL):
+        dispatcher.deploy_fresh(spec, rng=0)
+    return OnlineScheduler(ctx, dispatcher, trained_predictors)
+
+
+class TestRanking:
+    def test_ranking_covers_all_classes(self, base):
+        bl = BacklogAwareScheduler(base)
+        ranked = bl.rank_devices(MNIST_SMALL, 1 << 15, "warm")
+        assert set(ranked) == {"cpu", "dgpu", "igpu"}
+
+    def test_top_rank_matches_predictor(self, base, trained_predictors):
+        from repro.sched.policies import Policy
+
+        bl = BacklogAwareScheduler(base)
+        pred = trained_predictors[Policy.THROUGHPUT]
+        for batch in (8, 1 << 15):
+            assert bl.rank_devices(MNIST_SMALL, batch, "warm")[0] == (
+                pred.predict_device(MNIST_SMALL, batch, "warm")
+            )
+
+
+class TestPlacement:
+    def test_idle_queues_follow_predictor(self, base):
+        bl = BacklogAwareScheduler(base)
+        decision, _ = bl.submit_virtual(MNIST_SMALL, 1 << 15, arrival_s=0.0)
+        assert decision.device == decision.ranked[0]
+        assert not decision.spilled
+
+    def test_flood_spills_to_second_choice(self, base):
+        """Back-to-back arrivals overwhelm the top device's queue; some
+        requests must spill to the runner-up instead of waiting."""
+        bl = BacklogAwareScheduler(base, max_rank=2)
+        devices = []
+        t = 0.0
+        for _ in range(40):
+            decision, _ = bl.submit_virtual(MNIST_SMALL, 1 << 15, arrival_s=t)
+            devices.append(decision.device)
+            t += 0.001  # 1 ms apart: far faster than service
+        assert bl.n_spills > 0
+        assert len(set(devices)) >= 2
+
+    def test_flood_reduces_tail_latency(self, base, trained_predictors):
+        """The point of spilling: lower completion times under overload
+        than single-device placement."""
+        arrivals = [i * 0.001 for i in range(40)]
+        batch = 1 << 15
+
+        # Backlog-aware run.
+        bl = BacklogAwareScheduler(base, max_rank=2)
+        bl_completions = []
+        for t in arrivals:
+            _, ev = bl.submit_virtual(MNIST_SMALL, batch, arrival_s=t)
+            bl_completions.append(ev.time_ended - t)
+
+        # Plain run on a fresh testbed: everything on the predictor's pick.
+        ctx = Context(get_all_devices())
+        disp = Dispatcher(ctx)
+        disp.deploy_fresh(MNIST_SMALL, rng=0)
+        plain = OnlineScheduler(ctx, disp, trained_predictors)
+        plain_completions = []
+        for t in arrivals:
+            decision = plain.decide(MNIST_SMALL, batch, "throughput")
+            q = plain.queue_for(decision.device_name)
+            if q.current_time < t:
+                q.advance_to(t)
+            kernel = plain.dispatcher.kernel_for(decision.device_name, "mnist-small")
+            ev = q.enqueue_inference_virtual(kernel, batch)
+            plain_completions.append(ev.time_ended - t)
+
+        assert max(bl_completions) < max(plain_completions)
+
+    def test_max_rank_one_never_spills(self, base):
+        bl = BacklogAwareScheduler(base, max_rank=1)
+        t = 0.0
+        for _ in range(20):
+            decision, ev = bl.submit_virtual(MNIST_SMALL, 1 << 15, arrival_s=t)
+            assert decision.device == decision.ranked[0]
+            t += 0.001
+        assert bl.n_spills == 0
+
+    def test_invalid_max_rank(self, base):
+        with pytest.raises(ValueError):
+            BacklogAwareScheduler(base, max_rank=0)
+
+    def test_wait_reported(self, base):
+        bl = BacklogAwareScheduler(base, max_rank=1)
+        bl.submit_virtual(MNIST_SMALL, 1 << 16, arrival_s=0.0)
+        decision, _ = bl.submit_virtual(MNIST_SMALL, 1 << 16, arrival_s=0.0)
+        assert decision.wait_s > 0.0

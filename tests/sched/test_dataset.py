@@ -1,0 +1,117 @@
+"""Scheduler dataset generation (§V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.zoo import MNIST_SMALL, SIMPLE, list_model_specs
+from repro.sched.dataset import (
+    DEFAULT_BATCHES,
+    DEVICE_CLASSES,
+    SchedulerDataset,
+    device_class_index,
+    generate_dataset,
+)
+from repro.sched.features import FEATURE_NAMES
+from repro.sched.policies import Policy
+
+
+class TestDeviceClasses:
+    def test_paper_order(self):
+        assert DEVICE_CLASSES == ("cpu", "dgpu", "igpu")
+
+    def test_index_by_name_or_class(self):
+        assert device_class_index("i7-8700") == 0
+        assert device_class_index("dgpu") == 1
+        assert device_class_index("uhd-630") == 2
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            device_class_index("fpga-x")
+
+
+class TestDefaultBatches:
+    def test_scale_matches_paper(self):
+        """35 sizes x 21 architectures x 2 states = 1470 ~ paper's 1480."""
+        assert len(DEFAULT_BATCHES) * 21 * 2 == 1470
+
+    def test_sorted_unique(self):
+        assert list(DEFAULT_BATCHES) == sorted(set(DEFAULT_BATCHES))
+
+    def test_range(self):
+        assert DEFAULT_BATCHES[0] == 1
+        assert DEFAULT_BATCHES[-1] == 3 * 2**16  # the largest mid-point
+
+
+class TestGeneration:
+    def test_full_size(self, throughput_dataset):
+        assert throughput_dataset.n_samples == 1470
+        assert throughput_dataset.x.shape == (1470, len(FEATURE_NAMES))
+
+    def test_covers_training_specs(self, throughput_dataset):
+        assert set(throughput_dataset.specs) == {
+            s.name for s in list_model_specs("training")
+        }
+
+    def test_both_gpu_states(self, throughput_dataset):
+        assert set(throughput_dataset.gpu_states) == {"warm", "idle"}
+
+    def test_labels_in_range(self, throughput_dataset):
+        assert set(np.unique(throughput_dataset.y)) <= {0, 1, 2}
+
+    def test_imbalanced_as_in_paper(self, throughput_dataset):
+        """§V-B: the classes end up imbalanced (no class dominates fully)."""
+        dist = throughput_dataset.class_distribution()
+        assert max(dist.values()) < 0.75
+        assert all(v > 0.02 for v in dist.values())
+
+    def test_labels_match_oracle(self, session, throughput_dataset):
+        """Spot-check: the recorded label is the measured best device."""
+        idx = 100
+        spec_name = throughput_dataset.specs[idx]
+        spec = next(s for s in list_model_specs("training") if s.name == spec_name)
+        batch = int(throughput_dataset.batches[idx])
+        state = throughput_dataset.gpu_states[idx]
+        oracle = session.best_device(spec, batch, state, "throughput")
+        assert throughput_dataset.y[idx] == device_class_index(oracle)
+
+    def test_deterministic(self):
+        a = generate_dataset("energy", specs=[SIMPLE], batches=(1, 64))
+        b = generate_dataset("energy", specs=[SIMPLE], batches=(1, 64))
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_policies_label_differently(self):
+        specs = [MNIST_SMALL]
+        batches = (8, 512, 32768)
+        tput = generate_dataset("throughput", specs=specs, batches=batches)
+        energy = generate_dataset("energy", specs=specs, batches=batches)
+        assert not np.array_equal(tput.y, energy.y)
+
+
+class TestDatasetOps:
+    def test_subset_by_models(self, throughput_dataset):
+        sub = throughput_dataset.subset_by_models({"simple"})
+        assert set(sub.specs) == {"simple"}
+        assert sub.n_samples == len(DEFAULT_BATCHES) * 2
+
+    def test_merge(self):
+        a = generate_dataset("throughput", specs=[SIMPLE], batches=(1, 8))
+        b = generate_dataset("throughput", specs=[MNIST_SMALL], batches=(1, 8))
+        merged = a.merge(b)
+        assert merged.n_samples == a.n_samples + b.n_samples
+
+    def test_row_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerDataset(
+                policy=Policy.THROUGHPUT,
+                x=np.zeros((3, len(FEATURE_NAMES))),
+                y=np.zeros(2, dtype=np.int64),
+            )
+
+    def test_bad_feature_width_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerDataset(
+                policy=Policy.THROUGHPUT,
+                x=np.zeros((3, 2)),
+                y=np.zeros(3, dtype=np.int64),
+            )

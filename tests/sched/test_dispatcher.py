@@ -1,0 +1,80 @@
+"""The Fig. 2 dispatcher pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError
+from repro.nn.builders import build_model
+from repro.nn.zoo import MNIST_CNN, SIMPLE
+from repro.ocl.context import Context
+from repro.ocl.platform import get_all_devices
+from repro.sched.dispatcher import Dispatcher
+
+
+@pytest.fixture()
+def ctx():
+    return Context(get_all_devices())
+
+
+@pytest.fixture()
+def dispatcher(ctx):
+    return Dispatcher(ctx)
+
+
+class TestPipeline:
+    def test_build_then_weights_then_deploy(self, dispatcher, rng):
+        model = dispatcher.build_model(SIMPLE, rng=0)
+        donor = build_model(SIMPLE, rng=4)
+        dispatcher.load_weights(SIMPLE, donor.get_weights())
+        dispatcher.deploy(SIMPLE)
+        x = rng.standard_normal((3, 4)).astype(np.float32)
+        for dev in ("i7-8700", "uhd-630", "gtx-1080ti"):
+            kernel = dispatcher.kernel_for(dev, "simple")
+            np.testing.assert_array_equal(kernel.run(x), donor.forward(x))
+        assert model.get_weights().keys() == donor.get_weights().keys()
+
+    def test_deploy_fresh(self, dispatcher, rng):
+        dispatcher.deploy_fresh(MNIST_CNN, rng=1)
+        kernel = dispatcher.kernel_for("gtx-1080ti", "mnist-cnn")
+        x = rng.standard_normal((2, 28, 28, 1)).astype(np.float32)
+        assert kernel.run(x).shape == (2, 10)
+
+    def test_weights_before_build_rejected(self, dispatcher):
+        with pytest.raises(SchedulerError, match="build_model"):
+            dispatcher.load_weights(SIMPLE, {})
+
+    def test_kernel_before_deploy_rejected(self, dispatcher):
+        dispatcher.build_model(SIMPLE, rng=0)
+        with pytest.raises(SchedulerError, match="deploy"):
+            dispatcher.kernel_for("i7-8700", "simple")
+
+    def test_unknown_device(self, dispatcher):
+        dispatcher.deploy_fresh(SIMPLE, rng=0)
+        with pytest.raises(SchedulerError, match="unknown device"):
+            dispatcher.kernel_for("tpu", "simple")
+
+    def test_deployed_models_listing(self, dispatcher):
+        dispatcher.deploy_fresh(SIMPLE, rng=0)
+        dispatcher.deploy_fresh(MNIST_CNN, rng=0)
+        assert dispatcher.deployed_models() == ["mnist-cnn", "simple"]
+
+
+class TestUploadCosts:
+    def test_dgpu_upload_slower_than_mapped(self, dispatcher):
+        dispatcher.deploy_fresh(MNIST_CNN, rng=0)
+        dgpu = dispatcher.upload_seconds("gtx-1080ti", "mnist-cnn")
+        cpu = dispatcher.upload_seconds("i7-8700", "mnist-cnn")
+        assert dgpu > cpu
+
+    def test_upload_before_deploy_rejected(self, dispatcher):
+        with pytest.raises(SchedulerError):
+            dispatcher.upload_seconds("i7-8700", "simple")
+
+    def test_bigger_model_bigger_upload(self, dispatcher):
+        from repro.nn.zoo import MNIST_DEEP
+
+        dispatcher.deploy_fresh(SIMPLE, rng=0)
+        dispatcher.deploy_fresh(MNIST_DEEP, rng=0)
+        assert dispatcher.upload_seconds("gtx-1080ti", "mnist-deep") > (
+            dispatcher.upload_seconds("gtx-1080ti", "simple")
+        )

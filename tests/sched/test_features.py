@@ -1,0 +1,78 @@
+"""Feature encoding (§V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.zoo import CIFAR10, MNIST_DEEP, SIMPLE
+from repro.sched.features import (
+    FEATURE_NAMES,
+    encode_batch_grid,
+    encode_point,
+    encode_spec,
+)
+
+
+class TestEncodeSpec:
+    def test_ffnn_fields(self):
+        v = encode_spec(MNIST_DEEP)
+        named = dict(zip(FEATURE_NAMES[:7], v))
+        assert named["is_cnn"] == 0.0
+        assert named["depth"] == 6.0
+        assert named["total_neurons"] == MNIST_DEEP.total_neurons
+        assert named["vgg_blocks"] == 0.0
+
+    def test_cnn_fields(self):
+        v = encode_spec(CIFAR10)
+        named = dict(zip(FEATURE_NAMES[:7], v))
+        assert named["is_cnn"] == 1.0
+        assert named["vgg_blocks"] == 3.0
+        assert named["convs_per_block"] == 2.0
+        assert named["filter_size"] == 3.0
+        assert named["pool_size"] == 2.0
+
+    def test_raw_scales_preserved(self):
+        """No log transforms — the paper's raw encoding (see module doc)."""
+        v = encode_spec(MNIST_DEEP)
+        assert v[2] > 8000
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeError):
+            encode_spec("not-a-spec")
+
+
+class TestEncodePoint:
+    def test_length_matches_names(self):
+        v = encode_point(SIMPLE, 64, "warm")
+        assert v.shape == (len(FEATURE_NAMES),)
+
+    def test_batch_raw(self):
+        v = encode_point(SIMPLE, 131072, "warm")
+        assert v[FEATURE_NAMES.index("batch")] == 131072.0
+
+    def test_gpu_state_flag(self):
+        warm = encode_point(SIMPLE, 8, "warm")
+        idle = encode_point(SIMPLE, 8, "idle")
+        i = FEATURE_NAMES.index("gpu_warm")
+        assert warm[i] == 1.0
+        assert idle[i] == 0.0
+        np.testing.assert_array_equal(warm[:i], idle[:i])
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            encode_point(SIMPLE, 0, "warm")
+
+    def test_invalid_state(self):
+        with pytest.raises(ValueError):
+            encode_point(SIMPLE, 8, "hot")
+
+
+class TestBatchGrid:
+    def test_matches_pointwise(self):
+        batches = [1, 16, 256]
+        grid = encode_batch_grid(CIFAR10, batches, "idle")
+        for row, b in zip(grid, batches):
+            np.testing.assert_array_equal(row, encode_point(CIFAR10, b, "idle"))
+
+    def test_shape(self):
+        grid = encode_batch_grid(SIMPLE, [1, 2, 4, 8], "warm")
+        assert grid.shape == (4, len(FEATURE_NAMES))

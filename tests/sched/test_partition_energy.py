@@ -1,0 +1,108 @@
+"""Deadline-constrained energy-minimal partitioning."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.nn.zoo import MNIST_SMALL
+from repro.ocl.context import Context
+from repro.ocl.device import DeviceState
+from repro.ocl.platform import get_all_devices
+from repro.sched.dispatcher import Dispatcher
+from repro.sched.partition import AffineEnergyModel, AffineTimeModel, BatchPartitioner
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ctx = Context(get_all_devices())
+    dispatcher = Dispatcher(ctx)
+    dispatcher.deploy_fresh(MNIST_SMALL, rng=0)
+    return ctx, BatchPartitioner(dispatcher, ctx.devices)
+
+
+def makespan_deadline(part, batch, slack=1.0):
+    """A feasible deadline: the min-makespan plan's time times slack."""
+    return part.plan(MNIST_SMALL, batch).predicted_makespan_s * slack
+
+
+class TestEnergyModel:
+    def test_fit_positive(self):
+        for device in get_all_devices():
+            m = AffineEnergyModel.fit(device, MNIST_SMALL, DeviceState.WARM)
+            assert m.slope_j > 0
+            assert m.fixed_j >= 0
+
+    def test_igpu_cheapest_per_sample(self):
+        slopes = {
+            d.device_class.value: AffineEnergyModel.fit(
+                d, MNIST_SMALL, DeviceState.WARM
+            ).slope_j
+            for d in get_all_devices()
+        }
+        assert min(slopes, key=slopes.get) in ("igpu", "dgpu")
+
+    def test_zero_shard_zero_energy(self):
+        m = AffineEnergyModel("cpu", fixed_j=1.0, slope_j=0.1)
+        assert m.energy(0) == 0.0
+
+
+class TestPlanEnergy:
+    def test_meets_deadline(self, setup):
+        _, part = setup
+        batch = 1 << 16
+        deadline = makespan_deadline(part, batch, slack=2.0)
+        plan = part.plan_energy(MNIST_SMALL, batch, deadline)
+        assert plan.total == batch
+        assert plan.predicted_makespan_s <= deadline + 1e-12
+
+    def test_loose_deadline_prefers_efficient_devices(self, setup):
+        ctx, part = setup
+        batch = 1 << 14
+        tight = part.plan_energy(
+            MNIST_SMALL, batch, makespan_deadline(part, batch, slack=1.05)
+        )
+        loose = part.plan_energy(
+            MNIST_SMALL, batch, makespan_deadline(part, batch, slack=50.0)
+        )
+        e_tight = part.plan_energy_joules(tight, MNIST_SMALL)
+        e_loose = part.plan_energy_joules(loose, MNIST_SMALL)
+        assert e_loose <= e_tight + 1e-12
+
+    def test_energy_plan_never_cheaper_than_unconstrained_best(self, setup):
+        """With an effectively infinite deadline the plan collapses onto the
+        most efficient device(s)."""
+        _, part = setup
+        batch = 1 << 12
+        plan = part.plan_energy(MNIST_SMALL, batch, deadline_s=1e6)
+        assert plan.n_devices == 1  # everything on the cheapest device
+
+    def test_infeasible_deadline_raises(self, setup):
+        _, part = setup
+        with pytest.raises(SchedulerError, match="infeasible"):
+            part.plan_energy(MNIST_SMALL, 1 << 17, deadline_s=1e-6)
+
+    def test_tight_deadline_spreads_load(self, setup):
+        _, part = setup
+        batch = 1 << 17
+        deadline = makespan_deadline(part, batch, slack=1.1)
+        plan = part.plan_energy(MNIST_SMALL, batch, deadline)
+        assert plan.n_devices >= 2
+
+    def test_invalid_args(self, setup):
+        _, part = setup
+        with pytest.raises(ValueError):
+            part.plan_energy(MNIST_SMALL, 0, 1.0)
+        with pytest.raises(ValueError):
+            part.plan_energy(MNIST_SMALL, 8, 0.0)
+
+
+class TestTradeoffCurve:
+    def test_energy_monotone_in_deadline(self, setup):
+        """Looser deadlines never cost more joules (the Pareto frontier)."""
+        _, part = setup
+        batch = 1 << 15
+        base = makespan_deadline(part, batch)
+        joules = []
+        for slack in (1.05, 1.5, 3.0, 10.0):
+            plan = part.plan_energy(MNIST_SMALL, batch, base * slack)
+            joules.append(part.plan_energy_joules(plan, MNIST_SMALL))
+        assert all(b <= a + 1e-9 for a, b in zip(joules, joules[1:]))

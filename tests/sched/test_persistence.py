@@ -1,0 +1,78 @@
+"""Scheduler artifact persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError
+from repro.nn.zoo import MNIST_SMALL, SIMPLE, UNSEEN_SPECS
+from repro.sched.persistence import (
+    load_dataset,
+    load_predictor,
+    save_dataset,
+    save_predictor,
+)
+from repro.sched.predictor import DevicePredictor
+
+
+class TestDatasetRoundtrip:
+    def test_exact(self, small_throughput_dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_dataset(small_throughput_dataset, path)
+        loaded = load_dataset(path)
+        assert loaded.policy is small_throughput_dataset.policy
+        np.testing.assert_array_equal(loaded.x, small_throughput_dataset.x)
+        np.testing.assert_array_equal(loaded.y, small_throughput_dataset.y)
+        assert loaded.specs == small_throughput_dataset.specs
+        assert loaded.gpu_states == small_throughput_dataset.gpu_states
+        np.testing.assert_array_equal(
+            loaded.batches, small_throughput_dataset.batches
+        )
+
+    def test_loaded_dataset_trains(self, small_throughput_dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_dataset(small_throughput_dataset, path)
+        predictor = DevicePredictor("throughput").fit(load_dataset(path))
+        assert predictor.predict_device(SIMPLE, 8, "warm") in ("cpu", "dgpu", "igpu")
+
+    def test_version_guard(self, small_throughput_dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_dataset(small_throughput_dataset, path)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["version"] = np.int64(99)
+        np.savez(path, **payload)
+        with pytest.raises(SchedulerError, match="v99"):
+            load_dataset(path)
+
+
+class TestPredictorRoundtrip:
+    def test_predictions_identical(self, small_throughput_dataset, tmp_path):
+        predictor = DevicePredictor("throughput").fit(small_throughput_dataset)
+        path = tmp_path / "rf.pkl"
+        save_predictor(predictor, path)
+        loaded = load_predictor(path)
+        assert loaded.policy is predictor.policy
+        for spec in (SIMPLE, MNIST_SMALL, *UNSEEN_SPECS[:1]):
+            for batch in (8, 4096, 1 << 16):
+                for state in ("warm", "idle"):
+                    assert loaded.predict_device(spec, batch, state) == (
+                        predictor.predict_device(spec, batch, state)
+                    )
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(SchedulerError, match="unfitted"):
+            save_predictor(DevicePredictor("energy"), tmp_path / "x.pkl")
+
+    def test_version_guard(self, small_throughput_dataset, tmp_path):
+        import pickle
+
+        path = tmp_path / "rf.pkl"
+        predictor = DevicePredictor("throughput").fit(small_throughput_dataset)
+        save_predictor(predictor, path)
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        payload["version"] = 42
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh)
+        with pytest.raises(SchedulerError, match="v42"):
+            load_predictor(path)

@@ -1,0 +1,37 @@
+"""Scheduling policies."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.sched.policies import Policy
+
+
+class TestParse:
+    @pytest.mark.parametrize("value", ["throughput", "latency", "energy"])
+    def test_from_string(self, value):
+        assert Policy.parse(value).value == value
+
+    def test_idempotent(self):
+        assert Policy.parse(Policy.ENERGY) is Policy.ENERGY
+
+    def test_unknown(self):
+        with pytest.raises(PolicyError, match="throughput"):
+            Policy.parse("speed")
+
+
+class TestSemantics:
+    def test_throughput_maximizes(self):
+        assert Policy.THROUGHPUT.maximize
+        assert Policy.THROUGHPUT.better(5.0, 3.0)
+        assert not Policy.THROUGHPUT.better(3.0, 5.0)
+
+    def test_latency_minimizes(self):
+        assert not Policy.LATENCY.maximize
+        assert Policy.LATENCY.better(1.0, 2.0)
+
+    def test_energy_minimizes(self):
+        assert Policy.ENERGY.better(0.1, 0.2)
+
+    def test_metric_names(self):
+        assert Policy.THROUGHPUT.metric == "throughput"
+        assert Policy.ENERGY.metric == "energy"

@@ -1,0 +1,76 @@
+"""Device predictors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError
+from repro.ml import DecisionTreeClassifier
+from repro.nn.zoo import MNIST_DEEP, SIMPLE
+from repro.sched.dataset import generate_dataset
+from repro.sched.features import encode_point
+from repro.sched.policies import Policy
+from repro.sched.predictor import DevicePredictor, default_estimator
+
+
+class TestFit:
+    def test_policy_mismatch_rejected(self, throughput_dataset):
+        pred = DevicePredictor(Policy.ENERGY)
+        with pytest.raises(SchedulerError, match="policy"):
+            pred.fit(throughput_dataset)
+
+    def test_unfitted_use_rejected(self):
+        with pytest.raises(SchedulerError, match="fit"):
+            DevicePredictor("throughput").predict_device(SIMPLE, 8, "warm")
+
+    def test_custom_estimator(self, small_throughput_dataset):
+        pred = DevicePredictor("throughput", DecisionTreeClassifier(max_depth=8))
+        pred.fit(small_throughput_dataset)
+        assert pred.predict_device(SIMPLE, 8, "warm") in ("cpu", "dgpu", "igpu")
+
+    def test_refit_uses_fresh_clone(self, small_throughput_dataset):
+        pred = DevicePredictor("throughput")
+        est_before = pred.estimator
+        pred.fit(small_throughput_dataset)
+        assert pred.estimator is not est_before
+
+
+class TestPredictions:
+    def test_training_points_mostly_correct(self, trained_predictors, throughput_dataset):
+        pred = trained_predictors[Policy.THROUGHPUT]
+        acc = np.mean(pred.predict_batch(throughput_dataset.x) == throughput_dataset.y)
+        assert acc > 0.95  # in-sample
+
+    def test_known_crossover_simple(self, trained_predictors):
+        """Fig. 3(a): CPU wins small batches on the Simple model."""
+        pred = trained_predictors[Policy.THROUGHPUT]
+        assert pred.predict_device(SIMPLE, 8, "warm") == "cpu"
+
+    def test_known_crossover_deep_large(self, trained_predictors):
+        pred = trained_predictors[Policy.THROUGHPUT]
+        assert pred.predict_device(MNIST_DEEP, 1 << 16, "warm") == "dgpu"
+
+    def test_energy_small_batch_prefers_igpu(self, trained_predictors):
+        pred = trained_predictors[Policy.ENERGY]
+        assert pred.predict_device(MNIST_DEEP, 4, "warm") == "igpu"
+
+    def test_index_and_device_agree(self, trained_predictors):
+        pred = trained_predictors[Policy.THROUGHPUT]
+        idx = pred.predict_index(SIMPLE, 64, "idle")
+        assert pred.predict_device(SIMPLE, 64, "idle") == ("cpu", "dgpu", "igpu")[idx]
+
+    def test_batch_prediction_matches_single(self, trained_predictors):
+        pred = trained_predictors[Policy.THROUGHPUT]
+        feats = np.vstack(
+            [encode_point(SIMPLE, b, "warm") for b in (1, 64, 4096)]
+        )
+        batch_preds = pred.predict_batch(feats)
+        singles = [pred.predict_index(SIMPLE, b, "warm") for b in (1, 64, 4096)]
+        np.testing.assert_array_equal(batch_preds, singles)
+
+
+class TestDefaultEstimator:
+    def test_is_tuned_forest(self):
+        est = default_estimator()
+        assert est.n_estimators == 50
+        assert est.criterion == "entropy"
+        assert est.max_depth == 10

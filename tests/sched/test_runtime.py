@@ -1,0 +1,154 @@
+"""Streaming runtime: adaptivity under live traffic."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.nn.zoo import MNIST_DEEP, MNIST_SMALL, SIMPLE
+from repro.ocl.context import Context
+from repro.ocl.platform import get_all_devices
+from repro.sched.dispatcher import Dispatcher
+from repro.sched.runtime import StreamRunner, StreamResult
+from repro.sched.scheduler import OnlineScheduler
+from repro.workloads.requests import InferenceRequest, RequestTrace
+from repro.workloads.streams import BurstStream, ConstantStream
+
+SPECS = {s.name: s for s in (SIMPLE, MNIST_SMALL, MNIST_DEEP)}
+
+
+@pytest.fixture()
+def runner(trained_predictors):
+    ctx = Context(get_all_devices())
+    dispatcher = Dispatcher(ctx)
+    for spec in SPECS.values():
+        dispatcher.deploy_fresh(spec, rng=0)
+    scheduler = OnlineScheduler(ctx, dispatcher, trained_predictors)
+    return StreamRunner(scheduler, SPECS, cost_oracle=True)
+
+
+def trace_of(pairs, model="mnist-small", policy="throughput"):
+    return RequestTrace(
+        requests=tuple(
+            InferenceRequest(request_id=i, arrival_s=t, model=model, batch=b, policy=policy)
+            for i, (t, b) in enumerate(pairs)
+        )
+    )
+
+
+class TestBasicStreaming:
+    def test_serves_all_requests(self, runner):
+        result = runner.run(trace_of([(0.0, 64), (0.5, 256), (1.0, 1024)]))
+        assert len(result) == 3
+
+    def test_records_consistent(self, runner):
+        result = runner.run(trace_of([(0.0, 64), (0.2, 512)]))
+        for r in result.records:
+            assert r.end_s > r.start_s
+            assert r.start_s >= r.request.arrival_s
+            assert r.wait_s >= 0.0
+            assert r.energy_j > 0.0
+
+    def test_queueing_delay_under_backlog(self, runner):
+        """Back-to-back big requests on one device must queue."""
+        result = runner.run(
+            trace_of([(0.0, 1 << 15), (0.0001, 1 << 15), (0.0002, 1 << 15)])
+        )
+        assert result.records[-1].wait_s > 0.0
+
+    def test_unknown_model_rejected(self, runner):
+        trace = trace_of([(0.0, 8)], model="resnet")
+        with pytest.raises(SchedulerError, match="unknown model"):
+            runner.run(trace)
+
+    def test_accuracy_reported_with_oracle(self, runner):
+        result = runner.run(trace_of([(0.0, 16), (0.5, 1 << 14)]))
+        assert 0.0 <= result.prediction_accuracy <= 1.0
+
+    def test_accuracy_requires_oracle(self, trained_predictors):
+        ctx = Context(get_all_devices())
+        dispatcher = Dispatcher(ctx)
+        dispatcher.deploy_fresh(SIMPLE, rng=0)
+        runner = StreamRunner(
+            OnlineScheduler(ctx, dispatcher, trained_predictors),
+            {"simple": SIMPLE},
+            cost_oracle=False,
+        )
+        result = runner.run(trace_of([(0.0, 8)], model="simple"))
+        with pytest.raises(SchedulerError):
+            _ = result.prediction_accuracy
+
+
+class TestAdaptivity:
+    def test_gpu_state_reprobed_per_request(self, runner):
+        """A burst warms the dGPU; a later lull lets it cool again."""
+        pairs = [(0.01 * i, 1 << 15) for i in range(8)]       # hot burst
+        pairs.append((pairs[-1][0] + 30.0, 64))               # after a long lull
+        result = runner.run(trace_of(pairs))
+        assert result.records[-2].gpu_state == "warm"
+        assert result.records[-1].gpu_state == "idle"
+
+    def test_mixed_batches_use_multiple_devices(self, runner):
+        pairs = [(0.1 * i, 8 if i % 2 else 1 << 15) for i in range(10)]
+        result = runner.run(trace_of(pairs))
+        assert len(result.device_shares()) >= 2
+
+    def test_energy_policy_routes_differently(self, runner):
+        tput = runner.run(trace_of([(0.0, 256)], model="mnist-deep"))
+        energy = runner.run(
+            trace_of([(100.0, 256)], model="mnist-deep", policy="energy")
+        )
+        assert tput.records[0].device != energy.records[0].device
+
+
+class TestAggregates:
+    def test_totals(self, runner):
+        result = runner.run(trace_of([(0.0, 100), (1.0, 200)]))
+        assert result.total_samples == 300
+        assert result.total_energy_j == pytest.approx(
+            sum(r.energy_j for r in result.records)
+        )
+        assert result.makespan_s >= 1.0
+
+    def test_latency_stats(self, runner):
+        result = runner.run(trace_of([(0.0, 64), (0.5, 64), (1.0, 64)]))
+        assert result.mean_latency_s > 0
+        assert result.latency_percentile(50) <= result.latency_percentile(99)
+
+    def test_empty_result_guards(self):
+        empty = StreamResult()
+        assert empty.makespan_s == 0.0
+        assert empty.device_shares() == {}
+        with pytest.raises(SchedulerError):
+            empty.latency_percentile(50)
+
+    def test_records_between(self, runner):
+        result = runner.run(trace_of([(0.0, 8), (1.0, 8), (2.0, 8)]))
+        assert len(result.records_between(0.5, 1.5)) == 1
+
+
+class TestStreamIntegration:
+    def test_constant_stream_end_to_end(self, runner):
+        from repro.workloads.requests import make_trace
+
+        trace = make_trace(
+            ConstantStream(horizon_s=2.0, interval_s=0.25, batch=128),
+            [MNIST_SMALL],
+            rng=0,
+        )
+        result = runner.run(trace)
+        assert len(result) == 8
+
+    def test_burst_stream_shifts_placement(self, runner):
+        from repro.workloads.requests import make_trace
+
+        stream = BurstStream(
+            horizon_s=4.0, base_rate_hz=4, burst_factor=16,
+            burst_duration_s=0.5, burst_every_s=2.0, base_batch=16,
+        )
+        trace = make_trace(stream, [MNIST_SMALL], rng=1)
+        result = runner.run(trace)
+        # Burst requests (big batches) and quiet requests (small) should
+        # land on different devices at least once.
+        devices_small = {r.device for r in result.records if r.request.batch <= 16}
+        devices_big = {r.device for r in result.records if r.request.batch > 128}
+        assert devices_big and devices_small
+        assert devices_big != devices_small

@@ -1,0 +1,101 @@
+"""The online scheduler (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError
+from repro.nn.zoo import MNIST_DEEP, MNIST_SMALL, SIMPLE
+from repro.ocl.context import Context
+from repro.ocl.platform import get_all_devices
+from repro.sched.dispatcher import Dispatcher
+from repro.sched.policies import Policy
+from repro.sched.scheduler import OnlineScheduler
+
+
+@pytest.fixture()
+def scheduler(trained_predictors):
+    ctx = Context(get_all_devices())
+    dispatcher = Dispatcher(ctx)
+    for spec in (SIMPLE, MNIST_SMALL, MNIST_DEEP):
+        dispatcher.deploy_fresh(spec, rng=0)
+    return OnlineScheduler(ctx, dispatcher, trained_predictors)
+
+
+class TestConstruction:
+    def test_needs_predictors(self, trained_predictors):
+        ctx = Context(get_all_devices())
+        with pytest.raises(SchedulerError):
+            OnlineScheduler(ctx, Dispatcher(ctx), {})
+
+    def test_predictor_list_accepted(self, trained_predictors):
+        ctx = Context(get_all_devices())
+        sched = OnlineScheduler(
+            ctx, Dispatcher(ctx), list(trained_predictors.values())
+        )
+        assert Policy.THROUGHPUT in sched.predictors
+
+
+class TestProbe:
+    def test_initially_idle(self, scheduler):
+        assert scheduler.probe_gpu_state() == "idle"
+
+    def test_no_dgpu_degrades_to_warm(self, trained_predictors):
+        devices = [d for d in get_all_devices() if d.device_class.value != "dgpu"]
+        ctx = Context(devices)
+        sched = OnlineScheduler(ctx, Dispatcher(ctx), trained_predictors)
+        assert sched.probe_gpu_state() == "warm"
+
+
+class TestDecide:
+    def test_decision_fields(self, scheduler):
+        d = scheduler.decide(SIMPLE, 64, "throughput")
+        assert d.model == "simple"
+        assert d.batch == 64
+        assert d.policy is Policy.THROUGHPUT
+        assert d.gpu_state == "idle"
+        assert d.device in ("cpu", "dgpu", "igpu")
+
+    def test_small_simple_goes_to_cpu(self, scheduler):
+        d = scheduler.decide(SIMPLE, 8, "throughput")
+        assert d.device == "cpu"
+
+    def test_unknown_policy_predictor(self, scheduler):
+        with pytest.raises(SchedulerError, match="latency"):
+            scheduler.decide(SIMPLE, 8, "latency")
+
+    def test_gpu_state_feeds_decision(self, scheduler):
+        """Idle vs warm dGPU can flip the placement (the adaptivity claim)."""
+        idle_decision = scheduler.decide(MNIST_SMALL, 512, "throughput")
+        scheduler.context.get_device("dgpu").force_state(
+            __import__("repro.ocl.device", fromlist=["DeviceState"]).DeviceState.WARM
+        )
+        warm_decision = scheduler.decide(MNIST_SMALL, 512, "throughput")
+        assert idle_decision.gpu_state == "idle"
+        assert warm_decision.gpu_state == "warm"
+        assert warm_decision.device == "dgpu"
+
+
+class TestSubmit:
+    def test_dispatches_and_classifies(self, scheduler, rng):
+        x = rng.standard_normal((32, 4)).astype(np.float32)
+        decision, event = scheduler.submit(SIMPLE, x, "throughput")
+        assert event.meta["scores"].shape == (32, 3)
+        assert event.energy.total_j > 0
+        queue = scheduler.queue_for(decision.device_name)
+        assert queue.current_time == pytest.approx(event.time_ended)
+
+    def test_submissions_warm_the_dgpu(self, scheduler, rng):
+        x = rng.standard_normal((1 << 14, 784)).astype(np.float32)
+        # Large batches route to the dGPU and warm it up.
+        scheduler.submit(MNIST_SMALL, x, "throughput")
+        scheduler.submit(MNIST_SMALL, x, "throughput")
+        assert scheduler.probe_gpu_state() == "warm"
+
+    def test_advance_all(self, scheduler):
+        scheduler.advance_all(3.0)
+        for name in ("i7-8700", "uhd-630", "gtx-1080ti"):
+            assert scheduler.queue_for(name).current_time >= 3.0
+
+    def test_queue_for_unknown(self, scheduler):
+        with pytest.raises(SchedulerError):
+            scheduler.queue_for("npu")

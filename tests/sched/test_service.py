@@ -1,0 +1,114 @@
+"""The InferenceService façade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError
+from repro.nn.builders import build_model
+from repro.nn.zoo import MNIST_SMALL, SIMPLE
+from repro.sched.policies import Policy
+from repro.sched.service import InferenceService
+
+WARMUP_BATCHES = (1, 16, 256, 4096, 65536)
+
+
+@pytest.fixture(scope="module")
+def service():
+    return (
+        InferenceService(seed=3)
+        .deploy(SIMPLE, rng=0)
+        .deploy(MNIST_SMALL, rng=0)
+        .warm_up(batches=WARMUP_BATCHES)
+    )
+
+
+class TestLifecycle:
+    def test_warmup_requires_models(self):
+        with pytest.raises(SchedulerError, match="deploy"):
+            InferenceService().warm_up()
+
+    def test_classify_requires_warmup(self):
+        svc = InferenceService().deploy(SIMPLE, rng=0)
+        with pytest.raises(SchedulerError, match="warm_up"):
+            svc.classify("simple", np.zeros((1, 4), dtype=np.float32))
+
+    def test_needs_policies(self):
+        with pytest.raises(SchedulerError):
+            InferenceService(policies=())
+
+    def test_deployed_models(self, service):
+        assert service.deployed_models() == ["mnist-small", "simple"]
+
+    def test_ready_flag(self, service):
+        assert service.ready
+
+
+class TestClassify:
+    def test_real_scores(self, service, rng):
+        x = rng.standard_normal((16, 4)).astype(np.float32)
+        response = service.classify("simple", x)
+        assert response.scores.shape == (16, 3)
+        assert response.labels.shape == (16,)
+        assert response.device in ("cpu", "dgpu", "igpu")
+        assert response.latency_s > 0
+        assert response.energy_j > 0
+
+    def test_scores_match_deployed_weights(self, rng):
+        donor = build_model(SIMPLE, rng=9)
+        svc = (
+            InferenceService(adaptive=False)
+            .deploy(SIMPLE, weights=donor.get_weights())
+            .warm_up(batches=WARMUP_BATCHES)
+        )
+        x = rng.standard_normal((4, 4)).astype(np.float32)
+        response = svc.classify("simple", x)
+        np.testing.assert_array_equal(response.scores, donor.forward(x))
+
+    def test_policy_routing_differs(self, service, rng):
+        x = rng.standard_normal((8192, 784)).astype(np.float32)
+        tput = service.classify("mnist-small", x, policy="throughput")
+        energy = service.classify("mnist-small", x, policy="energy")
+        assert tput.policy == "throughput"
+        assert energy.policy == "energy"
+
+    def test_unknown_model(self, service, rng):
+        with pytest.raises(SchedulerError, match="not deployed"):
+            service.classify("resnet", rng.standard_normal((1, 4)).astype(np.float32))
+
+    def test_unsupported_policy(self, service, rng):
+        with pytest.raises(SchedulerError, match="policy"):
+            service.classify(
+                "simple",
+                rng.standard_normal((1, 4)).astype(np.float32),
+                policy=Policy.LATENCY,
+            )
+
+    def test_virtual_time_advances(self, service, rng):
+        before = service.stats()["virtual_time_s"]
+        service.classify("simple", rng.standard_normal((64, 4)).astype(np.float32))
+        assert service.stats()["virtual_time_s"] > before
+
+    def test_arrival_placement(self, service, rng):
+        t = service.stats()["virtual_time_s"] + 100.0
+        response = service.classify(
+            "simple", rng.standard_normal((8, 4)).astype(np.float32), arrival_s=t
+        )
+        assert response.gpu_state == "idle"  # dGPU cooled during the gap
+
+
+class TestAdaptiveIntegration:
+    def test_stats_include_sources(self, service, rng):
+        service.classify("simple", rng.standard_normal((4, 4)).astype(np.float32))
+        stats = service.stats()
+        assert "feedback_overrides" in stats
+        assert "explorations" in stats
+
+    def test_non_adaptive_mode(self, rng):
+        svc = (
+            InferenceService(adaptive=False)
+            .deploy(SIMPLE, rng=0)
+            .warm_up(batches=WARMUP_BATCHES)
+        )
+        response = svc.classify("simple", rng.standard_normal((4, 4)).astype(np.float32))
+        assert response.decision_source == "predictor"
+        assert "feedback_overrides" not in svc.stats()

@@ -1,0 +1,38 @@
+"""Virtual clock."""
+
+import pytest
+
+from repro.sim.clock import VirtualClock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_advance_to(self):
+        c = VirtualClock()
+        assert c.advance_to(3.0) == 3.0
+        assert c.now == 3.0
+
+    def test_advance_by(self):
+        c = VirtualClock(1.0)
+        c.advance_by(2.0)
+        assert c.now == 3.0
+
+    def test_backwards_rejected(self):
+        c = VirtualClock(5.0)
+        with pytest.raises(ValueError):
+            c.advance_to(4.0)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance_by(-1.0)
+
+    def test_zero_advance_ok(self):
+        c = VirtualClock(2.0)
+        c.advance_to(2.0)
+        c.advance_by(0.0)
+        assert c.now == 2.0

@@ -1,0 +1,92 @@
+"""Discrete-event loop."""
+
+import pytest
+
+from repro.sim.engine import EventLoop
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(2.0, lambda l: order.append("b"))
+        loop.schedule(1.0, lambda l: order.append("a"))
+        loop.schedule(3.0, lambda l: order.append("c"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fifo(self):
+        loop = EventLoop()
+        order = []
+        for tag in "xyz":
+            loop.schedule(1.0, lambda l, t=tag: order.append(t))
+        loop.run()
+        assert order == ["x", "y", "z"]
+
+    def test_clock_tracks_events(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule(1.5, lambda l: times.append(l.now))
+        loop.schedule(4.0, lambda l: times.append(l.now))
+        loop.run()
+        assert times == [1.5, 4.0]
+        assert loop.now == 4.0
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda l: None)
+        loop.run()
+        with pytest.raises(ValueError):
+            loop.schedule(0.5, lambda l: None)
+
+    def test_schedule_after(self):
+        loop = EventLoop(start=2.0)
+        fired = []
+        loop.schedule_after(1.0, lambda l: fired.append(l.now))
+        loop.run()
+        assert fired == [3.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule_after(-1.0, lambda l: None)
+
+
+class TestCascading:
+    def test_events_schedule_events(self):
+        loop = EventLoop()
+        hits = []
+
+        def ping(l):
+            hits.append(l.now)
+            if len(hits) < 5:
+                l.schedule_after(1.0, ping)
+
+        loop.schedule(0.0, ping)
+        loop.run()
+        assert hits == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_run_until_horizon(self):
+        loop = EventLoop()
+
+        def ping(l):
+            l.schedule_after(1.0, ping)
+
+        loop.schedule(0.0, ping)
+        loop.run(until=3.5)
+        assert loop.now == 3.5
+        assert loop.pending == 1  # next ping still queued
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def ping(l):
+            l.schedule_after(0.1, ping)
+
+        loop.schedule(0.0, ping)
+        loop.run(max_events=10)
+        assert loop.processed == 10
+
+    def test_run_until_advances_idle_clock(self):
+        loop = EventLoop()
+        loop.run(until=7.0)
+        assert loop.now == 7.0

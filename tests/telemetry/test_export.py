@@ -1,0 +1,95 @@
+"""Figure data exports."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.fig3 import run_fig3
+from repro.nn.zoo import MNIST_SMALL, SIMPLE
+from repro.telemetry.export import CURVES, export_figure_dats, figure_dat
+from repro.telemetry.recorder import SweepRecorder
+
+
+@pytest.fixture(scope="module")
+def recorder():
+    return run_fig3(models=(SIMPLE, MNIST_SMALL), batches=(1, 64, 4096)).recorder
+
+
+class TestFigureDat:
+    def test_header_and_rows(self, recorder):
+        text = figure_dat(recorder, "simple", "throughput")
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("# batch")
+        assert len(lines) == 4  # header + 3 batches
+
+    def test_columns_match_curves(self, recorder):
+        text = figure_dat(recorder, "simple", "latency")
+        header = text.splitlines()[0]
+        for _, _, name in CURVES:
+            assert name in header
+        first_row = text.splitlines()[1].split("\t")
+        assert len(first_row) == 1 + len(CURVES)
+
+    def test_values_match_recorder(self, recorder):
+        text = figure_dat(recorder, "mnist-small", "throughput")
+        row = dict(
+            zip(
+                ("batch", "cpu", "igpu", "dgpu_warm", "dgpu_idle"),
+                text.splitlines()[2].split("\t"),
+            )
+        )
+        expected = recorder.get("mnist-small", "i7-8700", "warm", 64).throughput_gbit_s
+        assert float(row["cpu"]) == pytest.approx(expected)
+
+    def test_unknown_metric(self, recorder):
+        with pytest.raises(ExperimentError):
+            figure_dat(recorder, "simple", "flops")
+
+    def test_unknown_model(self, recorder):
+        with pytest.raises(ExperimentError, match="no sweep cells"):
+            figure_dat(recorder, "resnet", "throughput")
+
+    def test_partial_sweep_fails_loudly(self):
+        partial = SweepRecorder()
+        full = run_fig3(models=(SIMPLE,), batches=(1, 64)).recorder
+        for m in full.select(device="i7-8700"):
+            partial.add(m)
+        with pytest.raises(ExperimentError, match="missing"):
+            figure_dat(partial, "simple", "throughput")
+
+
+class TestExportDats:
+    def test_writes_per_model_metric(self, recorder, tmp_path):
+        paths = export_figure_dats(recorder, tmp_path, metrics=("throughput", "energy"))
+        assert len(paths) == 2 * 2
+        for path in paths:
+            with open(path) as fh:
+                assert fh.readline().startswith("# batch")
+
+    def test_model_filter(self, recorder, tmp_path):
+        paths = export_figure_dats(
+            recorder, tmp_path, models=["simple"], metrics=("latency",)
+        )
+        assert len(paths) == 1
+        assert paths[0].endswith("simple_latency.dat")
+
+
+class TestCLIExports:
+    def test_csv_flag(self, tmp_path):
+        target = tmp_path / "fig4.csv"
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", "fig4", "--out",
+             str(tmp_path / "render.txt"), "--csv", str(target)],
+            capture_output=True, text=True, check=True, timeout=600,
+        )
+        assert target.read_text().startswith("model,")
+
+    def test_csv_rejected_for_tables(self, tmp_path):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "table1", "--csv",
+             str(tmp_path / "x.csv")],
+            capture_output=True, text=True, timeout=600,
+        )
+        assert proc.returncode != 0

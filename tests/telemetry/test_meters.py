@@ -1,0 +1,65 @@
+"""Energy meters: sampling and integration."""
+
+import pytest
+
+from repro.telemetry.meters import EnergyMeter, PowerSample
+
+
+class TestPowerSample:
+    def test_joules(self):
+        assert PowerSample(1.0, 3.0, 10.0).joules == pytest.approx(20.0)
+
+    def test_backwards_interval(self):
+        with pytest.raises(ValueError):
+            PowerSample(3.0, 1.0, 10.0)
+
+    def test_negative_watts(self):
+        with pytest.raises(ValueError):
+            PowerSample(0.0, 1.0, -5.0)
+
+
+class TestMeter:
+    @pytest.fixture()
+    def meter(self):
+        m = EnergyMeter("gpu", idle_watts=50.0)
+        m.record(1.0, 2.0, 200.0)
+        m.record(3.0, 4.0, 150.0)
+        return m
+
+    def test_sample_during_activity(self, meter):
+        assert meter.sample(1.5) == 200.0
+        assert meter.sample(3.5) == 150.0
+
+    def test_sample_during_idle_gap(self, meter):
+        assert meter.sample(2.5) == 50.0
+        assert meter.sample(0.0) == 50.0
+        assert meter.sample(10.0) == 50.0
+
+    def test_sample_at_boundaries(self, meter):
+        assert meter.sample(1.0) == 200.0   # inclusive start
+        assert meter.sample(2.0) == 50.0    # exclusive end
+
+    def test_energy_full_window(self, meter):
+        # idle 50W over [0,5] = 250 J; activity adds (200-50)+(150-50) = 250 J
+        assert meter.energy(0.0, 5.0) == pytest.approx(500.0)
+
+    def test_energy_partial_overlap(self, meter):
+        # [1.5, 3.5]: idle 100 J + 0.5*(150) + 0.5*(100) = 225 J
+        assert meter.energy(1.5, 3.5) == pytest.approx(225.0)
+
+    def test_energy_defaults_to_last_activity(self, meter):
+        assert meter.energy() == pytest.approx(meter.energy(0.0, 4.0))
+
+    def test_energy_backwards_window(self, meter):
+        with pytest.raises(ValueError):
+            meter.energy(5.0, 1.0)
+
+    def test_overlapping_record_rejected(self, meter):
+        with pytest.raises(ValueError, match="overlap"):
+            meter.record(3.5, 5.0, 100.0)
+
+    def test_empty_meter(self):
+        m = EnergyMeter("cpu", idle_watts=8.0)
+        assert m.sample(1.0) == 8.0
+        assert m.energy(0.0, 2.0) == pytest.approx(16.0)
+        assert m.n_samples == 0

@@ -1,0 +1,51 @@
+"""Measurement records."""
+
+import pytest
+
+from repro.telemetry.metrics import Measurement
+
+
+def make(batch=256, sample_bytes=3136, elapsed=0.01, energy=0.5):
+    return Measurement(
+        model="m", device="d", gpu_state="warm", batch=batch,
+        sample_bytes=sample_bytes, elapsed_s=elapsed, energy_j=energy,
+    )
+
+
+class TestDerivedQuantities:
+    def test_throughput(self):
+        m = make(batch=1000, sample_bytes=125, elapsed=1.0)
+        assert m.throughput_gbit_s == pytest.approx(1000 * 125 * 8 / 1e9)
+
+    def test_latency_ms(self):
+        assert make(elapsed=0.25).latency_ms == pytest.approx(250.0)
+
+    def test_avg_power(self):
+        assert make(elapsed=2.0, energy=10.0).avg_power_w == pytest.approx(5.0)
+
+    def test_joules_per_sample(self):
+        assert make(batch=100, energy=1.0).joules_per_sample == pytest.approx(0.01)
+
+    def test_bytes_processed(self):
+        assert make(batch=4, sample_bytes=10).bytes_processed == 40
+
+    def test_key(self):
+        assert make().key() == ("m", "d", "warm", 256)
+
+
+class TestValidation:
+    def test_zero_batch(self):
+        with pytest.raises(ValueError):
+            make(batch=0)
+
+    def test_zero_elapsed(self):
+        with pytest.raises(ValueError):
+            make(elapsed=0.0)
+
+    def test_negative_energy(self):
+        with pytest.raises(ValueError):
+            make(energy=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make().batch = 5

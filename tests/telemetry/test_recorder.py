@@ -1,0 +1,85 @@
+"""Sweep recorder: grids, queries, export."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.telemetry.metrics import Measurement
+from repro.telemetry.recorder import SweepRecorder
+
+
+def cell(model="m", device="cpu", state="warm", batch=1, elapsed=0.1, energy=1.0):
+    return Measurement(
+        model=model, device=device, gpu_state=state, batch=batch,
+        sample_bytes=16, elapsed_s=elapsed, energy_j=energy,
+    )
+
+
+@pytest.fixture()
+def rec():
+    r = SweepRecorder()
+    for batch in (1, 8, 64):
+        for device in ("cpu", "dgpu"):
+            r.add(cell(device=device, batch=batch, elapsed=0.1 * batch))
+    return r
+
+
+class TestGrid:
+    def test_len(self, rec):
+        assert len(rec) == 6
+
+    def test_get(self, rec):
+        m = rec.get("m", "cpu", "warm", 8)
+        assert m.batch == 8
+
+    def test_missing_cell(self, rec):
+        with pytest.raises(ExperimentError, match="missing"):
+            rec.get("m", "cpu", "warm", 999)
+
+    def test_duplicate_rejected(self, rec):
+        with pytest.raises(ExperimentError, match="duplicate"):
+            rec.add(cell(batch=1))
+
+    def test_select_filters(self, rec):
+        assert len(rec.select(device="cpu")) == 3
+        assert len(rec.select()) == 6
+
+    def test_batches_sorted(self, rec):
+        assert rec.batches("m") == [1, 8, 64]
+
+    def test_series_ordered_by_batch(self, rec):
+        series = rec.series("m", "cpu", "warm", "throughput")
+        assert [b for b, _ in series] == [1, 8, 64]
+
+    def test_series_metrics(self, rec):
+        lat = dict(rec.series("m", "cpu", "warm", "latency"))
+        assert lat[8] == pytest.approx(800.0)
+        joules = dict(rec.series("m", "cpu", "warm", "energy"))
+        assert joules[8] == pytest.approx(1.0)
+
+    def test_unknown_metric(self, rec):
+        with pytest.raises(ExperimentError):
+            rec.series("m", "cpu", "warm", "flops")
+
+
+class TestExport:
+    def test_csv_header_and_rows(self, rec):
+        lines = rec.to_csv().strip().splitlines()
+        assert lines[0].startswith("model,device,gpu_state,batch")
+        assert len(lines) == 7
+
+    def test_json_roundtrip(self, rec):
+        rows = json.loads(rec.to_json())
+        assert len(rows) == 6
+        assert {r["device"] for r in rows} == {"cpu", "dgpu"}
+
+    def test_save_csv(self, rec, tmp_path):
+        path = tmp_path / "sweep.csv"
+        rec.save_csv(path)
+        assert path.read_text().startswith("model,")
+
+    def test_extend(self):
+        r = SweepRecorder()
+        r.extend([cell(batch=1), cell(batch=2)])
+        assert len(r) == 2

@@ -1,0 +1,82 @@
+"""Measurement sessions: the characterization workhorse."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.nn.zoo import MNIST_DEEP, MNIST_SMALL, SIMPLE
+from repro.telemetry.session import GPU_STATES, MeasurementSession
+
+
+class TestMeasure:
+    def test_record_fields(self, session):
+        m = session.measure(MNIST_SMALL, "dgpu", 128, "warm")
+        assert m.model == "mnist-small"
+        assert m.device == "gtx-1080ti"
+        assert m.gpu_state == "warm"
+        assert m.batch == 128
+        assert m.sample_bytes == 784 * 4
+
+    def test_device_aliases(self, session):
+        by_class = session.measure(SIMPLE, "cpu", 8, "warm")
+        by_name = session.measure(SIMPLE, "i7-8700", 8, "warm")
+        assert by_class.elapsed_s == pytest.approx(by_name.elapsed_s)
+
+    def test_idle_state_slower_on_dgpu(self, session):
+        warm = session.measure(MNIST_SMALL, "dgpu", 512, "warm")
+        idle = session.measure(MNIST_SMALL, "dgpu", 512, "idle")
+        assert idle.elapsed_s > warm.elapsed_s
+
+    def test_idle_state_noop_on_cpu(self, session):
+        warm = session.measure(MNIST_SMALL, "cpu", 512, "warm")
+        idle = session.measure(MNIST_SMALL, "cpu", 512, "idle")
+        assert idle.elapsed_s == pytest.approx(warm.elapsed_s)
+
+    def test_measurements_independent(self, session):
+        """Previews must not warm the device across sweep points."""
+        a = session.measure(MNIST_SMALL, "dgpu", 1024, "idle")
+        b = session.measure(MNIST_SMALL, "dgpu", 1024, "idle")
+        assert a.elapsed_s == pytest.approx(b.elapsed_s)
+
+    def test_bad_state_rejected(self, session):
+        with pytest.raises(ExperimentError):
+            session.measure(SIMPLE, "cpu", 8, "hot")
+
+    def test_bad_device_rejected(self, session):
+        with pytest.raises(ExperimentError):
+            session.measure(SIMPLE, "npu", 8, "warm")
+
+    def test_states_constant(self):
+        assert GPU_STATES == ("warm", "idle")
+
+
+class TestAllDevices:
+    def test_keys(self, session):
+        cells = session.measure_all_devices(SIMPLE, 64)
+        assert set(cells) == {"i7-8700", "uhd-630", "gtx-1080ti"}
+
+    def test_device_names(self, session):
+        assert session.device_names() == ["i7-8700", "uhd-630", "gtx-1080ti"]
+
+
+class TestOracle:
+    def test_throughput_oracle_small_batch_is_cpu(self, session):
+        assert session.best_device(SIMPLE, 8, "warm", "throughput") == "i7-8700"
+
+    def test_throughput_oracle_large_batch_is_dgpu(self, session):
+        assert (
+            session.best_device(MNIST_DEEP, 1 << 16, "warm", "throughput")
+            == "gtx-1080ti"
+        )
+
+    def test_latency_and_throughput_agree_on_extremes(self, session):
+        # single batched request: min latency == max throughput device
+        assert session.best_device(MNIST_DEEP, 1 << 16, "warm", "latency") == (
+            session.best_device(MNIST_DEEP, 1 << 16, "warm", "throughput")
+        )
+
+    def test_energy_oracle_small_batch_is_igpu(self, session):
+        assert session.best_device(MNIST_DEEP, 4, "warm", "energy") == "uhd-630"
+
+    def test_unknown_metric(self, session):
+        with pytest.raises(ExperimentError):
+            session.best_device(SIMPLE, 8, "warm", "carbon")

@@ -1,0 +1,91 @@
+"""End-to-end determinism: identical seeds -> identical artifacts.
+
+DESIGN.md §7 promises bit-identical regeneration; these integration tests
+hold the whole pipeline to it.
+"""
+
+import numpy as np
+
+from repro.nn.zoo import MNIST_SMALL, SIMPLE
+
+
+class TestSweepDeterminism:
+    def test_measurements_identical_across_sessions(self):
+        from repro.telemetry.session import MeasurementSession
+
+        a = MeasurementSession()
+        b = MeasurementSession()
+        for batch in (1, 64, 4096):
+            ma = a.measure(MNIST_SMALL, "dgpu", batch, "idle")
+            mb = b.measure(MNIST_SMALL, "dgpu", batch, "idle")
+            assert ma.elapsed_s == mb.elapsed_s
+            assert ma.energy_j == mb.energy_j
+
+
+class TestDatasetDeterminism:
+    def test_generation_bit_identical(self):
+        from repro.sched.dataset import generate_dataset
+
+        a = generate_dataset("energy", specs=[SIMPLE, MNIST_SMALL], batches=(1, 64, 4096))
+        b = generate_dataset("energy", specs=[SIMPLE, MNIST_SMALL], batches=(1, 64, 4096))
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.y, b.y)
+
+
+class TestPredictorDeterminism:
+    def test_same_seed_same_predictions(self, small_throughput_dataset):
+        from repro.sched.predictor import DevicePredictor, default_estimator
+
+        preds = []
+        for _ in range(2):
+            p = DevicePredictor("throughput", default_estimator(11))
+            p.fit(small_throughput_dataset)
+            preds.append(p.predict_batch(small_throughput_dataset.x))
+        np.testing.assert_array_equal(preds[0], preds[1])
+
+    def test_different_seed_may_differ_but_agrees_mostly(self, small_throughput_dataset):
+        from repro.sched.predictor import DevicePredictor, default_estimator
+
+        a = DevicePredictor("throughput", default_estimator(1)).fit(small_throughput_dataset)
+        b = DevicePredictor("throughput", default_estimator(2)).fit(small_throughput_dataset)
+        agree = np.mean(
+            a.predict_batch(small_throughput_dataset.x)
+            == b.predict_batch(small_throughput_dataset.x)
+        )
+        assert agree > 0.9  # seeds shuffle trees, not conclusions
+
+
+class TestStreamDeterminism:
+    def test_stream_replay_identical(self, trained_predictors):
+        from repro.ocl.context import Context
+        from repro.ocl.platform import get_all_devices
+        from repro.sched.dispatcher import Dispatcher
+        from repro.sched.runtime import StreamRunner
+        from repro.sched.scheduler import OnlineScheduler
+        from repro.workloads.requests import make_trace
+        from repro.workloads.streams import BurstStream
+
+        def run_once():
+            ctx = Context(get_all_devices())
+            dispatcher = Dispatcher(ctx)
+            dispatcher.deploy_fresh(MNIST_SMALL, rng=0)
+            scheduler = OnlineScheduler(ctx, dispatcher, trained_predictors)
+            runner = StreamRunner(scheduler, {"mnist-small": MNIST_SMALL})
+            trace = make_trace(
+                BurstStream(horizon_s=5.0), [MNIST_SMALL], rng=4
+            )
+            result = runner.run(trace)
+            return [(r.device, r.end_s, r.energy_j) for r in result.records]
+
+        assert run_once() == run_once()
+
+
+class TestExperimentDeterminism:
+    def test_fig6_identical(self, session):
+        from repro.experiments.fig6 import run_fig6
+
+        a = run_fig6(batches=(8, 8192), session=session)
+        b = run_fig6(batches=(8, 8192), session=session)
+        assert [(p.predicted, p.achieved) for p in a.points] == [
+            (p.predicted, p.achieved) for p in b.points
+        ]

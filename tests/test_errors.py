@@ -1,0 +1,55 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    BuildError,
+    DeviceError,
+    ExperimentError,
+    KernelError,
+    MemoryMapError,
+    NotFittedError,
+    PolicyError,
+    ReproError,
+    SchedulerError,
+    ShapeError,
+)
+
+ALL_ERRORS = [
+    ShapeError,
+    BuildError,
+    DeviceError,
+    MemoryMapError,
+    KernelError,
+    NotFittedError,
+    SchedulerError,
+    PolicyError,
+    ExperimentError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_shape_error_is_value_error():
+    assert issubclass(ShapeError, ValueError)
+
+
+def test_memory_map_error_is_device_error():
+    assert issubclass(MemoryMapError, DeviceError)
+
+
+def test_kernel_error_is_device_error():
+    assert issubclass(KernelError, DeviceError)
+
+
+def test_policy_error_is_scheduler_error():
+    assert issubclass(PolicyError, SchedulerError)
+
+
+def test_catching_base_catches_all():
+    for exc in ALL_ERRORS:
+        with pytest.raises(ReproError):
+            raise exc("boom")

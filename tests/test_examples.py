@@ -1,0 +1,47 @@
+"""Smoke-run every example script: the documented flows must keep working.
+
+Each example is executed as a subprocess (as a user would run it) and held
+to exit code 0 plus a couple of output landmarks.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+LANDMARKS = {
+    "quickstart.py": ["devices:", "policy=throughput", "policy=energy"],
+    "characterize_devices.py": ["best device by throughput", "best device by energy"],
+    "video_analytics_stream.py": ["placement by traffic period", "prediction accuracy"],
+    "energy_aware_overnight.py": ["scheduler saves", "iGPU share at night"],
+    "train_workload_models.py": ["offline training phase", "portability check"],
+    "custom_device.py": ["4-device energy-label distribution", "npu"],
+    "system_changes.py": ["dGPU contended", "feedback overrides"],
+    "power_timeline.py": ["mean power per", "window energies"],
+    "cooperative_batch.py": ["one batch, all devices", "speedup"],
+}
+
+
+def test_every_example_has_a_smoke_test():
+    scripts = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    assert scripts == set(LANDMARKS), (
+        "examples/ and the LANDMARKS table are out of sync"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(LANDMARKS))
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for landmark in LANDMARKS[script]:
+        assert landmark in proc.stdout, (
+            f"{script}: expected {landmark!r} in output;\n{proc.stdout[-2000:]}"
+        )

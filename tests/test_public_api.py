@@ -1,0 +1,34 @@
+"""Top-level public API surface."""
+
+import repro
+
+
+class TestSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self, rng):
+        """The README quickstart, condensed: deploy, train, schedule."""
+        import numpy as np
+
+        from repro.ocl.platform import get_all_devices
+
+        ctx = repro.Context(get_all_devices())
+        dispatcher = repro.Dispatcher(ctx)
+        spec = repro.PAPER_MODELS[0]
+        dispatcher.deploy_fresh(spec, rng=0)
+
+        dataset = repro.generate_dataset(
+            "throughput", specs=[spec], batches=(1, 64, 4096)
+        )
+        predictor = repro.DevicePredictor("throughput").fit(dataset)
+        scheduler = repro.OnlineScheduler(ctx, dispatcher, [predictor])
+
+        x = rng.standard_normal((64, 4)).astype(np.float32)
+        decision, event = scheduler.submit(spec, x, "throughput")
+        assert event.meta["scores"].shape == (64, 3)
+        assert decision.device in ("cpu", "dgpu", "igpu")

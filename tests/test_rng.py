@@ -1,0 +1,62 @@
+"""Deterministic RNG discipline."""
+
+import numpy as np
+import pytest
+
+from repro.rng import DEFAULT_SEED, ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_is_deterministic(self):
+        a = ensure_rng(None).standard_normal(5)
+        b = ensure_rng(None).standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_uses_default_seed(self):
+        a = ensure_rng(None).standard_normal(3)
+        b = ensure_rng(DEFAULT_SEED).standard_normal(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_int_seed(self):
+        a = ensure_rng(5).standard_normal(4)
+        b = ensure_rng(5).standard_normal(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).standard_normal(8)
+        b = ensure_rng(2).standard_normal(8)
+        assert not np.allclose(a, b)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(ensure_rng(0), 4)
+        assert len(children) == 4
+
+    def test_children_independent(self):
+        a, b = spawn(ensure_rng(0), 2)
+        assert not np.allclose(a.standard_normal(16), b.standard_normal(16))
+
+    def test_deterministic(self):
+        xs = [c.standard_normal(3) for c in spawn(ensure_rng(9), 3)]
+        ys = [c.standard_normal(3) for c in spawn(ensure_rng(9), 3)]
+        for x, y in zip(xs, ys):
+            np.testing.assert_array_equal(x, y)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)
+
+    def test_zero_ok(self):
+        assert spawn(ensure_rng(0), 0) == []

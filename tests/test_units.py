@@ -1,0 +1,76 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.units import (
+    bytes_to_gbit,
+    fmt_si,
+    joules,
+    ms_to_seconds,
+    seconds_to_ms,
+    throughput_gbit_s,
+)
+
+
+class TestBytesToGbit:
+    def test_one_gigabit(self):
+        assert bytes_to_gbit(1e9 / 8) == pytest.approx(1.0)
+
+    def test_zero(self):
+        assert bytes_to_gbit(0) == 0.0
+
+    def test_scales_linearly(self):
+        assert bytes_to_gbit(2000) == pytest.approx(2 * bytes_to_gbit(1000))
+
+
+class TestThroughput:
+    def test_basic(self):
+        # 1.25e8 bytes in 1 s = 1 Gbit/s
+        assert throughput_gbit_s(1.25e8, 1.0) == pytest.approx(1.0)
+
+    def test_half_time_doubles_rate(self):
+        assert throughput_gbit_s(1000, 0.5) == pytest.approx(
+            2 * throughput_gbit_s(1000, 1.0)
+        )
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_gbit_s(100, 0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_gbit_s(100, -1.0)
+
+
+class TestTimeConversions:
+    def test_roundtrip(self):
+        assert ms_to_seconds(seconds_to_ms(0.123)) == pytest.approx(0.123)
+
+    def test_seconds_to_ms(self):
+        assert seconds_to_ms(2.5) == pytest.approx(2500.0)
+
+
+class TestJoules:
+    def test_product(self):
+        assert joules(10.0, 3.0) == pytest.approx(30.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            joules(10.0, -1.0)
+
+
+class TestFmtSi:
+    def test_giga(self):
+        assert fmt_si(2.5e9, "bit/s") == "2.5 Gbit/s"
+
+    def test_milli(self):
+        assert fmt_si(3.35e-3, "s") == "3.35 ms"
+
+    def test_zero(self):
+        assert fmt_si(0.0, "J") == "0 J"
+
+    def test_unitless(self):
+        assert fmt_si(1500.0) == "1.5 K"
+
+    def test_tiny_values_use_smallest_prefix(self):
+        assert "n" in fmt_si(2e-9, "s")

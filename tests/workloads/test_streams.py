@@ -1,0 +1,126 @@
+"""Arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.streams import (
+    BurstStream,
+    ConstantStream,
+    DiurnalStream,
+    OverloadStream,
+    PoissonStream,
+)
+
+
+def check_sorted_within_horizon(process, rng=0):
+    arrivals = process.generate(rng)
+    times = [t for t, _ in arrivals]
+    assert times == sorted(times)
+    assert all(0.0 <= t < process.horizon_s for t in times)
+    assert all(b >= 1 for _, b in arrivals)
+    return arrivals
+
+
+class TestConstant:
+    def test_regular_spacing(self):
+        arrivals = ConstantStream(horizon_s=1.0, interval_s=0.25, batch=64).generate()
+        assert len(arrivals) == 4
+        assert all(b == 64 for _, b in arrivals)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            ConstantStream(interval_s=0.0).generate()
+
+
+class TestPoisson:
+    def test_well_formed(self):
+        check_sorted_within_horizon(PoissonStream(horizon_s=5.0, rate_hz=30))
+
+    def test_rate_approximate(self):
+        arrivals = PoissonStream(horizon_s=50.0, rate_hz=20).generate(1)
+        assert len(arrivals) == pytest.approx(1000, rel=0.15)
+
+    def test_deterministic_given_seed(self):
+        a = PoissonStream(horizon_s=2.0).generate(7)
+        b = PoissonStream(horizon_s=2.0).generate(7)
+        assert a == b
+
+    def test_batch_cap(self):
+        arrivals = PoissonStream(
+            horizon_s=5.0, mean_batch=1 << 16, batch_sigma=3.0, max_batch=1024
+        ).generate(0)
+        assert max(b for _, b in arrivals) <= 1024
+
+
+class TestBurst:
+    def test_well_formed(self):
+        check_sorted_within_horizon(
+            BurstStream(horizon_s=6.0, burst_every_s=2.0, burst_duration_s=0.5)
+        )
+
+    def test_bursts_denser_and_bigger(self):
+        stream = BurstStream(
+            horizon_s=30.0, base_rate_hz=5, burst_factor=20,
+            burst_duration_s=1.0, burst_every_s=5.0, base_batch=32,
+        )
+        arrivals = stream.generate(3)
+        in_burst = [a for a in arrivals if (a[0] % 5.0) < 1.0]
+        outside = [a for a in arrivals if (a[0] % 5.0) >= 1.0]
+        # Rate: burst window is 20% of time but should hold most arrivals.
+        assert len(in_burst) > len(outside)
+        assert max(b for _, b in in_burst) > max(b for _, b in outside)
+
+    def test_burst_windows(self):
+        stream = BurstStream(horizon_s=7.0, burst_every_s=3.0, burst_duration_s=0.5)
+        assert stream.burst_windows() == [(0.0, 0.5), (3.0, 3.5), (6.0, 6.5)]
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            BurstStream(burst_factor=0.5).generate(0)
+
+
+class TestDiurnal:
+    def test_well_formed(self):
+        check_sorted_within_horizon(DiurnalStream(horizon_s=8.0))
+
+    def test_peak_batches_exceed_trough(self):
+        stream = DiurnalStream(
+            horizon_s=16.0, period_s=8.0, peak_batch=4096, trough_batch=8
+        )
+        arrivals = stream.generate(5)
+        peak = [b for t, b in arrivals if stream.phase_at(t) > 0.8]
+        trough = [b for t, b in arrivals if stream.phase_at(t) < 0.2]
+        assert np.mean(peak) > 20 * np.mean(trough)
+
+    def test_phase_bounds(self):
+        stream = DiurnalStream(period_s=4.0)
+        assert stream.phase_at(0.0) == pytest.approx(0.0)
+        assert stream.phase_at(2.0) == pytest.approx(1.0)
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            DiurnalStream(peak_rate_hz=1.0, trough_rate_hz=5.0).generate(0)
+
+
+class TestOverload:
+    def test_well_formed(self):
+        check_sorted_within_horizon(OverloadStream(horizon_s=10.0))
+
+    def test_flood_window_denser(self):
+        stream = OverloadStream(
+            horizon_s=10.0, normal_rate_hz=5, overload_rate_hz=100,
+            overload_start_s=3.0, overload_end_s=7.0,
+        )
+        arrivals = stream.generate(2)
+        flood = [a for a in arrivals if 3.0 <= a[0] < 7.0]
+        calm = [a for a in arrivals if not (3.0 <= a[0] < 7.0)]
+        assert len(flood) > 5 * len(calm)
+
+    def test_flood_batches(self):
+        stream = OverloadStream(horizon_s=10.0, normal_batch=32, overload_batch=8192)
+        arrivals = stream.generate(0)
+        assert {b for t, b in arrivals} <= {32, 8192}
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            OverloadStream(overload_start_s=5.0, overload_end_s=2.0).generate(0)
