@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full repro examples lint-clean
+.PHONY: install test bench bench-full repro examples serve-demo lint-clean
 
 install:
 	pip install -e .
@@ -23,3 +23,7 @@ repro:
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex =="; $(PY) $$ex; done
+
+# SLO-aware serving frontend demo: coalescing + admission under overload.
+serve-demo:
+	$(PY) examples/serving_frontend.py

@@ -22,6 +22,10 @@ The adaptive scheduler (the paper's contribution)::
         Dispatcher, OnlineScheduler, StreamRunner,
     )
 
+SLO-aware serving frontend (queues, coalescing, admission control)::
+
+    from repro.serving import ServingFrontend, SLOConfig
+
 Experiment harnesses (regenerate every table and figure)::
 
     from repro.experiments import get_experiment, list_experiments
@@ -43,6 +47,7 @@ from repro.sched import (
     StreamRunner,
     generate_dataset,
 )
+from repro.serving import ServingFrontend, ServingResponse, SLOConfig
 from repro.telemetry import MeasurementSession, SweepRecorder
 
 __all__ = [
@@ -64,4 +69,7 @@ __all__ = [
     "OnlineScheduler",
     "StreamRunner",
     "InferenceService",
+    "ServingFrontend",
+    "ServingResponse",
+    "SLOConfig",
 ]

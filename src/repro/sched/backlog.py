@@ -91,15 +91,38 @@ class BacklogAwareScheduler:
         rest = [c for c in classes if c != top]
         return (top, *rest)
 
-    # -- placement ---------------------------------------------------------
+    # -- service-time estimates --------------------------------------------
 
-    def decide(self, spec: ModelSpec, batch: int, arrival_s: float) -> BacklogDecision:
-        """Pick the earliest-finishing device among the top-ranked ones."""
-        gpu_state = self.scheduler.probe_gpu_state(now=arrival_s)
-        ranked = self.rank_devices(spec, batch, gpu_state)
-        eligible = ranked[: self.max_rank]
-        cell = CellKey.of(spec.name, batch, gpu_state)
+    def service_estimate(
+        self, model: str, batch: int, gpu_state: str, device: str, now: float
+    ) -> "float | None":
+        """Learned service seconds for a (cell, device), or None if unseen.
 
+        None means *no realized dispatch has been observed* for the cell on
+        that device (cold start) or the estimate has aged past its TTL.
+        """
+        est = self._service.estimate(CellKey.of(model, batch, gpu_state), device, now)
+        return est.value if est is not None else None
+
+    def record_service(
+        self, model: str, batch: int, gpu_state: str, device: str,
+        service_s: float, now: float,
+    ) -> None:
+        """Fold one realized service time into the learned table.
+
+        External executors (e.g. a serving frontend's device workers) use
+        this to close the feedback loop that :meth:`submit_virtual` closes
+        internally.
+        """
+        if service_s < 0.0:
+            raise ValueError(f"service_s must be >= 0, got {service_s}")
+        cell = CellKey.of(model, batch, gpu_state)
+        self._service.observe(cell, device, service_s, now=now)
+
+    def _earliest_finisher(
+        self, cell: CellKey, eligible: "tuple[str, ...]", arrival_s: float
+    ) -> tuple[str, float]:
+        """Earliest estimated completion delay among eligible devices."""
         best_device, best_completion = None, float("inf")
         for device_class in eligible:
             device = self.scheduler.context.get_device(device_class)
@@ -112,6 +135,32 @@ class BacklogAwareScheduler:
             completion = wait + service
             if completion < best_completion:
                 best_device, best_completion = device_class, completion
+        return best_device, best_completion
+
+    def estimate_completion(
+        self, spec: ModelSpec, batch: int, arrival_s: float
+    ) -> tuple[str, float]:
+        """(device, estimated completion delay) without committing anything.
+
+        The delay is backlog wait plus the learned service estimate on the
+        earliest-finishing eligible device — the quantity an admission
+        controller compares against a request's deadline budget.
+        """
+        gpu_state = self.scheduler.probe_gpu_state(now=arrival_s)
+        ranked = self.rank_devices(spec, batch, gpu_state)
+        cell = CellKey.of(spec.name, batch, gpu_state)
+        return self._earliest_finisher(cell, ranked[: self.max_rank], arrival_s)
+
+    # -- placement ---------------------------------------------------------
+
+    def decide(self, spec: ModelSpec, batch: int, arrival_s: float) -> BacklogDecision:
+        """Pick the earliest-finishing device among the top-ranked ones."""
+        gpu_state = self.scheduler.probe_gpu_state(now=arrival_s)
+        ranked = self.rank_devices(spec, batch, gpu_state)
+        cell = CellKey.of(spec.name, batch, gpu_state)
+        best_device, _ = self._earliest_finisher(
+            cell, ranked[: self.max_rank], arrival_s
+        )
 
         spilled = best_device != ranked[0]
         if spilled:

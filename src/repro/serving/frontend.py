@@ -1,0 +1,560 @@
+"""The SLO-aware serving frontend: queues → coalescer → placement → workers.
+
+This is the serving loop the rest of :mod:`repro.serving` plugs into,
+mirroring :class:`~repro.sched.service.InferenceService`'s façade shape
+(``submit(model, x, deadline_s, policy)``) but running over the
+discrete-event engine so thousands of queued, coalesced, deadline-carrying
+requests replay deterministically:
+
+1. ``submit`` schedules an arrival on the :class:`~repro.sim.engine.EventLoop`;
+2. at arrival, the :class:`~repro.serving.admission.AdmissionController`
+   accepts / sheds / degrades against the per-model SLO config, using the
+   backlog scheduler's learned completion estimates;
+3. accepted requests sit in a per-model FIFO/EDF queue until the
+   :class:`~repro.serving.coalescer.BatchCoalescer` fires (full batch, or
+   the oldest request has waited ``max_wait_s``);
+4. the coalesced batch is placed by the paper's scheduler
+   (:class:`~repro.sched.backlog.BacklogAwareScheduler`, which wraps the
+   Fig. 5 predictor) and executed by that device's
+   :class:`~repro.serving.workers.DeviceWorker`;
+5. completion resolves every merged request's future-like
+   :class:`ServingResponse` and feeds the realized service time back into
+   the scheduler's outcome table.
+
+Everything observable flows through
+:class:`~repro.telemetry.serving.ServingTelemetry`: latency percentiles,
+queue depth over time, the coalesced batch-size histogram, and
+shed/violation counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.nn.builders import ModelSpec
+from repro.ocl.event import Event
+from repro.sched.backlog import BacklogAwareScheduler, BacklogDecision
+from repro.sched.policies import Policy
+from repro.sched.scheduler import OnlineScheduler
+from repro.serving.admission import AdmissionController
+from repro.serving.coalescer import BatchCoalescer, CoalescedBatch
+from repro.serving.queues import QueueEntry, make_queue
+from repro.serving.workers import DeviceWorker
+from repro.sim.engine import EventLoop
+from repro.telemetry.serving import ServingTelemetry
+from repro.workloads.requests import InferenceRequest, RequestTrace
+
+__all__ = ["SLOConfig", "ServingResponse", "ServingResult", "ServingFrontend"]
+
+#: Completions landing within this of the deadline still meet it (float slop).
+_DEADLINE_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Per-model service-level objective and queueing/batching knobs.
+
+    Parameters
+    ----------
+    deadline_s:
+        Default relative deadline stamped on requests that arrive without
+        one (None = best effort, never ECT-rejected).
+    max_queue_depth:
+        Queue bound enforced by admission (None = unbounded).
+    max_batch:
+        Coalescing target in *samples*; a full batch dispatches at once.
+    max_wait_s:
+        Longest a queued request may wait for co-riders before the batch
+        dispatches anyway.
+    discipline:
+        Queue pop order: 'fifo' or 'edf' (earliest deadline first).
+    degrade:
+        Shed to the cheapest (lowest-power) device instead of dropping.
+    ect_margin:
+        Safety factor on completion estimates in the admission check.
+    """
+
+    deadline_s: "float | None" = None
+    max_queue_depth: "int | None" = 64
+    max_batch: int = 8192
+    max_wait_s: float = 0.05
+    discipline: str = "fifo"
+    degrade: bool = False
+    ect_margin: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0.0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_s < 0.0:
+            raise ValueError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+        if self.discipline not in ("fifo", "edf"):
+            raise ValueError(f"unknown discipline {self.discipline!r}")
+        if self.ect_margin <= 0.0:
+            raise ValueError(f"ect_margin must be positive, got {self.ect_margin}")
+
+
+class ServingResponse:
+    """Future-like handle for one submitted request.
+
+    Starts 'pending'; resolves to 'ok' when its batch completes or 'shed'
+    when admission refuses it.  Degraded requests resolve 'ok' with
+    :attr:`degraded` set.
+    """
+
+    def __init__(self, request: InferenceRequest):
+        self.request = request
+        self.status = "pending"
+        self.device: "str | None" = None          # device-class value
+        self.device_name: "str | None" = None
+        self.trigger: "str | None" = None         # what dispatched its batch
+        self.batch_id: "int | None" = None        # which coalesced batch served it
+        self.batch_size: "int | None" = None      # coalesced launch size
+        self.dispatched_s: "float | None" = None  # when its batch was formed
+        self.start_s: "float | None" = None
+        self.end_s: "float | None" = None
+        self.energy_j: "float | None" = None      # batch energy x sample share
+        self.scores: "np.ndarray | None" = None
+        self.degraded = False
+        self.shed_reason: "str | None" = None
+
+    @property
+    def done(self) -> bool:
+        return self.status != "pending"
+
+    @property
+    def served(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-completion time (served requests only)."""
+        if not self.served:
+            raise SchedulerError(f"request is {self.status}, has no latency")
+        return self.end_s - self.request.arrival_s
+
+    @property
+    def deadline_met(self) -> "bool | None":
+        """Whether the SLO held (None if best-effort or not served)."""
+        if not self.served or self.request.deadline_s is None:
+            return None
+        return self.end_s <= self.request.deadline_s + _DEADLINE_EPS
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServingResponse(id={self.request.request_id}, status={self.status!r}, "
+            f"device={self.device!r})"
+        )
+
+
+@dataclass
+class ServingResult:
+    """Aggregate outcome of serving a trace through the frontend."""
+
+    responses: list[ServingResponse] = field(default_factory=list)
+    telemetry: ServingTelemetry = field(default_factory=ServingTelemetry)
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    @property
+    def served(self) -> list[ServingResponse]:
+        return [r for r in self.responses if r.served]
+
+    @property
+    def shed(self) -> list[ServingResponse]:
+        return [r for r in self.responses if r.status == "shed"]
+
+    @property
+    def shed_rate(self) -> float:
+        return len(self.shed) / len(self.responses) if self.responses else 0.0
+
+    @property
+    def n_violations(self) -> int:
+        """Served requests that finished after their deadline."""
+        return sum(1 for r in self.served if r.deadline_met is False)
+
+    def latency_percentile(self, q: float) -> float:
+        """q-th percentile latency over served requests, in seconds."""
+        if not self.served:
+            raise SchedulerError("no served requests in result")
+        return float(np.percentile([r.latency_s for r in self.served], q))
+
+    @property
+    def total_energy_j(self) -> float:
+        return float(sum(r.energy_j for r in self.served))
+
+    def device_shares(self) -> dict[str, float]:
+        """Fraction of served requests per device class."""
+        served = self.served
+        if not served:
+            return {}
+        counts: dict[str, int] = {}
+        for r in served:
+            counts[r.device] = counts.get(r.device, 0) + 1
+        return {d: c / len(served) for d, c in sorted(counts.items())}
+
+
+class ServingFrontend:
+    """SLO-aware serving over the paper's per-request placement oracle.
+
+    Parameters
+    ----------
+    scheduler:
+        A warmed-up :class:`OnlineScheduler` (its predictor is the
+        placement prior; its command queues are the devices).
+    specs:
+        Deployed model specs by name (must match the dispatcher).
+    slo:
+        Per-model :class:`SLOConfig` overrides; ``default_slo`` fills gaps.
+    policy:
+        Policy whose predictor ranks placement candidates.
+    max_rank:
+        Devices eligible for backlog spilling (see BacklogAwareScheduler).
+    loop:
+        Bring-your-own event loop (e.g. to co-simulate other actors).
+    """
+
+    def __init__(
+        self,
+        scheduler: OnlineScheduler,
+        specs: "dict[str, ModelSpec]",
+        slo: "dict[str, SLOConfig] | None" = None,
+        default_slo: "SLOConfig | None" = None,
+        policy: "Policy | str" = Policy.THROUGHPUT,
+        max_rank: int = 2,
+        loop: "EventLoop | None" = None,
+    ):
+        if not specs:
+            raise SchedulerError("serving frontend needs at least one model spec")
+        self.specs = dict(specs)
+        self.loop = loop if loop is not None else EventLoop()
+        self.backlog = BacklogAwareScheduler(scheduler, policy=policy, max_rank=max_rank)
+        self.telemetry = ServingTelemetry()
+
+        self._slo = dict(slo or {})
+        unknown = set(self._slo) - set(self.specs)
+        if unknown:
+            raise SchedulerError(f"SLO configs for undeployed models: {sorted(unknown)}")
+        self._default_slo = default_slo if default_slo is not None else SLOConfig()
+
+        self._queues = {}
+        self._coalescers = {}
+        self._admission = {}
+        for name in self.specs:
+            cfg = self.slo_for(name)
+            queue = make_queue(cfg.discipline, name, cfg.max_queue_depth)
+            self._queues[name] = queue
+            self._coalescers[name] = BatchCoalescer(queue, cfg.max_batch, cfg.max_wait_s)
+            self._admission[name] = AdmissionController(
+                degrade=cfg.degrade, ect_margin=cfg.ect_margin
+            )
+
+        context = scheduler.context
+        self._workers = {
+            d.name: DeviceWorker(
+                loop=self.loop,
+                device_name=d.name,
+                device_class=d.device_class.value,
+                command_queue=scheduler.queue_for(d.name),
+                dispatcher=scheduler.dispatcher,
+                on_complete=self._on_complete,
+            )
+            for d in context.devices
+        }
+        # Degrade target: the lowest-power device (cheapest to burn).
+        self._cheapest = min(context.devices, key=lambda d: d.spec.busy_watts)
+
+        self._seq = 0
+        self._n_batches = 0
+        self._pending: dict[int, ServingResponse] = {}
+        self._timer_at: dict[str, "float | None"] = {name: None for name in self.specs}
+
+    # -- configuration -----------------------------------------------------
+
+    def slo_for(self, model: str) -> SLOConfig:
+        """The effective SLO config for a model (override or default)."""
+        return self._slo.get(model, self._default_slo)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        model: str,
+        x: "np.ndarray | int",
+        deadline_s: "float | None" = None,
+        policy: "Policy | str | None" = None,
+        arrival_s: "float | None" = None,
+    ) -> ServingResponse:
+        """Submit one request; returns immediately with a pending response.
+
+        ``x`` is either a host batch (real scores come back) or a bare
+        batch size (timing/energy only).  ``deadline_s`` is the *relative*
+        SLO from arrival; omitted, the model's configured default applies.
+        The work itself happens when the event loop runs past the arrival.
+        """
+        spec = self._require_spec(model)
+        if isinstance(x, np.ndarray):
+            batch, data = int(x.shape[0]), x
+        else:
+            batch, data = int(x), None
+        arrival = self.loop.now if arrival_s is None else float(arrival_s)
+        cfg = self.slo_for(model)
+        relative = deadline_s if deadline_s is not None else cfg.deadline_s
+        request = InferenceRequest(
+            request_id=self._seq,
+            arrival_s=arrival,
+            model=spec.name,
+            batch=batch,
+            policy=str(policy) if policy is not None else Policy.THROUGHPUT.value,
+            deadline_s=None if relative is None else arrival + relative,
+        )
+        return self._schedule_arrival(request, data)
+
+    def submit_request(
+        self, request: InferenceRequest, x: "np.ndarray | None" = None
+    ) -> ServingResponse:
+        """Submit a pre-built trace request (its own deadline wins).
+
+        Requests without a deadline inherit the model's configured default
+        SLO, so plain traces can still drive deadline-aware serving.
+        """
+        self._require_spec(request.model)
+        cfg = self.slo_for(request.model)
+        if request.deadline_s is None and cfg.deadline_s is not None:
+            request = InferenceRequest(
+                request_id=request.request_id,
+                arrival_s=request.arrival_s,
+                model=request.model,
+                batch=request.batch,
+                policy=request.policy,
+                deadline_s=request.arrival_s + cfg.deadline_s,
+            )
+        return self._schedule_arrival(request, x)
+
+    def serve_trace(self, trace: RequestTrace) -> ServingResult:
+        """Replay a whole trace through the frontend and drain the loop."""
+        responses = [self.submit_request(req) for req in trace]
+        self.run()
+        return ServingResult(responses=responses, telemetry=self.telemetry)
+
+    def run(self, until: "float | None" = None) -> float:
+        """Drive the event loop (arrivals, flush timers, completions)."""
+        return self.loop.run(until=until)
+
+    # -- internals ---------------------------------------------------------
+
+    def _require_spec(self, model: str) -> ModelSpec:
+        try:
+            return self.specs[model]
+        except KeyError:
+            known = ", ".join(sorted(self.specs)) or "<none>"
+            raise SchedulerError(
+                f"model {model!r} is not served; deployed: {known}"
+            ) from None
+
+    def _schedule_arrival(
+        self, request: InferenceRequest, data: "np.ndarray | None"
+    ) -> ServingResponse:
+        # Guard every submission path (submit, submit_request, serve_trace)
+        # before any state mutates, so a stale trace fails cleanly instead
+        # of dying half-submitted inside the event loop.
+        if request.arrival_s < self.loop.now:
+            raise SchedulerError(
+                f"cannot submit into the past: arrival {request.arrival_s} "
+                f"< now={self.loop.now}"
+            )
+        response = ServingResponse(request)
+        entry = QueueEntry(
+            request=request, enqueued_s=request.arrival_s, seq=self._seq, x=data
+        )
+        self._seq += 1
+        self._pending[entry.seq] = response
+        self.loop.schedule(
+            request.arrival_s,
+            lambda _loop, e=entry: self._on_arrival(e),
+            label=f"arrive:{request.model}:{request.request_id}",
+        )
+        return response
+
+    def _on_arrival(self, entry: QueueEntry) -> None:
+        now = self.loop.now
+        model = entry.request.model
+        spec = self.specs[model]
+        queue = self._queues[model]
+        response = self._pending[entry.seq]
+
+        _, est_delay = self.backlog.estimate_completion(spec, entry.batch, now)
+        decision = self._admission[model].admit(
+            entry.request, queue, now, est_delay_s=est_delay
+        )
+
+        if decision.action == "shed":
+            del self._pending[entry.seq]
+            response.status = "shed"
+            response.shed_reason = decision.reason
+            self.telemetry.n_shed += 1
+            return
+        if decision.action == "degrade":
+            self.telemetry.n_degraded += 1
+            self._run_degraded(entry)
+            return
+
+        queue.push(entry)
+        self.telemetry.record_depth(model, now, len(queue))
+        coalescer = self._coalescers[model]
+        if coalescer.ready(now) == "full":
+            self._flush(model, "full")
+        else:
+            self._arm_timer(model)
+
+    # -- coalescing timers -------------------------------------------------
+
+    def _arm_timer(self, model: str) -> None:
+        """Schedule the max-wait flush for the oldest queued entry.
+
+        Entries only leave the queue at flushes, so an armed timer is never
+        *later* than needed; stale (too-early) firings re-arm themselves.
+        """
+        flush_at = self._coalescers[model].next_flush_at()
+        if flush_at is None:
+            return
+        pending = self._timer_at.get(model)
+        if pending is not None and pending <= flush_at:
+            return
+        self._timer_at[model] = flush_at
+        self.loop.schedule(
+            max(flush_at, self.loop.now),
+            lambda _loop, t=flush_at: self._on_timer(model, t),
+            label=f"flush:{model}",
+        )
+
+    def _on_timer(self, model: str, armed_at: float) -> None:
+        if self._timer_at.get(model) != armed_at:
+            return  # superseded by a flush that consumed the batch
+        self._timer_at[model] = None
+        trigger = self._coalescers[model].ready(self.loop.now)
+        if trigger is not None:
+            self._flush(model, trigger)
+        else:
+            self._arm_timer(model)
+
+    def _flush(self, model: str, trigger: str) -> None:
+        now = self.loop.now
+        coalescer = self._coalescers[model]
+        queue = self._queues[model]
+        spec = self.specs[model]
+        while True:
+            batch = coalescer.take(now, trigger)
+            placement = self.backlog.decide(spec, batch.total_samples, arrival_s=now)
+            self._workers[placement.device_name].execute(batch, placement)
+            self.telemetry.batch_sizes.add(batch.total_samples)
+            # Leftovers can themselves already fill a batch (e.g. a flood
+            # arriving between timer firings); drain every full batch now.
+            if coalescer.ready(now) != "full":
+                break
+            trigger = "full"
+        self.telemetry.record_depth(model, now, len(queue))
+        self._timer_at[model] = None
+        self._arm_timer(model)
+
+    # -- degrade path ------------------------------------------------------
+
+    def _run_degraded(self, entry: QueueEntry) -> None:
+        """Execute immediately on the cheapest device (no queue, no merge)."""
+        now = self.loop.now
+        device = self._cheapest
+        degraded = QueueEntry(
+            request=entry.request,
+            enqueued_s=entry.enqueued_s,
+            seq=entry.seq,
+            x=entry.x,
+            degraded=True,
+        )
+        batch = CoalescedBatch(
+            model=entry.request.model,
+            entries=(degraded,),
+            formed_s=now,
+            trigger="degrade",
+        )
+        placement = BacklogDecision(
+            device=device.device_class.value,
+            device_name=device.name,
+            gpu_state=self.backlog.scheduler.probe_gpu_state(now=now),
+            wait_s=self._workers[device.name].backlog_s(now),
+            ranked=(device.device_class.value,),
+            spilled=False,
+        )
+        self._workers[device.name].execute(batch, placement)
+
+    # -- completion --------------------------------------------------------
+
+    def _on_complete(
+        self, batch: CoalescedBatch, placement: BacklogDecision, event: Event
+    ) -> None:
+        end = event.time_ended
+        scores = event.meta.get("scores")
+        total = batch.total_samples
+        batch_id = self._n_batches
+        self._n_batches += 1
+        offset = 0
+        for entry in batch.entries:
+            response = self._pending.pop(entry.seq)
+            response.status = "ok"
+            response.device = placement.device
+            response.device_name = placement.device_name
+            response.trigger = batch.trigger
+            response.batch_id = batch_id
+            response.batch_size = total
+            response.dispatched_s = batch.formed_s
+            response.start_s = event.time_started
+            response.end_s = end
+            response.energy_j = event.energy.total_j * entry.batch / total
+            response.degraded = entry.degraded
+            if scores is not None:
+                response.scores = scores[offset : offset + entry.batch]
+            offset += entry.batch
+
+            self.telemetry.n_served += 1
+            self.telemetry.latency.add(end - entry.request.arrival_s)
+            if response.deadline_met is False:
+                self.telemetry.n_violations += 1
+
+        self.backlog.record_service(
+            batch.model, total, placement.gpu_state, placement.device,
+            event.duration_s, now=end,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def n_pending(self) -> int:
+        """Requests submitted but not yet resolved (queued or in flight)."""
+        return len(self._pending)
+
+    def queue_depth(self, model: str) -> int:
+        return len(self._queues[self._require_spec(model).name])
+
+    def stats(self) -> dict:
+        """Telemetry snapshot plus per-layer counters."""
+        return {
+            **self.telemetry.snapshot(),
+            "pending": self.n_pending,
+            "virtual_time_s": self.loop.now,
+            "spills": self.backlog.n_spills,
+            "queues": {m: len(q) for m, q in sorted(self._queues.items())},
+            "admission": {
+                m: c.stats() for m, c in sorted(self._admission.items())
+            },
+            "workers": {
+                name: w.stats() for name, w in sorted(self._workers.items())
+            },
+        }

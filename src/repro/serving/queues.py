@@ -1,0 +1,198 @@
+"""Per-model request queues with deadlines: FIFO and earliest-deadline-first.
+
+The serving frontend holds one bounded queue per deployed model.  A queue
+stores :class:`QueueEntry` wrappers (the request, its absolute deadline,
+when it was enqueued, optionally its host samples); the discipline decides
+*pop order only* — admission bounds length, the coalescer decides *when*
+to pop, and the deadline timer is always anchored at the oldest enqueue
+time regardless of discipline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.workloads.requests import InferenceRequest
+
+__all__ = ["QueueEntry", "RequestQueue", "FIFOQueue", "EDFQueue", "make_queue"]
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """One queued request plus its serving-side bookkeeping."""
+
+    request: InferenceRequest
+    enqueued_s: float
+    seq: int                      # frontend-global submission order
+    x: "np.ndarray | None" = field(default=None, compare=False)
+    degraded: bool = False        # routed via the degrade (shed-to-cheap) path
+
+    @property
+    def deadline_s(self) -> "float | None":
+        """Absolute completion deadline (None = best effort)."""
+        return self.request.deadline_s
+
+    @property
+    def batch(self) -> int:
+        """Samples in this request."""
+        return self.request.batch
+
+    def slack_s(self, now: float) -> float:
+        """Seconds until the deadline (inf without one; negative if past)."""
+        if self.deadline_s is None:
+            return float("inf")
+        return self.deadline_s - now
+
+
+class RequestQueue:
+    """Bounded per-model queue; subclasses fix the pop discipline."""
+
+    discipline = "abstract"
+
+    def __init__(self, model: str, capacity: "int | None" = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.model = model
+        self.capacity = capacity
+
+    # -- discipline hooks (subclass responsibility) ------------------------
+
+    def _append(self, entry: QueueEntry) -> None:
+        raise NotImplementedError
+
+    def _popleft(self) -> QueueEntry:
+        raise NotImplementedError
+
+    def _peek(self) -> QueueEntry:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __iter__(self):
+        raise NotImplementedError
+
+    # -- shared API --------------------------------------------------------
+
+    @property
+    def full(self) -> bool:
+        """Whether another push would exceed capacity."""
+        return self.capacity is not None and len(self) >= self.capacity
+
+    def push(self, entry: QueueEntry) -> None:
+        """Enqueue; raises :class:`SchedulerError` when at capacity.
+
+        Admission control checks :attr:`full` *before* pushing — a raise
+        here means the frontend wiring is wrong, not that load is high.
+        """
+        if self.full:
+            raise SchedulerError(
+                f"queue for {self.model!r} is at capacity ({self.capacity})"
+            )
+        self._append(entry)
+
+    def pop(self) -> QueueEntry:
+        """Dequeue the next entry under this queue's discipline."""
+        if not len(self):
+            raise SchedulerError(f"queue for {self.model!r} is empty")
+        return self._popleft()
+
+    def peek(self) -> QueueEntry:
+        """The entry :meth:`pop` would return, without removing it."""
+        if not len(self):
+            raise SchedulerError(f"queue for {self.model!r} is empty")
+        return self._peek()
+
+    @property
+    def total_samples(self) -> int:
+        """Samples summed over all queued requests."""
+        return sum(e.batch for e in self)
+
+    def oldest_enqueued_s(self) -> "float | None":
+        """Earliest enqueue time among waiting entries (None if empty).
+
+        This anchors the coalescer's max-wait timer: even under EDF pop
+        order, no request may wait longer than max_wait.
+        """
+        return min((e.enqueued_s for e in self), default=None)
+
+
+class FIFOQueue(RequestQueue):
+    """Arrival-order queue — the throughput-friendly default."""
+
+    discipline = "fifo"
+
+    def __init__(self, model: str, capacity: "int | None" = None):
+        super().__init__(model, capacity)
+        self._entries: deque[QueueEntry] = deque()
+
+    def _append(self, entry: QueueEntry) -> None:
+        self._entries.append(entry)
+
+    def _popleft(self) -> QueueEntry:
+        return self._entries.popleft()
+
+    def _peek(self) -> QueueEntry:
+        return self._entries[0]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+
+class EDFQueue(RequestQueue):
+    """Earliest-deadline-first queue; deadline-less entries rank last.
+
+    Ties (equal deadlines, and all best-effort traffic) break by
+    submission order, so EDF over a deadline-free stream degrades to FIFO.
+    """
+
+    discipline = "edf"
+
+    def __init__(self, model: str, capacity: "int | None" = None):
+        super().__init__(model, capacity)
+        self._heap: list[tuple[float, int, QueueEntry]] = []
+
+    @staticmethod
+    def _key(entry: QueueEntry) -> tuple[float, int]:
+        deadline = entry.deadline_s if entry.deadline_s is not None else float("inf")
+        return (deadline, entry.seq)
+
+    def _append(self, entry: QueueEntry) -> None:
+        heapq.heappush(self._heap, (*self._key(entry), entry))
+
+    def _popleft(self) -> QueueEntry:
+        return heapq.heappop(self._heap)[2]
+
+    def _peek(self) -> QueueEntry:
+        return self._heap[0][2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __iter__(self):
+        return (entry for _, _, entry in sorted(self._heap, key=lambda t: t[:2]))
+
+
+_DISCIPLINES = {"fifo": FIFOQueue, "edf": EDFQueue}
+
+
+def make_queue(
+    discipline: str, model: str, capacity: "int | None" = None
+) -> RequestQueue:
+    """Build a queue by discipline name ('fifo' | 'edf')."""
+    try:
+        cls = _DISCIPLINES[discipline]
+    except KeyError:
+        known = ", ".join(sorted(_DISCIPLINES))
+        raise ValueError(
+            f"unknown queue discipline {discipline!r}; known: {known}"
+        ) from None
+    return cls(model, capacity)

@@ -1,0 +1,106 @@
+"""Per-device workers: coalesced batches onto command queues, on the loop.
+
+A :class:`DeviceWorker` is the execution stage of the serving frontend:
+it owns one device's :class:`~repro.ocl.queue.CommandQueue`, accepts
+placed :class:`~repro.serving.coalescer.CoalescedBatch`es, launches them
+(timing/energy always; real forward passes when every merged request
+carries host samples), and schedules a completion callback on the event
+loop at the launch's virtual end time.  Batches dispatch in arrival order
+on the in-order queue, so the queue's clock running ahead of ``loop.now``
+*is* the device backlog — the same quantity
+:class:`~repro.sched.backlog.BacklogAwareScheduler` reads when placing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.ocl.event import Event
+from repro.sched.backlog import BacklogDecision
+from repro.sched.dispatcher import Dispatcher
+from repro.serving.coalescer import CoalescedBatch
+from repro.sim.engine import EventLoop
+
+__all__ = ["DeviceWorker"]
+
+
+class DeviceWorker:
+    """Serializes coalesced batches onto one device's command queue."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        device_name: str,
+        device_class: str,
+        command_queue,
+        dispatcher: Dispatcher,
+        on_complete: "Callable[[CoalescedBatch, BacklogDecision, Event], None]",
+    ):
+        self.loop = loop
+        self.device_name = device_name
+        self.device_class = device_class
+        self.command_queue = command_queue
+        self.dispatcher = dispatcher
+        self.on_complete = on_complete
+        self.n_batches = 0
+        self.n_requests = 0
+        self.n_samples = 0
+        self.busy_s = 0.0
+
+    def backlog_s(self, now: float) -> float:
+        """Seconds of already-dispatched work still ahead of ``now``."""
+        return max(0.0, self.command_queue.current_time - now)
+
+    @staticmethod
+    def _merged_input(batch: CoalescedBatch) -> "np.ndarray | None":
+        """One concatenated host array, iff every request carries samples."""
+        arrays = [e.x for e in batch.entries]
+        if any(a is None for a in arrays):
+            return None
+        return np.concatenate([np.asarray(a, dtype=np.float32) for a in arrays])
+
+    def execute(self, batch: CoalescedBatch, decision: BacklogDecision) -> Event:
+        """Launch one coalesced batch; completion fires on the event loop.
+
+        The launch is enqueued immediately (the in-order command queue
+        carries the backlog), and ``on_complete(batch, decision, event)``
+        is scheduled at the event's virtual end time.
+        """
+        if decision.device_name != self.device_name:
+            raise ValueError(
+                f"batch placed on {decision.device_name!r} handed to worker "
+                f"for {self.device_name!r}"
+            )
+        now = self.loop.now
+        cq = self.command_queue
+        if cq.current_time < now:
+            cq.advance_to(now)
+        kernel = self.dispatcher.kernel_for(self.device_name, batch.model)
+        merged = self._merged_input(batch)
+        if merged is not None and cq.execute_kernels:
+            event = cq.enqueue_inference(kernel, merged)
+        else:
+            event = cq.enqueue_inference_virtual(kernel, batch.total_samples)
+
+        self.n_batches += 1
+        self.n_requests += len(batch)
+        self.n_samples += batch.total_samples
+        self.busy_s += event.duration_s
+
+        self.loop.schedule(
+            event.time_ended,
+            lambda _loop: self.on_complete(batch, decision, event),
+            label=f"complete:{self.device_name}:{batch.model}",
+        )
+        return event
+
+    def stats(self) -> dict:
+        """Worker counters for the frontend's stats() rollup."""
+        return {
+            "batches": self.n_batches,
+            "requests": self.n_requests,
+            "samples": self.n_samples,
+            "busy_s": self.busy_s,
+        }

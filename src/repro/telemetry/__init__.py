@@ -10,6 +10,12 @@ collects grids of them and exports CSV for the figure harnesses.
 from repro.telemetry.metrics import Measurement
 from repro.telemetry.meters import EnergyMeter, PowerSample
 from repro.telemetry.recorder import SweepRecorder
+from repro.telemetry.serving import (
+    BatchHistogram,
+    DepthSeries,
+    LatencyDigest,
+    ServingTelemetry,
+)
 from repro.telemetry.session import MeasurementSession
 
 __all__ = [
@@ -18,4 +24,8 @@ __all__ = [
     "PowerSample",
     "SweepRecorder",
     "MeasurementSession",
+    "LatencyDigest",
+    "DepthSeries",
+    "BatchHistogram",
+    "ServingTelemetry",
 ]

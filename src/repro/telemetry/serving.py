@@ -1,0 +1,190 @@
+"""Serving-side telemetry: tail latencies, queue depths, batch shapes.
+
+The characterization half of this package measures *one launch at a time*
+(:class:`~repro.telemetry.metrics.Measurement`); a serving frontend needs
+the complementary aggregate view — latency percentiles over thousands of
+requests, queue depth as a function of virtual time, the distribution of
+coalesced batch sizes, and counters for shed / SLO-violating requests.
+These collectors are deliberately dependency-free so every layer (queues,
+coalescer, workers, frontend) can deposit into one shared
+:class:`ServingTelemetry` instance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LatencyDigest", "DepthSeries", "BatchHistogram", "ServingTelemetry"]
+
+
+class LatencyDigest:
+    """Collects latency samples and reports percentiles (p50/p95/p99)."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def add(self, latency_s: float) -> None:
+        """Record one request's arrival-to-completion latency."""
+        if latency_s < 0.0:
+            raise ValueError(f"latency must be >= 0, got {latency_s}")
+        self._samples.append(float(latency_s))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile of recorded latency in seconds."""
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        return float(np.percentile(self._samples, q))
+
+    @property
+    def p50_s(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95_s(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99_s(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def mean_s(self) -> float:
+        if not self._samples:
+            raise ValueError("no latency samples recorded")
+        return float(np.mean(self._samples))
+
+
+class DepthSeries:
+    """A step function of queue depth over virtual time."""
+
+    def __init__(self) -> None:
+        self._points: list[tuple[float, int]] = []
+
+    def record(self, t: float, depth: int) -> None:
+        """Record the depth observed at virtual time ``t`` (monotone t)."""
+        if depth < 0:
+            raise ValueError(f"depth must be >= 0, got {depth}")
+        if self._points and t < self._points[-1][0]:
+            raise ValueError(
+                f"depth series must advance in time: {t} < {self._points[-1][0]}"
+            )
+        self._points.append((float(t), int(depth)))
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> list[tuple[float, int]]:
+        return list(self._points)
+
+    @property
+    def max_depth(self) -> int:
+        """Peak observed depth (0 for an empty series)."""
+        return max((d for _, d in self._points), default=0)
+
+    def depth_at(self, t: float) -> int:
+        """Step-function value at time ``t`` (0 before the first point)."""
+        depth = 0
+        for ts, d in self._points:
+            if ts > t:
+                break
+            depth = d
+        return depth
+
+
+class BatchHistogram:
+    """Power-of-two histogram of coalesced batch sizes (in samples)."""
+
+    def __init__(self) -> None:
+        self._counts: dict[int, int] = {}
+        self._n = 0
+        self._total = 0
+
+    def add(self, samples: int) -> None:
+        """Record one dispatched batch of ``samples`` total samples."""
+        if samples <= 0:
+            raise ValueError(f"batch must be positive, got {samples}")
+        bucket = int(math.log2(samples))
+        self._counts[bucket] = self._counts.get(bucket, 0) + 1
+        self._n += 1
+        self._total += samples
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def counts(self) -> dict[int, int]:
+        """Bucket (floor log2 of samples) -> number of batches."""
+        return dict(sorted(self._counts.items()))
+
+    @property
+    def mean_samples(self) -> float:
+        """Mean samples per dispatched batch."""
+        if self._n == 0:
+            raise ValueError("no batches recorded")
+        return self._total / self._n
+
+
+@dataclass
+class ServingTelemetry:
+    """Everything the serving frontend emits, in one sink.
+
+    * ``latency`` — per-request arrival→completion digest (served only).
+    * ``queue_depth`` — per-model depth-over-time step series.
+    * ``batch_sizes`` — histogram of coalesced batch sizes.
+    * counters — served / shed / degraded / SLO-violation totals.
+    """
+
+    latency: LatencyDigest = field(default_factory=LatencyDigest)
+    queue_depth: dict[str, DepthSeries] = field(default_factory=dict)
+    batch_sizes: BatchHistogram = field(default_factory=BatchHistogram)
+    n_served: int = 0
+    n_shed: int = 0
+    n_degraded: int = 0
+    n_violations: int = 0
+
+    def depth_series(self, model: str) -> DepthSeries:
+        """The (auto-created) depth series for one model's queue."""
+        if model not in self.queue_depth:
+            self.queue_depth[model] = DepthSeries()
+        return self.queue_depth[model]
+
+    def record_depth(self, model: str, t: float, depth: int) -> None:
+        self.depth_series(model).record(t, depth)
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Peak depth across every model queue."""
+        return max((s.max_depth for s in self.queue_depth.values()), default=0)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of submitted requests that were shed."""
+        total = self.n_served + self.n_shed
+        return self.n_shed / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-dict summary (for stats()/logging/benchmarks)."""
+        out: dict = {
+            "served": self.n_served,
+            "shed": self.n_shed,
+            "degraded": self.n_degraded,
+            "violations": self.n_violations,
+            "shed_rate": self.shed_rate,
+            "max_queue_depth": self.max_queue_depth,
+        }
+        if len(self.latency):
+            out.update(
+                p50_ms=self.latency.p50_s * 1e3,
+                p95_ms=self.latency.p95_s * 1e3,
+                p99_ms=self.latency.p99_s * 1e3,
+            )
+        if len(self.batch_sizes):
+            out["mean_batch_samples"] = self.batch_sizes.mean_samples
+        return out

@@ -28,12 +28,24 @@ class InferenceRequest:
     model: str
     batch: int
     policy: str = "throughput"
+    deadline_s: "float | None" = None     # absolute completion deadline (SLO)
 
     def __post_init__(self) -> None:
         if self.batch <= 0:
             raise ValueError(f"batch must be positive, got {self.batch}")
         if self.arrival_s < 0.0:
             raise ValueError(f"arrival must be >= 0, got {self.arrival_s}")
+        if self.deadline_s is not None and self.deadline_s <= self.arrival_s:
+            raise ValueError(
+                f"deadline {self.deadline_s} must fall after arrival {self.arrival_s}"
+            )
+
+    @property
+    def slack_s(self) -> "float | None":
+        """Time budget from arrival to deadline (None without an SLO)."""
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s - self.arrival_s
 
 
 @dataclass(frozen=True)
@@ -105,12 +117,15 @@ def make_trace(
     """Instantiate an arrival process into requests over the given models.
 
     Each arrival picks its model uniformly — the mixed-application setting
-    the scheduler targets (§V: models with "strong diversity").
+    the scheduler targets (§V: models with "strong diversity").  When the
+    process carries an SLO (``process.slo_s``), every request gets a
+    deadline ``slo_s`` after its arrival.
     """
     if not specs:
         raise ValueError("make_trace needs at least one model spec")
     gen = ensure_rng(rng)
     arrivals = process.generate(gen)
+    slo = getattr(process, "slo_s", None)
     requests = tuple(
         InferenceRequest(
             request_id=i,
@@ -118,6 +133,7 @@ def make_trace(
             model=specs[int(gen.integers(len(specs)))].name,
             batch=batch,
             policy=policy,
+            deadline_s=None if slo is None else t + slo,
         )
         for i, (t, batch) in enumerate(arrivals)
     )

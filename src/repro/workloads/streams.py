@@ -30,9 +30,24 @@ def _clip_batch(values: np.ndarray, lo: int, hi: int) -> np.ndarray:
 
 @dataclass(frozen=True)
 class ArrivalProcess:
-    """Base class: subclasses implement :meth:`generate`."""
+    """Base class: subclasses implement :meth:`generate`.
+
+    ``slo_s`` optionally attaches a service-level objective to the stream:
+    every generated request carries ``deadline_s = arrival_s + slo_s``
+    (consumed by :func:`repro.workloads.requests.make_trace`), so a trace
+    can drive a deadline-aware serving frontend end to end.
+    """
 
     horizon_s: float = 10.0
+    slo_s: "float | None" = None
+
+    def __post_init__(self) -> None:
+        # Validate at construction so a bad horizon can never silently
+        # yield an empty trace (or empty burst_windows()).
+        if self.horizon_s <= 0.0:
+            raise ValueError(f"horizon_s must be positive, got {self.horizon_s}")
+        if self.slo_s is not None and self.slo_s <= 0.0:
+            raise ValueError(f"slo_s must be positive, got {self.slo_s}")
 
     def generate(
         self, rng: "int | np.random.Generator | None" = None
@@ -42,7 +57,7 @@ class ArrivalProcess:
 
     def _check(self) -> None:
         if self.horizon_s <= 0.0:
-            raise ValueError(f"horizon must be positive, got {self.horizon_s}")
+            raise ValueError(f"horizon_s must be positive, got {self.horizon_s}")
 
 
 @dataclass(frozen=True)

@@ -7,8 +7,14 @@ get fresh copies.
 
 from __future__ import annotations
 
+import os
+import subprocess
+import sys
+
 import numpy as np
 import pytest
+
+import repro
 
 from repro.nn.zoo import MNIST_CNN, MNIST_SMALL, PAPER_MODELS, SIMPLE
 from repro.sched.dataset import generate_dataset
@@ -18,6 +24,21 @@ from repro.telemetry.session import MeasurementSession
 
 #: Small batch grid for fast sweeps (still spans the crossover range).
 SMALL_BATCHES: tuple[int, ...] = (1, 8, 64, 512, 4096, 32768, 262144)
+
+
+def run_cli(*args, check=True, timeout=600):
+    """Run ``python -m repro.cli`` in a subprocess with src/ importable,
+    regardless of how pytest itself found the package (PYTHONPATH or the
+    pyproject ``pythonpath`` option, which children don't inherit)."""
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True, text=True, check=check, timeout=timeout, env=env,
+    )
 
 
 @pytest.fixture(scope="session")
@@ -58,6 +79,22 @@ def trained_predictors(throughput_dataset, energy_dataset):
         Policy.THROUGHPUT: DevicePredictor(Policy.THROUGHPUT).fit(throughput_dataset),
         Policy.ENERGY: DevicePredictor(Policy.ENERGY).fit(energy_dataset),
     }
+
+
+@pytest.fixture(scope="session")
+def serving_predictors():
+    """Throughput predictor on a reduced two-model grid for serving tests.
+
+    Shared by tests/serving and tests/property; schedulers built on top
+    are rebuilt per test (see tests/serving/conftest.py) because their
+    command-queue clocks are mutable.
+    """
+    dataset = generate_dataset(
+        "throughput",
+        specs=[SIMPLE, MNIST_SMALL],
+        batches=(1, 64, 1024, 16384, 262144),
+    )
+    return {Policy.THROUGHPUT: DevicePredictor(Policy.THROUGHPUT).fit(dataset)}
 
 
 @pytest.fixture()

@@ -1,13 +1,11 @@
 """Experiment registry and CLI."""
 
-import subprocess
-import sys
-
 import pytest
 
 from repro.errors import ExperimentError
 from repro.experiments import get_experiment, list_experiments
 from repro.experiments.registry import register
+from tests.conftest import run_cli
 
 
 class TestRegistry:
@@ -38,30 +36,18 @@ class TestRegistry:
 
 class TestCLI:
     def test_list_mode(self):
-        out = subprocess.run(
-            [sys.executable, "-m", "repro.cli"],
-            capture_output=True, text=True, check=True,
-        ).stdout
+        out = run_cli().stdout
         assert "table2" in out and "fig6" in out
 
     def test_run_experiment(self):
-        out = subprocess.run(
-            [sys.executable, "-m", "repro.cli", "table1"],
-            capture_output=True, text=True, check=True,
-        ).stdout
+        out = run_cli("table1").stdout
         assert "1344 combinations" in out
 
     def test_output_file(self, tmp_path):
         target = tmp_path / "t1.txt"
-        subprocess.run(
-            [sys.executable, "-m", "repro.cli", "table1", "--out", str(target)],
-            capture_output=True, text=True, check=True,
-        )
+        run_cli("table1", "--out", str(target))
         assert "Hyperparameter" in target.read_text()
 
     def test_unknown_experiment_fails(self):
-        proc = subprocess.run(
-            [sys.executable, "-m", "repro.cli", "fig99"],
-            capture_output=True, text=True,
-        )
+        proc = run_cli("fig99", check=False)
         assert proc.returncode != 0

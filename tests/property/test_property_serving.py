@@ -1,0 +1,109 @@
+"""Property tests: random traces through the serving frontend.
+
+For arbitrary (gap, batch, deadline?) sequences the frontend must hold
+its delivery contract:
+
+* exactly-once — every submitted request resolves to served or shed,
+  never both, never lost, never duplicated;
+* the max-wait trigger — no admitted request sits in a queue longer
+  than ``max_wait_s`` before its batch is dispatched;
+* the coalescing bound — no dispatched batch exceeds ``max_batch``
+  samples unless a single oversized request forms it alone.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving import ServingFrontend, SLOConfig
+from repro.workloads.requests import InferenceRequest, RequestTrace
+from tests.serving.conftest import SERVING_SPECS, build_scheduler
+
+_EPS = 1e-6
+
+arrival_steps = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=0.05),        # gap to next arrival
+        st.integers(min_value=1, max_value=300),         # batch (can exceed max_batch)
+        st.one_of(st.none(), st.floats(min_value=0.01, max_value=1.0)),  # SLO
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+slo_configs = st.builds(
+    SLOConfig,
+    max_queue_depth=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+    max_batch=st.sampled_from([16, 64, 256]),
+    max_wait_s=st.sampled_from([0.002, 0.01, 0.05]),
+    discipline=st.sampled_from(["fifo", "edf"]),
+    degrade=st.booleans(),
+)
+
+
+def trace_from_steps(steps) -> RequestTrace:
+    t, requests = 0.0, []
+    for i, (gap, batch, slo) in enumerate(steps):
+        t += gap
+        requests.append(
+            InferenceRequest(
+                request_id=i,
+                arrival_s=t,
+                model="simple" if i % 2 else "mnist-small",
+                batch=batch,
+                deadline_s=None if slo is None else t + slo,
+            )
+        )
+    return RequestTrace(requests=tuple(requests))
+
+
+@settings(max_examples=25, deadline=None)
+@given(steps=arrival_steps, slo=slo_configs)
+def test_serving_contract(serving_predictors, steps, slo):
+    trace = trace_from_steps(steps)
+    frontend = ServingFrontend(
+        build_scheduler(serving_predictors), SERVING_SPECS, default_slo=slo
+    )
+    result = frontend.serve_trace(trace)
+
+    # Exactly-once delivery.
+    assert len(result.responses) == len(trace)
+    assert all(r.done for r in result.responses)
+    assert len(result.served) + len(result.shed) == len(trace)
+    assert frontend.n_pending == 0
+    assert frontend.telemetry.n_served + frontend.telemetry.n_shed == len(trace)
+
+    for response in result.served:
+        request = response.request
+        # Dispatch within max_wait of arrival (degraded requests bypass
+        # the coalescer and run immediately, which also satisfies this).
+        assert response.dispatched_s <= request.arrival_s + slo.max_wait_s + _EPS
+        # Batch bound: only a lone oversized request may exceed max_batch.
+        assert response.batch_size <= max(slo.max_batch, request.batch)
+        # Completion follows dispatch; energy attribution is positive.
+        assert response.end_s >= response.dispatched_s
+        assert response.energy_j > 0.0
+
+    for response in result.shed:
+        assert response.shed_reason in ("queue_full", "deadline_unmeetable")
+        # Degrade mode converts queue_full sheds into service.
+        if slo.degrade:
+            assert response.shed_reason != "queue_full"
+
+
+@settings(max_examples=10, deadline=None)
+@given(steps=arrival_steps)
+def test_unbounded_fifo_serves_everything(serving_predictors, steps):
+    """With no queue bound and no deadlines, nothing is ever shed."""
+    trace = trace_from_steps(
+        [(gap, batch, None) for gap, batch, _ in steps]
+    )
+    frontend = ServingFrontend(
+        build_scheduler(serving_predictors),
+        SERVING_SPECS,
+        default_slo=SLOConfig(max_queue_depth=None, max_wait_s=0.01),
+    )
+    result = frontend.serve_trace(trace)
+    assert len(result.served) == len(trace)
+    assert not result.shed
+    assert result.shed_rate == pytest.approx(0.0)

@@ -104,3 +104,49 @@ class TestPlacement:
         bl.submit_virtual(MNIST_SMALL, 1 << 16, arrival_s=0.0)
         decision, _ = bl.submit_virtual(MNIST_SMALL, 1 << 16, arrival_s=0.0)
         assert decision.wait_s > 0.0
+
+
+class TestColdStart:
+    """Behaviour before any realized dispatch has been observed."""
+
+    def test_service_estimate_none_when_unseen(self, base):
+        bl = BacklogAwareScheduler(base)
+        for device in ("cpu", "igpu", "dgpu"):
+            assert bl.service_estimate("mnist-small", 64, "idle", device, 0.0) is None
+
+    def test_estimate_completion_optimistic_on_idle_devices(self, base):
+        """Cold table + idle queues -> zero estimated delay, so admission
+        control never rejects before it has evidence."""
+        bl = BacklogAwareScheduler(base)
+        device, delay = bl.estimate_completion(MNIST_SMALL, 64, arrival_s=0.0)
+        assert device == bl.rank_devices(MNIST_SMALL, 64, "idle")[0]
+        assert delay == pytest.approx(0.0)
+
+    def test_first_decide_follows_predictor(self, base):
+        bl = BacklogAwareScheduler(base)
+        decision = bl.decide(MNIST_SMALL, 64, arrival_s=0.0)
+        assert decision.device == decision.ranked[0]
+        assert not decision.spilled
+        assert decision.wait_s == 0.0
+        assert bl.n_spills == 0
+
+    def test_record_service_warms_the_estimate(self, base):
+        bl = BacklogAwareScheduler(base)
+        bl.record_service("mnist-small", 64, "idle", "cpu", 0.25, now=0.0)
+        assert bl.service_estimate("mnist-small", 64, "idle", "cpu", 1.0) == (
+            pytest.approx(0.25)
+        )
+        # Other devices in the same cell stay cold.
+        assert bl.service_estimate("mnist-small", 64, "idle", "dgpu", 1.0) is None
+
+    def test_recorded_service_shifts_completion_estimate(self, base):
+        bl = BacklogAwareScheduler(base, max_rank=3)
+        for device in ("cpu", "igpu", "dgpu"):
+            bl.record_service("mnist-small", 64, "idle", device, 5.0, now=0.0)
+        _, delay = bl.estimate_completion(MNIST_SMALL, 64, arrival_s=0.0)
+        assert delay == pytest.approx(5.0)
+
+    def test_record_service_rejects_negative(self, base):
+        bl = BacklogAwareScheduler(base)
+        with pytest.raises(ValueError):
+            bl.record_service("mnist-small", 64, "idle", "cpu", -1.0, now=0.0)

@@ -1,0 +1,103 @@
+"""Admission control: queue bounds, ECT rejection, degrade mode."""
+
+import pytest
+
+from repro.serving.admission import AdmissionController
+from repro.serving.queues import FIFOQueue, QueueEntry
+from repro.workloads.requests import InferenceRequest
+
+
+def request(deadline=None):
+    return InferenceRequest(
+        request_id=0, arrival_s=0.0, model="m", batch=8, deadline_s=deadline
+    )
+
+
+def filled_queue(n, capacity):
+    q = FIFOQueue("m", capacity=capacity)
+    for i in range(n):
+        q.push(
+            QueueEntry(
+                request=InferenceRequest(
+                    request_id=i, arrival_s=0.0, model="m", batch=8
+                ),
+                enqueued_s=0.0,
+                seq=i,
+            )
+        )
+    return q
+
+
+class TestBounds:
+    def test_accepts_with_headroom(self):
+        ctl = AdmissionController()
+        d = ctl.admit(request(), filled_queue(1, capacity=2), now=0.0)
+        assert d.admitted and d.reason == "ok"
+        assert ctl.n_accepted == 1
+
+    def test_sheds_when_full(self):
+        ctl = AdmissionController()
+        d = ctl.admit(request(), filled_queue(2, capacity=2), now=0.0)
+        assert d.action == "shed" and d.reason == "queue_full"
+        assert ctl.n_shed == 1
+
+    def test_unbounded_queue_never_full(self):
+        ctl = AdmissionController()
+        d = ctl.admit(request(), filled_queue(500, capacity=None), now=0.0)
+        assert d.admitted
+
+
+class TestECT:
+    def test_rejects_unmeetable_deadline(self):
+        ctl = AdmissionController()
+        d = ctl.admit(
+            request(deadline=0.1), filled_queue(0, 8), now=0.0, est_delay_s=0.5
+        )
+        assert d.action == "shed" and d.reason == "deadline_unmeetable"
+        assert d.est_completion_s == pytest.approx(0.5)
+
+    def test_accepts_meetable_deadline(self):
+        ctl = AdmissionController()
+        d = ctl.admit(
+            request(deadline=1.0), filled_queue(0, 8), now=0.0, est_delay_s=0.5
+        )
+        assert d.admitted
+        assert d.est_completion_s == pytest.approx(0.5)
+
+    def test_best_effort_skips_ect(self):
+        ctl = AdmissionController()
+        d = ctl.admit(request(), filled_queue(0, 8), now=0.0, est_delay_s=100.0)
+        assert d.admitted
+
+    def test_cold_table_admits(self):
+        """No estimate yet (cold start) -> optimistic accept."""
+        ctl = AdmissionController()
+        d = ctl.admit(request(deadline=0.01), filled_queue(0, 8), now=0.0,
+                      est_delay_s=None)
+        assert d.admitted
+
+    def test_margin_sheds_earlier(self):
+        ctl = AdmissionController(ect_margin=3.0)
+        d = ctl.admit(
+            request(deadline=1.0), filled_queue(0, 8), now=0.0, est_delay_s=0.5
+        )
+        assert d.action == "shed"
+
+
+class TestDegrade:
+    def test_degrade_instead_of_shed(self):
+        ctl = AdmissionController(degrade=True)
+        d = ctl.admit(request(), filled_queue(2, capacity=2), now=0.0)
+        assert d.action == "degrade" and d.reason == "queue_full"
+        assert ctl.n_degraded == 1 and ctl.n_shed == 0
+
+    def test_stats(self):
+        ctl = AdmissionController(degrade=True)
+        ctl.admit(request(), filled_queue(0, 2), now=0.0)
+        ctl.admit(request(), filled_queue(2, 2), now=0.0)
+        assert ctl.stats() == {"accepted": 1, "shed": 0, "degraded": 1}
+
+
+def test_invalid_margin():
+    with pytest.raises(ValueError):
+        AdmissionController(ect_margin=0.0)

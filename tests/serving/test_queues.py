@@ -1,0 +1,99 @@
+"""Per-model request queues: disciplines, bounds, deadline ordering."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.serving.queues import EDFQueue, FIFOQueue, QueueEntry, make_queue
+from repro.workloads.requests import InferenceRequest
+
+
+def entry(seq, arrival=0.0, batch=8, deadline=None, model="m"):
+    return QueueEntry(
+        request=InferenceRequest(
+            request_id=seq, arrival_s=arrival, model=model, batch=batch,
+            deadline_s=deadline,
+        ),
+        enqueued_s=arrival,
+        seq=seq,
+    )
+
+
+class TestFIFO:
+    def test_pop_in_arrival_order(self):
+        q = FIFOQueue("m")
+        for i in range(5):
+            q.push(entry(i, arrival=float(i)))
+        assert [q.pop().seq for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_capacity_enforced(self):
+        q = FIFOQueue("m", capacity=2)
+        q.push(entry(0))
+        q.push(entry(1))
+        assert q.full
+        with pytest.raises(SchedulerError):
+            q.push(entry(2))
+
+    def test_total_samples_and_oldest(self):
+        q = FIFOQueue("m")
+        q.push(entry(0, arrival=1.0, batch=10))
+        q.push(entry(1, arrival=0.5, batch=30))
+        assert q.total_samples == 40
+        assert q.oldest_enqueued_s() == 0.5
+
+    def test_empty_queue_ops_raise(self):
+        q = FIFOQueue("m")
+        assert q.oldest_enqueued_s() is None
+        with pytest.raises(SchedulerError):
+            q.pop()
+        with pytest.raises(SchedulerError):
+            q.peek()
+
+
+class TestEDF:
+    def test_pop_by_deadline(self):
+        q = EDFQueue("m")
+        q.push(entry(0, deadline=3.0))
+        q.push(entry(1, deadline=1.0))
+        q.push(entry(2, deadline=2.0))
+        assert [q.pop().seq for _ in range(3)] == [1, 2, 0]
+
+    def test_deadline_less_ranks_last(self):
+        q = EDFQueue("m")
+        q.push(entry(0))                  # best effort
+        q.push(entry(1, deadline=9.0))
+        assert q.pop().seq == 1
+
+    def test_degrades_to_fifo_without_deadlines(self):
+        q = EDFQueue("m")
+        for i in range(4):
+            q.push(entry(i))
+        assert [q.pop().seq for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_iteration_is_pop_order(self):
+        q = EDFQueue("m")
+        q.push(entry(0, deadline=2.0))
+        q.push(entry(1, deadline=1.0))
+        assert [e.seq for e in q] == [1, 0]
+        assert len(q) == 2  # iteration does not consume
+
+
+class TestEntry:
+    def test_slack(self):
+        e = entry(0, arrival=1.0, deadline=2.5)
+        assert e.slack_s(2.0) == pytest.approx(0.5)
+        assert e.slack_s(3.0) == pytest.approx(-0.5)
+        assert entry(1).slack_s(0.0) == float("inf")
+
+
+class TestFactory:
+    def test_make_queue(self):
+        assert isinstance(make_queue("fifo", "m"), FIFOQueue)
+        assert isinstance(make_queue("edf", "m", capacity=4), EDFQueue)
+
+    def test_unknown_discipline(self):
+        with pytest.raises(ValueError, match="unknown queue discipline"):
+            make_queue("lifo", "m")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FIFOQueue("m", capacity=0)

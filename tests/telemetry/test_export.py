@@ -1,8 +1,5 @@
 """Figure data exports."""
 
-import subprocess
-import sys
-
 import pytest
 
 from repro.errors import ExperimentError
@@ -10,6 +7,7 @@ from repro.experiments.fig3 import run_fig3
 from repro.nn.zoo import MNIST_SMALL, SIMPLE
 from repro.telemetry.export import CURVES, export_figure_dats, figure_dat
 from repro.telemetry.recorder import SweepRecorder
+from tests.conftest import run_cli
 
 
 @pytest.fixture(scope="module")
@@ -79,17 +77,13 @@ class TestExportDats:
 class TestCLIExports:
     def test_csv_flag(self, tmp_path):
         target = tmp_path / "fig4.csv"
-        subprocess.run(
-            [sys.executable, "-m", "repro.cli", "fig4", "--out",
-             str(tmp_path / "render.txt"), "--csv", str(target)],
-            capture_output=True, text=True, check=True, timeout=600,
+        run_cli(
+            "fig4", "--out", str(tmp_path / "render.txt"), "--csv", str(target)
         )
         assert target.read_text().startswith("model,")
 
     def test_csv_rejected_for_tables(self, tmp_path):
-        proc = subprocess.run(
-            [sys.executable, "-m", "repro.cli", "table1", "--csv",
-             str(tmp_path / "x.csv")],
-            capture_output=True, text=True, timeout=600,
+        proc = run_cli(
+            "table1", "--csv", str(tmp_path / "x.csv"), check=False
         )
         assert proc.returncode != 0

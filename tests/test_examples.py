@@ -11,6 +11,7 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+SRC_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "src")
 
 LANDMARKS = {
     "quickstart.py": ["devices:", "policy=throughput", "policy=energy"],
@@ -22,6 +23,7 @@ LANDMARKS = {
     "system_changes.py": ["dGPU contended", "feedback overrides"],
     "power_timeline.py": ["mean power per", "window energies"],
     "cooperative_batch.py": ["one batch, all devices", "speedup"],
+    "serving_frontend.py": ["SLO-aware serving", "max queue depth", "coalesced batches"],
 }
 
 
@@ -34,11 +36,16 @@ def test_every_example_has_a_smoke_test():
 
 @pytest.mark.parametrize("script", sorted(LANDMARKS))
 def test_example_runs(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (SRC_DIR, env.get("PYTHONPATH")) if p
+    )
     proc = subprocess.run(
         [sys.executable, os.path.join(EXAMPLES_DIR, script)],
         capture_output=True,
         text=True,
         timeout=600,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     for landmark in LANDMARKS[script]:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.nn.zoo import MNIST_SMALL, SIMPLE
 from repro.workloads.requests import InferenceRequest, RequestTrace, make_trace
-from repro.workloads.streams import ConstantStream
+from repro.workloads.streams import ConstantStream, PoissonStream
 
 
 class TestRequest:
@@ -72,3 +72,30 @@ class TestMakeTrace:
         a = make_trace(ConstantStream(horizon_s=1.0, interval_s=0.2), [SIMPLE, MNIST_SMALL], rng=9)
         b = make_trace(ConstantStream(horizon_s=1.0, interval_s=0.2), [SIMPLE, MNIST_SMALL], rng=9)
         assert [r.model for r in a] == [r.model for r in b]
+
+
+class TestDeadlines:
+    def test_deadline_must_follow_arrival(self):
+        with pytest.raises(ValueError, match="deadline"):
+            InferenceRequest(
+                request_id=0, arrival_s=1.0, model="m", batch=8, deadline_s=1.0
+            )
+
+    def test_slack(self):
+        r = InferenceRequest(
+            request_id=0, arrival_s=1.0, model="m", batch=8, deadline_s=1.4
+        )
+        assert r.slack_s == pytest.approx(0.4)
+        assert InferenceRequest(0, 0.0, "m", 8).slack_s is None
+
+    def test_make_trace_stamps_deadlines_from_stream_slo(self):
+        stream = PoissonStream(horizon_s=2.0, rate_hz=50.0, slo_s=0.25)
+        trace = make_trace(stream, [SIMPLE], rng=0)
+        assert len(trace) > 0
+        for r in trace:
+            assert r.deadline_s == pytest.approx(r.arrival_s + 0.25)
+
+    def test_make_trace_without_slo_leaves_best_effort(self):
+        stream = PoissonStream(horizon_s=2.0, rate_hz=50.0)
+        trace = make_trace(stream, [SIMPLE], rng=0)
+        assert all(r.deadline_s is None for r in trace)

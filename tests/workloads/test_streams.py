@@ -124,3 +124,35 @@ class TestOverload:
     def test_invalid_window(self):
         with pytest.raises(ValueError):
             OverloadStream(overload_start_s=5.0, overload_end_s=2.0).generate(0)
+
+
+class TestConstructionValidation:
+    """Bad horizons fail loudly at construction, not as silent empty traces."""
+
+    @pytest.mark.parametrize("horizon", [0.0, -1.0])
+    def test_nonpositive_horizon_raises_at_construction(self, horizon):
+        for cls, kwargs in [
+            (ConstantStream, {"interval_s": 0.1}),
+            (PoissonStream, {}),
+            (BurstStream, {}),
+            (DiurnalStream, {}),
+            (OverloadStream, {}),
+        ]:
+            with pytest.raises(ValueError, match="horizon_s"):
+                cls(horizon_s=horizon, **kwargs)
+
+    def test_burst_windows_cannot_silently_be_empty(self):
+        # Regression: BurstStream(horizon_s=-1).burst_windows() used to
+        # return [] without complaint; now the constructor refuses.
+        with pytest.raises(ValueError):
+            BurstStream(horizon_s=-1.0)
+
+    def test_nonpositive_slo_raises(self):
+        with pytest.raises(ValueError, match="slo_s"):
+            PoissonStream(horizon_s=1.0, slo_s=0.0)
+        with pytest.raises(ValueError, match="slo_s"):
+            ConstantStream(horizon_s=1.0, interval_s=0.1, slo_s=-0.5)
+
+    def test_slo_none_is_default(self):
+        assert PoissonStream(horizon_s=1.0).slo_s is None
+        assert BurstStream(horizon_s=1.0, slo_s=0.2).slo_s == 0.2

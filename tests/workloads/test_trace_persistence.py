@@ -70,3 +70,18 @@ class TestJsonRoundtrip:
         )
         result = runner.run(loaded)
         assert len(result) == len(trace)
+
+
+def test_deadlines_survive_roundtrip():
+    from repro.workloads.requests import InferenceRequest, RequestTrace
+
+    trace = RequestTrace(
+        requests=(
+            InferenceRequest(0, 0.0, "m", 8, deadline_s=0.5),
+            InferenceRequest(1, 0.1, "m", 8),  # mixed: one best-effort
+        )
+    )
+    back = RequestTrace.from_json(trace.to_json())
+    assert back.requests[0].deadline_s == 0.5
+    assert back.requests[1].deadline_s is None
+    assert back == trace
