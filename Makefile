@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full repro examples serve-demo lint-clean
+.PHONY: install test bench bench-full repro examples serve-demo cluster-demo lint-clean
 
 install:
 	pip install -e .
@@ -21,9 +21,14 @@ bench-full:
 repro:
 	$(PY) -m repro.cli --all results
 
+# Fail fast: a broken example must fail the target, not scroll past.
 examples:
-	for ex in examples/*.py; do echo "== $$ex =="; $(PY) $$ex; done
+	for ex in examples/*.py; do echo "== $$ex =="; $(PY) $$ex || exit 1; done
 
 # SLO-aware serving frontend demo: coalescing + admission under overload.
 serve-demo:
 	$(PY) examples/serving_frontend.py
+
+# Cluster layer demo: fleet balancing policies, graceful drain, autoscaling.
+cluster-demo:
+	$(PY) examples/cluster_serving.py

@@ -1,0 +1,100 @@
+"""Bench: fleet balancing policies under seeded overload.
+
+One table answers the cluster layer's pitch: on a heterogeneous 4-node
+fleet (two full testbed machines, two CPU-only) taking a 6 kHz flood,
+how much tail latency and shedding does each balancing policy leave on
+the table?  Round-robin is the load-blind baseline; join-shortest-queue
+and the predictor-aware least-ECT policy must each beat it strictly on
+both p99 and shed rate (the issue's acceptance criterion).
+"""
+
+from conftest import emit
+
+from repro.cluster import ClusterRouter, NodeSpec, make_fleet
+from repro.experiments.report import fmt_pct, render_table
+from repro.nn.zoo import MNIST_SMALL, SIMPLE
+from repro.sched.dataset import generate_dataset
+from repro.sched.policies import Policy
+from repro.sched.predictor import DevicePredictor
+from repro.serving import SLOConfig
+from repro.workloads.requests import make_trace
+from repro.workloads.streams import OverloadStream
+
+SPECS = {s.name: s for s in (SIMPLE, MNIST_SMALL)}
+
+SLO = SLOConfig(
+    deadline_s=0.3, max_queue_depth=64, max_batch=4096, max_wait_s=0.005
+)
+
+FLEET = (
+    NodeSpec("node-a"),
+    NodeSpec("node-b"),
+    NodeSpec("node-c", device_classes=("cpu",)),
+    NodeSpec("node-d", device_classes=("cpu",)),
+)
+
+POLICIES = (
+    "round-robin",
+    "least-outstanding",
+    "join-shortest-queue",
+    "power-of-two",
+    "least-ect",
+)
+
+
+def test_bench_cluster_policies(benchmark):
+    predictors = {
+        Policy.THROUGHPUT: DevicePredictor("throughput").fit(
+            generate_dataset(
+                "throughput",
+                specs=list(SPECS.values()),
+                batches=(1, 64, 1024, 16384, 262144),
+            )
+        )
+    }
+    stream = OverloadStream(
+        horizon_s=4.0, slo_s=0.3, normal_rate_hz=20, overload_rate_hz=6000,
+        overload_start_s=1.0, overload_end_s=2.0,
+        normal_batch=64, overload_batch=64,
+    )
+    trace = make_trace(stream, [MNIST_SMALL], rng=7)
+
+    def run():
+        rows, measured = [], {}
+        for policy in POLICIES:
+            fleet = make_fleet(list(FLEET), predictors, SPECS, default_slo=SLO)
+            router = ClusterRouter(fleet, balancer=policy, rng=123)
+            result = router.serve_trace(trace)
+            p99 = result.latency_percentile(99.0)
+            slow_share = sum(
+                share
+                for node, share in result.node_shares().items()
+                if node in ("node-c", "node-d")
+            )
+            rows.append(
+                (
+                    policy,
+                    f"{p99 * 1e3:.1f} ms",
+                    f"{result.latency_percentile(95.0) * 1e3:.1f} ms",
+                    fmt_pct(result.shed_rate),
+                    result.n_violations,
+                    fmt_pct(slow_share),
+                )
+            )
+            measured[policy] = (p99, result.shed_rate)
+        return rows, measured
+
+    rows, measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Cluster balancing — 4-node heterogeneous fleet, 6 kHz overload",
+        render_table(
+            ("policy", "p99", "p95", "shed", "viol", "cpu-node share"),
+            rows,
+        ),
+    )
+
+    rr_p99, rr_shed = measured["round-robin"]
+    for policy in ("join-shortest-queue", "least-ect"):
+        p99, shed = measured[policy]
+        assert p99 < rr_p99, f"{policy} p99 must beat round-robin"
+        assert shed < rr_shed, f"{policy} shed rate must beat round-robin"

@@ -26,6 +26,10 @@ SLO-aware serving frontend (queues, coalescing, admission control)::
 
     from repro.serving import ServingFrontend, SLOConfig
 
+Cluster layer (fleet simulation, load balancing, autoscaling)::
+
+    from repro.cluster import ClusterRouter, NodeSpec, make_fleet, Autoscaler
+
 Experiment harnesses (regenerate every table and figure)::
 
     from repro.experiments import get_experiment, list_experiments
@@ -35,6 +39,7 @@ paper-vs-measured results.
 """
 
 from repro._version import __version__
+from repro.cluster import Autoscaler, ClusterRouter, NodeSpec, make_fleet
 from repro.errors import ReproError
 from repro.nn import PAPER_MODELS, build_model, model_cost
 from repro.ocl import CommandQueue, Context, Program, get_platforms
@@ -72,4 +77,8 @@ __all__ = [
     "ServingFrontend",
     "ServingResponse",
     "SLOConfig",
+    "ClusterRouter",
+    "NodeSpec",
+    "make_fleet",
+    "Autoscaler",
 ]

@@ -1,0 +1,188 @@
+"""Pluggable fleet load-balancing policies.
+
+Each balancer answers one question: *which active node takes this
+request?*  They differ in what they look at —
+
+* ``round-robin`` — nothing: cycle the active set (the baseline every
+  smarter policy must beat);
+* ``least-outstanding`` — the node with the fewest unresolved requests;
+* ``join-shortest-queue`` — the node with the least outstanding *work*
+  (samples queued plus samples in flight; a node's "queue" includes the
+  device command-queue backlog it has already committed to);
+* ``power-of-two`` — sample two random active nodes, take the less loaded
+  (the classic Mitzenmacher trick: most of JSQ's benefit at O(1) probes);
+* ``least-ect`` — predictor-aware: ask each node's backlog scheduler for
+  its learned estimated-completion delay for *this* request and join the
+  earliest finisher — the cluster-level analogue of the paper's
+  earliest-finisher spilling across devices.
+
+Every policy reads nodes only through :meth:`ClusterNode.stats` (the
+cheap :class:`~repro.serving.frontend.NodeStats` snapshot) or the public
+``estimate_completion`` — never private frontend state — and only ever
+returns an *active* node: draining and standby nodes are filtered before
+any sampling, so a drain can never receive new traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.nn.builders import ModelSpec
+from repro.rng import ensure_rng
+from repro.cluster.node import ClusterNode
+from repro.workloads.requests import InferenceRequest
+
+__all__ = [
+    "LoadBalancer",
+    "RoundRobinBalancer",
+    "LeastOutstandingBalancer",
+    "JoinShortestQueueBalancer",
+    "PowerOfTwoBalancer",
+    "LeastECTBalancer",
+    "BALANCERS",
+    "make_balancer",
+]
+
+
+class LoadBalancer:
+    """Base policy: subclasses implement :meth:`_pick` over active nodes."""
+
+    name = "abstract"
+
+    def choose(
+        self,
+        nodes: "list[ClusterNode]",
+        request: InferenceRequest,
+        spec: ModelSpec,
+        now: float,
+    ) -> ClusterNode:
+        """Select the node that takes ``request`` (arriving at ``now``).
+
+        Only active nodes are eligible; passing a list that contains
+        draining/standby nodes is fine — they are filtered here, as the
+        last line of defense for the no-traffic-to-drains invariant.
+        """
+        eligible = [n for n in nodes if n.routable]
+        if not eligible:
+            raise SchedulerError("no active node to route to")
+        if len(eligible) == 1:
+            return eligible[0]
+        return self._pick(eligible, request, spec, now)
+
+    def _pick(
+        self,
+        nodes: "list[ClusterNode]",
+        request: InferenceRequest,
+        spec: ModelSpec,
+        now: float,
+    ) -> ClusterNode:
+        raise NotImplementedError
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """Cycle the active set in order — load-blind, perfectly fair."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._turn = 0
+
+    def _pick(self, nodes, request, spec, now):
+        node = nodes[self._turn % len(nodes)]
+        self._turn += 1
+        return node
+
+
+class LeastOutstandingBalancer(LoadBalancer):
+    """Fewest unresolved requests (queued + in flight); ties by name."""
+
+    name = "least-outstanding"
+
+    def _pick(self, nodes, request, spec, now):
+        return min(nodes, key=lambda n: (n.stats().outstanding, n.name))
+
+
+class JoinShortestQueueBalancer(LoadBalancer):
+    """Least outstanding *work* in samples; ties by count, then name."""
+
+    name = "join-shortest-queue"
+
+    @staticmethod
+    def _load(node: ClusterNode) -> tuple:
+        stats = node.stats()
+        return (stats.outstanding_samples, stats.outstanding, node.name)
+
+    def _pick(self, nodes, request, spec, now):
+        return min(nodes, key=self._load)
+
+
+class PowerOfTwoBalancer(LoadBalancer):
+    """Probe two random active nodes, join the shorter queue.
+
+    Seeded for determinism: the same trace over the same fleet always
+    routes identically.  Draining nodes are excluded *before* sampling
+    (see :meth:`LoadBalancer.choose`), so neither probe can land on one.
+    """
+
+    name = "power-of-two"
+
+    def __init__(self, rng: "int | np.random.Generator | None" = None):
+        self._rng = ensure_rng(rng)
+
+    def _pick(self, nodes, request, spec, now):
+        i, j = self._rng.choice(len(nodes), size=2, replace=False)
+        return min(
+            (nodes[int(i)], nodes[int(j)]),
+            key=JoinShortestQueueBalancer._load,
+        )
+
+
+class LeastECTBalancer(LoadBalancer):
+    """Join the node whose scheduler estimates the earliest completion.
+
+    Reuses each node's ``BacklogAwareScheduler.estimate_completion`` —
+    device backlog plus the *learned* per-(cell, device) service time for
+    this very request — so a node whose only devices are slow for this
+    batch size is priced accordingly, not just by queue length.
+    """
+
+    name = "least-ect"
+
+    def _pick(self, nodes, request, spec, now):
+        def ect(node: ClusterNode) -> tuple:
+            _, delay = node.frontend.backlog.estimate_completion(
+                spec, request.batch, now
+            )
+            return (delay, node.stats().outstanding_samples, node.name)
+
+        return min(nodes, key=ect)
+
+
+BALANCERS = {
+    RoundRobinBalancer.name: RoundRobinBalancer,
+    LeastOutstandingBalancer.name: LeastOutstandingBalancer,
+    JoinShortestQueueBalancer.name: JoinShortestQueueBalancer,
+    PowerOfTwoBalancer.name: PowerOfTwoBalancer,
+    LeastECTBalancer.name: LeastECTBalancer,
+}
+
+
+def make_balancer(
+    name: str, rng: "int | np.random.Generator | None" = None
+) -> LoadBalancer:
+    """Build a balancing policy by name (see :data:`BALANCERS`).
+
+    ``rng`` seeds the randomized policies (power-of-two) and is ignored by
+    the deterministic ones.
+    """
+    try:
+        cls = BALANCERS[name]
+    except KeyError:
+        known = ", ".join(sorted(BALANCERS))
+        raise SchedulerError(
+            f"unknown balancing policy {name!r}; known: {known}"
+        ) from None
+    if cls is PowerOfTwoBalancer:
+        return cls(rng=rng)
+    return cls()

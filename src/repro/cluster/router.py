@@ -1,0 +1,436 @@
+"""The fleet router: one ingress dispatching traces across many nodes.
+
+The router is the cluster-level twin of the serving frontend's façade:
+``submit_request`` schedules the routing decision *at the request's
+arrival instant* on the shared event loop (so the balancing policy sees
+node load as it is then, not as it was at trace submission), binds the
+resulting per-node :class:`~repro.serving.frontend.ServingResponse` into a
+:class:`ClusterResponse`, and keeps the request-id -> response map that
+makes drains exactly-once:
+
+* :meth:`drain_node` pops a node's queued requests (in-flight work
+  finishes where it is) and immediately re-routes each through the
+  balancing policy to a remaining active node;
+* a re-routed request keeps its original arrival time and deadline, so
+  its end-to-end latency honestly includes the time spent on the drained
+  node;
+* if no active node remains, the request resolves as shed
+  (``no_active_node``) — resolved, never lost, never duplicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.cluster.balancers import LoadBalancer, make_balancer
+from repro.cluster.node import ClusterNode, NodeState
+from repro.serving.frontend import ServingResponse
+from repro.serving.queues import QueueEntry
+from repro.telemetry.fleet import FleetTelemetry
+from repro.workloads.requests import InferenceRequest, RequestTrace
+
+__all__ = ["ClusterEvent", "ClusterResponse", "ClusterResult", "ClusterRouter"]
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """One fleet-level occurrence, for the event log."""
+
+    t_s: float
+    kind: str        # 'scale_up' | 'drain_start' | 'drain_complete' |
+                     # 'reroute' | 'route_failed'
+    node: str
+    detail: str = ""
+
+
+class ClusterResponse:
+    """Future-like handle for one request routed through the fleet.
+
+    Proxies the node-level :class:`ServingResponse` it is currently bound
+    to; a drain re-binds it to the adopting node's response.  Exactly one
+    binding is live at a time — the drained frontend forgets its copy —
+    so served/shed outcomes are counted once no matter how many hops the
+    request took.
+    """
+
+    def __init__(self, request: InferenceRequest):
+        self.request = request
+        self.node_name: "str | None" = None
+        self.inner: "ServingResponse | None" = None
+        self.n_routes = 0
+        self._shed_reason: "str | None" = None   # router-level shed override
+
+    def bind(self, node_name: str, inner: ServingResponse) -> None:
+        """Point this handle at the (new) node-level response."""
+        self.node_name = node_name
+        self.inner = inner
+        self.n_routes += 1
+
+    def mark_shed(self, reason: str) -> None:
+        """Resolve as shed at the router (e.g. no active node left)."""
+        self._shed_reason = reason
+
+    # -- resolved state ----------------------------------------------------
+
+    @property
+    def status(self) -> str:
+        if self._shed_reason is not None:
+            return "shed"
+        return self.inner.status if self.inner is not None else "pending"
+
+    @property
+    def done(self) -> bool:
+        return self.status != "pending"
+
+    @property
+    def served(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def rerouted(self) -> bool:
+        """Whether a drain moved this request between nodes."""
+        return self.n_routes > 1
+
+    @property
+    def shed_reason(self) -> "str | None":
+        if self._shed_reason is not None:
+            return self._shed_reason
+        return self.inner.shed_reason if self.inner is not None else None
+
+    @property
+    def latency_s(self) -> float:
+        """Arrival-to-completion, across every hop (served only)."""
+        if self.inner is None or not self.served:
+            raise SchedulerError(f"request is {self.status}, has no latency")
+        return self.inner.latency_s
+
+    @property
+    def deadline_met(self) -> "bool | None":
+        return self.inner.deadline_met if self.inner is not None else None
+
+    @property
+    def device(self) -> "str | None":
+        return self.inner.device if self.inner is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ClusterResponse(id={self.request.request_id}, "
+            f"status={self.status!r}, node={self.node_name!r}, "
+            f"routes={self.n_routes})"
+        )
+
+
+@dataclass
+class ClusterResult:
+    """Aggregate outcome of serving a trace through the fleet."""
+
+    responses: "list[ClusterResponse]" = field(default_factory=list)
+    telemetry: FleetTelemetry = field(default_factory=FleetTelemetry)
+    events: "list[ClusterEvent]" = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    @property
+    def served(self) -> "list[ClusterResponse]":
+        return [r for r in self.responses if r.served]
+
+    @property
+    def shed(self) -> "list[ClusterResponse]":
+        return [r for r in self.responses if r.status == "shed"]
+
+    @property
+    def rerouted(self) -> "list[ClusterResponse]":
+        return [r for r in self.responses if r.rerouted]
+
+    @property
+    def shed_rate(self) -> float:
+        return len(self.shed) / len(self.responses) if self.responses else 0.0
+
+    @property
+    def n_violations(self) -> int:
+        return sum(1 for r in self.served if r.deadline_met is False)
+
+    def latency_percentile(self, q: float) -> float:
+        """q-th percentile latency over served requests, in seconds."""
+        served = self.served
+        if not served:
+            raise SchedulerError("no served requests in result")
+        return float(np.percentile([r.latency_s for r in served], q))
+
+    def device_shares(self) -> "dict[str, float]":
+        """Fraction of served requests per device class, fleet-wide."""
+        served = self.served
+        if not served:
+            return {}
+        counts: dict[str, int] = {}
+        for r in served:
+            counts[r.device] = counts.get(r.device, 0) + 1
+        return {d: c / len(served) for d, c in sorted(counts.items())}
+
+    def node_shares(self) -> "dict[str, float]":
+        """Fraction of served requests per node."""
+        served = self.served
+        if not served:
+            return {}
+        counts: dict[str, int] = {}
+        for r in served:
+            counts[r.node_name] = counts.get(r.node_name, 0) + 1
+        return {n: c / len(served) for n, c in sorted(counts.items())}
+
+
+class ClusterRouter:
+    """Routes a request stream across a fleet of serving nodes.
+
+    Parameters
+    ----------
+    nodes:
+        The fleet (see :func:`repro.cluster.node.make_fleet`).  All nodes
+        must share one event loop and serve the same model set.
+    balancer:
+        Balancing policy: a name (see
+        :data:`repro.cluster.balancers.BALANCERS`) or an instance.
+    rng:
+        Seed for randomized policies when ``balancer`` is a name.
+    """
+
+    def __init__(
+        self,
+        nodes: "list[ClusterNode]",
+        balancer: "LoadBalancer | str" = "round-robin",
+        rng: "int | np.random.Generator | None" = None,
+    ):
+        if not nodes:
+            raise SchedulerError("a cluster router needs at least one node")
+        names = [n.name for n in nodes]
+        if len(set(names)) != len(names):
+            raise SchedulerError(f"duplicate node names: {names}")
+        loops = {id(n.frontend.loop) for n in nodes}
+        if len(loops) != 1:
+            raise SchedulerError(
+                "all nodes must share one event loop (build them via "
+                "make_fleet, or pass the same loop to every frontend)"
+            )
+        specs = nodes[0].frontend.specs
+        for node in nodes[1:]:
+            if set(node.frontend.specs) != set(specs):
+                raise SchedulerError(
+                    f"node {node.name!r} serves {sorted(node.frontend.specs)}, "
+                    f"expected {sorted(specs)}"
+                )
+
+        self.nodes = list(nodes)
+        self.loop = nodes[0].frontend.loop
+        self.specs = dict(specs)
+        self.balancer = (
+            balancer
+            if isinstance(balancer, LoadBalancer)
+            else make_balancer(balancer, rng=rng)
+        )
+        self.telemetry = FleetTelemetry()
+        for node in self.nodes:
+            self.telemetry.attach(node.name, node.frontend.telemetry)
+
+        self.events: "list[ClusterEvent]" = []
+        self.n_rerouted = 0
+        self._responses: "list[ClusterResponse]" = []
+        self._by_id: "dict[int, ClusterResponse]" = {}
+        self._seq = 0
+
+    # -- fleet views -------------------------------------------------------
+
+    @property
+    def active_nodes(self) -> "list[ClusterNode]":
+        return [n for n in self.nodes if n.state is NodeState.ACTIVE]
+
+    @property
+    def standby_nodes(self) -> "list[ClusterNode]":
+        return [n for n in self.nodes if n.state is NodeState.STANDBY]
+
+    @property
+    def draining_nodes(self) -> "list[ClusterNode]":
+        return [n for n in self.nodes if n.state is NodeState.DRAINING]
+
+    def node(self, name: str) -> ClusterNode:
+        for n in self.nodes:
+            if n.name == name:
+                return n
+        known = ", ".join(n.name for n in self.nodes)
+        raise SchedulerError(f"no node {name!r} in fleet (has: {known})")
+
+    def _log(self, kind: str, node: str, detail: str = "") -> None:
+        self.events.append(ClusterEvent(self.loop.now, kind, node, detail))
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        model: str,
+        batch: int,
+        deadline_s: "float | None" = None,
+        arrival_s: "float | None" = None,
+    ) -> ClusterResponse:
+        """Submit one request by value; router assigns the request id."""
+        if model not in self.specs:
+            known = ", ".join(sorted(self.specs)) or "<none>"
+            raise SchedulerError(f"model {model!r} is not served; deployed: {known}")
+        arrival = self.loop.now if arrival_s is None else float(arrival_s)
+        request = InferenceRequest(
+            request_id=self._seq,
+            arrival_s=arrival,
+            model=model,
+            batch=int(batch),
+            deadline_s=None if deadline_s is None else arrival + deadline_s,
+        )
+        return self.submit_request(request)
+
+    def submit_request(
+        self, request: InferenceRequest, x: "np.ndarray | None" = None
+    ) -> ClusterResponse:
+        """Enqueue a routing decision at the request's arrival instant.
+
+        The node choice happens *when the request arrives* on the shared
+        clock — the policy reads fleet load at that moment.  Request ids
+        must be unique per router (they key the exactly-once ledger).
+        """
+        if request.model not in self.specs:
+            known = ", ".join(sorted(self.specs)) or "<none>"
+            raise SchedulerError(
+                f"model {request.model!r} is not served; deployed: {known}"
+            )
+        if request.request_id in self._by_id:
+            raise SchedulerError(
+                f"duplicate request_id {request.request_id} "
+                "(the router's exactly-once ledger is keyed by id)"
+            )
+        if request.arrival_s < self.loop.now:
+            raise SchedulerError(
+                f"cannot submit into the past: arrival {request.arrival_s} "
+                f"< now={self.loop.now}"
+            )
+        response = ClusterResponse(request)
+        self._by_id[request.request_id] = response
+        self._responses.append(response)
+        self._seq = max(self._seq, request.request_id + 1)
+        self.loop.schedule(
+            request.arrival_s,
+            lambda _loop, r=response: self._route(r, x),
+            label=f"route:{request.model}:{request.request_id}",
+        )
+        return response
+
+    def _route(self, response: ClusterResponse, x: "np.ndarray | None") -> None:
+        active = self.active_nodes
+        if not active:
+            response.mark_shed("no_active_node")
+            self._log("route_failed", "-", f"request {response.request.request_id}")
+            return
+        spec = self.specs[response.request.model]
+        node = self.balancer.choose(active, response.request, spec, self.loop.now)
+        inner = node.frontend.submit_request(response.request, x)
+        response.bind(node.name, inner)
+
+    # -- membership (used by the autoscaler, or directly) ------------------
+
+    def activate_node(self, name: str) -> ClusterNode:
+        """Bring a standby node into the serving set."""
+        node = self.node(name)
+        node.activate()
+        self._log("scale_up", node.name)
+        return node
+
+    def drain_node(self, name: str) -> int:
+        """Gracefully remove a node: re-route its queue, let flights land.
+
+        Returns the number of requests re-routed.  Each drained request is
+        re-routed through the balancing policy at the drain instant; with
+        no active node left it resolves as shed — exactly-once either way.
+        """
+        node = self.node(name)
+        entries = node.start_drain()
+        self._log("drain_start", node.name, f"{len(entries)} re-routed")
+        for entry in entries:
+            self._reroute(entry)
+        if node.finish_drain_if_idle():
+            self._log("drain_complete", node.name)
+        return len(entries)
+
+    def _reroute(self, entry: QueueEntry) -> None:
+        response = self._by_id.get(entry.request.request_id)
+        if response is None:
+            raise SchedulerError(
+                f"drained request {entry.request.request_id} was never "
+                "routed through this router"
+            )
+        active = self.active_nodes
+        if not active:
+            response.mark_shed("no_active_node")
+            self._log(
+                "route_failed", "-",
+                f"request {entry.request.request_id} (drain, no target)",
+            )
+            return
+        spec = self.specs[entry.request.model]
+        node = self.balancer.choose(active, entry.request, spec, self.loop.now)
+        inner = node.frontend.adopt(entry)
+        response.bind(node.name, inner)
+        self.n_rerouted += 1
+        self._log(
+            "reroute", node.name, f"request {entry.request.request_id}"
+        )
+
+    def sweep_drains(self) -> int:
+        """Flip any fully-landed draining nodes to standby."""
+        done = 0
+        for node in self.draining_nodes:
+            if node.finish_drain_if_idle():
+                self._log("drain_complete", node.name)
+                done += 1
+        return done
+
+    # -- driving -----------------------------------------------------------
+
+    def run(self, until: "float | None" = None) -> float:
+        """Drive the shared loop; sweep finished drains afterwards."""
+        end = self.loop.run(until=until)
+        self.sweep_drains()
+        return end
+
+    def serve_trace(self, trace: RequestTrace) -> ClusterResult:
+        """Replay a whole trace through the fleet and drain the loop."""
+        for request in trace:
+            self.submit_request(request)
+        self.run()
+        return self.result()
+
+    def result(self) -> ClusterResult:
+        """The routed responses plus fleet telemetry and the event log."""
+        return ClusterResult(
+            responses=list(self._responses),
+            telemetry=self.telemetry,
+            events=list(self.events),
+        )
+
+    @property
+    def n_pending(self) -> int:
+        """Requests routed (or awaiting routing) but not yet resolved."""
+        return sum(1 for r in self._responses if not r.done)
+
+    def stats(self) -> dict:
+        """Fleet snapshot: telemetry rollup plus per-node load/state."""
+        return {
+            **self.telemetry.snapshot(),
+            "balancer": self.balancer.name,
+            "pending": self.n_pending,
+            "rerouted": self.n_rerouted,
+            "virtual_time_s": self.loop.now,
+            "states": {n.name: n.state.value for n in self.nodes},
+            "load": {
+                n.name: n.stats().outstanding for n in sorted(
+                    self.nodes, key=lambda n: n.name
+                )
+            },
+        }

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import SchedulerError
 from repro.nn.builders import ModelSpec
 from repro.ocl.event import Event
 from repro.sched.feedback import CellKey, OutcomeTable
@@ -78,18 +79,36 @@ class BacklogAwareScheduler:
 
     def rank_devices(self, spec: ModelSpec, batch: int, gpu_state: str) -> tuple[str, ...]:
         """Predictor's device ranking (probability order; fall back to the
-        argmax-first order when the estimator has no predict_proba)."""
+        argmax-first order when the estimator has no predict_proba).
+
+        The ranking is filtered to device classes actually present in the
+        scheduler's context: a predictor trained on the full testbed keeps
+        working on a leaner node (e.g. a cluster node without a dGPU) by
+        ranking only the devices that node has.
+        """
         predictor = self.scheduler.predictors[self.policy]
         estimator = predictor.estimator
         classes = ("cpu", "dgpu", "igpu")
+        available = {d.device_class.value for d in self.scheduler.context.devices}
         features = encode_point(spec, batch, gpu_state)[None, :]
         if hasattr(estimator, "predict_proba"):
             proba = estimator.predict_proba(features)[0]
             order = np.argsort(proba)[::-1]
-            return tuple(classes[i] for i in order if i < len(classes))
-        top = predictor.predict_device(spec, batch, gpu_state)
-        rest = [c for c in classes if c != top]
-        return (top, *rest)
+            ranked = tuple(
+                classes[i] for i in order
+                if i < len(classes) and classes[i] in available
+            )
+        else:
+            top = predictor.predict_device(spec, batch, gpu_state)
+            ranked = tuple(
+                c for c in (top, *(c for c in classes if c != top))
+                if c in available
+            )
+        if not ranked:
+            raise SchedulerError(
+                f"no ranked device class present in context (has: {sorted(available)})"
+            )
+        return ranked
 
     # -- service-time estimates --------------------------------------------
 

@@ -26,6 +26,7 @@ extension that makes the scheduler a server.
 from repro.serving.admission import AdmissionController, AdmissionDecision
 from repro.serving.coalescer import BatchCoalescer, CoalescedBatch
 from repro.serving.frontend import (
+    NodeStats,
     ServingFrontend,
     ServingResponse,
     ServingResult,
@@ -52,6 +53,7 @@ __all__ = [
     "AdmissionDecision",
     "DeviceWorker",
     "SLOConfig",
+    "NodeStats",
     "ServingFrontend",
     "ServingResponse",
     "ServingResult",

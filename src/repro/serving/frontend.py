@@ -47,7 +47,13 @@ from repro.sim.engine import EventLoop
 from repro.telemetry.serving import ServingTelemetry
 from repro.workloads.requests import InferenceRequest, RequestTrace
 
-__all__ = ["SLOConfig", "ServingResponse", "ServingResult", "ServingFrontend"]
+__all__ = [
+    "SLOConfig",
+    "NodeStats",
+    "ServingResponse",
+    "ServingResult",
+    "ServingFrontend",
+]
 
 #: Completions landing within this of the deadline still meet it (float slop).
 _DEADLINE_EPS = 1e-9
@@ -100,6 +106,46 @@ class SLOConfig:
             raise ValueError(f"unknown discipline {self.discipline!r}")
         if self.ect_margin <= 0.0:
             raise ValueError(f"ect_margin must be positive, got {self.ect_margin}")
+
+
+@dataclass(frozen=True)
+class NodeStats:
+    """A cheap load snapshot of one frontend, for cluster-level polling.
+
+    Every field is O(#models) to produce — counters, queue lengths and a
+    bounded rolling-window tail, never a full-history percentile — so a
+    router may take one per node per routing decision.
+
+    * ``queued`` / ``queued_samples`` — requests (samples) sitting in the
+      per-model serving queues, not yet dispatched.
+    * ``in_flight`` / ``in_flight_samples`` — dispatched to a device worker
+      but not yet completed (the device command-queue backlog).
+    * ``outstanding`` / ``outstanding_samples`` — the sum of both: work this
+      node has accepted and not yet resolved.
+    * ``recent_p99_s`` — p99 over the telemetry's rolling latency window
+      (None before any request completes).
+    * ``backlog_s`` — the largest per-device backlog (seconds of committed
+      work ahead of virtual now).
+    """
+
+    queued: int
+    queued_samples: int
+    in_flight: int
+    in_flight_samples: int
+    served: int
+    shed: int
+    recent_p99_s: "float | None"
+    backlog_s: float
+    virtual_time_s: float
+    queue_depths: "dict[str, int]"
+
+    @property
+    def outstanding(self) -> int:
+        return self.queued + self.in_flight
+
+    @property
+    def outstanding_samples(self) -> int:
+        return self.queued_samples + self.in_flight_samples
 
 
 class ServingResponse:
@@ -277,6 +323,8 @@ class ServingFrontend:
         self._n_batches = 0
         self._pending: dict[int, ServingResponse] = {}
         self._timer_at: dict[str, "float | None"] = {name: None for name in self.specs}
+        self._in_flight = 0          # requests dispatched, not yet completed
+        self._in_flight_samples = 0
 
     # -- configuration -----------------------------------------------------
 
@@ -456,6 +504,8 @@ class ServingFrontend:
             batch = coalescer.take(now, trigger)
             placement = self.backlog.decide(spec, batch.total_samples, arrival_s=now)
             self._workers[placement.device_name].execute(batch, placement)
+            self._in_flight += len(batch)
+            self._in_flight_samples += batch.total_samples
             self.telemetry.batch_sizes.add(batch.total_samples)
             # Leftovers can themselves already fill a batch (e.g. a flood
             # arriving between timer firings); drain every full batch now.
@@ -494,6 +544,8 @@ class ServingFrontend:
             spilled=False,
         )
         self._workers[device.name].execute(batch, placement)
+        self._in_flight += 1
+        self._in_flight_samples += entry.batch
 
     # -- completion --------------------------------------------------------
 
@@ -524,14 +576,62 @@ class ServingFrontend:
             offset += entry.batch
 
             self.telemetry.n_served += 1
-            self.telemetry.latency.add(end - entry.request.arrival_s)
+            self.telemetry.record_latency(end - entry.request.arrival_s)
             if response.deadline_met is False:
                 self.telemetry.n_violations += 1
+
+        self._in_flight -= len(batch.entries)
+        self._in_flight_samples -= total
 
         self.backlog.record_service(
             batch.model, total, placement.gpu_state, placement.device,
             event.duration_s, now=end,
         )
+
+    # -- cluster hooks (drain / transfer) ----------------------------------
+
+    def drain_queued(self) -> "list[QueueEntry]":
+        """Pop every queued request for re-routing elsewhere (drain hook).
+
+        In-flight batches are untouched and complete normally — that is the
+        graceful half of a node drain.  Returned entries are forgotten by
+        this frontend (their original :class:`ServingResponse`s stay
+        pending); the caller re-binds each request to another frontend via
+        :meth:`adopt`, preserving exactly-once delivery one layer up.
+        """
+        now = self.loop.now
+        drained: list[QueueEntry] = []
+        for model, queue in self._queues.items():
+            if not len(queue):
+                continue
+            while len(queue):
+                entry = queue.pop()
+                self._pending.pop(entry.seq, None)
+                drained.append(entry)
+            self._timer_at[model] = None   # armed timers become stale no-ops
+            self.telemetry.record_depth(model, now, 0)
+        drained.sort(key=lambda e: e.seq)  # original submission order
+        return drained
+
+    def adopt(self, entry: QueueEntry) -> ServingResponse:
+        """Admit a request drained from another frontend (transfer hook).
+
+        The original request object — arrival time, absolute deadline —
+        is preserved, so end-to-end latency keeps counting from its first
+        arrival; only the enqueue time resets to now for coalescing.  The
+        transfer re-runs this node's admission, so a full queue here can
+        still shed it (resolved, never lost).
+        """
+        request = entry.request
+        self._require_spec(request.model)
+        adopted = QueueEntry(
+            request=request, enqueued_s=self.loop.now, seq=self._seq, x=entry.x
+        )
+        self._seq += 1
+        response = ServingResponse(request)
+        self._pending[adopted.seq] = response
+        self._on_arrival(adopted)
+        return response
 
     # -- introspection -----------------------------------------------------
 
@@ -542,6 +642,30 @@ class ServingFrontend:
 
     def queue_depth(self, model: str) -> int:
         return len(self._queues[self._require_spec(model).name])
+
+    def node_stats(self) -> NodeStats:
+        """Cheap load snapshot for cluster-level polling.
+
+        Unlike :meth:`stats` (full telemetry, all-time percentiles), this
+        reads only counters, queue lengths and the bounded rolling latency
+        window — safe to call once per routing decision.
+        """
+        now = self.loop.now
+        depths = {m: len(q) for m, q in self._queues.items()}
+        return NodeStats(
+            queued=sum(depths.values()),
+            queued_samples=sum(q.total_samples for q in self._queues.values()),
+            in_flight=self._in_flight,
+            in_flight_samples=self._in_flight_samples,
+            served=self.telemetry.n_served,
+            shed=self.telemetry.n_shed,
+            recent_p99_s=self.telemetry.recent.p99_s,
+            backlog_s=max(
+                (w.backlog_s(now) for w in self._workers.values()), default=0.0
+            ),
+            virtual_time_s=now,
+            queue_depths=depths,
+        )
 
     def stats(self) -> dict:
         """Telemetry snapshot plus per-layer counters."""

@@ -70,6 +70,39 @@ class EventLoop:
             raise ValueError(f"delay must be >= 0, got {delay}")
         return self.schedule(self.clock.now + delay, action, label)
 
+    def schedule_repeating(
+        self,
+        interval: float,
+        action: Callable[["EventLoop"], Any],
+        until: float,
+        label: str = "",
+    ) -> ScheduledEvent | None:
+        """Fire ``action`` every ``interval`` seconds through ``until``.
+
+        The first firing lands at ``now + interval``; each firing reschedules
+        the next one while it would still land at or before ``until``, so the
+        loop drains once the horizon passes (periodic actors — autoscalers,
+        health checks — never keep a simulation alive forever).  Returns the
+        first scheduled event, or None when the horizon is already too close.
+        """
+        if interval <= 0.0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if until < self.clock.now:
+            raise ValueError(
+                f"until must be >= now: {until} < now={self.clock.now}"
+            )
+
+        def _fire(loop: "EventLoop") -> None:
+            action(loop)
+            nxt = loop.now + interval
+            if nxt <= until:
+                loop.schedule(nxt, _fire, label=label)
+
+        first = self.clock.now + interval
+        if first > until:
+            return None
+        return self.schedule(first, _fire, label=label)
+
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Process events in order; returns the final virtual time.
 

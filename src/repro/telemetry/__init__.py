@@ -7,6 +7,7 @@ through the OpenCL-style layer; :class:`~repro.telemetry.recorder.SweepRecorder`
 collects grids of them and exports CSV for the figure harnesses.
 """
 
+from repro.telemetry.fleet import FleetTelemetry
 from repro.telemetry.metrics import Measurement
 from repro.telemetry.meters import EnergyMeter, PowerSample
 from repro.telemetry.recorder import SweepRecorder
@@ -14,6 +15,7 @@ from repro.telemetry.serving import (
     BatchHistogram,
     DepthSeries,
     LatencyDigest,
+    RollingLatencyWindow,
     ServingTelemetry,
 )
 from repro.telemetry.session import MeasurementSession
@@ -25,7 +27,9 @@ __all__ = [
     "SweepRecorder",
     "MeasurementSession",
     "LatencyDigest",
+    "RollingLatencyWindow",
     "DepthSeries",
     "BatchHistogram",
     "ServingTelemetry",
+    "FleetTelemetry",
 ]

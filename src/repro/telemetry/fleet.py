@@ -1,0 +1,152 @@
+"""Fleet telemetry: aggregate many nodes' serving telemetry into one view.
+
+Each cluster node owns a :class:`~repro.telemetry.serving.ServingTelemetry`
+that its serving frontend deposits into.  :class:`FleetTelemetry` holds a
+read-through reference to every node's sink and answers cluster-level
+questions — merged latency percentiles, total shed rate, the fleet's
+recent tail, per-node queue-depth series — without copying anything until
+asked.  Attach once at node registration; the aggregates always reflect
+the nodes' live state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.serving import DepthSeries, ServingTelemetry
+
+__all__ = ["FleetTelemetry"]
+
+
+class FleetTelemetry:
+    """Read-through aggregation over per-node :class:`ServingTelemetry`."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, ServingTelemetry] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def attach(self, name: str, telemetry: ServingTelemetry) -> None:
+        """Register one node's telemetry sink under its node name."""
+        existing = self._nodes.get(name)
+        if existing is not None and existing is not telemetry:
+            raise ValueError(f"node {name!r} already attached to a different sink")
+        self._nodes[name] = telemetry
+
+    def node(self, name: str) -> ServingTelemetry:
+        """One node's sink (KeyError with the known names otherwise)."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            known = ", ".join(sorted(self._nodes)) or "<none>"
+            raise KeyError(f"no telemetry for node {name!r}; attached: {known}") from None
+
+    @property
+    def node_names(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- cluster counters --------------------------------------------------
+
+    @property
+    def n_served(self) -> int:
+        return sum(t.n_served for t in self._nodes.values())
+
+    @property
+    def n_shed(self) -> int:
+        return sum(t.n_shed for t in self._nodes.values())
+
+    @property
+    def n_degraded(self) -> int:
+        return sum(t.n_degraded for t in self._nodes.values())
+
+    @property
+    def n_violations(self) -> int:
+        return sum(t.n_violations for t in self._nodes.values())
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of fleet-admitted traffic shed at the node layer."""
+        total = self.n_served + self.n_shed
+        return self.n_shed / total if total else 0.0
+
+    # -- cluster latency ---------------------------------------------------
+
+    def latency_samples(self) -> list[float]:
+        """Every node's served latencies, concatenated."""
+        out: list[float] = []
+        for name in sorted(self._nodes):
+            out.extend(self._nodes[name].latency.samples)
+        return out
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile latency across the whole fleet, in seconds."""
+        samples = self.latency_samples()
+        if not samples:
+            raise ValueError("no latency samples recorded fleet-wide")
+        return float(np.percentile(samples, q))
+
+    @property
+    def p50_s(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95_s(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99_s(self) -> float:
+        return self.percentile(99.0)
+
+    def recent_p99_s(self) -> "float | None":
+        """Tail of the fleet's *recent* windows (None before any service).
+
+        This is the cheap signal the autoscaler compares against the SLO:
+        merged over each node's bounded rolling window, so its cost stays
+        constant no matter how long the fleet has been serving.
+        """
+        merged: list[float] = []
+        for telemetry in self._nodes.values():
+            merged.extend(telemetry.recent.samples)
+        if not merged:
+            return None
+        return float(np.percentile(merged, 99.0))
+
+    # -- per-node views ----------------------------------------------------
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Peak per-model queue depth observed anywhere in the fleet."""
+        return max((t.max_queue_depth for t in self._nodes.values()), default=0)
+
+    def depth_series(self, node: str, model: str) -> DepthSeries:
+        """One node's depth-over-time series for one model queue."""
+        return self.node(node).depth_series(model)
+
+    def snapshot(self) -> dict:
+        """Cluster rollup plus one sub-snapshot per node."""
+        out: dict = {
+            "nodes": len(self),
+            "served": self.n_served,
+            "shed": self.n_shed,
+            "degraded": self.n_degraded,
+            "violations": self.n_violations,
+            "shed_rate": self.shed_rate,
+            "max_queue_depth": self.max_queue_depth,
+        }
+        if self.latency_samples():
+            out.update(
+                p50_ms=self.p50_s * 1e3,
+                p95_ms=self.p95_s * 1e3,
+                p99_ms=self.p99_s * 1e3,
+            )
+        recent = self.recent_p99_s()
+        if recent is not None:
+            out["recent_p99_ms"] = recent * 1e3
+        out["per_node"] = {
+            name: telemetry.snapshot()
+            for name, telemetry in sorted(self._nodes.items())
+        }
+        return out

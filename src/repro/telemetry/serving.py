@@ -13,11 +13,18 @@ coalescer, workers, frontend) can deposit into one shared
 from __future__ import annotations
 
 import math
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["LatencyDigest", "DepthSeries", "BatchHistogram", "ServingTelemetry"]
+__all__ = [
+    "LatencyDigest",
+    "RollingLatencyWindow",
+    "DepthSeries",
+    "BatchHistogram",
+    "ServingTelemetry",
+]
 
 
 class LatencyDigest:
@@ -58,6 +65,52 @@ class LatencyDigest:
         if not self._samples:
             raise ValueError("no latency samples recorded")
         return float(np.mean(self._samples))
+
+    @property
+    def samples(self) -> tuple[float, ...]:
+        """All recorded samples, in arrival order (for fleet-level merges)."""
+        return tuple(self._samples)
+
+
+class RollingLatencyWindow:
+    """Bounded window of the most recent latency samples.
+
+    The full :class:`LatencyDigest` keeps every sample, so its percentiles
+    are an all-time view and cost O(n log n) per query.  A load balancer or
+    autoscaler polling nodes every few milliseconds wants the *recent* tail
+    at a bounded cost: this window keeps only the last ``maxlen`` samples,
+    making percentile queries O(maxlen log maxlen) regardless of uptime.
+    """
+
+    def __init__(self, maxlen: int = 256):
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        self.maxlen = maxlen
+        self._window: deque[float] = deque(maxlen=maxlen)
+
+    def add(self, latency_s: float) -> None:
+        """Record one latency sample (oldest samples roll off)."""
+        if latency_s < 0.0:
+            raise ValueError(f"latency must be >= 0, got {latency_s}")
+        self._window.append(float(latency_s))
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def percentile(self, q: float) -> "float | None":
+        """q-th percentile over the window (None while empty)."""
+        if not self._window:
+            return None
+        return float(np.percentile(list(self._window), q))
+
+    @property
+    def p99_s(self) -> "float | None":
+        return self.percentile(99.0)
+
+    @property
+    def samples(self) -> tuple[float, ...]:
+        """The windowed samples, oldest first."""
+        return tuple(self._window)
 
 
 class DepthSeries:
@@ -136,18 +189,25 @@ class ServingTelemetry:
     """Everything the serving frontend emits, in one sink.
 
     * ``latency`` — per-request arrival→completion digest (served only).
+    * ``recent`` — rolling window of the latest latencies (cheap tail).
     * ``queue_depth`` — per-model depth-over-time step series.
     * ``batch_sizes`` — histogram of coalesced batch sizes.
     * counters — served / shed / degraded / SLO-violation totals.
     """
 
     latency: LatencyDigest = field(default_factory=LatencyDigest)
+    recent: RollingLatencyWindow = field(default_factory=RollingLatencyWindow)
     queue_depth: dict[str, DepthSeries] = field(default_factory=dict)
     batch_sizes: BatchHistogram = field(default_factory=BatchHistogram)
     n_served: int = 0
     n_shed: int = 0
     n_degraded: int = 0
     n_violations: int = 0
+
+    def record_latency(self, latency_s: float) -> None:
+        """Record a served request's latency in both digests at once."""
+        self.latency.add(latency_s)
+        self.recent.add(latency_s)
 
     def depth_series(self, model: str) -> DepthSeries:
         """The (auto-created) depth series for one model's queue."""
@@ -185,6 +245,8 @@ class ServingTelemetry:
                 p95_ms=self.latency.p95_s * 1e3,
                 p99_ms=self.latency.p99_s * 1e3,
             )
+        if len(self.recent):
+            out["recent_p99_ms"] = self.recent.p99_s * 1e3
         if len(self.batch_sizes):
             out["mean_batch_samples"] = self.batch_sizes.mean_samples
         return out

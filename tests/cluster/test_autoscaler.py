@@ -1,0 +1,187 @@
+"""Autoscaler: thresholds, bounds, cooldown, and the no-active-node rescue."""
+
+import pytest
+
+from repro.cluster import Autoscaler, AutoscalerConfig, ClusterRouter, NodeSpec
+from tests.cluster.conftest import build_fleet
+
+# A slow (CPU-only) node holds the fort; fast standbys wait in the pool.
+ONE_UP_THREE_STANDBY = (
+    NodeSpec("node-a", device_classes=("cpu",)),
+    NodeSpec("node-b", active=False),
+    NodeSpec("node-c", active=False),
+    NodeSpec("node-d", active=False),
+)
+
+
+#: Router id -> names active at construction (captured by make_router).
+STARTING_ACTIVE: dict = {}
+
+
+def max_concurrent_active(router, events) -> int:
+    """Replay the event log to find the peak size of the active set."""
+    current = set(STARTING_ACTIVE[id(router)])
+    peak = len(current)
+    for e in events:
+        if e.kind == "scale_up":
+            current.add(e.node)
+        elif e.kind == "drain_start":
+            current.discard(e.node)
+        peak = max(peak, len(current))
+    return peak
+
+
+def make_router(serving_predictors, node_specs, **router_kwargs) -> ClusterRouter:
+    router = ClusterRouter(
+        build_fleet(serving_predictors, node_specs=node_specs), **router_kwargs
+    )
+    STARTING_ACTIVE[id(router)] = [n.name for n in router.active_nodes]
+    return router
+
+
+def burst(router, n=200, start=0.1, gap=0.0005, batch=64):
+    for i in range(n):
+        router.submit(
+            "mnist-small", batch, deadline_s=0.3, arrival_s=start + i * gap
+        )
+    return n
+
+
+# -- config validation -------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"high_depth": 1.0, "low_depth": 2.0},
+        {"low_depth": -1.0, "high_depth": 1.0},
+        {"slo_s": 0.0},
+        {"p99_factor": 0.0},
+        {"check_every_s": 0.0},
+        {"cooldown_s": -0.1},
+        {"min_nodes": 0},
+        {"min_nodes": 3, "max_nodes": 2},
+    ],
+)
+def test_config_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        AutoscalerConfig(**kwargs)
+
+
+# -- scaling up --------------------------------------------------------------
+
+def test_scales_up_under_depth_pressure(serving_predictors):
+    router = make_router(
+        serving_predictors, ONE_UP_THREE_STANDBY, balancer="join-shortest-queue"
+    )
+    scaler = Autoscaler(
+        router,
+        AutoscalerConfig(high_depth=4.0, low_depth=0.5, cooldown_s=0.05),
+    )
+    n = burst(router)
+    scaler.schedule(until=1.0)
+    router.run()
+
+    assert scaler.n_scale_ups >= 1
+    assert any(e.kind == "scale_up" for e in router.events)
+    result = router.result()
+    assert all(r.done for r in result.responses)
+    assert len(result.served) + len(result.shed) == n
+
+
+def test_respects_max_nodes(serving_predictors):
+    router = make_router(
+        serving_predictors, ONE_UP_THREE_STANDBY, balancer="join-shortest-queue"
+    )
+    scaler = Autoscaler(
+        router,
+        AutoscalerConfig(
+            high_depth=2.0, low_depth=0.5, cooldown_s=0.05, max_nodes=2
+        ),
+    )
+    burst(router)
+    scaler.schedule(until=1.0)
+    router.run()
+    assert max_concurrent_active(router, router.events) <= 2
+
+
+def test_cooldown_limits_action_rate(serving_predictors):
+    router = make_router(
+        serving_predictors, ONE_UP_THREE_STANDBY, balancer="join-shortest-queue"
+    )
+    scaler = Autoscaler(
+        router,
+        AutoscalerConfig(high_depth=2.0, low_depth=0.5, cooldown_s=10.0),
+    )
+    burst(router)
+    scaler.schedule(until=1.0)
+    router.run()
+    # One action, then the (longer-than-the-run) cooldown gates the rest.
+    assert scaler.n_scale_ups + scaler.n_scale_downs == 1
+
+
+# -- scaling down ------------------------------------------------------------
+
+def test_scales_down_when_idle(serving_predictors):
+    router = make_router(serving_predictors, (
+        NodeSpec("node-a"), NodeSpec("node-b"), NodeSpec("node-c"),
+    ))
+    scaler = Autoscaler(
+        router,
+        AutoscalerConfig(high_depth=32.0, low_depth=2.0, cooldown_s=0.05),
+    )
+    for i in range(5):
+        router.submit("simple", 8, arrival_s=0.002 * i)
+    scaler.schedule(until=1.0)
+    router.run()
+
+    assert scaler.n_scale_downs == 2          # 3 active -> min_nodes=1
+    assert len(router.active_nodes) == 1
+    result = router.result()
+    assert all(r.done for r in result.responses)
+    assert len(result.served) == 5            # drains lost nothing
+
+
+def test_never_drains_below_min_nodes(serving_predictors):
+    router = make_router(serving_predictors, (
+        NodeSpec("node-a"), NodeSpec("node-b"), NodeSpec("node-c"),
+    ))
+    scaler = Autoscaler(
+        router,
+        AutoscalerConfig(
+            high_depth=32.0, low_depth=2.0, cooldown_s=0.05, min_nodes=2
+        ),
+    )
+    scaler.schedule(until=1.0)  # pure idle ticks, no traffic at all
+    router.run()
+    assert len(router.active_nodes) == 2
+    assert scaler.n_scale_downs == 1
+
+
+# -- the rescue path ---------------------------------------------------------
+
+def test_rescues_an_all_standby_fleet(serving_predictors):
+    router = make_router(serving_predictors, (
+        NodeSpec("node-a", active=False), NodeSpec("node-b", active=False),
+    ))
+    scaler = Autoscaler(
+        router, AutoscalerConfig(high_depth=32.0, low_depth=2.0)
+    )
+    # Arrivals land *after* the first tick (0.05), so the rescued node
+    # is active by the time routing happens.
+    for i in range(3):
+        router.submit("simple", 8, arrival_s=0.2 + 0.01 * i)
+    scaler.schedule(until=1.0)
+    router.run()
+
+    assert scaler.n_scale_ups >= 1
+    result = router.result()
+    assert len(result.served) == 3
+    assert not result.shed
+
+
+def test_mean_depth_zero_with_no_active(serving_predictors):
+    router = make_router(
+        serving_predictors, (NodeSpec("node-a", active=False),)
+    )
+    scaler = Autoscaler(router)
+    assert scaler.mean_depth() == 0.0

@@ -1,0 +1,165 @@
+"""Balancing policies over stub nodes: pure policy logic, no fleet needed.
+
+The stubs expose exactly the surface the policies are documented to read
+— :attr:`routable`, :meth:`stats` (a real :class:`NodeStats`), and the
+backlog's ``estimate_completion`` — so these tests also pin that contract.
+"""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.cluster import (
+    BALANCERS,
+    JoinShortestQueueBalancer,
+    LeastECTBalancer,
+    LeastOutstandingBalancer,
+    NodeState,
+    PowerOfTwoBalancer,
+    RoundRobinBalancer,
+    make_balancer,
+)
+from repro.nn.zoo import SIMPLE
+from repro.serving import NodeStats
+from repro.workloads.requests import InferenceRequest
+
+REQUEST = InferenceRequest(request_id=0, arrival_s=0.0, model="simple", batch=8)
+
+
+class StubBacklog:
+    def __init__(self, delay_s):
+        self.delay_s = delay_s
+
+    def estimate_completion(self, spec, batch, now):
+        return "cpu", self.delay_s
+
+
+class StubFrontend:
+    def __init__(self, delay_s):
+        self.backlog = StubBacklog(delay_s)
+
+
+class StubNode:
+    def __init__(
+        self, name, state=NodeState.ACTIVE, outstanding=0, samples=0, ect_s=0.0
+    ):
+        self.name = name
+        self.state = state
+        self.frontend = StubFrontend(ect_s)
+        self._outstanding = outstanding
+        self._samples = samples
+
+    @property
+    def routable(self):
+        return self.state is NodeState.ACTIVE
+
+    def stats(self):
+        return NodeStats(
+            queued=self._outstanding,
+            queued_samples=self._samples,
+            in_flight=0,
+            in_flight_samples=0,
+            served=0,
+            shed=0,
+            recent_p99_s=None,
+            backlog_s=0.0,
+            virtual_time_s=0.0,
+            queue_depths={},
+        )
+
+
+def choose(balancer, nodes):
+    return balancer.choose(nodes, REQUEST, SIMPLE, now=0.0)
+
+
+# -- the shared choose() contract --------------------------------------------
+
+def test_choose_raises_with_no_active_node():
+    nodes = [StubNode("a", NodeState.DRAINING), StubNode("b", NodeState.STANDBY)]
+    with pytest.raises(SchedulerError, match="no active node"):
+        choose(RoundRobinBalancer(), nodes)
+
+
+@pytest.mark.parametrize("name", sorted(BALANCERS))
+def test_choose_filters_unroutable_nodes(name):
+    # The busy active node must win over idle draining/standby ones.
+    nodes = [
+        StubNode("draining", NodeState.DRAINING),
+        StubNode("busy", outstanding=50, samples=5000, ect_s=9.0),
+        StubNode("standby", NodeState.STANDBY),
+    ]
+    balancer = make_balancer(name, rng=0)
+    for _ in range(10):
+        assert choose(balancer, nodes).name == "busy"
+
+
+# -- per-policy behavior -----------------------------------------------------
+
+def test_round_robin_cycles_active_set():
+    nodes = [StubNode(n) for n in ("a", "b", "c")]
+    rr = RoundRobinBalancer()
+    assert [choose(rr, nodes).name for _ in range(6)] == list("abcabc")
+
+
+def test_least_outstanding_picks_min_with_name_ties():
+    nodes = [
+        StubNode("c", outstanding=2),
+        StubNode("b", outstanding=1),
+        StubNode("a", outstanding=1),
+    ]
+    assert choose(LeastOutstandingBalancer(), nodes).name == "a"
+
+
+def test_jsq_weighs_samples_over_request_count():
+    # One giant request outweighs many small ones: JSQ sees *work*.
+    nodes = [
+        StubNode("one-big", outstanding=1, samples=10_000),
+        StubNode("many-small", outstanding=5, samples=40),
+    ]
+    assert choose(JoinShortestQueueBalancer(), nodes).name == "many-small"
+    assert choose(LeastOutstandingBalancer(), nodes).name == "one-big"
+
+
+def test_power_of_two_is_seed_deterministic():
+    def picks(seed):
+        nodes = [StubNode(n, samples=i) for i, n in enumerate("abcde")]
+        p2c = PowerOfTwoBalancer(rng=seed)
+        return [choose(p2c, nodes).name for _ in range(30)]
+
+    assert picks(42) == picks(42)
+    assert picks(42) != picks(43)  # astronomically unlikely to collide
+
+
+def test_power_of_two_takes_lighter_of_its_probes():
+    # With two nodes, both get probed; the lighter one must win every time.
+    nodes = [StubNode("light", samples=1), StubNode("heavy", samples=100)]
+    p2c = PowerOfTwoBalancer(rng=7)
+    assert all(choose(p2c, nodes).name == "light" for _ in range(20))
+
+
+def test_least_ect_trusts_the_estimate_not_the_queue():
+    # A short queue of slow work loses to a long queue of fast work.
+    nodes = [
+        StubNode("slow-idle", outstanding=0, samples=0, ect_s=0.5),
+        StubNode("fast-busy", outstanding=8, samples=512, ect_s=0.01),
+    ]
+    assert choose(LeastECTBalancer(), nodes).name == "fast-busy"
+    assert choose(JoinShortestQueueBalancer(), nodes).name == "slow-idle"
+
+
+# -- registry ----------------------------------------------------------------
+
+def test_registry_names_match_instances():
+    assert set(BALANCERS) == {
+        "round-robin",
+        "least-outstanding",
+        "join-shortest-queue",
+        "power-of-two",
+        "least-ect",
+    }
+    for name in BALANCERS:
+        assert make_balancer(name, rng=0).name == name
+
+
+def test_make_balancer_unknown_name():
+    with pytest.raises(SchedulerError, match="unknown balancing policy"):
+        make_balancer("random")

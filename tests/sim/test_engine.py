@@ -90,3 +90,43 @@ class TestCascading:
         loop = EventLoop()
         loop.run(until=7.0)
         assert loop.now == 7.0
+
+
+class TestScheduleRepeating:
+    def test_fires_on_the_grid_then_stops(self):
+        loop = EventLoop()
+        ticks = []
+        loop.schedule_repeating(0.5, lambda l: ticks.append(l.now), until=2.0)
+        loop.run()
+        assert ticks == [0.5, 1.0, 1.5, 2.0]
+        assert loop.pending == 0  # recurrence ends: the loop can drain
+
+    def test_first_firing_is_one_interval_out(self):
+        loop = EventLoop(start=3.0)
+        ticks = []
+        loop.schedule_repeating(1.0, lambda l: ticks.append(l.now), until=5.0)
+        loop.run()
+        assert ticks == [4.0, 5.0]
+
+    def test_interleaves_with_ordinary_events(self):
+        loop = EventLoop()
+        log = []
+        loop.schedule_repeating(1.0, lambda l: log.append(("tick", l.now)), until=3.0)
+        loop.schedule(1.5, lambda l: log.append(("event", l.now)))
+        loop.run()
+        assert log == [
+            ("tick", 1.0), ("event", 1.5), ("tick", 2.0), ("tick", 3.0)
+        ]
+
+    def test_zero_width_window_schedules_nothing(self):
+        loop = EventLoop(start=1.0)
+        out = loop.schedule_repeating(2.0, lambda l: None, until=1.5)
+        assert out is None
+        assert loop.pending == 0
+
+    def test_rejects_bad_arguments(self):
+        loop = EventLoop(start=1.0)
+        with pytest.raises(ValueError):
+            loop.schedule_repeating(0.0, lambda l: None, until=2.0)
+        with pytest.raises(ValueError):
+            loop.schedule_repeating(0.1, lambda l: None, until=0.5)

@@ -24,6 +24,7 @@ LANDMARKS = {
     "power_timeline.py": ["mean power per", "window energies"],
     "cooperative_batch.py": ["one batch, all devices", "speedup"],
     "serving_frontend.py": ["SLO-aware serving", "max queue depth", "coalesced batches"],
+    "cluster_serving.py": ["balancing policies", "graceful drain", "autoscaler"],
 }
 
 
