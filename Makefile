@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full repro examples serve-demo cluster-demo lint-clean
+.PHONY: install test bench bench-full bench-wallclock repro examples serve-demo cluster-demo lint-clean
 
 install:
 	pip install -e .
@@ -16,6 +16,12 @@ bench:
 # Nested CV over the complete 1344-point Table I grid (slow).
 bench-full:
 	REPRO_FULL_GRID=1 $(PY) -m pytest benchmarks/ --benchmark-only
+
+# Wall-clock hot-path trajectory: regenerates BENCH_hotpaths.json at the
+# repo root and enforces the perf floors (forest >=5x, warm sweep >=10x).
+bench-wallclock:
+	PYTHONPATH=src $(PY) benchmarks/wallclock/run.py --out BENCH_hotpaths.json
+	PYTHONPATH=src $(PY) benchmarks/wallclock/check.py BENCH_hotpaths.json
 
 # Regenerate every artifact into results/ (one text file each + sweep CSVs).
 repro:

@@ -1,0 +1,168 @@
+"""Validate a ``BENCH_hotpaths.json`` report (and gate regressions).
+
+Three layers of checking, from always-on to conditional:
+
+1. **Structure** — the report parses, carries the expected schema
+   version, and has every benchmark section with its required fields.
+2. **Perf floors** (full mode only — tiny CI sizes are noise-dominated):
+   flattened forest inference >= 5x the recursive path at the smallest
+   measured batch >= 256, warm characterization sweep >= 10x cold.
+   Larger forest batches are *reported* but not gated: the recursive
+   reference is itself batch-vectorized (a partition walk whose per-node
+   cost amortizes over the batch), so both paths converge toward memory
+   bandwidth as the batch grows.  Correctness claims (bit-identical
+   forest output, byte-identical sweep labels) are enforced in *every*
+   mode.
+3. **Regression** — with ``--baseline`` pointing at a committed report of
+   the *same mode*, any benchmark whose wall time grew by more than
+   ``--factor`` (default 2.0) fails the check.  A missing baseline or a
+   mode mismatch skips this layer with a notice, so CI smoke runs don't
+   compare tiny sizes against the committed full-mode trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA_VERSION = 1
+
+_REQUIRED = {
+    "forest": ("equivalent", "batches", "n_trees"),
+    "sweep": ("cold_s", "warm_s", "speedup", "labels_identical"),
+    "serving": ("requests", "wall_s"),
+    "cluster": ("requests", "wall_s", "nodes"),
+}
+
+#: (section, key-path) pairs compared against the baseline's wall times.
+_REGRESSION_TIMES = (
+    ("sweep", "cold_s"),
+    ("sweep", "warm_s"),
+    ("serving", "wall_s"),
+    ("cluster", "wall_s"),
+)
+
+
+def _fail(msg: str) -> None:
+    print(f"[bench-check] FAIL: {msg}")
+    raise SystemExit(1)
+
+
+def _load(path: str) -> dict:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        _fail(f"cannot read {path}: {exc}")
+
+
+def check_structure(report: dict, path: str) -> None:
+    if report.get("schema") != SCHEMA_VERSION:
+        _fail(f"{path}: schema {report.get('schema')!r} != {SCHEMA_VERSION}")
+    if report.get("mode") not in ("full", "tiny"):
+        _fail(f"{path}: mode must be 'full' or 'tiny', got {report.get('mode')!r}")
+    benches = report.get("benchmarks")
+    if not isinstance(benches, dict):
+        _fail(f"{path}: missing benchmarks object")
+    for section, keys in _REQUIRED.items():
+        if section not in benches:
+            _fail(f"{path}: missing benchmark section {section!r}")
+        for key in keys:
+            if key not in benches[section]:
+                _fail(f"{path}: benchmarks.{section} missing {key!r}")
+    for batch, row in benches["forest"]["batches"].items():
+        for key in ("recursive_s", "flat_s", "speedup"):
+            if not (isinstance(row.get(key), (int, float)) and row[key] > 0):
+                _fail(f"{path}: forest batch {batch} has bad {key!r}")
+    print(f"[bench-check] {path}: structure OK ({report['mode']} mode)")
+
+
+def check_floors(report: dict) -> None:
+    benches = report["benchmarks"]
+    if not benches["forest"]["equivalent"]:
+        _fail("flat forest output is not bit-identical to the recursive path")
+    if not benches["sweep"]["labels_identical"]:
+        _fail("cached sweep labels differ from the cold sweep")
+    if report["mode"] != "full":
+        print("[bench-check] tiny mode: perf floors skipped (correctness enforced)")
+        return
+    gated = sorted(
+        (int(b) for b in benches["forest"]["batches"] if int(b) >= 256)
+    )
+    if not gated:
+        _fail("full-mode report has no forest measurement at batch >= 256")
+    row = benches["forest"]["batches"][str(gated[0])]
+    if row["speedup"] < 5.0:
+        _fail(
+            f"forest speedup {row['speedup']:.2f}x at batch {gated[0]} "
+            "is below the 5x floor"
+        )
+    sweep = benches["sweep"]
+    if sweep["speedup"] < 10.0:
+        _fail(f"warm sweep speedup {sweep['speedup']:.2f}x is below the 10x floor")
+    print("[bench-check] perf floors OK "
+          f"(forest >= 5x at batch >= 256, sweep {sweep['speedup']:.1f}x)")
+
+
+def check_regression(report: dict, baseline_path: str, factor: float) -> None:
+    if not os.path.exists(baseline_path):
+        print(f"[bench-check] no baseline at {baseline_path}: regression check skipped")
+        return
+    baseline = _load(baseline_path)
+    check_structure(baseline, baseline_path)
+    if baseline["mode"] != report["mode"]:
+        print(
+            f"[bench-check] baseline mode {baseline['mode']!r} != "
+            f"report mode {report['mode']!r}: regression check skipped"
+        )
+        return
+    for section, key in _REGRESSION_TIMES:
+        now = report["benchmarks"][section][key]
+        then = baseline["benchmarks"][section][key]
+        if now > factor * then:
+            _fail(
+                f"{section}.{key} regressed {now / then:.2f}x "
+                f"({then:.4f}s -> {now:.4f}s, limit {factor:.1f}x)"
+            )
+    for batch, base_row in baseline["benchmarks"]["forest"]["batches"].items():
+        row = report["benchmarks"]["forest"]["batches"].get(batch)
+        if row is not None and row["flat_s"] > factor * base_row["flat_s"]:
+            _fail(
+                f"forest.flat_s at batch {batch} regressed "
+                f"{row['flat_s'] / base_row['flat_s']:.2f}x (limit {factor:.1f}x)"
+            )
+    print(f"[bench-check] no >{factor:.1f}x regression vs {baseline_path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="BENCH_hotpaths.json to validate")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="committed report to gate wall-time regressions against",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=2.0,
+        help="allowed wall-time growth vs baseline (default 2.0)",
+    )
+    parser.add_argument(
+        "--structure-only", action="store_true",
+        help="only validate shape/fields (e.g. for the committed artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    report = _load(args.report)
+    check_structure(report, args.report)
+    if args.structure_only:
+        return 0
+    check_floors(report)
+    if args.baseline is not None:
+        check_regression(report, args.baseline, args.factor)
+    print("[bench-check] OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,268 @@
+"""Wall-clock benchmark harness for the hot paths (``make bench-wallclock``).
+
+Times the four paths the perf pass optimized — forest inference
+(recursive vs flattened), the characterization sweep (cold vs cached), a
+serving-frontend overload flood, and a 4-node cluster flood — and emits
+``BENCH_hotpaths.json`` so future changes have a perf trajectory to
+regress against (``check.py`` enforces it).
+
+Run from the repo root with ``PYTHONPATH=src``; ``--tiny`` shrinks every
+workload for CI smoke runs (same schema, different ``mode`` field, so the
+regression check only ever compares like against like).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+SCHEMA_VERSION = 1
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Min wall-clock seconds over ``repeats`` calls (noise floor)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_forest(tiny: bool) -> dict:
+    """Recursive vs flattened 50-tree forest ``predict_proba``."""
+    from repro.ml.forest import RandomForestClassifier
+    from repro.sched.dataset import generate_dataset
+
+    dataset = generate_dataset("throughput")
+    forest = RandomForestClassifier(
+        n_estimators=50, criterion="entropy", max_depth=10,
+        min_samples_leaf=1, random_state=7,
+    ).fit(dataset.x, dataset.y)
+    flat = forest.flatten()
+
+    batches = (16, 64) if tiny else (64, 256, 1024)
+    repeats = 2 if tiny else 5
+    out: dict = {
+        "n_trees": 50,
+        "max_depth": int(flat.max_depth),
+        "n_nodes": int(flat.n_nodes),
+        "equivalent": True,
+        "batches": {},
+    }
+    for batch in batches:
+        x = np.resize(dataset.x, (batch, dataset.x.shape[1]))
+        if not np.array_equal(
+            forest.predict_proba(x), forest.predict_proba_recursive(x)
+        ):
+            out["equivalent"] = False
+        recursive_s = _best_of(lambda: forest.predict_proba_recursive(x), repeats)
+        flat_s = _best_of(lambda: forest.predict_proba(x), repeats)
+        out["batches"][str(batch)] = {
+            "recursive_s": recursive_s,
+            "flat_s": flat_s,
+            "speedup": recursive_s / flat_s,
+        }
+    return out
+
+
+def bench_sweep(tiny: bool) -> dict:
+    """Characterization sweep: cold vs measurement-cache warm."""
+    from repro.nn.zoo import MNIST_SMALL, SIMPLE
+    from repro.sched.dataset import generate_dataset
+    from repro.sched.persistence import MeasurementCache
+    from repro.telemetry.session import MeasurementSession
+
+    kwargs: dict = {}
+    if tiny:
+        kwargs = {"specs": [SIMPLE, MNIST_SMALL], "batches": (1, 64, 1024)}
+
+    cache = MeasurementCache()
+    sess = MeasurementSession(cache=cache)
+    t0 = time.perf_counter()
+    cold = generate_dataset("throughput", session=sess, **kwargs)
+    cold_s = time.perf_counter() - t0
+
+    warm_labels = [None]
+
+    def warm_run():
+        warm_labels[0] = generate_dataset("throughput", session=sess, **kwargs)
+
+    warm_s = _best_of(warm_run, 2 if tiny else 3)
+    warm = warm_labels[0]
+    return {
+        "rows": int(cold.n_samples),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s,
+        "labels_identical": bool(
+            cold.y.tobytes() == warm.y.tobytes()
+            and cold.x.tobytes() == warm.x.tobytes()
+        ),
+        "cache": cache.stats(),
+    }
+
+
+def _trained_predictors():
+    from repro.nn.zoo import MNIST_SMALL, SIMPLE
+    from repro.sched.dataset import generate_dataset
+    from repro.sched.policies import Policy
+    from repro.sched.predictor import DevicePredictor
+
+    return {
+        Policy.THROUGHPUT: DevicePredictor("throughput").fit(
+            generate_dataset(
+                "throughput",
+                specs=[SIMPLE, MNIST_SMALL],
+                batches=(1, 64, 1024, 16384, 262144),
+            )
+        )
+    }
+
+
+def bench_serving(tiny: bool) -> dict:
+    """One SLO-aware frontend riding out an overload flood."""
+    from repro.nn.zoo import MNIST_SMALL, SIMPLE
+    from repro.ocl.context import Context
+    from repro.ocl.platform import get_all_devices
+    from repro.sched.dispatcher import Dispatcher
+    from repro.sched.scheduler import OnlineScheduler
+    from repro.serving import ServingFrontend, SLOConfig
+    from repro.workloads.requests import make_trace
+    from repro.workloads.streams import OverloadStream
+
+    specs = {s.name: s for s in (SIMPLE, MNIST_SMALL)}
+    predictors = _trained_predictors()
+    slo = SLOConfig(
+        deadline_s=0.3, max_queue_depth=64, max_batch=4096, max_wait_s=0.005
+    )
+    stream = OverloadStream(
+        horizon_s=2.0 if tiny else 4.0,
+        slo_s=0.3,
+        normal_rate_hz=20,
+        overload_rate_hz=300 if tiny else 3000,
+        overload_start_s=0.5 if tiny else 1.0,
+        overload_end_s=1.0 if tiny else 2.0,
+        normal_batch=64,
+        overload_batch=64,
+    )
+    trace = make_trace(stream, [MNIST_SMALL], rng=7)
+
+    ctx = Context(get_all_devices())
+    dispatcher = Dispatcher(ctx)
+    for spec in specs.values():
+        dispatcher.deploy_fresh(spec, rng=0)
+    frontend = ServingFrontend(
+        OnlineScheduler(ctx, dispatcher, predictors), specs, default_slo=slo
+    )
+    t0 = time.perf_counter()
+    result = frontend.serve_trace(trace)
+    wall_s = time.perf_counter() - t0
+    return {
+        "requests": len(trace),
+        "wall_s": wall_s,
+        "requests_per_wall_s": len(trace) / wall_s,
+        "p99_ms": result.latency_percentile(99.0) * 1e3,
+        "shed_rate": result.shed_rate,
+    }
+
+
+def bench_cluster(tiny: bool) -> dict:
+    """A 4-node heterogeneous fleet (least-ECT) taking the flood."""
+    from repro.cluster import ClusterRouter, NodeSpec, make_fleet
+    from repro.nn.zoo import MNIST_SMALL, SIMPLE
+    from repro.serving import SLOConfig
+    from repro.workloads.requests import make_trace
+    from repro.workloads.streams import OverloadStream
+
+    specs = {s.name: s for s in (SIMPLE, MNIST_SMALL)}
+    predictors = _trained_predictors()
+    slo = SLOConfig(
+        deadline_s=0.3, max_queue_depth=64, max_batch=4096, max_wait_s=0.005
+    )
+    fleet_specs = [
+        NodeSpec("node-a"),
+        NodeSpec("node-b"),
+        NodeSpec("node-c", device_classes=("cpu",)),
+        NodeSpec("node-d", device_classes=("cpu",)),
+    ]
+    stream = OverloadStream(
+        horizon_s=2.0 if tiny else 4.0,
+        slo_s=0.3,
+        normal_rate_hz=20,
+        overload_rate_hz=600 if tiny else 6000,
+        overload_start_s=0.5 if tiny else 1.0,
+        overload_end_s=1.0 if tiny else 2.0,
+        normal_batch=64,
+        overload_batch=64,
+    )
+    trace = make_trace(stream, [MNIST_SMALL], rng=7)
+
+    fleet = make_fleet(fleet_specs, predictors, specs, default_slo=slo)
+    router = ClusterRouter(fleet, balancer="least-ect", rng=123)
+    t0 = time.perf_counter()
+    result = router.serve_trace(trace)
+    wall_s = time.perf_counter() - t0
+    return {
+        "nodes": len(fleet_specs),
+        "requests": len(trace),
+        "wall_s": wall_s,
+        "requests_per_wall_s": len(trace) / wall_s,
+        "p99_ms": result.latency_percentile(99.0) * 1e3,
+        "shed_rate": result.shed_rate,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default="BENCH_hotpaths.json", help="output JSON path"
+    )
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="CI smoke sizes (same schema, mode='tiny')",
+    )
+    args = parser.parse_args(argv)
+
+    mode = "tiny" if args.tiny else "full"
+    report = {
+        "schema": SCHEMA_VERSION,
+        "mode": mode,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "benchmarks": {},
+    }
+    for name, fn in (
+        ("forest", bench_forest),
+        ("sweep", bench_sweep),
+        ("serving", bench_serving),
+        ("cluster", bench_cluster),
+    ):
+        print(f"[bench-wallclock] {name} ({mode}) ...", flush=True)
+        report["benchmarks"][name] = fn(args.tiny)
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"[bench-wallclock] wrote {args.out}")
+    for batch, row in report["benchmarks"]["forest"]["batches"].items():
+        print(f"  forest batch {batch}: {row['speedup']:.1f}x flat vs recursive")
+    sweep = report["benchmarks"]["sweep"]
+    print(f"  sweep warm: {sweep['speedup']:.1f}x vs cold "
+          f"(labels identical: {sweep['labels_identical']})")
+    print(f"  serving flood: {report['benchmarks']['serving']['wall_s']:.2f}s wall")
+    print(f"  cluster flood: {report['benchmarks']['cluster']['wall_s']:.2f}s wall")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

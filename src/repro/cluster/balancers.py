@@ -145,11 +145,34 @@ class LeastECTBalancer(LoadBalancer):
     device backlog plus the *learned* per-(cell, device) service time for
     this very request — so a node whose only devices are slow for this
     batch size is priced accordingly, not just by queue length.
+
+    Before probing the nodes, every distinct predictor behind them is
+    primed for both dGPU states of this (model, batch) cell in one
+    batched flat-forest call (fleets built by ``make_fleet`` share one
+    trained predictor, so this is usually a single call fleet-wide); the
+    per-node probes then resolve their rankings from the predictor's
+    cell memo instead of running the forest once per node.
     """
 
     name = "least-ect"
 
     def _pick(self, nodes, request, spec, now):
+        primed = set()
+        for node in nodes:
+            backlog = node.frontend.backlog
+            scheduler = getattr(backlog, "scheduler", None)
+            if scheduler is None:  # duck-typed backlog (tests, adapters)
+                continue
+            predictor = scheduler.predictors.get(backlog.policy)
+            if (
+                predictor is None
+                or not getattr(predictor, "_fitted", False)
+                or id(predictor) in primed
+            ):
+                continue
+            predictor.prime_cells(spec, request.batch, ("warm", "idle"))
+            primed.add(id(predictor))
+
         def ect(node: ClusterNode) -> tuple:
             _, delay = node.frontend.backlog.estimate_completion(
                 spec, request.batch, now

@@ -46,6 +46,7 @@ class RandomForestClassifier(BaseEstimator):
         self.random_state = random_state
         self.trees_: list[DecisionTreeClassifier] | None = None
         self.n_classes_: int = 0
+        self._flat = None  # lazily built FlatForest, invalidated by fit()
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         x, y = check_xy(x, y)
@@ -75,6 +76,7 @@ class RandomForestClassifier(BaseEstimator):
             if tree.n_classes_ != self.n_classes_:
                 tree = self._refit_padded(tree, xb, yb)
             self.trees_.append(tree)
+        self._flat = None
         return self
 
     def _refit_padded(self, tree, xb, yb) -> DecisionTreeClassifier:
@@ -87,11 +89,38 @@ class RandomForestClassifier(BaseEstimator):
         tree.fit(pad_x, pad_y)
         return tree
 
-    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+    def flatten(self):
+        """All fitted trees as one :class:`~repro.ml.flatten.FlatForest`
+        arena (built once per fit, cached)."""
         check_fitted(self, "trees_")
-        proba = self.trees_[0].predict_proba(x)
+        if self._flat is None:
+            from repro.ml.flatten import FlatForest
+
+            self._flat = FlatForest.from_trees(self.trees_)
+        return self._flat
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Soft-voted distributions via the flat-arena fast path.
+
+        Every tree routes the whole batch simultaneously; accumulation
+        runs in tree order so the result is bit-identical to
+        :meth:`predict_proba_recursive`.
+        """
+        check_fitted(self, "trees_")
+        x = np.asarray(x, dtype=np.float64)
+        flat = self.flatten()
+        if x.ndim != 2 or x.shape[1] != flat.n_features:
+            raise ValueError(
+                f"expected (n, {flat.n_features}) input, got shape {x.shape}"
+            )
+        return flat.predict_proba(x)
+
+    def predict_proba_recursive(self, x: np.ndarray) -> np.ndarray:
+        """Reference path: average per-tree node-graph walks (slow)."""
+        check_fitted(self, "trees_")
+        proba = self.trees_[0].predict_proba_recursive(x)
         for tree in self.trees_[1:]:
-            proba = proba + tree.predict_proba(x)
+            proba = proba + tree.predict_proba_recursive(x)
         return proba / len(self.trees_)
 
     def predict(self, x: np.ndarray) -> np.ndarray:

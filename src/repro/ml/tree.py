@@ -85,6 +85,7 @@ class DecisionTreeClassifier(BaseEstimator):
         self.n_features_: int = 0
         self._importance_raw: np.ndarray | None = None
         self._n_fit_samples: int = 0
+        self._flat = None  # lazily built FlatTree, invalidated by fit()
 
     # -- fitting ---------------------------------------------------------
 
@@ -99,6 +100,7 @@ class DecisionTreeClassifier(BaseEstimator):
         self._n_fit_samples = y.size
         rng = ensure_rng(self.random_state)
         self.root_ = self._grow(x, y, depth=0, rng=rng)
+        self._flat = None
         return self
 
     def _n_candidate_features(self) -> int:
@@ -195,13 +197,42 @@ class DecisionTreeClassifier(BaseEstimator):
 
     # -- inference ---------------------------------------------------------
 
-    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+    def _check_x(self, x: np.ndarray) -> np.ndarray:
         check_fitted(self, "root_")
         x = np.asarray(x, dtype=np.float64)
         if x.ndim != 2 or x.shape[1] != self.n_features_:
             raise ValueError(
                 f"expected (n, {self.n_features_}) input, got shape {x.shape}"
             )
+        return x
+
+    def flatten(self):
+        """The fitted tree as a :class:`~repro.ml.flatten.FlatTree`
+        (built once per fit, cached)."""
+        check_fitted(self, "root_")
+        if self._flat is None:
+            from repro.ml.flatten import FlatTree
+
+            self._flat = FlatTree.from_tree(self)
+        return self._flat
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Batched class distributions via the flat-array fast path.
+
+        Bit-identical to :meth:`predict_proba_recursive` (asserted by
+        ``tests/property``): the same comparisons route every sample to
+        the same leaf, whose stored distribution is copied out.
+        """
+        return self.flatten().predict_proba(self._check_x(x))
+
+    def predict_proba_recursive(self, x: np.ndarray) -> np.ndarray:
+        """Reference path: walk the Python ``_Node`` graph.
+
+        Kept for equivalence testing against the flat path — one
+        interpreter iteration per node makes it the slow baseline the
+        wall-clock harness measures against.
+        """
+        x = self._check_x(x)
         out = np.empty((x.shape[0], self.n_classes_))
         # Iterative routing: partition index sets level by level (no Python
         # loop over individual samples).

@@ -22,7 +22,6 @@ from repro.errors import SchedulerError
 from repro.nn.builders import ModelSpec
 from repro.ocl.event import Event
 from repro.sched.feedback import CellKey, OutcomeTable
-from repro.sched.features import encode_point
 from repro.sched.policies import Policy
 from repro.sched.scheduler import OnlineScheduler
 
@@ -87,12 +86,13 @@ class BacklogAwareScheduler:
         ranking only the devices that node has.
         """
         predictor = self.scheduler.predictors[self.policy]
-        estimator = predictor.estimator
         classes = ("cpu", "dgpu", "igpu")
         available = {d.device_class.value for d in self.scheduler.context.devices}
-        features = encode_point(spec, batch, gpu_state)[None, :]
-        if hasattr(estimator, "predict_proba"):
-            proba = estimator.predict_proba(features)[0]
+        # Memoized per-cell probabilities: repeated requests for the same
+        # (model, batch, state) cell — the common case in a flood — skip
+        # the forest entirely after the first evaluation.
+        proba = predictor.cell_proba(spec, batch, gpu_state)
+        if proba is not None:
             order = np.argsort(proba)[::-1]
             ranked = tuple(
                 classes[i] for i in order

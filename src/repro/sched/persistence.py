@@ -8,12 +8,20 @@ deployment trains once and ships the artifacts.  This module persists:
   numpy-only, safe to load);
 * trained :class:`~repro.sched.predictor.DevicePredictor` — via pickle
   (the estimator trees are arbitrary object graphs).  **Only load
-  predictor files you created yourself**: pickle executes code on load.
+  predictor files you created yourself**: pickle executes code on load;
+* :class:`MeasurementCache` — a content-addressed store of
+  characterization results, so repeated sweeps (dataset generation, the
+  figures, ad-hoc :class:`~repro.telemetry.session.MeasurementSession`
+  calls) skip redundant kernel-model evaluations, with an optional
+  ``.npz`` file behind it so the warm state survives the process.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 import pickle
+from collections import OrderedDict
 
 import numpy as np
 
@@ -21,16 +29,187 @@ from repro.errors import SchedulerError
 from repro.sched.dataset import SchedulerDataset
 from repro.sched.policies import Policy
 from repro.sched.predictor import DevicePredictor
+from repro.telemetry.metrics import Measurement
 
 __all__ = [
     "save_dataset",
     "load_dataset",
     "save_predictor",
     "load_predictor",
+    "MeasurementCache",
     "FORMAT_VERSION",
 ]
 
 FORMAT_VERSION = 1
+
+
+class MeasurementCache:
+    """Content-addressed LRU cache of :class:`Measurement` results.
+
+    Keys hash *everything the simulated measurement depends on*: the model
+    fingerprint (the frozen :class:`~repro.nn.builders.ModelSpec` repr —
+    architecture, input shape, classes), the device fingerprint (the
+    frozen :class:`~repro.hw.specs.DeviceSpec` repr — published numbers
+    plus every calibration constant), the pinned dGPU start state, the
+    batch size, and the policy-relevant dispatch knobs (work-group
+    ``local_size``, ``pinned`` host memory).  ``Device.preview`` is a pure
+    function of exactly those inputs — it ignores wall-clock state and
+    background load by construction — so a hit is *by definition* the
+    value a fresh run would produce, and cached sweeps stay bit-identical
+    to cold ones.
+
+    The in-memory side is a bounded LRU (``max_entries``); the optional
+    ``path`` points at an ``.npz`` snapshot loaded eagerly at construction
+    and rewritten by :meth:`save`.
+    """
+
+    def __init__(self, max_entries: int = 65536, path=None):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.path = os.fspath(path) if path is not None else None
+        self._entries: "OrderedDict[str, Measurement]" = OrderedDict()
+        # Digest memo: hashing two frozen-dataclass reprs through sha256
+        # costs more than the simulated kernel it guards, so the digest of
+        # each distinct key tuple is computed once.  Specs are hashable
+        # frozen dataclasses, so the tuple itself is the memo key (strong
+        # references — no id()-reuse hazard).
+        self._key_memo: dict[tuple, str] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and os.path.exists(self.path):
+            self.load(self.path)
+
+    # -- keying --------------------------------------------------------------
+
+    @staticmethod
+    def key_for(
+        spec, device_spec, gpu_state: str, batch: int,
+        local_size: "int | None", pinned: bool,
+    ) -> str:
+        """The sha256 content address of one sweep point."""
+        blob = "|".join(
+            (
+                f"v{FORMAT_VERSION}",
+                repr(spec),
+                repr(device_spec),
+                str(gpu_state),
+                str(int(batch)),
+                str(local_size),
+                str(bool(pinned)),
+            )
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _key(
+        self, spec, device_spec, gpu_state: str, batch: int,
+        local_size: "int | None", pinned: bool,
+    ) -> str:
+        memo_key = (spec, device_spec, gpu_state, batch, local_size, pinned)
+        try:
+            return self._key_memo[memo_key]
+        except KeyError:
+            pass
+        if len(self._key_memo) >= 2 * self.max_entries:
+            self._key_memo.clear()
+        digest = self.key_for(spec, device_spec, gpu_state, batch, local_size, pinned)
+        self._key_memo[memo_key] = digest
+        return digest
+
+    # -- lookup / store ------------------------------------------------------
+
+    def lookup(
+        self, spec, device_spec, gpu_state: str, batch: int,
+        local_size: "int | None", pinned: bool,
+    ) -> "Measurement | None":
+        """The cached measurement for a sweep point, or None on a miss."""
+        key = self._key(spec, device_spec, gpu_state, batch, local_size, pinned)
+        try:
+            measurement = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return measurement
+
+    def store(
+        self, spec, device_spec, gpu_state: str, batch: int,
+        local_size: "int | None", pinned: bool, measurement: Measurement,
+    ) -> None:
+        """Record one measured sweep point (evicting LRU on overflow)."""
+        key = self._key(spec, device_spec, gpu_state, batch, local_size, pinned)
+        self._entries[key] = measurement
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (the hit/miss counters are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> dict:
+        """Hit/miss counters and occupancy, for logs and benchmarks."""
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    # -- on-disk snapshot ----------------------------------------------------
+
+    def save(self, path=None) -> None:
+        """Snapshot the cache to ``.npz`` (parallel arrays, numpy-only)."""
+        target = os.fspath(path) if path is not None else self.path
+        if target is None:
+            raise SchedulerError("MeasurementCache has no path to save to")
+        entries = list(self._entries.items())
+        np.savez(
+            target,
+            version=np.int64(FORMAT_VERSION),
+            keys=np.array([k for k, _ in entries], dtype=np.str_),
+            model=np.array([m.model for _, m in entries], dtype=np.str_),
+            device=np.array([m.device for _, m in entries], dtype=np.str_),
+            gpu_state=np.array([m.gpu_state for _, m in entries], dtype=np.str_),
+            batch=np.array([m.batch for _, m in entries], dtype=np.int64),
+            sample_bytes=np.array(
+                [m.sample_bytes for _, m in entries], dtype=np.int64
+            ),
+            elapsed_s=np.array([m.elapsed_s for _, m in entries], dtype=np.float64),
+            energy_j=np.array([m.energy_j for _, m in entries], dtype=np.float64),
+        )
+
+    def load(self, path=None) -> int:
+        """Merge a snapshot into the cache; returns entries loaded."""
+        source = os.fspath(path) if path is not None else self.path
+        if source is None:
+            raise SchedulerError("MeasurementCache has no path to load from")
+        with np.load(source) as data:
+            version = int(data["version"])
+            if version != FORMAT_VERSION:
+                raise SchedulerError(
+                    f"measurement cache format v{version} unsupported "
+                    f"(expected v{FORMAT_VERSION})"
+                )
+            keys = [str(k) for k in data["keys"]]
+            for i, key in enumerate(keys):
+                self._entries[key] = Measurement(
+                    model=str(data["model"][i]),
+                    device=str(data["device"][i]),
+                    gpu_state=str(data["gpu_state"][i]),
+                    batch=int(data["batch"][i]),
+                    sample_bytes=int(data["sample_bytes"][i]),
+                    elapsed_s=float(data["elapsed_s"][i]),
+                    energy_j=float(data["energy_j"][i]),
+                )
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return len(keys)
 
 
 def save_dataset(dataset: SchedulerDataset, path) -> None:

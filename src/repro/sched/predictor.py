@@ -36,10 +36,15 @@ def default_estimator(random_state: int = 7) -> BaseEstimator:
 class DevicePredictor:
     """A trained device-selection model for one policy."""
 
+    #: Per-cell memo bound: (model, batch, gpu_state) cells seen per fit.
+    #: Coalescers produce many distinct batch sizes, so cap and evict FIFO.
+    _CELL_CACHE_MAX = 16384
+
     def __init__(self, policy: "Policy | str", estimator: BaseEstimator | None = None):
         self.policy = Policy.parse(policy)
         self.estimator = estimator if estimator is not None else default_estimator()
         self._fitted = False
+        self._cell_proba: dict[tuple, "np.ndarray | None"] = {}
 
     def fit(self, dataset: SchedulerDataset) -> "DevicePredictor":
         """Train on a labelled sweep; the dataset's policy must match."""
@@ -51,11 +56,68 @@ class DevicePredictor:
         self.estimator = clone(self.estimator)
         self.estimator.fit(dataset.x, dataset.y)
         self._fitted = True
+        self._cell_proba.clear()
         return self
+
+    # -- memoized per-cell probabilities -----------------------------------
+
+    def _remember(self, key: tuple, proba: "np.ndarray | None") -> None:
+        if len(self._cell_proba) >= self._CELL_CACHE_MAX:
+            self._cell_proba.pop(next(iter(self._cell_proba)))
+        self._cell_proba[key] = proba
+
+    def cell_proba(
+        self, spec: ModelSpec, batch: int, gpu_state: str
+    ) -> "np.ndarray | None":
+        """Class probabilities for one (model, batch, dGPU-state) cell.
+
+        A fitted estimator is deterministic, so the answer for a cell
+        never changes between fits: the first call runs the batched flat
+        path, every later one is a dict hit.  Returns None when the
+        estimator exposes no ``predict_proba``.
+        """
+        self._require_fitted()
+        key = (spec.name, int(batch), gpu_state)
+        try:
+            return self._cell_proba[key]
+        except KeyError:
+            pass
+        if not hasattr(self.estimator, "predict_proba"):
+            self._remember(key, None)
+            return None
+        features = encode_point(spec, batch, gpu_state)[None, :]
+        proba = self.estimator.predict_proba(features)[0]
+        self._remember(key, proba)
+        return proba
+
+    def prime_cells(
+        self, spec: ModelSpec, batch: int, gpu_states: "tuple[str, ...]"
+    ) -> None:
+        """Evaluate any missing cells for ``gpu_states`` in ONE batched call.
+
+        A fleet balancer about to price several nodes can prime both dGPU
+        states up front: the estimator sees a single (n_missing, d) matrix
+        instead of one row per node probe.
+        """
+        self._require_fitted()
+        if not hasattr(self.estimator, "predict_proba"):
+            return
+        missing = [
+            s for s in gpu_states
+            if (spec.name, int(batch), s) not in self._cell_proba
+        ]
+        if not missing:
+            return
+        rows = np.vstack([encode_point(spec, batch, s) for s in missing])
+        probas = self.estimator.predict_proba(rows)
+        for s, proba in zip(missing, probas):
+            self._remember((spec.name, int(batch), s), proba)
 
     def predict_index(self, spec: ModelSpec, batch: int, gpu_state: str) -> int:
         """Class index (0=CPU, 1=dGPU, 2=iGPU) for one decision."""
-        self._require_fitted()
+        proba = self.cell_proba(spec, batch, gpu_state)
+        if proba is not None:
+            return int(np.argmax(proba))
         features = encode_point(spec, batch, gpu_state)[None, :]
         return int(self.estimator.predict(features)[0])
 

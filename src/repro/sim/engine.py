@@ -1,25 +1,36 @@
-"""Heap-based discrete-event loop."""
+"""Heap-based discrete-event loop.
+
+The loop is the innermost frame of every serving/cluster simulation — a
+6 kHz flood over a 4-node fleet pushes hundreds of thousands of events
+through it — so the per-event cost is kept to a heap pop, one float
+store, and the callback: events are plain tuples (no dataclass
+``order=True`` comparator walking ``__gt__`` through field lists), and
+``run()`` binds its hot names locally.
+"""
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, NamedTuple
 
 from repro.sim.clock import VirtualClock
 
 __all__ = ["ScheduledEvent", "EventLoop"]
 
 
-@dataclass(order=True)
-class ScheduledEvent:
-    """A timestamped callback; ties break by insertion order (FIFO)."""
+class ScheduledEvent(NamedTuple):
+    """A timestamped callback; ties break by insertion order (FIFO).
+
+    A tuple subclass on purpose: heap siftup compares events as plain
+    tuples, and ``seq`` is unique per loop, so ordering is decided by
+    ``(time, seq)`` and the callable/label are never compared.
+    """
 
     time: float
     seq: int
-    action: Callable[["EventLoop"], Any] = field(compare=False)
-    label: str = field(default="", compare=False)
+    action: Callable[["EventLoop"], Any]
+    label: str = ""
 
 
 class EventLoop:
@@ -109,19 +120,26 @@ class EventLoop:
         ``until`` stops before events later than the horizon (they stay
         queued); ``max_events`` bounds the number processed (runaway guard).
         """
+        heap = self._heap
+        clock = self.clock
+        pop = heapq.heappop
+        budget = float("inf") if max_events is None else max_events
+        horizon = float("inf") if until is None else until
         processed_here = 0
-        while self._heap:
-            if until is not None and self._heap[0].time > until:
-                break
-            if max_events is not None and processed_here >= max_events:
-                break
-            ev = heapq.heappop(self._heap)
-            self.clock.advance_to(ev.time)
-            ev.action(self)
-            self._processed += 1
-            processed_here += 1
-        if until is not None and self.clock.now < until and (
-            not self._heap or self._heap[0].time > until
+        try:
+            while heap and heap[0][0] <= horizon and processed_here < budget:
+                time, _seq, action, _label = pop(heap)
+                # Heap order plus schedule()'s no-past guard make the pop
+                # sequence monotone, so the clock moves forward by direct
+                # assignment (advance_to's check would re-prove that per
+                # event).
+                clock._now = time
+                action(self)
+                processed_here += 1
+        finally:
+            self._processed += processed_here
+        if until is not None and clock.now < until and (
+            not heap or heap[0][0] > until
         ):
-            self.clock.advance_to(until)
-        return self.clock.now
+            clock.advance_to(until)
+        return clock.now

@@ -19,9 +19,11 @@ from repro.telemetry.serving import (
     ServingTelemetry,
 )
 from repro.telemetry.session import MeasurementSession
+from repro.telemetry.streaming import P2Quantile
 
 __all__ = [
     "Measurement",
+    "P2Quantile",
     "EnergyMeter",
     "PowerSample",
     "SweepRecorder",

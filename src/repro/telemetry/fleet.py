@@ -75,18 +75,36 @@ class FleetTelemetry:
     # -- cluster latency ---------------------------------------------------
 
     def latency_samples(self) -> list[float]:
-        """Every node's served latencies, concatenated."""
+        """Every node's exactly-retained latencies, concatenated.
+
+        Digests that have spilled to streaming contribute no raw samples
+        (see :class:`~repro.telemetry.serving.LatencyDigest`).
+        """
         out: list[float] = []
         for name in sorted(self._nodes):
             out.extend(self._nodes[name].latency.samples)
         return out
 
     def percentile(self, q: float) -> float:
-        """q-th percentile latency across the whole fleet, in seconds."""
-        samples = self.latency_samples()
-        if not samples:
+        """q-th percentile latency across the whole fleet, in seconds.
+
+        Exact (merged-sample :func:`np.percentile`) while every node's
+        digest is still exact; once any digest has spilled to streaming,
+        falls back to the sample-count-weighted mean of per-node P²
+        estimates — an approximation, but one whose cost stays constant
+        over an arbitrarily long flood.
+        """
+        digests = [
+            t.latency for t in self._nodes.values() if len(t.latency)
+        ]
+        if not digests:
             raise ValueError("no latency samples recorded fleet-wide")
-        return float(np.percentile(samples, q))
+        if all(d.is_exact for d in digests):
+            return float(np.percentile(self.latency_samples(), q))
+        total = sum(len(d) for d in digests)
+        return float(
+            sum(len(d) * d.percentile(q) for d in digests) / total
+        )
 
     @property
     def p50_s(self) -> float:
@@ -136,7 +154,7 @@ class FleetTelemetry:
             "shed_rate": self.shed_rate,
             "max_queue_depth": self.max_queue_depth,
         }
-        if self.latency_samples():
+        if any(len(t.latency) for t in self._nodes.values()):
             out.update(
                 p50_ms=self.p50_s * 1e3,
                 p95_ms=self.p95_s * 1e3,

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.telemetry.streaming import P2Quantile
+
 __all__ = [
     "LatencyDigest",
     "RollingLatencyWindow",
@@ -26,27 +28,103 @@ __all__ = [
     "ServingTelemetry",
 ]
 
+#: Samples a digest keeps exactly before spilling to streaming estimators.
+DIGEST_EXACT_BOUND = 65536
+
+#: Quantiles every digest can still answer after the spill.
+_DEFAULT_QUANTILES = (50.0, 95.0, 99.0)
+
 
 class LatencyDigest:
-    """Collects latency samples and reports percentiles (p50/p95/p99)."""
+    """Collects latency samples and reports percentiles (p50/p95/p99).
 
-    def __init__(self) -> None:
+    Memory is bounded: the first ``bound`` samples are kept and queried
+    exactly (sort-based :func:`np.percentile`); at the bound the digest
+    *spills* — every tracked quantile is seeded by replaying the exact
+    history into a :class:`~repro.telemetry.streaming.P2Quantile` and the
+    sample list is dropped, so a node serving a week-long flood holds
+    O(bound) floats, not O(requests).  Tracked quantiles are p50/p95/p99
+    plus anything queried (or :meth:`track`-ed) before the spill; the mean
+    is a running sum and stays exact forever.
+
+    ``exact=True`` opts back into the unbounded keep-everything digest —
+    the reference path, used by tests and small experiments that compare
+    against :func:`np.percentile` literally.
+    """
+
+    def __init__(self, exact: bool = False, bound: int = DIGEST_EXACT_BOUND):
+        if bound < 5:
+            raise ValueError(f"bound must be >= 5, got {bound}")
+        self.exact = bool(exact)
+        self.bound = int(bound)
         self._samples: list[float] = []
+        self._streams: dict[float, P2Quantile] = {}
+        self._tracked: set[float] = set(_DEFAULT_QUANTILES)
+        self._n = 0
+        self._sum = 0.0
+        self._spilled = False
 
     def add(self, latency_s: float) -> None:
         """Record one request's arrival-to-completion latency."""
         if latency_s < 0.0:
             raise ValueError(f"latency must be >= 0, got {latency_s}")
-        self._samples.append(float(latency_s))
+        latency_s = float(latency_s)
+        self._n += 1
+        self._sum += latency_s
+        if self._spilled:
+            for stream in self._streams.values():
+                stream.add(latency_s)
+            return
+        self._samples.append(latency_s)
+        if not self.exact and len(self._samples) >= self.bound:
+            self._spill()
+
+    def _spill(self) -> None:
+        for q in sorted(self._tracked):
+            stream = P2Quantile(q)
+            stream.extend(self._samples)
+            self._streams[q] = stream
+        self._samples = []
+        self._spilled = True
+
+    def track(self, q: float) -> None:
+        """Keep quantile ``q`` answerable after the exact bound is passed."""
+        q = float(q)
+        if self._spilled and q not in self._streams:
+            raise ValueError(
+                f"cannot start tracking q={q} after the digest spilled; "
+                "track it before the exact bound or use exact=True"
+            )
+        self._tracked.add(q)
+
+    @property
+    def is_exact(self) -> bool:
+        """True while percentiles are still computed from raw samples."""
+        return not self._spilled
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return self._n
 
     def percentile(self, q: float) -> float:
-        """q-th percentile of recorded latency in seconds."""
-        if not self._samples:
+        """q-th percentile of recorded latency in seconds.
+
+        Exact while under the bound (every queried quantile is
+        auto-tracked for the streaming phase); a P² estimate afterwards.
+        """
+        if self._n == 0:
             raise ValueError("no latency samples recorded")
-        return float(np.percentile(self._samples, q))
+        q = float(q)
+        if not self._spilled:
+            self._tracked.add(q)
+            return float(np.percentile(self._samples, q))
+        try:
+            return self._streams[q].estimate()
+        except KeyError:
+            raise ValueError(
+                f"quantile {q} was not tracked before the digest spilled "
+                f"(tracked: {sorted(self._streams)}); use exact=True or "
+                "track() it early"
+            ) from None
 
     @property
     def p50_s(self) -> float:
@@ -62,13 +140,15 @@ class LatencyDigest:
 
     @property
     def mean_s(self) -> float:
-        if not self._samples:
+        if self._n == 0:
             raise ValueError("no latency samples recorded")
-        return float(np.mean(self._samples))
+        return self._sum / self._n
 
     @property
     def samples(self) -> tuple[float, ...]:
-        """All recorded samples, in arrival order (for fleet-level merges)."""
+        """The exactly-retained samples, in arrival order (empty after the
+        digest spills to streaming — fleet merges fall back to combining
+        per-node estimates then)."""
         return tuple(self._samples)
 
 

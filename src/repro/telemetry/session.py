@@ -28,13 +28,17 @@ class MeasurementSession:
     exactly how the paper measures its two dGPU curves side by side.
     """
 
-    def __init__(self, devices: "list[Device] | None" = None):
+    def __init__(self, devices: "list[Device] | None" = None, cache=None):
         self.devices: list[Device] = devices if devices is not None else get_all_devices()
         if not self.devices:
             raise ExperimentError("session needs at least one device")
         self._by_name = {d.name: d for d in self.devices}
         for d in self.devices:
             self._by_name.setdefault(d.device_class.value, d)
+        # Duck-typed to avoid a telemetry -> sched import cycle; any object
+        # with the MeasurementCache lookup/store signature works (see
+        # repro.sched.persistence.MeasurementCache).
+        self.cache = cache
 
     def device(self, name: str) -> Device:
         """Resolve a device by spec name or device-class value."""
@@ -68,6 +72,12 @@ class MeasurementSession:
                 f"gpu_state must be one of {GPU_STATES}, got {gpu_state!r}"
             )
         dev = self.device(device)
+        if self.cache is not None:
+            hit = self.cache.lookup(
+                spec, dev.spec, gpu_state, batch, local_size, pinned
+            )
+            if hit is not None:
+                return hit
         state = DeviceState.WARM if gpu_state == "warm" else DeviceState.IDLE
         from repro.ocl.workgroup import workgroup_efficiency
 
@@ -75,7 +85,7 @@ class MeasurementSession:
         timing, energy = dev.preview(
             spec, batch, state=state, workgroup_eff=wg_eff, pinned=pinned
         )
-        return Measurement(
+        measurement = Measurement(
             model=spec.name,
             device=dev.name,
             gpu_state=gpu_state,
@@ -84,6 +94,11 @@ class MeasurementSession:
             elapsed_s=timing.total_s,
             energy_j=energy.total_j,
         )
+        if self.cache is not None:
+            self.cache.store(
+                spec, dev.spec, gpu_state, batch, local_size, pinned, measurement
+            )
+        return measurement
 
     def measure_all_devices(
         self, spec: ModelSpec, batch: int, gpu_state: str = "warm"

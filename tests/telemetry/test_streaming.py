@@ -1,0 +1,51 @@
+"""P² streaming quantile estimator."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.streaming import P2Quantile
+
+
+class TestP2Quantile:
+    def test_bad_quantile_raises(self):
+        with pytest.raises(ValueError, match="quantile"):
+            P2Quantile(101.0)
+        with pytest.raises(ValueError, match="quantile"):
+            P2Quantile(-0.1)
+
+    def test_empty_estimate_raises(self):
+        with pytest.raises(ValueError, match="no samples"):
+            P2Quantile(50.0).estimate()
+
+    def test_exact_under_five_samples(self):
+        est = P2Quantile(50.0)
+        for x in (3.0, 1.0, 2.0):
+            est.add(x)
+        assert est.estimate() == 2.0
+        assert len(est) == 3
+
+    def test_median_of_uniform(self):
+        rng = np.random.default_rng(0)
+        est = P2Quantile(50.0)
+        est.extend(rng.uniform(0.0, 1.0, 20_000))
+        assert abs(est.estimate() - 0.5) < 0.02
+
+    def test_p99_close_to_exact(self):
+        rng = np.random.default_rng(1)
+        xs = rng.exponential(1.0, 50_000)
+        est = P2Quantile(99.0)
+        est.extend(xs)
+        exact = float(np.percentile(xs, 99.0))
+        assert abs(est.estimate() - exact) <= 0.05 * exact
+
+    def test_constant_stream(self):
+        est = P2Quantile(95.0)
+        est.extend([7.0] * 1000)
+        assert est.estimate() == 7.0
+
+    def test_extremes_are_tracked(self):
+        est = P2Quantile(50.0)
+        est.extend([5.0, 2.0, 9.0, 1.0, 4.0, 0.5, 12.0])
+        # The outer markers follow new minima/maxima exactly.
+        assert est._heights[0] == 0.5
+        assert est._heights[4] == 12.0
