@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full bench-wallclock repro examples serve-demo cluster-demo lint-clean
+.PHONY: install test bench bench-full bench-wallclock profile-cluster repro examples serve-demo cluster-demo lint-clean
 
 install:
 	pip install -e .
@@ -22,6 +22,12 @@ bench-full:
 bench-wallclock:
 	PYTHONPATH=src $(PY) benchmarks/wallclock/run.py --out BENCH_hotpaths.json
 	PYTHONPATH=src $(PY) benchmarks/wallclock/check.py BENCH_hotpaths.json
+
+# cProfile the cluster request path (the 4-node overload bench) and dump
+# raw stats to cluster.prof for pstats/snakeviz.
+profile-cluster:
+	PYTHONPATH=src $(PY) benchmarks/wallclock/run.py --only cluster \
+		--profile cluster.prof --out /dev/null
 
 # Regenerate every artifact into results/ (one text file each + sweep CSVs).
 repro:

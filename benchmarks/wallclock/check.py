@@ -4,9 +4,15 @@ Three layers of checking, from always-on to conditional:
 
 1. **Structure** — the report parses, carries the expected schema
    version, and has every benchmark section with its required fields.
-2. **Perf floors** (full mode only — tiny CI sizes are noise-dominated):
-   flattened forest inference >= 5x the recursive path at the smallest
-   measured batch >= 256, warm characterization sweep >= 10x cold.
+2. **Perf floors**: in full mode, flattened forest inference >= 5x the
+   recursive path at the smallest measured batch >= 256, warm
+   characterization sweep >= 10x cold, serving >= 15k and cluster >= 8.3k
+   requests per wall-clock second (the cluster floor is 4x the
+   pre-decision-cache trajectory of ~2.07k), and the cluster decision
+   cache > 90% hits.  Tiny CI sizes are noise-dominated, so tiny mode
+   gates only *order-of-magnitude* request-path floors (serving >= 1k,
+   cluster >= 0.8k req/s) — loose enough for a slow CI runner, tight
+   enough to catch an accidental return to per-request forest calls.
    Larger forest batches are *reported* but not gated: the recursive
    reference is itself batch-vectorized (a partition walk whose per-node
    cost amortizes over the batch), so both paths converge toward memory
@@ -32,9 +38,24 @@ SCHEMA_VERSION = 1
 _REQUIRED = {
     "forest": ("equivalent", "batches", "n_trees"),
     "sweep": ("cold_s", "warm_s", "speedup", "labels_identical"),
-    "serving": ("requests", "wall_s"),
-    "cluster": ("requests", "wall_s", "nodes"),
+    "serving": (
+        "requests", "wall_s", "requests_per_wall_s", "decision_cache_hit_rate",
+    ),
+    "cluster": (
+        "requests", "wall_s", "nodes", "requests_per_wall_s",
+        "decision_cache_hit_rate",
+    ),
 }
+
+#: Request-path throughput floors (requests per wall-clock second).
+_RPS_FLOORS = {
+    "full": {"serving": 15_000.0, "cluster": 8_300.0},
+    "tiny": {"serving": 1_000.0, "cluster": 800.0},
+}
+
+#: Steady-state decision-cache hit-rate floor (full mode only: the tiny
+#: trace is too short to amortize its cold cells).
+_CLUSTER_HIT_RATE_FLOOR = 0.9
 
 #: (section, key-path) pairs compared against the baseline's wall times.
 _REGRESSION_TIMES = (
@@ -85,9 +106,23 @@ def check_floors(report: dict) -> None:
         _fail("flat forest output is not bit-identical to the recursive path")
     if not benches["sweep"]["labels_identical"]:
         _fail("cached sweep labels differ from the cold sweep")
+    for section, floor in _RPS_FLOORS[report["mode"]].items():
+        rps = benches[section]["requests_per_wall_s"]
+        if rps < floor:
+            _fail(
+                f"{section} throughput {rps:.0f} req/s is below the "
+                f"{report['mode']}-mode floor of {floor:.0f}"
+            )
     if report["mode"] != "full":
-        print("[bench-check] tiny mode: perf floors skipped (correctness enforced)")
+        print("[bench-check] tiny mode: request-path floors OK; "
+              "remaining perf floors skipped (correctness enforced)")
         return
+    hit_rate = benches["cluster"]["decision_cache_hit_rate"]
+    if hit_rate < _CLUSTER_HIT_RATE_FLOOR:
+        _fail(
+            f"cluster decision-cache hit rate {hit_rate:.3f} is below "
+            f"the {_CLUSTER_HIT_RATE_FLOOR:.2f} floor"
+        )
     gated = sorted(
         (int(b) for b in benches["forest"]["batches"] if int(b) >= 256)
     )
@@ -103,7 +138,10 @@ def check_floors(report: dict) -> None:
     if sweep["speedup"] < 10.0:
         _fail(f"warm sweep speedup {sweep['speedup']:.2f}x is below the 10x floor")
     print("[bench-check] perf floors OK "
-          f"(forest >= 5x at batch >= 256, sweep {sweep['speedup']:.1f}x)")
+          f"(forest >= 5x at batch >= 256, sweep {sweep['speedup']:.1f}x, "
+          f"serving {benches['serving']['requests_per_wall_s']:.0f} req/s, "
+          f"cluster {benches['cluster']['requests_per_wall_s']:.0f} req/s "
+          f"at {hit_rate:.3f} cache hits)")
 
 
 def check_regression(report: dict, baseline_path: str, factor: float) -> None:

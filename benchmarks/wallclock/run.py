@@ -125,7 +125,24 @@ def _trained_predictors():
     }
 
 
-def bench_serving(tiny: bool) -> dict:
+def _timed_trace(serve, trace, profile: "str | None"):
+    """Time one serve_trace call, optionally under cProfile.
+
+    Profiling adds tracing overhead to the wall time, so profiled runs are
+    for hotspot attribution (``make profile-cluster``), not for the floors.
+    """
+    t0 = time.perf_counter()
+    if profile:
+        from repro.telemetry.profiling import profiled
+
+        with profiled(out=profile):
+            result = serve(trace)
+    else:
+        result = serve(trace)
+    return result, time.perf_counter() - t0
+
+
+def bench_serving(tiny: bool, profile: "str | None" = None) -> dict:
     """One SLO-aware frontend riding out an overload flood."""
     from repro.nn.zoo import MNIST_SMALL, SIMPLE
     from repro.ocl.context import Context
@@ -160,19 +177,18 @@ def bench_serving(tiny: bool) -> dict:
     frontend = ServingFrontend(
         OnlineScheduler(ctx, dispatcher, predictors), specs, default_slo=slo
     )
-    t0 = time.perf_counter()
-    result = frontend.serve_trace(trace)
-    wall_s = time.perf_counter() - t0
+    result, wall_s = _timed_trace(frontend.serve_trace, trace, profile)
     return {
         "requests": len(trace),
         "wall_s": wall_s,
         "requests_per_wall_s": len(trace) / wall_s,
         "p99_ms": result.latency_percentile(99.0) * 1e3,
         "shed_rate": result.shed_rate,
+        "decision_cache_hit_rate": frontend.backlog.cache_stats()["hit_rate"],
     }
 
 
-def bench_cluster(tiny: bool) -> dict:
+def bench_cluster(tiny: bool, profile: "str | None" = None) -> dict:
     """A 4-node heterogeneous fleet (least-ECT) taking the flood."""
     from repro.cluster import ClusterRouter, NodeSpec, make_fleet
     from repro.nn.zoo import MNIST_SMALL, SIMPLE
@@ -205,9 +221,7 @@ def bench_cluster(tiny: bool) -> dict:
 
     fleet = make_fleet(fleet_specs, predictors, specs, default_slo=slo)
     router = ClusterRouter(fleet, balancer="least-ect", rng=123)
-    t0 = time.perf_counter()
-    result = router.serve_trace(trace)
-    wall_s = time.perf_counter() - t0
+    result, wall_s = _timed_trace(router.serve_trace, trace, profile)
     return {
         "nodes": len(fleet_specs),
         "requests": len(trace),
@@ -215,6 +229,7 @@ def bench_cluster(tiny: bool) -> dict:
         "requests_per_wall_s": len(trace) / wall_s,
         "p99_ms": result.latency_percentile(99.0) * 1e3,
         "shed_rate": result.shed_rate,
+        "decision_cache_hit_rate": router.decision_cache_stats()["hit_rate"],
     }
 
 
@@ -226,6 +241,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--tiny", action="store_true",
         help="CI smoke sizes (same schema, mode='tiny')",
+    )
+    parser.add_argument(
+        "--only", action="append", metavar="BENCH",
+        choices=("forest", "sweep", "serving", "cluster"),
+        help="run only this benchmark (repeatable); the partial report "
+             "will not pass check.py's structure check",
+    )
+    parser.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="cProfile the serving/cluster request path and dump raw "
+             "stats to PATH (wall times then include tracing overhead)",
     )
     args = parser.parse_args(argv)
 
@@ -247,20 +273,32 @@ def main(argv=None) -> int:
         ("serving", bench_serving),
         ("cluster", bench_cluster),
     ):
+        if args.only and name not in args.only:
+            continue
         print(f"[bench-wallclock] {name} ({mode}) ...", flush=True)
-        report["benchmarks"][name] = fn(args.tiny)
+        kwargs = {}
+        if name in ("serving", "cluster") and args.profile:
+            kwargs["profile"] = args.profile
+        report["benchmarks"][name] = fn(args.tiny, **kwargs)
 
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"[bench-wallclock] wrote {args.out}")
-    for batch, row in report["benchmarks"]["forest"]["batches"].items():
-        print(f"  forest batch {batch}: {row['speedup']:.1f}x flat vs recursive")
-    sweep = report["benchmarks"]["sweep"]
-    print(f"  sweep warm: {sweep['speedup']:.1f}x vs cold "
-          f"(labels identical: {sweep['labels_identical']})")
-    print(f"  serving flood: {report['benchmarks']['serving']['wall_s']:.2f}s wall")
-    print(f"  cluster flood: {report['benchmarks']['cluster']['wall_s']:.2f}s wall")
+    benches = report["benchmarks"]
+    if "forest" in benches:
+        for batch, row in benches["forest"]["batches"].items():
+            print(f"  forest batch {batch}: {row['speedup']:.1f}x flat vs recursive")
+    if "sweep" in benches:
+        sweep = benches["sweep"]
+        print(f"  sweep warm: {sweep['speedup']:.1f}x vs cold "
+              f"(labels identical: {sweep['labels_identical']})")
+    for name in ("serving", "cluster"):
+        if name in benches:
+            row = benches[name]
+            print(f"  {name} flood: {row['wall_s']:.2f}s wall "
+                  f"({row['requests_per_wall_s']:.0f} req/s, "
+                  f"cache hit rate {row['decision_cache_hit_rate']:.3f})")
     return 0
 
 

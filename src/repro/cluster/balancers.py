@@ -50,6 +50,15 @@ class LoadBalancer:
 
     name = "abstract"
 
+    def invalidate(self) -> None:
+        """Fleet membership or predictor state changed: drop any memos.
+
+        The router calls this on every activate/drain so stateful policies
+        (``least-ect``'s priming memo) never act on a stale fleet view.
+        The base policies keep no cross-request memos, so this is a no-op.
+        """
+        return None
+
     def choose(
         self,
         nodes: "list[ClusterNode]",
@@ -156,8 +165,23 @@ class LeastECTBalancer(LoadBalancer):
 
     name = "least-ect"
 
-    def _pick(self, nodes, request, spec, now):
-        primed = set()
+    #: Bound on the (model, batch) priming memo; cleared when exceeded.
+    _PRIMED_MAX = 16384
+
+    def __init__(self) -> None:
+        self._primed: "set[tuple[str, int]]" = set()
+
+    def invalidate(self) -> None:
+        """Forget which cells were primed (new node => new predictor set).
+
+        Priming is a pure performance hint — a skipped prime only means the
+        predictor evaluates cells one at a time — so staleness here can
+        never change a routing decision, only slow one down.
+        """
+        self._primed.clear()
+
+    def _prime(self, nodes, request, spec) -> None:
+        seen = set()
         for node in nodes:
             backlog = node.frontend.backlog
             scheduler = getattr(backlog, "scheduler", None)
@@ -167,17 +191,33 @@ class LeastECTBalancer(LoadBalancer):
             if (
                 predictor is None
                 or not getattr(predictor, "_fitted", False)
-                or id(predictor) in primed
+                or id(predictor) in seen
             ):
                 continue
             predictor.prime_cells(spec, request.batch, ("warm", "idle"))
-            primed.add(id(predictor))
+            seen.add(id(predictor))
+
+    def _pick(self, nodes, request, spec, now):
+        # Walking every node's getattr chain per request dominates once the
+        # predictors' cell memos are warm, so remember which (model, batch)
+        # cells this fleet was already primed for.
+        memo_key = (spec.name, request.batch)
+        if memo_key not in self._primed:
+            self._prime(nodes, request, spec)
+            if len(self._primed) >= self._PRIMED_MAX:
+                self._primed.clear()
+            self._primed.add(memo_key)
 
         def ect(node: ClusterNode) -> tuple:
             _, delay = node.frontend.backlog.estimate_completion(
                 spec, request.batch, now
             )
-            return (delay, node.stats().outstanding_samples, node.name)
+            # Tiebreak on unresolved samples: the O(1) counter when the
+            # node exposes it, else the stats() snapshot (same value).
+            samples = getattr(node, "outstanding_samples", None)
+            if samples is None:
+                samples = node.stats().outstanding_samples
+            return (delay, samples, node.name)
 
         return min(nodes, key=ect)
 

@@ -116,6 +116,12 @@ class ClusterNode:
         """Requests accepted and not yet resolved (queued or in flight)."""
         return self.frontend.n_pending
 
+    @property
+    def outstanding_samples(self) -> int:
+        """Unresolved samples (same value as ``stats().outstanding_samples``,
+        without building the snapshot)."""
+        return self.frontend.outstanding_samples
+
     def stats(self) -> NodeStats:
         """The frontend's cheap load snapshot (see ``NodeStats``)."""
         return self.frontend.node_stats()
@@ -169,6 +175,7 @@ def build_node(
     max_rank: int = 2,
     rng: int = 0,
     start_state: DeviceState = DeviceState.IDLE,
+    decision_cache: bool = True,
 ) -> ClusterNode:
     """Stand up one node: fresh devices -> dispatcher -> scheduler -> frontend.
 
@@ -194,6 +201,7 @@ def build_node(
         policy=policy,
         max_rank=max_rank,
         loop=loop,
+        decision_cache=decision_cache,
     )
     state = NodeState.ACTIVE if spec.active else NodeState.STANDBY
     return ClusterNode(
@@ -210,8 +218,8 @@ def make_fleet(
 ) -> "list[ClusterNode]":
     """Build a fleet of nodes on one shared event loop.
 
-    ``node_kwargs`` (slo, default_slo, policy, max_rank, rng, start_state)
-    are forwarded to every :func:`build_node` call.  Returns the nodes in
+    ``node_kwargs`` (slo, default_slo, policy, max_rank, rng, start_state,
+    decision_cache) are forwarded to every :func:`build_node` call.  Returns the nodes in
     spec order; the shared loop is reachable as ``fleet[0].frontend.loop``.
     """
     if not node_specs:

@@ -21,6 +21,7 @@ makes drains exactly-once:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -55,6 +56,8 @@ class ClusterResponse:
     so served/shed outcomes are counted once no matter how many hops the
     request took.
     """
+
+    __slots__ = ("request", "node_name", "inner", "n_routes", "_shed_reason")
 
     def __init__(self, request: InferenceRequest):
         self.request = request
@@ -296,6 +299,16 @@ class ClusterRouter:
         clock — the policy reads fleet load at that moment.  Request ids
         must be unique per router (they key the exactly-once ledger).
         """
+        response = self._register(request)
+        self.loop.schedule(
+            request.arrival_s,
+            partial(self._route, response, x),
+            label="route",
+        )
+        return response
+
+    def _register(self, request: InferenceRequest) -> ClusterResponse:
+        """Validate and enter a request into the exactly-once ledger."""
         if request.model not in self.specs:
             known = ", ".join(sorted(self.specs)) or "<none>"
             raise SchedulerError(
@@ -315,14 +328,11 @@ class ClusterRouter:
         self._by_id[request.request_id] = response
         self._responses.append(response)
         self._seq = max(self._seq, request.request_id + 1)
-        self.loop.schedule(
-            request.arrival_s,
-            lambda _loop, r=response: self._route(r, x),
-            label=f"route:{request.model}:{request.request_id}",
-        )
         return response
 
-    def _route(self, response: ClusterResponse, x: "np.ndarray | None") -> None:
+    def _route(
+        self, response: ClusterResponse, x: "np.ndarray | None", _loop=None
+    ) -> None:
         active = self.active_nodes
         if not active:
             response.mark_shed("no_active_node")
@@ -339,6 +349,7 @@ class ClusterRouter:
         """Bring a standby node into the serving set."""
         node = self.node(name)
         node.activate()
+        self.balancer.invalidate()
         self._log("scale_up", node.name)
         return node
 
@@ -351,6 +362,7 @@ class ClusterRouter:
         """
         node = self.node(name)
         entries = node.start_drain()
+        self.balancer.invalidate()
         self._log("drain_start", node.name, f"{len(entries)} re-routed")
         for entry in entries:
             self._reroute(entry)
@@ -400,9 +412,17 @@ class ClusterRouter:
         return end
 
     def serve_trace(self, trace: RequestTrace) -> ClusterResult:
-        """Replay a whole trace through the fleet and drain the loop."""
-        for request in trace:
-            self.submit_request(request)
+        """Replay a whole trace through the fleet and drain the loop.
+
+        Trace arrivals are ledgered first and injected through the event
+        loop's bulk fast path — one heapify over the (typically pre-sorted)
+        arrival array instead of one ``heappush`` per request.
+        """
+        items = [
+            (request.arrival_s, partial(self._route, self._register(request), None))
+            for request in trace
+        ]
+        self.loop.schedule_bulk(items, label="route")
         self.run()
         return self.result()
 
@@ -419,11 +439,38 @@ class ClusterRouter:
         """Requests routed (or awaiting routing) but not yet resolved."""
         return sum(1 for r in self._responses if not r.done)
 
+    def decision_cache_stats(self) -> dict:
+        """Fleet-wide rollup of the nodes' decision-cache counters."""
+        enabled = False
+        hits = misses = entries = refit_clears = feedback_invalidations = 0
+        for node in self.nodes:
+            cache_stats = getattr(node.frontend.backlog, "cache_stats", None)
+            if cache_stats is None:  # duck-typed backlog (tests, adapters)
+                continue
+            s = cache_stats()
+            enabled = enabled or s["enabled"]
+            hits += s["hits"]
+            misses += s["misses"]
+            entries += s["entries"]
+            refit_clears += s["refit_clears"]
+            feedback_invalidations += s["feedback_invalidations"]
+        total = hits + misses
+        return {
+            "enabled": enabled,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / total) if total else 0.0,
+            "entries": entries,
+            "refit_clears": refit_clears,
+            "feedback_invalidations": feedback_invalidations,
+        }
+
     def stats(self) -> dict:
         """Fleet snapshot: telemetry rollup plus per-node load/state."""
         return {
             **self.telemetry.snapshot(),
             "balancer": self.balancer.name,
+            "decision_cache": self.decision_cache_stats(),
             "pending": self.n_pending,
             "rerouted": self.n_rerouted,
             "virtual_time_s": self.loop.now,

@@ -10,6 +10,19 @@ to the earliest finisher among the devices the predictor ranks highly.
 Service times are learned online per (cell, device) from realized
 dispatches — the same outcome-table machinery as the adaptive layer — so
 no oracle previews are consulted.
+
+The request path through :meth:`BacklogAwareScheduler.decide` /
+:meth:`~BacklogAwareScheduler.estimate_completion` is serving-hot (a
+cluster balancer probes it once per node per arrival), so decisions are
+served through a cache (see :class:`_DecisionEntry`): the predictor's
+ranking and the eligible (device, queue, estimate) bindings are resolved
+once per (model, batch, dGPU-state) cell, while backlog waits and learned
+service values are always read live — cached decisions are bit-identical
+to uncached ones by construction.  Invalidation is explicit: a predictor
+refit (or swap) clears the cache wholesale, and every feedback update
+(:meth:`~BacklogAwareScheduler.record_service` /
+:meth:`~BacklogAwareScheduler.submit_virtual`) bumps the touched cell's
+version so entries holding its estimate binding rebuild on next use.
 """
 
 from __future__ import annotations
@@ -28,7 +41,7 @@ from repro.sched.scheduler import OnlineScheduler
 __all__ = ["BacklogDecision", "BacklogAwareScheduler"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BacklogDecision:
     """A queue-aware placement."""
 
@@ -38,6 +51,29 @@ class BacklogDecision:
     wait_s: float             # backlog the request will sit behind
     ranked: tuple[str, ...]   # predictor's device ranking for the request
     spilled: bool             # True if we skipped the top-ranked device
+
+
+class _DecisionEntry:
+    """One cached (model, batch, dGPU-state) decision cell.
+
+    Holds only what is *structurally* fixed for the cell — the predictor's
+    ranking, and for each eligible device class its name, command queue and
+    current outcome-table estimate binding.  Queue backlog (``current_time``)
+    and estimate freshness are evaluated live at every use, so a hit runs
+    the exact float expressions the uncached path runs.  ``version`` pins
+    the cell's feedback version at build time: any ``record_service`` /
+    ``submit_virtual`` observation for the cell bumps that version and the
+    entry rebuilds, so a replaced/aged estimate object can never be read
+    stale.
+    """
+
+    __slots__ = ("ranked", "cell", "eligible", "version")
+
+    def __init__(self, ranked, cell, eligible, version):
+        self.ranked = ranked        # full predictor ranking (for spill checks)
+        self.cell = cell            # CellKey of this decision cell
+        self.eligible = eligible    # ((class, device_name, queue, estimate), ...)
+        self.version = version      # feedback version seen at build time
 
 
 class BacklogAwareScheduler:
@@ -62,6 +98,7 @@ class BacklogAwareScheduler:
         max_rank: int = 2,
         service_alpha: float = 0.5,
         service_ttl_s: float = 60.0,
+        cache_decisions: bool = True,
     ):
         if max_rank < 1:
             raise ValueError(f"max_rank must be >= 1, got {max_rank}")
@@ -73,6 +110,16 @@ class BacklogAwareScheduler:
             policy=Policy.LATENCY, alpha=service_alpha, ttl_s=service_ttl_s
         )
         self.n_spills = 0
+        # Decision cache (see module docstring for the invalidation rules).
+        self.cache_decisions = bool(cache_decisions)
+        self._entries: "dict[tuple, _DecisionEntry]" = {}
+        self._feedback_versions: "dict[CellKey, int]" = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._refit_clears = 0
+        self._feedback_invalidations = 0
+        self._seen_predictor: "object | None" = None
+        self._seen_generation: "int | None" = -1
 
     # -- ranking -----------------------------------------------------------
 
@@ -137,6 +184,94 @@ class BacklogAwareScheduler:
             raise ValueError(f"service_s must be >= 0, got {service_s}")
         cell = CellKey.of(model, batch, gpu_state)
         self._service.observe(cell, device, service_s, now=now)
+        self._bump_cell(cell)
+
+    # -- decision cache ----------------------------------------------------
+
+    def _bump_cell(self, cell: CellKey) -> None:
+        """A feedback observation touched ``cell``: age out its entries."""
+        self._feedback_versions[cell] = self._feedback_versions.get(cell, 0) + 1
+        self._feedback_invalidations += 1
+
+    def invalidate(self) -> None:
+        """Drop every cached decision (device-set or topology changes)."""
+        self._entries.clear()
+        self._refit_clears += 1
+
+    def cache_stats(self) -> dict:
+        """Decision-cache effectiveness counters (for telemetry surfaces)."""
+        total = self._cache_hits + self._cache_misses
+        return {
+            "enabled": self.cache_decisions,
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "hit_rate": (self._cache_hits / total) if total else 0.0,
+            "entries": len(self._entries),
+            "refit_clears": self._refit_clears,
+            "feedback_invalidations": self._feedback_invalidations,
+        }
+
+    def _entry_for(self, spec: ModelSpec, batch: int, gpu_state: str) -> _DecisionEntry:
+        """Cached bindings for a decision cell, (re)built when invalid."""
+        predictor = self.scheduler.predictors[self.policy]
+        generation = getattr(predictor, "fit_generation", None)
+        if predictor is not self._seen_predictor or generation != self._seen_generation:
+            # A refit (or a predictor swap) may reorder every ranking.
+            if self._entries:
+                self._entries.clear()
+                self._refit_clears += 1
+            self._seen_predictor = predictor
+            self._seen_generation = generation
+        key = (spec.name, batch, gpu_state)
+        entry = self._entries.get(key)
+        if entry is not None and entry.version == self._feedback_versions.get(entry.cell, 0):
+            self._cache_hits += 1
+            return entry
+        self._cache_misses += 1
+        ranked = self.rank_devices(spec, batch, gpu_state)
+        cell = CellKey.of(spec.name, batch, gpu_state)
+        eligible = []
+        for device_class in ranked[: self.max_rank]:
+            device = self.scheduler.context.get_device(device_class)
+            queue = self.scheduler.queue_for(device.name)
+            eligible.append(
+                (device_class, device.name, queue, self._service.binding(cell, device_class))
+            )
+        entry = _DecisionEntry(
+            ranked, cell, tuple(eligible), self._feedback_versions.get(cell, 0)
+        )
+        self._entries[key] = entry
+        return entry
+
+    def _finisher_from(
+        self, entry: _DecisionEntry, arrival_s: float
+    ) -> "tuple[str, float, str, object]":
+        """Hit-path argmin: the exact float expressions of the cold path.
+
+        Backlog (``queue.current_time``) and estimate freshness are read
+        live; only the bindings come from the cache, so the returned
+        (device, completion) is bit-identical to
+        :meth:`_earliest_finisher`'s.
+        """
+        ttl = self._service.ttl_s
+        best = None
+        best_completion = float("inf")
+        for candidate in entry.eligible:
+            queue = candidate[2]
+            est = candidate[3]
+            wait = max(0.0, queue.current_time - arrival_s)
+            # Same staleness predicate as OutcomeTable.estimate(); same
+            # zero-service optimism for unmeasured candidates.
+            if est is not None and not (arrival_s - est.updated_at > ttl):
+                service = est.value
+            else:
+                service = 0.0
+            completion = wait + service
+            if completion < best_completion:
+                best, best_completion = candidate, completion
+        if best is None:
+            return None, best_completion, None, None
+        return best[0], best_completion, best[1], best[2]
 
     def _earliest_finisher(
         self, cell: CellKey, eligible: "tuple[str, ...]", arrival_s: float
@@ -166,6 +301,10 @@ class BacklogAwareScheduler:
         controller compares against a request's deadline budget.
         """
         gpu_state = self.scheduler.probe_gpu_state(now=arrival_s)
+        if self.cache_decisions:
+            entry = self._entry_for(spec, batch, gpu_state)
+            best_device, best_completion, _, _ = self._finisher_from(entry, arrival_s)
+            return best_device, best_completion
         ranked = self.rank_devices(spec, batch, gpu_state)
         cell = CellKey.of(spec.name, batch, gpu_state)
         return self._earliest_finisher(cell, ranked[: self.max_rank], arrival_s)
@@ -175,20 +314,26 @@ class BacklogAwareScheduler:
     def decide(self, spec: ModelSpec, batch: int, arrival_s: float) -> BacklogDecision:
         """Pick the earliest-finishing device among the top-ranked ones."""
         gpu_state = self.scheduler.probe_gpu_state(now=arrival_s)
-        ranked = self.rank_devices(spec, batch, gpu_state)
-        cell = CellKey.of(spec.name, batch, gpu_state)
-        best_device, _ = self._earliest_finisher(
-            cell, ranked[: self.max_rank], arrival_s
-        )
+        if self.cache_decisions:
+            entry = self._entry_for(spec, batch, gpu_state)
+            best_device, _, device_name, queue = self._finisher_from(entry, arrival_s)
+            ranked = entry.ranked
+        else:
+            ranked = self.rank_devices(spec, batch, gpu_state)
+            cell = CellKey.of(spec.name, batch, gpu_state)
+            best_device, _ = self._earliest_finisher(
+                cell, ranked[: self.max_rank], arrival_s
+            )
+            device = self.scheduler.context.get_device(best_device)
+            device_name = device.name
+            queue = self.scheduler.queue_for(device_name)
 
         spilled = best_device != ranked[0]
         if spilled:
             self.n_spills += 1
-        device = self.scheduler.context.get_device(best_device)
-        queue = self.scheduler.queue_for(device.name)
         return BacklogDecision(
             device=best_device,
-            device_name=device.name,
+            device_name=device_name,
             gpu_state=gpu_state,
             wait_s=max(0.0, queue.current_time - arrival_s),
             ranked=ranked,
@@ -209,4 +354,5 @@ class BacklogAwareScheduler:
         self._service.observe(
             cell, decision.device, event.duration_s, now=event.time_ended
         )
+        self._bump_cell(cell)
         return decision, event

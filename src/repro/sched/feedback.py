@@ -86,6 +86,16 @@ class OutcomeTable:
         prior.updated_at = now
         prior.n_samples += 1
 
+    def binding(self, cell: CellKey, device: str) -> "Estimate | None":
+        """Current estimate object for (cell, device), ignoring freshness.
+
+        Decision caches hold this binding and apply the TTL themselves at
+        read time.  :meth:`observe` may *replace* the object when an entry
+        ages past TTL, so holders must also rebuild whenever the cell is
+        observed (see ``BacklogAwareScheduler``'s feedback versions).
+        """
+        return self._table.get((cell, device))
+
     def estimate(self, cell: CellKey, device: str, now: float) -> "Estimate | None":
         """Fresh estimate for (cell, device), or None if absent/stale."""
         est = self._table.get((cell, device))

@@ -45,6 +45,8 @@ class DevicePredictor:
         self.estimator = estimator if estimator is not None else default_estimator()
         self._fitted = False
         self._cell_proba: dict[tuple, "np.ndarray | None"] = {}
+        #: Bumped on every (re)fit; decision caches key their validity on it.
+        self.fit_generation = 0
 
     def fit(self, dataset: SchedulerDataset) -> "DevicePredictor":
         """Train on a labelled sweep; the dataset's policy must match."""
@@ -57,6 +59,7 @@ class DevicePredictor:
         self.estimator.fit(dataset.x, dataset.y)
         self._fitted = True
         self._cell_proba.clear()
+        self.fit_generation += 1
         return self
 
     # -- memoized per-cell probabilities -----------------------------------

@@ -30,6 +30,7 @@ shed/violation counters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
@@ -108,7 +109,7 @@ class SLOConfig:
             raise ValueError(f"ect_margin must be positive, got {self.ect_margin}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeStats:
     """A cheap load snapshot of one frontend, for cluster-level polling.
 
@@ -155,6 +156,12 @@ class ServingResponse:
     when admission refuses it.  Degraded requests resolve 'ok' with
     :attr:`degraded` set.
     """
+
+    __slots__ = (
+        "request", "status", "device", "device_name", "trigger", "batch_id",
+        "batch_size", "dispatched_s", "start_s", "end_s", "energy_j",
+        "scores", "degraded", "shed_reason",
+    )
 
     def __init__(self, request: InferenceRequest):
         self.request = request
@@ -267,6 +274,10 @@ class ServingFrontend:
         Devices eligible for backlog spilling (see BacklogAwareScheduler).
     loop:
         Bring-your-own event loop (e.g. to co-simulate other actors).
+    decision_cache:
+        Serve placement decisions through the backlog scheduler's decision
+        cache (bit-identical results; disable for the uncached reference
+        path in equivalence tests).
     """
 
     def __init__(
@@ -278,12 +289,15 @@ class ServingFrontend:
         policy: "Policy | str" = Policy.THROUGHPUT,
         max_rank: int = 2,
         loop: "EventLoop | None" = None,
+        decision_cache: bool = True,
     ):
         if not specs:
             raise SchedulerError("serving frontend needs at least one model spec")
         self.specs = dict(specs)
         self.loop = loop if loop is not None else EventLoop()
-        self.backlog = BacklogAwareScheduler(scheduler, policy=policy, max_rank=max_rank)
+        self.backlog = BacklogAwareScheduler(
+            scheduler, policy=policy, max_rank=max_rank, cache_decisions=decision_cache
+        )
         self.telemetry = ServingTelemetry()
 
         self._slo = dict(slo or {})
@@ -376,23 +390,41 @@ class ServingFrontend:
         SLO, so plain traces can still drive deadline-aware serving.
         """
         self._require_spec(request.model)
-        cfg = self.slo_for(request.model)
-        if request.deadline_s is None and cfg.deadline_s is not None:
-            request = InferenceRequest(
-                request_id=request.request_id,
-                arrival_s=request.arrival_s,
-                model=request.model,
-                batch=request.batch,
-                policy=request.policy,
-                deadline_s=request.arrival_s + cfg.deadline_s,
-            )
-        return self._schedule_arrival(request, x)
+        return self._schedule_arrival(self._with_default_deadline(request), x)
 
     def serve_trace(self, trace: RequestTrace) -> ServingResult:
-        """Replay a whole trace through the frontend and drain the loop."""
-        responses = [self.submit_request(req) for req in trace]
+        """Replay a whole trace through the frontend and drain the loop.
+
+        Arrivals are registered first and injected through the event loop's
+        bulk fast path — one heapify over the (typically pre-sorted) trace
+        instead of one ``heappush`` per request.
+        """
+        responses = []
+        items = []
+        for request in trace:
+            self._require_spec(request.model)
+            response, entry = self._register_arrival(
+                self._with_default_deadline(request), None
+            )
+            responses.append(response)
+            items.append((entry.request.arrival_s, partial(self._on_arrival, entry)))
+        self.loop.schedule_bulk(items, label="arrive")
         self.run()
         return ServingResult(responses=responses, telemetry=self.telemetry)
+
+    def _with_default_deadline(self, request: InferenceRequest) -> InferenceRequest:
+        """Stamp the model's configured default SLO on deadline-less requests."""
+        cfg = self.slo_for(request.model)
+        if request.deadline_s is not None or cfg.deadline_s is None:
+            return request
+        return InferenceRequest(
+            request_id=request.request_id,
+            arrival_s=request.arrival_s,
+            model=request.model,
+            batch=request.batch,
+            policy=request.policy,
+            deadline_s=request.arrival_s + cfg.deadline_s,
+        )
 
     def run(self, until: "float | None" = None) -> float:
         """Drive the event loop (arrivals, flush timers, completions)."""
@@ -409,9 +441,9 @@ class ServingFrontend:
                 f"model {model!r} is not served; deployed: {known}"
             ) from None
 
-    def _schedule_arrival(
+    def _register_arrival(
         self, request: InferenceRequest, data: "np.ndarray | None"
-    ) -> ServingResponse:
+    ) -> "tuple[ServingResponse, QueueEntry]":
         # Guard every submission path (submit, submit_request, serve_trace)
         # before any state mutates, so a stale trace fails cleanly instead
         # of dying half-submitted inside the event loop.
@@ -426,14 +458,18 @@ class ServingFrontend:
         )
         self._seq += 1
         self._pending[entry.seq] = response
+        return response, entry
+
+    def _schedule_arrival(
+        self, request: InferenceRequest, data: "np.ndarray | None"
+    ) -> ServingResponse:
+        response, entry = self._register_arrival(request, data)
         self.loop.schedule(
-            request.arrival_s,
-            lambda _loop, e=entry: self._on_arrival(e),
-            label=f"arrive:{request.model}:{request.request_id}",
+            request.arrival_s, partial(self._on_arrival, entry), label="arrive"
         )
         return response
 
-    def _on_arrival(self, entry: QueueEntry) -> None:
+    def _on_arrival(self, entry: QueueEntry, _loop=None) -> None:
         now = self.loop.now
         model = entry.request.model
         spec = self.specs[model]
@@ -481,11 +517,11 @@ class ServingFrontend:
         self._timer_at[model] = flush_at
         self.loop.schedule(
             max(flush_at, self.loop.now),
-            lambda _loop, t=flush_at: self._on_timer(model, t),
-            label=f"flush:{model}",
+            partial(self._on_timer, model, flush_at),
+            label="flush",
         )
 
-    def _on_timer(self, model: str, armed_at: float) -> None:
+    def _on_timer(self, model: str, armed_at: float, _loop=None) -> None:
         if self._timer_at.get(model) != armed_at:
             return  # superseded by a flush that consumed the batch
         self._timer_at[model] = None
@@ -640,6 +676,21 @@ class ServingFrontend:
         """Requests submitted but not yet resolved (queued or in flight)."""
         return len(self._pending)
 
+    @property
+    def queued_samples(self) -> int:
+        """Samples sitting in the serving queues (O(#models) counters)."""
+        return sum(q.total_samples for q in self._queues.values())
+
+    @property
+    def outstanding_samples(self) -> int:
+        """Samples accepted and unresolved: queued plus in flight.
+
+        The same quantity as ``node_stats().outstanding_samples`` without
+        building the full snapshot — balancers tiebreak on this once per
+        node per routing decision.
+        """
+        return self._in_flight_samples + self.queued_samples
+
     def queue_depth(self, model: str) -> int:
         return len(self._queues[self._require_spec(model).name])
 
@@ -674,6 +725,7 @@ class ServingFrontend:
             "pending": self.n_pending,
             "virtual_time_s": self.loop.now,
             "spills": self.backlog.n_spills,
+            "decision_cache": self.backlog.cache_stats(),
             "queues": {m: len(q) for m, q in sorted(self._queues.items())},
             "admission": {
                 m: c.stats() for m, c in sorted(self._admission.items())

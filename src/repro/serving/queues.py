@@ -22,7 +22,7 @@ from repro.workloads.requests import InferenceRequest
 __all__ = ["QueueEntry", "RequestQueue", "FIFOQueue", "EDFQueue", "make_queue"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueueEntry:
     """One queued request plus its serving-side bookkeeping."""
 
@@ -59,6 +59,13 @@ class RequestQueue:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.model = model
         self.capacity = capacity
+        # O(1) load accounting: the frontend reads total_samples and
+        # oldest_enqueued_s once per routing probe / timer arm, so neither
+        # may walk the queue.  The arrival heap is lazy: pops mark their
+        # (enqueued_s, seq) key removed and the heap top is cleaned on read.
+        self._total_samples = 0
+        self._arrival_heap: "list[tuple[float, int]]" = []
+        self._arrival_removed: "dict[tuple[float, int], int]" = {}
 
     # -- discipline hooks (subclass responsibility) ------------------------
 
@@ -95,12 +102,19 @@ class RequestQueue:
                 f"queue for {self.model!r} is at capacity ({self.capacity})"
             )
         self._append(entry)
+        self._total_samples += entry.batch
+        heapq.heappush(self._arrival_heap, (entry.enqueued_s, entry.seq))
 
     def pop(self) -> QueueEntry:
         """Dequeue the next entry under this queue's discipline."""
         if not len(self):
             raise SchedulerError(f"queue for {self.model!r} is empty")
-        return self._popleft()
+        entry = self._popleft()
+        self._total_samples -= entry.batch
+        key = (entry.enqueued_s, entry.seq)
+        removed = self._arrival_removed
+        removed[key] = removed.get(key, 0) + 1
+        return entry
 
     def peek(self) -> QueueEntry:
         """The entry :meth:`pop` would return, without removing it."""
@@ -110,16 +124,29 @@ class RequestQueue:
 
     @property
     def total_samples(self) -> int:
-        """Samples summed over all queued requests."""
-        return sum(e.batch for e in self)
+        """Samples summed over all queued requests (O(1) counter)."""
+        return self._total_samples
 
     def oldest_enqueued_s(self) -> "float | None":
         """Earliest enqueue time among waiting entries (None if empty).
 
         This anchors the coalescer's max-wait timer: even under EDF pop
-        order, no request may wait longer than max_wait.
+        order, no request may wait longer than max_wait.  Amortized O(1):
+        the lazy arrival heap's top is exact once popped keys are drained.
         """
-        return min((e.enqueued_s for e in self), default=None)
+        if not len(self):
+            return None
+        heap, removed = self._arrival_heap, self._arrival_removed
+        while heap:
+            count = removed.get(heap[0], 0)
+            if not count:
+                break
+            if count == 1:
+                del removed[heap[0]]
+            else:
+                removed[heap[0]] = count - 1
+            heapq.heappop(heap)
+        return heap[0][0]
 
 
 class FIFOQueue(RequestQueue):
@@ -159,6 +186,7 @@ class EDFQueue(RequestQueue):
     def __init__(self, model: str, capacity: "int | None" = None):
         super().__init__(model, capacity)
         self._heap: list[tuple[float, int, QueueEntry]] = []
+        self._sorted_view: "list[tuple[float, int, QueueEntry]] | None" = None
 
     @staticmethod
     def _key(entry: QueueEntry) -> tuple[float, int]:
@@ -167,8 +195,10 @@ class EDFQueue(RequestQueue):
 
     def _append(self, entry: QueueEntry) -> None:
         heapq.heappush(self._heap, (*self._key(entry), entry))
+        self._sorted_view = None
 
     def _popleft(self) -> QueueEntry:
+        self._sorted_view = None
         return heapq.heappop(self._heap)[2]
 
     def _peek(self) -> QueueEntry:
@@ -178,7 +208,12 @@ class EDFQueue(RequestQueue):
         return len(self._heap)
 
     def __iter__(self):
-        return (entry for _, _, entry in sorted(self._heap, key=lambda t: t[:2]))
+        # Deadline-order traversal over a sorted view that is computed once
+        # and reused until the next push/pop (iterating a heap copy used to
+        # cost a full sort per call, on every stats read).
+        if self._sorted_view is None:
+            self._sorted_view = sorted(self._heap, key=lambda t: t[:2])
+        return (entry for _, _, entry in self._sorted_view)
 
 
 _DISCIPLINES = {"fifo": FIFOQueue, "edf": EDFQueue}

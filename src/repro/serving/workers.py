@@ -13,6 +13,7 @@ on the in-order queue, so the queue's clock running ahead of ``loop.now``
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 import numpy as np
@@ -91,10 +92,15 @@ class DeviceWorker:
 
         self.loop.schedule(
             event.time_ended,
-            lambda _loop: self.on_complete(batch, decision, event),
-            label=f"complete:{self.device_name}:{batch.model}",
+            partial(self._fire_complete, batch, decision, event),
+            label="complete",
         )
         return event
+
+    def _fire_complete(
+        self, batch: CoalescedBatch, decision: BacklogDecision, event: Event, _loop=None
+    ) -> None:
+        self.on_complete(batch, decision, event)
 
     def stats(self) -> dict:
         """Worker counters for the frontend's stats() rollup."""

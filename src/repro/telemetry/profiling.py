@@ -1,0 +1,76 @@
+"""Wall-clock profiling helpers for the serving/cluster hot paths.
+
+The perf work in this repo is gated on evidence: every optimization of the
+request path (decision caching, bulk event injection, the allocation diet)
+started from a cProfile of the cluster bench, not a guess.  This module
+packages that workflow so ``make profile-cluster`` — or any test — can
+reproduce it:
+
+    from repro.telemetry.profiling import profiled
+
+    with profiled(out="cluster.prof", top=25):
+        router.serve_trace(trace)
+
+prints the top cumulative-time functions and (optionally) dumps the raw
+stats for ``snakeviz``/``pstats`` spelunking.  Pure stdlib — no new
+dependencies.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["profiled", "profile_to_text"]
+
+
+def profile_to_text(
+    profile: cProfile.Profile, top: int = 25, sort: str = "cumulative"
+) -> str:
+    """Render a finished profile as a top-N table (one string, no I/O)."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profile, stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    return buffer.getvalue()
+
+
+@contextmanager
+def profiled(
+    out: "str | None" = None,
+    top: int = 25,
+    sort: str = "cumulative",
+    echo: bool = True,
+) -> Iterator[cProfile.Profile]:
+    """Profile the enclosed block with :mod:`cProfile`.
+
+    Parameters
+    ----------
+    out:
+        Path for the raw stats dump (``.prof``, loadable by ``pstats`` /
+        ``snakeviz``); None skips the dump.
+    top:
+        How many functions the printed table shows.
+    sort:
+        ``pstats`` sort key (default ``'cumulative'``).
+    echo:
+        Print the table on exit (set False to only collect/dump).
+
+    Yields the live :class:`cProfile.Profile` so callers can inspect it
+    after the block.
+    """
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        yield profile
+    finally:
+        profile.disable()
+        if out is not None:
+            profile.dump_stats(out)
+        if echo:
+            text = profile_to_text(profile, top=top, sort=sort)
+            if out is not None:
+                text += f"\nraw stats dumped to {out}\n"
+            print(text, end="")

@@ -167,21 +167,34 @@ class RollingLatencyWindow:
             raise ValueError(f"maxlen must be >= 1, got {maxlen}")
         self.maxlen = maxlen
         self._window: deque[float] = deque(maxlen=maxlen)
+        # Percentile queries vastly outnumber samples in a fleet (every
+        # routing probe reads p99, only completions add), so answers are
+        # memoized per quantile until the window next changes.
+        self._memo: dict[float, float] = {}
 
     def add(self, latency_s: float) -> None:
         """Record one latency sample (oldest samples roll off)."""
         if latency_s < 0.0:
             raise ValueError(f"latency must be >= 0, got {latency_s}")
         self._window.append(float(latency_s))
+        if self._memo:
+            self._memo.clear()
 
     def __len__(self) -> int:
         return len(self._window)
 
     def percentile(self, q: float) -> "float | None":
-        """q-th percentile over the window (None while empty)."""
+        """q-th percentile over the window (None while empty); memoized
+        until the next :meth:`add`."""
         if not self._window:
             return None
-        return float(np.percentile(list(self._window), q))
+        q = float(q)
+        hit = self._memo.get(q)
+        if hit is not None:
+            return hit
+        value = float(np.percentile(list(self._window), q))
+        self._memo[q] = value
+        return value
 
     @property
     def p99_s(self) -> "float | None":

@@ -1,0 +1,140 @@
+"""Fleet-level decision-cache guarantees.
+
+The per-node cache equivalence is pinned in tests/sched; here the claim is
+end-to-end: a least-ECT fleet riding out an overload must produce the
+*same simulated-time story* — per-request statuses, nodes, devices,
+latencies, tail percentiles, shed rate — with the cache on as with it
+off, while the telemetry rollup actually surfaces the hit counters.  The
+router must also tell its balancer about membership changes (the
+least-ECT priming memo is only safe because activate/drain invalidate it).
+"""
+
+import pytest
+
+from repro.cluster import ClusterRouter, NodeSpec, RoundRobinBalancer
+from repro.nn.zoo import MNIST_SMALL
+from repro.workloads.requests import make_trace
+from repro.workloads.streams import OverloadStream
+from tests.cluster.conftest import build_fleet
+
+
+@pytest.fixture(scope="module")
+def flood_trace():
+    stream = OverloadStream(
+        horizon_s=2.0,
+        slo_s=0.3,
+        normal_rate_hz=20,
+        overload_rate_hz=2000,
+        overload_start_s=0.5,
+        overload_end_s=1.0,
+        normal_batch=64,
+        overload_batch=64,
+    )
+    return make_trace(stream, [MNIST_SMALL], rng=7)
+
+
+def run_fleet(serving_predictors, trace, **fleet_kwargs):
+    router = ClusterRouter(
+        build_fleet(serving_predictors, **fleet_kwargs),
+        balancer="least-ect",
+        rng=123,
+    )
+    return router, router.serve_trace(trace)
+
+
+class TestClusterEquivalence:
+    def test_cache_changes_no_simulated_result(self, serving_predictors, flood_trace):
+        cached_router, cached = run_fleet(serving_predictors, flood_trace)
+        plain_router, plain = run_fleet(
+            serving_predictors, flood_trace, decision_cache=False
+        )
+        assert cached_router.decision_cache_stats()["hits"] > 0
+        assert plain_router.decision_cache_stats()["hits"] == 0
+
+        assert len(cached.responses) == len(plain.responses)
+        for rc, rp in zip(cached.responses, plain.responses):
+            assert rc.request.request_id == rp.request.request_id
+            assert rc.status == rp.status
+            assert rc.node_name == rp.node_name
+            assert rc.device == rp.device
+            assert rc.shed_reason == rp.shed_reason
+            if rc.served:
+                assert rc.latency_s == rp.latency_s  # exact, not approx
+
+        assert cached.shed_rate == plain.shed_rate
+        for q in (50.0, 95.0, 99.0):
+            assert cached.latency_percentile(q) == plain.latency_percentile(q)
+        assert cached.device_shares() == plain.device_shares()
+        assert cached.node_shares() == plain.node_shares()
+
+    def test_hit_rate_surfaced_in_fleet_stats(self, serving_predictors, flood_trace):
+        router, _ = run_fleet(serving_predictors, flood_trace)
+        rollup = router.stats()["decision_cache"]
+        assert rollup["enabled"]
+        assert rollup["hits"] > rollup["misses"]
+        assert rollup["hit_rate"] > 0.5
+        assert rollup["feedback_invalidations"] > 0
+        # The rollup is the sum over the nodes' own counters.
+        per_node = [n.frontend.backlog.cache_stats() for n in router.nodes]
+        assert rollup["hits"] == sum(s["hits"] for s in per_node)
+        assert rollup["misses"] == sum(s["misses"] for s in per_node)
+
+    def test_disabled_fleet_reports_disabled(self, serving_predictors):
+        router = ClusterRouter(
+            build_fleet(serving_predictors, decision_cache=False)
+        )
+        rollup = router.decision_cache_stats()
+        assert not rollup["enabled"]
+        assert rollup["hit_rate"] == 0.0
+
+
+class _RecordingBalancer(RoundRobinBalancer):
+    def __init__(self):
+        super().__init__()
+        self.invalidations = 0
+
+    def invalidate(self):
+        self.invalidations += 1
+
+
+class TestMembershipInvalidation:
+    def test_activate_and_drain_invalidate_the_balancer(self, serving_predictors):
+        specs = [
+            NodeSpec("node-a"),
+            NodeSpec("node-b"),
+            NodeSpec("node-spare", active=False),
+        ]
+        balancer = _RecordingBalancer()
+        router = ClusterRouter(
+            build_fleet(serving_predictors, node_specs=specs),
+            balancer=balancer,
+        )
+        assert balancer.invalidations == 0
+        router.activate_node("node-spare")
+        assert balancer.invalidations == 1
+        router.drain_node("node-b")
+        assert balancer.invalidations == 2
+
+    def test_least_ect_memo_survives_invalidate_correctly(self, serving_predictors):
+        """After a drain-triggered invalidate, the least-ECT memo re-primes
+        and routing still resolves (a smoke for the memo lifecycle)."""
+        router = ClusterRouter(
+            build_fleet(serving_predictors), balancer="least-ect"
+        )
+        assert router.balancer._primed == set()
+        stream = OverloadStream(
+            horizon_s=0.5, slo_s=0.3, normal_rate_hz=50,
+            overload_rate_hz=50, overload_start_s=0.1, overload_end_s=0.2,
+            normal_batch=64, overload_batch=64,
+        )
+        trace = make_trace(stream, [MNIST_SMALL], rng=3)
+        for request in trace:
+            router.submit_request(request)
+        router.run()
+        assert router.balancer._primed  # primed during routing
+        router.drain_node("node-a")
+        assert router.balancer._primed == set()  # membership change dropped it
+        router.run()
+        result = router.result()
+        assert all(r.done for r in result.responses)
+        assert len(result.served) + len(result.shed) == len(trace)

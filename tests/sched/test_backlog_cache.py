@@ -1,0 +1,171 @@
+"""Decision cache: hit accounting, equivalence, and explicit invalidation.
+
+The cache is only allowed to make ``decide`` / ``estimate_completion``
+*faster*, never *different*: every test here pins either the bit-identical
+equivalence against a ``cache_decisions=False`` twin or one of the three
+documented invalidation paths (feedback version bumps, predictor
+refit/swap generation checks, wholesale ``invalidate``).
+"""
+
+import pytest
+
+from repro.nn.zoo import MNIST_SMALL, SIMPLE
+from repro.ocl.context import Context
+from repro.ocl.platform import get_all_devices
+from repro.sched.backlog import BacklogAwareScheduler
+from repro.sched.dispatcher import Dispatcher
+from repro.sched.policies import Policy
+from repro.sched.predictor import DevicePredictor
+from repro.sched.scheduler import OnlineScheduler
+
+
+def make_backlog(predictors, **kwargs) -> BacklogAwareScheduler:
+    """A fresh backlog scheduler over fresh devices (zeroed clocks)."""
+    ctx = Context(get_all_devices())
+    dispatcher = Dispatcher(ctx)
+    for spec in (SIMPLE, MNIST_SMALL):
+        dispatcher.deploy_fresh(spec, rng=0)
+    return BacklogAwareScheduler(
+        OnlineScheduler(ctx, dispatcher, predictors), **kwargs
+    )
+
+
+class TestAccounting:
+    def test_repeated_probes_hit_after_the_first(self, trained_predictors):
+        bl = make_backlog(trained_predictors)
+        for i in range(10):
+            bl.estimate_completion(MNIST_SMALL, 64, arrival_s=i * 0.001)
+        stats = bl.cache_stats()
+        assert stats["enabled"]
+        assert stats["misses"] == 1
+        assert stats["hits"] == 9
+        assert stats["hit_rate"] == pytest.approx(0.9)
+        assert stats["entries"] == 1
+
+    def test_distinct_cells_miss_separately(self, trained_predictors):
+        bl = make_backlog(trained_predictors)
+        bl.estimate_completion(MNIST_SMALL, 64, arrival_s=0.0)
+        bl.estimate_completion(MNIST_SMALL, 128, arrival_s=0.0)
+        bl.estimate_completion(SIMPLE, 64, arrival_s=0.0)
+        stats = bl.cache_stats()
+        assert stats["misses"] == 3
+        assert stats["entries"] == 3
+
+    def test_disabled_cache_counts_nothing(self, trained_predictors):
+        bl = make_backlog(trained_predictors, cache_decisions=False)
+        for i in range(5):
+            bl.estimate_completion(MNIST_SMALL, 64, arrival_s=i * 0.001)
+        stats = bl.cache_stats()
+        assert not stats["enabled"]
+        assert stats["hits"] == stats["misses"] == stats["entries"] == 0
+        assert stats["hit_rate"] == 0.0
+
+
+class TestEquivalence:
+    def test_flood_is_bit_identical_to_uncached(self, trained_predictors):
+        """40 back-to-back arrivals (enough to force spills): every decision
+        field and every simulated event time must match the uncached twin
+        exactly — not approximately."""
+        cached = make_backlog(trained_predictors, max_rank=2)
+        plain = make_backlog(
+            trained_predictors, max_rank=2, cache_decisions=False
+        )
+        for i in range(40):
+            t = i * 0.001
+            # Admission-style probe first (as the serving path does), then
+            # the committing decide: the probe rebuilds the cell after the
+            # previous iteration's feedback, the decide hits it.
+            assert cached.estimate_completion(MNIST_SMALL, 1 << 15, t) == (
+                plain.estimate_completion(MNIST_SMALL, 1 << 15, t)
+            )
+            dc, ec = cached.submit_virtual(MNIST_SMALL, 1 << 15, arrival_s=t)
+            dp, ep = plain.submit_virtual(MNIST_SMALL, 1 << 15, arrival_s=t)
+            assert dc == dp
+            assert (ec.time_started, ec.time_ended) == (ep.time_started, ep.time_ended)
+        assert cached.n_spills == plain.n_spills
+        assert cached.cache_stats()["hits"] > 0
+
+    def test_estimates_track_uncached_across_feedback(self, trained_predictors):
+        """Interleave probes with mixed-cell feedback: cached estimates must
+        stay exactly equal to the uncached twin's at every step."""
+        cached = make_backlog(trained_predictors)
+        plain = make_backlog(trained_predictors, cache_decisions=False)
+        t = 0.0
+        for i in range(20):
+            t += 0.002
+            batch = 64 if i % 3 else 4096
+            assert cached.estimate_completion(MNIST_SMALL, batch, t) == (
+                plain.estimate_completion(MNIST_SMALL, batch, t)
+            )
+            if i % 4 == 0:
+                for bl in (cached, plain):
+                    bl.record_service(
+                        MNIST_SMALL.name, batch, "idle", "cpu",
+                        service_s=0.01 * (i + 1), now=t,
+                    )
+
+
+class TestInvalidation:
+    def test_record_service_bumps_the_touched_cell(self, trained_predictors):
+        bl = make_backlog(trained_predictors)
+        bl.estimate_completion(MNIST_SMALL, 64, arrival_s=0.0)
+        bl.estimate_completion(MNIST_SMALL, 64, arrival_s=0.001)  # hit
+        before = bl.cache_stats()
+        assert before["hits"] == 1
+
+        # Cover every eligible device so the argmin can't fall back to an
+        # unmeasured candidate's zero-service optimism.
+        for device in bl.rank_devices(MNIST_SMALL, 64, "idle")[: bl.max_rank]:
+            bl.record_service(MNIST_SMALL.name, 64, "idle", device, 0.5, now=0.002)
+        _, delay = bl.estimate_completion(MNIST_SMALL, 64, arrival_s=0.003)
+        after = bl.cache_stats()
+        assert after["feedback_invalidations"] >= 2
+        assert after["misses"] == before["misses"] + 1  # entry was rebuilt
+        assert delay >= 0.5  # and the fresh observations are visible
+
+    def test_submit_virtual_feedback_invalidates_too(self, trained_predictors):
+        bl = make_backlog(trained_predictors)
+        bl.submit_virtual(MNIST_SMALL, 64, arrival_s=0.0)
+        assert bl.cache_stats()["feedback_invalidations"] >= 1
+        # The post-observation probe rebuilds rather than reading stale.
+        bl.estimate_completion(MNIST_SMALL, 64, arrival_s=0.01)
+        assert bl.cache_stats()["misses"] >= 2
+
+    def test_refit_clears_the_cache(self, small_throughput_dataset):
+        predictor = DevicePredictor(Policy.THROUGHPUT).fit(small_throughput_dataset)
+        assert predictor.fit_generation == 1
+        bl = make_backlog({Policy.THROUGHPUT: predictor})
+        bl.estimate_completion(MNIST_SMALL, 64, arrival_s=0.0)
+        bl.estimate_completion(MNIST_SMALL, 64, arrival_s=0.001)  # hit
+        assert bl.cache_stats()["hits"] == 1
+
+        predictor.fit(small_throughput_dataset)
+        assert predictor.fit_generation == 2
+        bl.estimate_completion(MNIST_SMALL, 64, arrival_s=0.002)
+        stats = bl.cache_stats()
+        assert stats["refit_clears"] >= 1
+        assert stats["misses"] == 2  # rebuilt against the new fit
+
+    def test_predictor_swap_clears_the_cache(
+        self, trained_predictors, small_throughput_dataset
+    ):
+        bl = make_backlog(dict(trained_predictors))
+        bl.estimate_completion(MNIST_SMALL, 64, arrival_s=0.0)
+        bl.scheduler.predictors[Policy.THROUGHPUT] = DevicePredictor(
+            Policy.THROUGHPUT
+        ).fit(small_throughput_dataset)
+        bl.estimate_completion(MNIST_SMALL, 64, arrival_s=0.001)
+        stats = bl.cache_stats()
+        assert stats["refit_clears"] >= 1
+        assert stats["misses"] == 2
+
+    def test_explicit_invalidate_drops_entries(self, trained_predictors):
+        bl = make_backlog(trained_predictors)
+        bl.estimate_completion(MNIST_SMALL, 64, arrival_s=0.0)
+        assert bl.cache_stats()["entries"] == 1
+        bl.invalidate()
+        stats = bl.cache_stats()
+        assert stats["entries"] == 0
+        assert stats["refit_clears"] >= 1
+        bl.estimate_completion(MNIST_SMALL, 64, arrival_s=0.001)
+        assert bl.cache_stats()["misses"] == 2

@@ -77,6 +77,67 @@ class TestEDF:
         assert len(q) == 2  # iteration does not consume
 
 
+class TestCounters:
+    """The O(1) load counters must track brute-force recomputation across
+    arbitrary push/pop interleavings (they feed ``NodeStats`` and every
+    balancing policy, so drift here silently skews routing)."""
+
+    @pytest.mark.parametrize("cls", [FIFOQueue, EDFQueue])
+    def test_track_brute_force_under_interleaving(self, cls):
+        q = cls("m")
+        arrivals = [0.3, 0.1, 0.1, 0.7, 0.0, 0.5, 0.2, 0.1]
+        seq = 0
+
+        def check():
+            live = list(q)
+            assert q.total_samples == sum(e.batch for e in live)
+            if live:
+                assert q.oldest_enqueued_s() == min(e.enqueued_s for e in live)
+            else:
+                assert q.oldest_enqueued_s() is None
+
+        for i, arrival in enumerate(arrivals):
+            q.push(entry(seq, arrival=arrival, batch=seq + 1,
+                         deadline=10.0 - seq))
+            seq += 1
+            if i % 3 == 2:     # pop mid-stream: EDF removes from the middle
+                q.pop()        # of the arrival heap, not its head
+            check()
+        while len(q):
+            q.pop()
+            check()
+
+    def test_oldest_is_robust_to_duplicate_keys(self):
+        # A drained-and-readopted entry can re-enter a queue carrying the
+        # same (enqueued_s, seq) key it was popped under; the lazy-deletion
+        # bookkeeping must not evict the live duplicate.
+        q = FIFOQueue("m")
+        e = entry(0, arrival=1.0)
+        q.push(e)
+        q.push(entry(1, arrival=2.0))
+        q.pop()                      # removes (1.0, 0) lazily
+        q.push(e)                    # same key re-enters live
+        assert q.oldest_enqueued_s() == 1.0
+        assert q.total_samples == 16
+        q.pop()                      # pops seq 1 (FIFO order)
+        assert q.oldest_enqueued_s() == 1.0
+        q.pop()
+        assert q.oldest_enqueued_s() is None
+        assert q.total_samples == 0
+
+    def test_edf_iteration_view_invalidates_on_mutation(self):
+        q = EDFQueue("m")
+        q.push(entry(0, deadline=2.0))
+        q.push(entry(1, deadline=1.0))
+        assert [e.seq for e in q] == [1, 0]
+        assert [e.seq for e in q] == [1, 0]  # repeat: served from the memo
+        q.push(entry(2, deadline=0.5))       # mutation drops the memo
+        assert [e.seq for e in q] == [2, 1, 0]
+        q.pop()
+        assert [e.seq for e in q] == [1, 0]
+        assert [q.pop().seq for _ in range(2)] == [1, 0]  # iter didn't consume
+
+
 class TestEntry:
     def test_slack(self):
         e = entry(0, arrival=1.0, deadline=2.5)
