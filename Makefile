@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full bench-wallclock profile-cluster repro examples serve-demo cluster-demo lint-clean
+.PHONY: install test bench bench-full bench-wallclock profile-cluster repro examples serve-demo cluster-demo chaos-demo lint-clean
 
 install:
 	pip install -e .
@@ -44,3 +44,8 @@ serve-demo:
 # Cluster layer demo: fleet balancing policies, graceful drain, autoscaling.
 cluster-demo:
 	$(PY) examples/cluster_serving.py
+
+# Chaos demo: seeded crash/dropout campaign with built-in exactly-once,
+# breaker-walk and determinism assertions (CI runs it with --tiny).
+chaos-demo:
+	$(PY) examples/chaos_cluster.py

@@ -1,0 +1,177 @@
+"""Chaos engineering on the fleet: crashes, dropouts, breakers, retries.
+
+Runs the cluster through a seeded fault campaign while a request flood is
+in flight: node-a crashes mid-flood and comes back, node-b loses its
+discrete GPU for a stretch, node-c runs thermally throttled.  Heartbeats
+detect the crash, the circuit breaker walks OPEN -> HALF_OPEN -> CLOSED
+as the node recovers, queued work is re-adopted exactly once, and the
+degraded node keeps serving off its remaining devices via the live
+device mask.
+
+The script *asserts* the resilience layer's promises — exactly-once
+accounting, a full breaker walk, crash detection, and a deterministic
+replay — so it doubles as the CI chaos smoke test.
+
+Run:  python examples/chaos_cluster.py [--tiny]   (or: make chaos-demo)
+"""
+
+import argparse
+
+from repro.cluster import ClusterRouter, NodeSpec, NodeState, make_fleet
+from repro.experiments.report import fmt_pct, render_table
+from repro.faults import FaultInjector, ResilienceConfig
+from repro.nn.zoo import MNIST_SMALL, SIMPLE
+from repro.sched.dataset import generate_dataset
+from repro.sched.policies import Policy
+from repro.sched.predictor import DevicePredictor
+from repro.serving import SLOConfig
+from repro.workloads.requests import make_trace
+from repro.workloads.streams import OverloadStream
+
+SPECS = {s.name: s for s in (SIMPLE, MNIST_SMALL)}
+
+SLO = SLOConfig(
+    deadline_s=0.3, max_queue_depth=64, max_batch=4096, max_wait_s=0.005
+)
+
+FLEET = (
+    NodeSpec("node-a"),
+    NodeSpec("node-b"),
+    NodeSpec("node-c", device_classes=("cpu",)),
+    NodeSpec("node-d", device_classes=("cpu",)),
+)
+
+
+def train_predictors(tiny: bool):
+    print("training the placement predictor once, fleet-wide...")
+    batches = (1, 64, 1024) if tiny else (1, 64, 1024, 16384, 262144)
+    return {
+        Policy.THROUGHPUT: DevicePredictor("throughput").fit(
+            generate_dataset(
+                "throughput", specs=list(SPECS.values()), batches=batches
+            )
+        )
+    }
+
+
+def flood_trace(tiny: bool):
+    stream = OverloadStream(
+        horizon_s=1.5 if tiny else 3.0,
+        slo_s=0.3,
+        normal_rate_hz=50,
+        overload_rate_hz=800 if tiny else 6000,
+        overload_start_s=0.4 if tiny else 1.0,
+        overload_end_s=1.0 if tiny else 2.0,
+        normal_batch=64,
+        overload_batch=64,
+    )
+    return make_trace(stream, [MNIST_SMALL], rng=7)
+
+
+def run_campaign(predictors, trace, tiny: bool):
+    """One seeded chaos run; returns (router, result, stats)."""
+    fleet = make_fleet(list(FLEET), predictors, SPECS, default_slo=SLO)
+    router = ClusterRouter(
+        fleet, balancer="join-shortest-queue",
+        resilience=ResilienceConfig(seed=11),
+    )
+    mid = 0.5 if tiny else 1.2
+    injector = FaultInjector(router)
+    injector.crash_node(mid, "node-a")                       # hard crash
+    injector.recover_node(mid + 0.4, "node-a")
+    injector.drop_device(mid + 0.1, "node-b", "dgpu")        # dGPU falls out
+    injector.restore_device(mid + 0.9, "node-b", "dgpu")
+    injector.throttle_device(mid, "node-c", "cpu", 2.0, duration_s=0.5)
+
+    for request in trace:
+        router.submit_request(request)
+    router.schedule_health(
+        trace.horizon_s + router.resilience.heartbeat_tail_s
+    )
+    router.run()
+    return router, injector, router.result(), router.stats()
+
+
+def report(injector, result, stats, trace) -> None:
+    res = stats["resilience"]
+    print("fault campaign (all instants in virtual seconds):")
+    for fault in injector.log:
+        print(f"  t={fault.t_s:5.2f}s  {fault.kind:<13} {fault.node}  {fault.detail}")
+    print()
+
+    rows = [
+        ("requests", f"{len(trace)}"),
+        ("served / shed", f"{len(result.served)} / {len(result.shed)}"),
+        ("p99 latency", f"{result.latency_percentile(99.0) * 1e3:.1f} ms"),
+        ("crashes detected", f"{res['n_crashes_detected']}"),
+        ("work re-adopted", f"{res['n_redelivered']}"),
+        ("retries", f"{res['n_retries']}"),
+        ("timeouts", f"{res['n_timeouts']}"),
+        (
+            "breaker walk",
+            f"{res['n_breaker_opens']} open / "
+            f"{res['n_breaker_half_opens']} half-open / "
+            f"{res['n_breaker_closes']} close",
+        ),
+        ("availability", fmt_pct(res["availability"])),
+        ("goodput", fmt_pct(res["goodput"])),
+    ]
+    print(render_table(("metric", "value"), rows, title="chaos run"))
+    print(
+        "node-a's breaker:",
+        ", ".join(
+            f"{k}={v}" for k, v in res["breakers"]["node-a"].items()
+        ),
+    )
+    print()
+
+
+def verify(router, result, stats, trace) -> None:
+    """The promises this layer makes — violated means a real bug."""
+    res = stats["resilience"]
+    n = len(trace)
+    accounted = len(result.served) + len(result.shed)
+    assert accounted == n, f"exactly-once broken: {accounted}/{n} accounted"
+    assert all(r.done for r in result.responses), "requests lost in limbo"
+    served_ids = [r.request.request_id for r in result.served]
+    assert len(served_ids) == len(set(served_ids)), "duplicated execution"
+    assert res["n_crashes_detected"] >= 1, "heartbeat never saw the crash"
+    assert res["n_breaker_opens"] >= 1, "breaker never tripped"
+    assert res["n_breaker_half_opens"] >= 1, "breaker never probed"
+    assert res["n_breaker_closes"] >= 1, "node-a never readmitted"
+    assert router.node("node-a").state is NodeState.ACTIVE
+    assert 0.0 < res["availability"] < 1.0
+    print(
+        f"verified: {accounted}/{n} accounted exactly once, breaker walked "
+        "open -> half-open -> closed, node-a back in rotation"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny", action="store_true",
+        help="small trace / short horizon for CI smoke runs",
+    )
+    args = parser.parse_args()
+
+    predictors = train_predictors(args.tiny)
+    trace = flood_trace(args.tiny)
+    print(f"trace: {len(trace)} requests, {trace.total_samples} samples\n")
+
+    router, injector, result, stats = run_campaign(predictors, trace, args.tiny)
+    report(injector, result, stats, trace)
+    verify(router, result, stats, trace)
+
+    # Replay with the same seeds: the whole campaign must reproduce.
+    _, _, result2, stats2 = run_campaign(predictors, trace, args.tiny)
+    key = lambda r, s: (
+        len(r.served), len(r.shed),
+        s["resilience"]["availability"], s["resilience"]["goodput"],
+    )
+    assert key(result, stats) == key(result2, stats2), "chaos run not deterministic"
+    print("verified: identical seeds replay to identical stats")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,10 @@ Cluster layer (fleet simulation, load balancing, autoscaling)::
 
     from repro.cluster import ClusterRouter, NodeSpec, make_fleet, Autoscaler
 
+Fault injection and resilience (chaos campaigns, breakers, retries)::
+
+    from repro.faults import FaultInjector, ResilienceConfig
+
 Experiment harnesses (regenerate every table and figure)::
 
     from repro.experiments import get_experiment, list_experiments
@@ -41,6 +45,7 @@ paper-vs-measured results.
 from repro._version import __version__
 from repro.cluster import Autoscaler, ClusterRouter, NodeSpec, make_fleet
 from repro.errors import ReproError
+from repro.faults import FaultInjector, ResilienceConfig
 from repro.nn import PAPER_MODELS, build_model, model_cost
 from repro.ocl import CommandQueue, Context, Program, get_platforms
 from repro.sched import (
@@ -81,4 +86,6 @@ __all__ = [
     "NodeSpec",
     "make_fleet",
     "Autoscaler",
+    "FaultInjector",
+    "ResilienceConfig",
 ]

@@ -93,6 +93,7 @@ class Autoscaler:
         self.config = config if config is not None else AutoscalerConfig()
         self.n_scale_ups = 0
         self.n_scale_downs = 0
+        self.n_replacements = 0   # floor pulls while a node was DOWN
         self._last_action_s: "float | None" = None
 
     # -- scheduling --------------------------------------------------------
@@ -146,16 +147,22 @@ class Autoscaler:
         now = router.loop.now
 
         active = router.active_nodes
-        if not active:
-            # Never let the serving set die: pull a standby in regardless
-            # of cooldown (draining nodes will land and join the pool).
+        if len(active) < cfg.min_nodes:
+            # Never let the serving set fall below its floor: pull a
+            # standby in regardless of cooldown (draining nodes will land
+            # and join the pool).  Crashed nodes leave the active set the
+            # same way — a DOWN node holds no capacity, so its loss opens
+            # a deficit here and a healthy standby replaces it.
             standby = router.standby_nodes
             if standby:
                 router.activate_node(standby[0].name)
                 self.n_scale_ups += 1
+                if router.down_nodes:
+                    self.n_replacements += 1
                 self._last_action_s = now
                 return "up"
-            return None
+            if not active:
+                return None
 
         depth = self.mean_depth()
         overloaded = depth > cfg.high_depth or self._p99_breached()

@@ -43,6 +43,7 @@ class NodeState(enum.Enum):
     ACTIVE = "active"
     DRAINING = "draining"
     STANDBY = "standby"
+    DOWN = "down"          # crash detected; waiting on recovery + probe
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
@@ -103,6 +104,11 @@ class ClusterNode:
                 for d in frontend.backlog.scheduler.context.devices
             )
         )
+        # Fault bookkeeping: monotone crash counter (the health monitor
+        # detects crashes by comparing it against what it last handled)
+        # and the membership state to restore once a probe passes.
+        self.crash_count = 0
+        self._pre_crash_state: "NodeState | None" = None
 
     # -- state -------------------------------------------------------------
 
@@ -128,12 +134,76 @@ class ClusterNode:
 
     def activate(self) -> None:
         """Join (or re-join) the serving set."""
+        if self.state is NodeState.DOWN:
+            raise SchedulerError(
+                f"node {self.name!r} is down; it must recover and pass a "
+                "health probe before rejoining"
+            )
         if self.state is NodeState.DRAINING and self.outstanding:
             raise SchedulerError(
                 f"node {self.name!r} is still draining "
                 f"({self.outstanding} outstanding)"
             )
         self.state = NodeState.ACTIVE
+
+    # -- fault lifecycle ---------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the node's serving process is currently dead."""
+        return self.frontend.crashed
+
+    def crash(self) -> None:
+        """Fail-stop the node's process, silently.
+
+        Membership state is *not* touched: the router keeps believing the
+        node is up (and keeps routing to it — arrivals fall into the
+        frontend's lost limbo) until a heartbeat notices ``crash_count``
+        moved and flips it DOWN.  That gap is the failure model: real
+        crashes are detected, never announced.
+        """
+        if self.frontend.crashed:
+            raise SchedulerError(f"node {self.name!r} is already crashed")
+        self.crash_count += 1
+        if self.state is not NodeState.DOWN:
+            self._pre_crash_state = self.state
+        self.frontend.crash()
+
+    def recover(self) -> None:
+        """Restart the node's process (queues empty, limbo preserved).
+
+        The node does not rejoin the serving set here — its breaker's
+        half-open probe (see ``ClusterRouter.health_check``) readmits it.
+        """
+        self.frontend.restart()
+
+    def mark_down(self) -> None:
+        """Record crash detection: leave the serving set (idempotent)."""
+        self.state = NodeState.DOWN
+
+    def revive(self) -> NodeState:
+        """Rejoin after a passed probe; returns the restored state.
+
+        A node that was ACTIVE when it crashed returns to ACTIVE; anything
+        else (standby, draining — its drain work died with it) parks in
+        STANDBY for the autoscaler to reuse.
+        """
+        if self.state is not NodeState.DOWN:
+            raise SchedulerError(
+                f"cannot revive node {self.name!r} in state {self.state}"
+            )
+        if self.frontend.crashed:
+            raise SchedulerError(
+                f"cannot revive node {self.name!r}: its process is still down"
+            )
+        restored = (
+            NodeState.ACTIVE
+            if self._pre_crash_state is NodeState.ACTIVE
+            else NodeState.STANDBY
+        )
+        self.state = restored
+        self._pre_crash_state = None
+        return restored
 
     def start_drain(self) -> "list[QueueEntry]":
         """Leave the serving set gracefully.

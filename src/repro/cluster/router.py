@@ -16,11 +16,19 @@ makes drains exactly-once:
   node;
 * if no active node remains, the request resolves as shed
   (``no_active_node``) — resolved, never lost, never duplicated.
+
+Built with a :class:`~repro.faults.config.ResilienceConfig`, the router
+also arms the defensive stack (see ``docs/resilience.md``): per-node
+circuit breakers the balancer respects, heartbeat crash detection with
+exactly-once re-adoption of orphaned work, per-request rescue timeouts,
+and deadline-respecting retries with seeded backoff jitter.  Without one
+(the default) none of that machinery exists — no breakers, no extra
+events, no random draws — so fault-free results stay digit-identical.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from functools import partial
 
 import numpy as np
@@ -28,6 +36,9 @@ import numpy as np
 from repro.errors import SchedulerError
 from repro.cluster.balancers import LoadBalancer, make_balancer
 from repro.cluster.node import ClusterNode, NodeState
+from repro.faults.breaker import BreakerState, CircuitBreaker
+from repro.faults.config import ResilienceConfig
+from repro.rng import ensure_rng
 from repro.serving.frontend import ServingResponse
 from repro.serving.queues import QueueEntry
 from repro.telemetry.fleet import FleetTelemetry
@@ -42,7 +53,8 @@ class ClusterEvent:
 
     t_s: float
     kind: str        # 'scale_up' | 'drain_start' | 'drain_complete' |
-                     # 'reroute' | 'route_failed'
+                     # 'reroute' | 'route_failed' | 'node_down' | 'node_up' |
+                     # 'breaker' | 'redeliver' | 'timeout' | 'shed'
     node: str
     detail: str = ""
 
@@ -198,6 +210,10 @@ class ClusterRouter:
         :data:`repro.cluster.balancers.BALANCERS`) or an instance.
     rng:
         Seed for randomized policies when ``balancer`` is a name.
+    resilience:
+        Opt into the fault-tolerance stack (breakers, heartbeats,
+        timeouts, retries).  None — the default — arms nothing: the
+        router behaves exactly as before the resilience layer existed.
     """
 
     def __init__(
@@ -205,6 +221,7 @@ class ClusterRouter:
         nodes: "list[ClusterNode]",
         balancer: "LoadBalancer | str" = "round-robin",
         rng: "int | np.random.Generator | None" = None,
+        resilience: "ResilienceConfig | None" = None,
     ):
         if not nodes:
             raise SchedulerError("a cluster router needs at least one node")
@@ -243,6 +260,25 @@ class ClusterRouter:
         self._by_id: "dict[int, ClusterResponse]" = {}
         self._seq = 0
 
+        # -- resilience (armed only when a config is given) -----------------
+        self.resilience = resilience
+        self._breakers: "dict[str, CircuitBreaker]" = {}
+        self._crashes_handled: "dict[str, int]" = {}
+        self._retry_rng: "np.random.Generator | None" = None
+        if resilience is not None:
+            self._retry_rng = ensure_rng(resilience.seed)
+            for node in self.nodes:
+                self._breakers[node.name] = CircuitBreaker(
+                    failure_threshold=resilience.failure_threshold,
+                    cooldown_s=resilience.breaker_cooldown_s,
+                    max_cooldown_s=resilience.breaker_max_cooldown_s,
+                    on_transition=partial(self._on_breaker_transition, node.name),
+                )
+                self._crashes_handled[node.name] = node.crash_count
+                node.frontend.on_request_failed = partial(
+                    self._on_node_failure, node
+                )
+
     # -- fleet views -------------------------------------------------------
 
     @property
@@ -256,6 +292,22 @@ class ClusterRouter:
     @property
     def draining_nodes(self) -> "list[ClusterNode]":
         return [n for n in self.nodes if n.state is NodeState.DRAINING]
+
+    @property
+    def down_nodes(self) -> "list[ClusterNode]":
+        return [n for n in self.nodes if n.state is NodeState.DOWN]
+
+    def routable_nodes(self) -> "list[ClusterNode]":
+        """Active nodes the balancer may target right now.
+
+        Without resilience this is exactly :attr:`active_nodes`; with it,
+        nodes whose breaker is not CLOSED are skipped (HALF_OPEN takes
+        probes, not traffic).
+        """
+        active = self.active_nodes
+        if self.resilience is None:
+            return active
+        return [n for n in active if self._breakers[n.name].allows_traffic]
 
     def node(self, name: str) -> ClusterNode:
         for n in self.nodes:
@@ -333,7 +385,7 @@ class ClusterRouter:
     def _route(
         self, response: ClusterResponse, x: "np.ndarray | None", _loop=None
     ) -> None:
-        active = self.active_nodes
+        active = self.routable_nodes()
         if not active:
             response.mark_shed("no_active_node")
             self._log("route_failed", "-", f"request {response.request.request_id}")
@@ -342,6 +394,7 @@ class ClusterRouter:
         node = self.balancer.choose(active, response.request, spec, self.loop.now)
         inner = node.frontend.submit_request(response.request, x)
         response.bind(node.name, inner)
+        self._arm_timeout(response)
 
     # -- membership (used by the autoscaler, or directly) ------------------
 
@@ -377,7 +430,7 @@ class ClusterRouter:
                 f"drained request {entry.request.request_id} was never "
                 "routed through this router"
             )
-        active = self.active_nodes
+        active = self.routable_nodes()
         if not active:
             response.mark_shed("no_active_node")
             self._log(
@@ -389,6 +442,7 @@ class ClusterRouter:
         node = self.balancer.choose(active, entry.request, spec, self.loop.now)
         inner = node.frontend.adopt(entry)
         response.bind(node.name, inner)
+        self._arm_timeout(response)
         self.n_rerouted += 1
         self._log(
             "reroute", node.name, f"request {entry.request.request_id}"
@@ -402,6 +456,210 @@ class ClusterRouter:
                 self._log("drain_complete", node.name)
                 done += 1
         return done
+
+    # -- resilience: timeouts and retries ----------------------------------
+
+    def _arm_timeout(self, response: ClusterResponse) -> None:
+        """Watch one freshly-bound request for a rescue timeout.
+
+        The firing is stamped with the binding generation (``n_routes``),
+        so a timeout armed for an earlier node is a dead letter once the
+        request moves on.  No-op without a resilience config.
+        """
+        cfg = self.resilience
+        if cfg is None or cfg.timeout_s is None:
+            return
+        self.loop.schedule(
+            self.loop.now + cfg.timeout_s,
+            partial(self._on_timeout, response, response.n_routes),
+            label="timeout",
+        )
+
+    def _on_timeout(
+        self, response: ClusterResponse, routes: int, _loop=None
+    ) -> None:
+        if response.done or response.n_routes != routes:
+            return  # resolved, or rebound since arming — stale firing
+        node = self.node(response.node_name)
+        entry = node.frontend.cancel_queued(response.request.request_id)
+        if entry is None:
+            # In flight: it will complete (cancelling a launched batch
+            # would risk running twice), so just keep watching.
+            self._arm_timeout(response)
+            return
+        self.telemetry.resilience.n_timeouts += 1
+        self._log("timeout", node.name, f"request {response.request.request_id}")
+        self._retry_or_shed(entry, response, "timeout")
+
+    def _retry_or_shed(
+        self, entry: QueueEntry, response: ClusterResponse, reason: str
+    ) -> None:
+        """Decide a rescued request's fate: deadline first, then budget.
+
+        The caller must own ``entry`` exclusively (physically removed from
+        wherever it lived) — this either schedules a backoff redelivery or
+        resolves the response as shed, exactly one of the two.
+        """
+        cfg = self.resilience
+        now = self.loop.now
+        rid = response.request.request_id
+        deadline = response.request.deadline_s
+        if deadline is not None and now >= deadline:
+            response.mark_shed("deadline_exceeded")
+            self.telemetry.resilience.n_shed_deadline += 1
+            self._log("shed", "-", f"request {rid} past deadline ({reason})")
+            return
+        if not cfg.retry.allows_retry(response.n_routes):
+            response.mark_shed("retry_budget_exhausted")
+            self.telemetry.resilience.n_shed_retry_budget += 1
+            self._log("shed", "-", f"request {rid} out of attempts ({reason})")
+            return
+        delay = cfg.retry.backoff_s(response.n_routes, self._retry_rng)
+        self.telemetry.resilience.n_retries += 1
+        self.loop.schedule(
+            now + delay, partial(self._redeliver, entry, response), label="retry"
+        )
+
+    def _redeliver(
+        self, entry: QueueEntry, response: ClusterResponse, _loop=None
+    ) -> None:
+        """Hand a router-held entry to a routable node (retry / re-adopt)."""
+        if response.done:
+            return
+        now = self.loop.now
+        rid = entry.request.request_id
+        deadline = response.request.deadline_s
+        if deadline is not None and now >= deadline:
+            response.mark_shed("deadline_exceeded")
+            self.telemetry.resilience.n_shed_deadline += 1
+            self._log("shed", "-", f"request {rid} past deadline (backoff)")
+            return
+        active = self.routable_nodes()
+        if not active:
+            response.mark_shed("no_active_node")
+            self._log("route_failed", "-", f"request {rid} (retry, no target)")
+            return
+        spec = self.specs[entry.request.model]
+        node = self.balancer.choose(active, entry.request, spec, now)
+        inner = node.frontend.adopt(entry)
+        response.bind(node.name, inner)
+        self.telemetry.resilience.n_redelivered += 1
+        self._log("redeliver", node.name, f"request {rid}")
+        self._arm_timeout(response)
+
+    def _on_node_failure(
+        self,
+        node: ClusterNode,
+        entry: QueueEntry,
+        inner: ServingResponse,
+        reason: str,
+    ) -> bool:
+        """Frontend hook: one request's launch failed transiently.
+
+        Returns True to take ownership (the frontend then leaves the
+        response pending for the router to retry or shed); False hands it
+        back for a local node-level shed — e.g. a request that was never
+        routed through this router.
+        """
+        response = self._by_id.get(entry.request.request_id)
+        if response is None or response.inner is not inner:
+            return False
+        self.telemetry.resilience.n_failures += 1
+        self._breakers[node.name].record_failure(self.loop.now)
+        self._retry_or_shed(entry, response, "inference_error")
+        return True
+
+    # -- resilience: health checks -----------------------------------------
+
+    def health_check(self) -> None:
+        """One heartbeat sweep over the fleet (no-op without resilience).
+
+        Detects crashes (the monotone ``crash_count`` moved) — tripping
+        the breaker, marking the node DOWN and re-adopting its orphaned
+        work exactly once — then walks every breaker: cooled-down OPEN
+        breakers offer a HALF_OPEN probe, and the probe's verdict either
+        re-closes the breaker (reviving a DOWN node into the serving set)
+        or re-opens it with a doubled cooldown.
+        """
+        if self.resilience is None:
+            return
+        now = self.loop.now
+        for node in self.nodes:
+            if node.crash_count > self._crashes_handled[node.name]:
+                self._handle_crash(node)
+        for node in self.nodes:
+            breaker = self._breakers[node.name]
+            breaker.maybe_half_open(now)
+            if breaker.state is not BreakerState.HALF_OPEN:
+                continue
+            if node.crashed:
+                breaker.record_failure(now)   # probe failed: back off harder
+                continue
+            breaker.record_success(now)
+            if node.state is NodeState.DOWN:
+                restored = node.revive()
+                self.telemetry.mark_node_up(node.name, now)
+                if restored is NodeState.ACTIVE:
+                    self.balancer.invalidate()
+                self._log("node_up", node.name, f"restored {restored.value}")
+
+    def _handle_crash(self, node: ClusterNode) -> None:
+        now = self.loop.now
+        self._crashes_handled[node.name] = node.crash_count
+        self.telemetry.resilience.n_crashes_detected += 1
+        self._breakers[node.name].trip(now)
+        if node.state is not NodeState.DOWN:
+            self.telemetry.mark_node_down(node.name, now)
+        node.mark_down()
+        self.balancer.invalidate()
+        lost = node.frontend.collect_lost()
+        self._log("node_down", node.name, f"{len(lost)} orphaned")
+        # Orphans are redelivered immediately — their time already burned
+        # on the dead node — subject to the same deadline-first rule.
+        for entry in lost:
+            response = self._by_id.get(entry.request.request_id)
+            if response is None or response.done:
+                continue
+            self._redeliver(entry, response)
+
+    def _on_breaker_transition(
+        self, name: str, now: float, old: BreakerState, new: BreakerState
+    ) -> None:
+        counters = self.telemetry.resilience
+        if new is BreakerState.OPEN:
+            counters.n_breaker_opens += 1
+        elif new is BreakerState.HALF_OPEN:
+            counters.n_breaker_half_opens += 1
+        else:
+            counters.n_breaker_closes += 1
+        self._log("breaker", name, f"{old.value} -> {new.value}")
+
+    def schedule_health(self, until: float):
+        """Heartbeat every ``heartbeat_every_s`` through ``until``."""
+        if self.resilience is None:
+            raise SchedulerError("router was built without a ResilienceConfig")
+        return self.loop.schedule_repeating(
+            self.resilience.heartbeat_every_s,
+            lambda _loop: self.health_check(),
+            until=until,
+            label="heartbeat",
+        )
+
+    def goodput(self) -> float:
+        """Fraction of resolved requests that were served within their SLO.
+
+        Counted over the router's own ledger, so router-level sheds
+        (deadline passed, retry budget exhausted, no active node) weigh
+        against it alongside node-level sheds and late completions.
+        1.0 before anything resolves.
+        """
+        resolved = [r for r in self._responses if r.done]
+        if not resolved:
+            return 1.0
+        good = sum(
+            1 for r in resolved if r.served and r.deadline_met is not False
+        )
+        return good / len(resolved)
 
     # -- driving -----------------------------------------------------------
 
@@ -417,12 +675,20 @@ class ClusterRouter:
         Trace arrivals are ledgered first and injected through the event
         loop's bulk fast path — one heapify over the (typically pre-sorted)
         arrival array instead of one ``heappush`` per request.
+
+        With a resilience config, heartbeats are scheduled automatically
+        through ``heartbeat_tail_s`` past the last arrival, so crashes
+        during (or just after) the trace are detected without the caller
+        wiring a :class:`~repro.faults.health.HealthMonitor` by hand.
         """
         items = [
             (request.arrival_s, partial(self._route, self._register(request), None))
             for request in trace
         ]
         self.loop.schedule_bulk(items, label="route")
+        if self.resilience is not None and items:
+            last_arrival = max(t for t, _ in items)
+            self.schedule_health(last_arrival + self.resilience.heartbeat_tail_s)
         self.run()
         return self.result()
 
@@ -467,7 +733,7 @@ class ClusterRouter:
 
     def stats(self) -> dict:
         """Fleet snapshot: telemetry rollup plus per-node load/state."""
-        return {
+        out = {
             **self.telemetry.snapshot(),
             "balancer": self.balancer.name,
             "decision_cache": self.decision_cache_stats(),
@@ -481,3 +747,13 @@ class ClusterRouter:
                 )
             },
         }
+        if self.resilience is not None:
+            out["resilience"] = {
+                **asdict(self.telemetry.resilience),
+                "availability": self.telemetry.availability(self.loop.now),
+                "goodput": self.goodput(),
+                "breakers": {
+                    n.name: self._breakers[n.name].stats() for n in self.nodes
+                },
+            }
+        return out

@@ -1,0 +1,45 @@
+"""Heartbeat driver: periodic health checks on the fleet's shared clock.
+
+The :class:`HealthMonitor` is a thin periodic actor in the mold of the
+autoscaler — it owns no health logic itself, it just fires the router's
+:meth:`~repro.cluster.router.ClusterRouter.health_check` every heartbeat.
+That sweep is where crashes are detected (and their orphaned work
+re-adopted), breakers walk open -> half-open, and half-open probes decide
+whether a recovered node rejoins the serving set.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import ScheduledEvent
+
+__all__ = ["HealthMonitor"]
+
+
+class HealthMonitor:
+    """Schedules a router's heartbeat sweeps over a time horizon."""
+
+    def __init__(self, router):
+        if getattr(router, "resilience", None) is None:
+            raise ValueError(
+                "HealthMonitor needs a router built with a ResilienceConfig"
+            )
+        self.router = router
+        self.n_ticks = 0
+
+    def tick(self) -> None:
+        """One heartbeat sweep, immediately."""
+        self.n_ticks += 1
+        self.router.health_check()
+
+    def schedule(self, until: float) -> "ScheduledEvent | None":
+        """Heartbeat every ``heartbeat_every_s`` through ``until``.
+
+        Ticks stop past the horizon so the event loop can drain; schedule
+        again (e.g. per trace) to keep monitoring across phases.
+        """
+        return self.router.loop.schedule_repeating(
+            self.router.resilience.heartbeat_every_s,
+            lambda _loop: self.tick(),
+            until=until,
+            label="heartbeat",
+        )

@@ -1,0 +1,202 @@
+"""The chaos engine: scripted, seeded fault campaigns on the event loop.
+
+A :class:`FaultInjector` rides the same :class:`~repro.sim.engine.EventLoop`
+as the traffic it disturbs, so fault timing interleaves deterministically
+with arrivals, flushes and completions — rerun the same script against
+the same trace and every crash lands between the same two requests.
+
+Faults are scheduled ahead of time (``crash_node(t, name)``), mirroring
+how chaos tools inject from a plan, and act through the public surfaces
+the resilience layer defends: :meth:`~repro.cluster.node.ClusterNode.crash`
+/ :meth:`~repro.cluster.node.ClusterNode.recover`, the serving frontend's
+device drop/restore and throttle hooks, and windowed
+:class:`~repro.faults.profile.ErrorProfile` draws for transient
+per-request errors.  :meth:`random_campaign` builds a seeded stochastic
+crash/recover schedule for property-style soak tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.profile import ErrorProfile
+from repro.rng import ensure_rng
+
+__all__ = ["InjectedFault", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault that fired, for the campaign log."""
+
+    t_s: float
+    kind: str       # 'crash' | 'recover' | 'device_drop' | 'device_restore'
+                    # | 'throttle' | 'throttle_end' | 'error_window'
+    node: str
+    detail: str = ""
+
+
+class FaultInjector:
+    """Schedules faults against a cluster router's fleet."""
+
+    def __init__(self, router):
+        self.router = router
+        self.loop = router.loop
+        self.log: "list[InjectedFault]" = []
+        self.n_scheduled = 0
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _fire(self, kind: str, node: str, detail: str, action) -> None:
+        action()
+        self.log.append(InjectedFault(self.loop.now, kind, node, detail))
+        counters = getattr(self.router.telemetry, "resilience", None)
+        if counters is not None:
+            counters.n_faults_injected += 1
+
+    def _at(self, t: float, kind: str, node: str, detail: str, action) -> None:
+        self.n_scheduled += 1
+        self.loop.schedule(
+            t,
+            lambda _loop: self._fire(kind, node, detail, action),
+            label=f"fault:{kind}",
+        )
+
+    # -- node faults -------------------------------------------------------
+
+    def crash_node(self, t: float, name: str) -> None:
+        """Fail-stop ``name`` at virtual time ``t`` (silently: the router
+        only learns at its next heartbeat)."""
+        node = self.router.node(name)
+        self._at(t, "crash", name, "", node.crash)
+
+    def recover_node(self, t: float, name: str) -> None:
+        """Restart ``name``'s process at ``t``.
+
+        The node does *not* rejoin the serving set here — its breaker must
+        walk open -> half-open and pass a health probe first.
+        """
+        node = self.router.node(name)
+        self._at(t, "recover", name, "", node.recover)
+
+    # -- device faults -----------------------------------------------------
+
+    def drop_device(self, t: float, name: str, device_class: str) -> None:
+        """Make one device class vanish from ``name`` at ``t`` (e.g. the
+        dGPU falls off the bus); traffic re-ranks onto what remains."""
+        frontend = self.router.node(name).frontend
+        self._at(
+            t, "device_drop", name, device_class,
+            lambda: frontend.drop_device(device_class),
+        )
+
+    def restore_device(self, t: float, name: str, device_class: str) -> None:
+        """Bring a dropped device class back at ``t``."""
+        frontend = self.router.node(name).frontend
+        self._at(
+            t, "device_restore", name, device_class,
+            lambda: frontend.restore_device(device_class),
+        )
+
+    def throttle_device(
+        self,
+        t: float,
+        name: str,
+        device_class: str,
+        multiplier: float,
+        duration_s: "float | None" = None,
+    ) -> None:
+        """Thermally throttle a device class from ``t`` (latency scaled by
+        ``multiplier``); with ``duration_s``, nominal speed returns after."""
+        if multiplier < 1.0:
+            raise ValueError(f"throttle multiplier must be >= 1.0, got {multiplier}")
+        frontend = self.router.node(name).frontend
+        self._at(
+            t, "throttle", name, f"{device_class} x{multiplier:g}",
+            lambda: frontend.set_throttle(device_class, multiplier),
+        )
+        if duration_s is not None:
+            if duration_s <= 0.0:
+                raise ValueError(f"duration_s must be positive, got {duration_s}")
+            self._at(
+                t + duration_s, "throttle_end", name, device_class,
+                lambda: frontend.set_throttle(device_class, 1.0),
+            )
+
+    # -- request faults ----------------------------------------------------
+
+    def inject_errors(
+        self,
+        t: float,
+        name: str,
+        rate: float,
+        duration_s: float,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> ErrorProfile:
+        """Open a transient-error window on ``name``: each request that
+        completes in ``[t, t + duration_s)`` fails with probability
+        ``rate``.  Returns the (seeded) profile; repeated calls extend the
+        same profile with more windows.
+        """
+        if duration_s <= 0.0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        frontend = self.router.node(name).frontend
+        profile = frontend.fault_profile
+        if profile is None:
+            profile = ErrorProfile(rate, seed=seed)
+            frontend.fault_profile = profile
+        profile.add_window(t, t + duration_s)
+        self.log.append(
+            InjectedFault(self.loop.now, "error_window", name,
+                          f"rate={rate:g} [{t:g}, {t + duration_s:g})")
+        )
+        self.n_scheduled += 1
+        return profile
+
+    # -- stochastic campaigns ----------------------------------------------
+
+    def random_campaign(
+        self,
+        start_s: float,
+        end_s: float,
+        n_crashes: int,
+        seed: "int | np.random.Generator | None" = None,
+        min_downtime_s: float = 0.05,
+        max_downtime_s: float = 0.5,
+        nodes: "list[str] | None" = None,
+    ) -> "list[tuple[float, float, str]]":
+        """Schedule ``n_crashes`` seeded crash/recover pairs in a window.
+
+        Crash instants are uniform over ``[start_s, end_s)``; each node
+        recovers after a uniform downtime.  Overlapping crashes of the
+        *same* node are clamped apart (a node cannot crash while down).
+        Returns the ``(crash_t, recover_t, node)`` schedule actually
+        injected, for assertions and logs.
+        """
+        if end_s <= start_s:
+            raise ValueError(f"empty campaign window: [{start_s}, {end_s})")
+        if not (0.0 < min_downtime_s <= max_downtime_s):
+            raise ValueError(
+                f"bad downtime range [{min_downtime_s}, {max_downtime_s}]"
+            )
+        rng = ensure_rng(seed)
+        names = nodes if nodes is not None else [n.name for n in self.router.nodes]
+        if not names:
+            raise ValueError("no nodes to crash")
+        schedule: "list[tuple[float, float, str]]" = []
+        up_again: "dict[str, float]" = {}
+        for _ in range(n_crashes):
+            name = names[int(rng.integers(len(names)))]
+            t = float(rng.uniform(start_s, end_s))
+            t = max(t, up_again.get(name, start_s))
+            downtime = float(rng.uniform(min_downtime_s, max_downtime_s))
+            recover_at = t + downtime
+            # A paper-thin gap keeps crash strictly after the previous
+            # recovery when the clamp landed exactly on it.
+            up_again[name] = recover_at + 1e-6
+            self.crash_node(t, name)
+            self.recover_node(recover_at, name)
+            schedule.append((t, recover_at, name))
+        return schedule

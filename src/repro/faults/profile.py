@@ -1,0 +1,85 @@
+"""Transient inference-error model: seeded, windowed, digit-stable.
+
+An :class:`ErrorProfile` decides, per completed request, whether its
+launch failed transiently (a CUDA ECC hiccup, a driver reset, an OOM on a
+shared device).  Failures are drawn from a dedicated seeded generator and
+only *inside* declared time windows — outside every window, or with no
+windows at all, the profile consumes **zero** random numbers, so an idle
+profile leaves every simulated result digit-identical to a run without
+one.  That discipline is what lets a fault-free benchmark share code with
+a chaos scenario.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rng import ensure_rng
+
+__all__ = ["ErrorProfile"]
+
+
+class ErrorProfile:
+    """Windowed per-request failure draws from one seeded stream.
+
+    Parameters
+    ----------
+    rate:
+        Failure probability per request while a window is active.
+    seed:
+        Seed (or Generator) for the draw stream; None maps to the
+        library-wide deterministic default.
+    windows:
+        Optional initial ``(start_s, end_s)`` active windows.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        seed: "int | np.random.Generator | None" = None,
+        windows: "list[tuple[float, float]] | None" = None,
+    ):
+        if not (0.0 <= rate <= 1.0):
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.rate = float(rate)
+        self._rng = ensure_rng(seed)
+        self._windows: "list[tuple[float, float]]" = []
+        self.n_draws = 0
+        self.n_failures = 0
+        for start, end in windows or ():
+            self.add_window(start, end)
+
+    @property
+    def windows(self) -> "tuple[tuple[float, float], ...]":
+        return tuple(self._windows)
+
+    def add_window(self, start_s: float, end_s: float) -> None:
+        """Declare ``[start_s, end_s)`` as a failure-active window."""
+        if end_s <= start_s:
+            raise ValueError(f"empty error window: [{start_s}, {end_s})")
+        self._windows.append((float(start_s), float(end_s)))
+
+    def active(self, now: float) -> bool:
+        """Whether any window covers virtual time ``now``."""
+        return any(start <= now < end for start, end in self._windows)
+
+    def draw_failure(self, now: float) -> bool:
+        """One per-request failure draw (False outside active windows).
+
+        Draws advance the seeded stream only when a window is active, so
+        the draw sequence — and therefore every downstream retry/backoff
+        decision — is a deterministic function of the completion order.
+        """
+        if self.rate == 0.0 or not self.active(now):
+            return False
+        self.n_draws += 1
+        failed = bool(self._rng.random() < self.rate)
+        if failed:
+            self.n_failures += 1
+        return failed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ErrorProfile(rate={self.rate}, windows={len(self._windows)}, "
+            f"draws={self.n_draws}, failures={self.n_failures})"
+        )

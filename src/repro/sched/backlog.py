@@ -110,6 +110,10 @@ class BacklogAwareScheduler:
             policy=Policy.LATENCY, alpha=service_alpha, ttl_s=service_ttl_s
         )
         self.n_spills = 0
+        # Live device mask: None serves every device in the context; a
+        # frozenset restricts ranking to the named classes (degraded-mode
+        # scheduling after a dropout).  See set_device_mask.
+        self._device_mask: "frozenset[str] | None" = None
         # Decision cache (see module docstring for the invalidation rules).
         self.cache_decisions = bool(cache_decisions)
         self._entries: "dict[tuple, _DecisionEntry]" = {}
@@ -120,6 +124,57 @@ class BacklogAwareScheduler:
         self._feedback_invalidations = 0
         self._seen_predictor: "object | None" = None
         self._seen_generation: "int | None" = -1
+        self._mask_invalidations = 0
+
+    # -- device mask (degraded-mode scheduling) ----------------------------
+
+    def available_classes(self) -> "set[str]":
+        """Device classes placements may use: present ∩ live mask."""
+        present = {d.device_class.value for d in self.scheduler.context.devices}
+        if self._device_mask is None:
+            return present
+        return present & self._device_mask
+
+    @property
+    def device_mask(self) -> "frozenset[str] | None":
+        return self._device_mask
+
+    def set_device_mask(self, classes: "frozenset[str] | set[str] | None") -> None:
+        """Restrict (or restore) the device classes eligible for placement.
+
+        The generalization of the paper's dGPU idle/warm state handling
+        (§V): instead of only re-ranking when the fast device changes
+        *state*, the mask re-ranks when a device drops out entirely — a
+        dGPU dropout pushes traffic onto CPU/iGPU mid-flood, and a restore
+        folds it back in.  Only the decision-cache cells whose ranking the
+        change can affect are invalidated: entries that ranked a removed
+        class, and entries built while an added class was absent.
+        """
+        before = self.available_classes()
+        if classes is None:
+            self._device_mask = None
+        else:
+            mask = frozenset(classes)
+            present = {d.device_class.value for d in self.scheduler.context.devices}
+            if not (mask & present):
+                raise SchedulerError(
+                    f"device mask {sorted(mask)} leaves no device to place on "
+                    f"(context has: {sorted(present)})"
+                )
+            self._device_mask = mask
+        after = self.available_classes()
+        removed = before - after
+        added = after - before
+        if not removed and not added:
+            return
+        stale = [
+            key for key, entry in self._entries.items()
+            if any(c in entry.ranked for c in removed)
+            or any(c not in entry.ranked for c in added)
+        ]
+        for key in stale:
+            del self._entries[key]
+        self._mask_invalidations += len(stale)
 
     # -- ranking -----------------------------------------------------------
 
@@ -128,13 +183,14 @@ class BacklogAwareScheduler:
         argmax-first order when the estimator has no predict_proba).
 
         The ranking is filtered to device classes actually present in the
-        scheduler's context: a predictor trained on the full testbed keeps
-        working on a leaner node (e.g. a cluster node without a dGPU) by
-        ranking only the devices that node has.
+        scheduler's context *and* currently unmasked: a predictor trained
+        on the full testbed keeps working on a leaner node (e.g. a cluster
+        node without a dGPU) — or on a node whose dGPU just dropped out —
+        by ranking only the devices the node can place on right now.
         """
         predictor = self.scheduler.predictors[self.policy]
         classes = ("cpu", "dgpu", "igpu")
-        available = {d.device_class.value for d in self.scheduler.context.devices}
+        available = self.available_classes()
         # Memoized per-cell probabilities: repeated requests for the same
         # (model, batch, state) cell — the common case in a flood — skip
         # the forest entirely after the first evaluation.
@@ -209,6 +265,7 @@ class BacklogAwareScheduler:
             "entries": len(self._entries),
             "refit_clears": self._refit_clears,
             "feedback_invalidations": self._feedback_invalidations,
+            "mask_invalidations": self._mask_invalidations,
         }
 
     def _entry_for(self, spec: ModelSpec, batch: int, gpu_state: str) -> _DecisionEntry:

@@ -340,6 +340,22 @@ class ServingFrontend:
         self._in_flight = 0          # requests dispatched, not yet completed
         self._in_flight_samples = 0
 
+        # -- resilience state (inert unless faults are injected) -----------
+        # crashed: fail-stop flag; while set, arrivals fall into the lost
+        # limbo instead of the queues (the process is gone — nobody answers)
+        # until a health check collects them for re-adoption elsewhere.
+        self.crashed = False
+        self._lost: "dict[int, QueueEntry]" = {}
+        self._dropped: "set[str]" = set()   # device classes out of service
+        # Transient-error model (repro.faults.profile.ErrorProfile); draws
+        # happen only inside its active windows, so a None/idle profile
+        # leaves results digit-identical.
+        self.fault_profile = None
+        # Cluster hook: called with (entry, response, reason) when a
+        # request's launch fails; return True to take ownership (retry /
+        # shed at the router), False to let this frontend shed it locally.
+        self.on_request_failed = None
+
     # -- configuration -----------------------------------------------------
 
     def slo_for(self, model: str) -> SLOConfig:
@@ -470,6 +486,13 @@ class ServingFrontend:
         return response
 
     def _on_arrival(self, entry: QueueEntry, _loop=None) -> None:
+        if self.crashed:
+            # The process is gone: nothing answers, nothing is refused.
+            # The entry waits in limbo until a health check collects it
+            # (or a timeout rescues it) — exactly one of the two, since
+            # both remove it physically.
+            self._lost[entry.seq] = entry
+            return
         now = self.loop.now
         model = entry.request.model
         spec = self.specs[model]
@@ -522,6 +545,8 @@ class ServingFrontend:
         )
 
     def _on_timer(self, model: str, armed_at: float, _loop=None) -> None:
+        if self.crashed:
+            return  # timers armed before the crash are dead letters
         if self._timer_at.get(model) != armed_at:
             return  # superseded by a flush that consumed the batch
         self._timer_at[model] = None
@@ -593,9 +618,14 @@ class ServingFrontend:
         total = batch.total_samples
         batch_id = self._n_batches
         self._n_batches += 1
+        profile = self.fault_profile
         offset = 0
         for entry in batch.entries:
             response = self._pending.pop(entry.seq)
+            if profile is not None and profile.draw_failure(end):
+                offset += entry.batch
+                self._fail_request(entry, response, "inference_error")
+                continue
             response.status = "ok"
             response.device = placement.device
             response.device_name = placement.device_name
@@ -623,6 +653,187 @@ class ServingFrontend:
             batch.model, total, placement.gpu_state, placement.device,
             event.duration_s, now=end,
         )
+
+    def _fail_request(
+        self, entry: QueueEntry, response: ServingResponse, reason: str
+    ) -> None:
+        """One request's launch failed transiently.
+
+        A cluster router that installed :attr:`on_request_failed` takes
+        ownership (retry with backoff, or shed); standalone frontends shed
+        locally — resolved either way, never lost.
+        """
+        self.telemetry.n_failed += 1
+        hook = self.on_request_failed
+        if hook is not None and hook(entry, response, reason):
+            return
+        response.status = "shed"
+        response.shed_reason = reason
+        self.telemetry.n_shed += 1
+
+    # -- fault handling (crash / dropout / throttle) -----------------------
+
+    def crash(self) -> None:
+        """Fail-stop this frontend, silently (nobody is notified here).
+
+        Queued entries and aborted in-flight work move to the lost limbo;
+        their responses stay pending.  Recovery of the *work* is the
+        cluster layer's job: a health check notices the crash, collects
+        the limbo via :meth:`collect_lost` and re-adopts each entry on a
+        surviving node exactly once.
+        """
+        if self.crashed:
+            raise SchedulerError("frontend is already crashed")
+        self.crashed = True
+        for entry in self.drain_queued():
+            self._lost[entry.seq] = entry
+        for worker in self._workers.values():
+            for batch, _decision in worker.abort_in_flight():
+                for entry in batch.entries:
+                    self._pending.pop(entry.seq, None)
+                    self._lost[entry.seq] = entry
+        self._in_flight = 0
+        self._in_flight_samples = 0
+        for model in self._timer_at:
+            self._timer_at[model] = None
+
+    def restart(self) -> None:
+        """Bring a crashed frontend back up (empty queues, cold timers).
+
+        Un-collected limbo entries stay collectable — a crash shorter than
+        the heartbeat interval still loses no work.
+        """
+        if not self.crashed:
+            raise SchedulerError("frontend is not crashed")
+        self.crashed = False
+
+    def collect_lost(self) -> "list[QueueEntry]":
+        """Take every limboed entry (submission order) for re-adoption.
+
+        Physically removes the entries, so each can be collected exactly
+        once no matter how many sweeps race over the same crash.
+        """
+        lost = sorted(self._lost.values(), key=lambda e: e.seq)
+        for entry in lost:
+            self._pending.pop(entry.seq, None)
+        self._lost.clear()
+        return lost
+
+    def drop_device(self, device_class: str) -> int:
+        """Take one device class out of service (e.g. the dGPU vanished).
+
+        Masks the class out of the backlog scheduler's ranking (stale
+        decision-cache cells are invalidated), re-targets the degrade
+        path, aborts the device's in-flight launches and re-admits their
+        requests on the remaining devices.  Returns how many requests were
+        re-admitted.  Raises if the drop would leave no device.
+        """
+        if device_class in self._dropped:
+            raise SchedulerError(f"device class {device_class!r} is already dropped")
+        present = {
+            d.device_class.value
+            for d in self.backlog.scheduler.context.devices
+        }
+        if device_class not in present:
+            raise SchedulerError(
+                f"no {device_class!r} device on this node (has: {sorted(present)})"
+            )
+        mask = frozenset(present - self._dropped - {device_class})
+        if not mask:
+            raise SchedulerError(
+                f"dropping {device_class!r} would leave no device to place on"
+            )
+        self.backlog.set_device_mask(mask)
+        self._dropped.add(device_class)
+        self._recompute_degrade_target()
+        readmitted = 0
+        for worker in self._workers.values():
+            if worker.device_class != device_class:
+                continue
+            for batch, _decision in worker.abort_in_flight():
+                for entry in batch.entries:
+                    self._in_flight -= 1
+                    self._in_flight_samples -= entry.batch
+                    response = self._pending.pop(entry.seq, None)
+                    if response is None:
+                        continue
+                    self._readmit(entry, response)
+                    readmitted += 1
+        return readmitted
+
+    def restore_device(self, device_class: str) -> None:
+        """Fold a previously dropped device class back into service."""
+        if device_class not in self._dropped:
+            raise SchedulerError(f"device class {device_class!r} is not dropped")
+        self._dropped.discard(device_class)
+        if self._dropped:
+            present = {
+                d.device_class.value
+                for d in self.backlog.scheduler.context.devices
+            }
+            self.backlog.set_device_mask(frozenset(present - self._dropped))
+        else:
+            self.backlog.set_device_mask(None)
+        self._recompute_degrade_target()
+
+    def set_throttle(self, device_class: str, multiplier: float) -> None:
+        """Thermal slowdown: stretch every launch on a device class.
+
+        ``multiplier`` scales launch latency (1.0 restores nominal speed);
+        the stretched time also holds the device's command-queue clock, so
+        the backlog the scheduler reads reflects the slowdown.
+        """
+        if multiplier < 1.0:
+            raise ValueError(f"throttle multiplier must be >= 1.0, got {multiplier}")
+        hit = False
+        for worker in self._workers.values():
+            if worker.device_class == device_class:
+                worker.throttle = float(multiplier)
+                hit = True
+        if not hit:
+            raise SchedulerError(f"no {device_class!r} device on this node")
+
+    def cancel_queued(self, request_id: int) -> "QueueEntry | None":
+        """Pull a still-cancellable request back out (timeout rescue).
+
+        Finds the entry in a serving queue or the crash limbo and removes
+        it physically; returns None when the request is in flight (it will
+        complete normally — cancelling would risk double execution) or not
+        here at all.  The caller owns a returned entry exclusively.
+        """
+        for model, queue in self._queues.items():
+            entry = queue.remove(request_id)
+            if entry is not None:
+                self._pending.pop(entry.seq, None)
+                self.telemetry.record_depth(model, self.loop.now, len(queue))
+                return entry
+        for seq, entry in self._lost.items():
+            if entry.request.request_id == request_id:
+                del self._lost[seq]
+                self._pending.pop(seq, None)
+                return entry
+        return None
+
+    def _recompute_degrade_target(self) -> None:
+        candidates = [
+            d for d in self.backlog.scheduler.context.devices
+            if d.device_class.value not in self._dropped
+        ]
+        self._cheapest = min(candidates, key=lambda d: d.spec.busy_watts)
+
+    def _readmit(self, entry: QueueEntry, response: ServingResponse) -> None:
+        """Re-run arrival for a rescued entry, keeping its response.
+
+        The original request (arrival time, absolute deadline) is
+        preserved; admission re-runs, so a rescued request can still be
+        shed — resolved on its original handle, never lost.
+        """
+        readmitted = QueueEntry(
+            request=entry.request, enqueued_s=self.loop.now, seq=self._seq, x=entry.x
+        )
+        self._seq += 1
+        self._pending[readmitted.seq] = response
+        self._on_arrival(readmitted)
 
     # -- cluster hooks (drain / transfer) ----------------------------------
 

@@ -78,6 +78,9 @@ class RequestQueue:
     def _peek(self) -> QueueEntry:
         raise NotImplementedError
 
+    def _remove(self, request_id: str) -> "QueueEntry | None":
+        raise NotImplementedError
+
     def __len__(self) -> int:
         raise NotImplementedError
 
@@ -121,6 +124,24 @@ class RequestQueue:
         if not len(self):
             raise SchedulerError(f"queue for {self.model!r} is empty")
         return self._peek()
+
+    def remove(self, request_id: str) -> "QueueEntry | None":
+        """Remove one entry out of discipline order (None when absent).
+
+        The rescue path for timeouts and device dropouts: a request that
+        is still *queued* can be pulled back and retried elsewhere without
+        any risk of double execution.  O(n) per call — fault handling is
+        rare by construction, so the hot push/pop counters stay O(1) and
+        pay nothing for this capability.
+        """
+        entry = self._remove(request_id)
+        if entry is None:
+            return None
+        self._total_samples -= entry.batch
+        key = (entry.enqueued_s, entry.seq)
+        removed = self._arrival_removed
+        removed[key] = removed.get(key, 0) + 1
+        return entry
 
     @property
     def total_samples(self) -> int:
@@ -167,6 +188,13 @@ class FIFOQueue(RequestQueue):
     def _peek(self) -> QueueEntry:
         return self._entries[0]
 
+    def _remove(self, request_id: str) -> "QueueEntry | None":
+        for i, entry in enumerate(self._entries):
+            if entry.request.request_id == request_id:
+                del self._entries[i]
+                return entry
+        return None
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -203,6 +231,18 @@ class EDFQueue(RequestQueue):
 
     def _peek(self) -> QueueEntry:
         return self._heap[0][2]
+
+    def _remove(self, request_id: str) -> "QueueEntry | None":
+        heap = self._heap
+        for i, (_, _, entry) in enumerate(heap):
+            if entry.request.request_id == request_id:
+                heap[i] = heap[-1]
+                heap.pop()
+                if i < len(heap):
+                    heapq.heapify(heap)
+                self._sorted_view = None
+                return entry
+        return None
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -48,7 +48,19 @@ class DeviceWorker:
         self.n_batches = 0
         self.n_requests = 0
         self.n_samples = 0
+        self.n_aborted = 0
         self.busy_s = 0.0
+        # Thermal throttle: a latency multiplier applied to every launch
+        # while > 1.0 (fault injection's slowdown windows).  At exactly 1.0
+        # the launch path is untouched, so fault-free runs stay
+        # digit-identical.
+        self.throttle = 1.0
+        # In-flight ledger: launch id -> (batch, decision, event, handle).
+        # Completion pops its entry; a crash aborts every entry and cancels
+        # the pending completion callbacks, so aborted work can be
+        # re-adopted elsewhere without ever completing twice.
+        self._inflight: "dict[int, tuple]" = {}
+        self._launch_ids = iter(range(0, 2**62))
 
     def backlog_s(self, now: float) -> float:
         """Seconds of already-dispatched work still ahead of ``now``."""
@@ -85,22 +97,60 @@ class DeviceWorker:
         else:
             event = cq.enqueue_inference_virtual(kernel, batch.total_samples)
 
+        if self.throttle != 1.0:
+            # Thermal slowdown: stretch the compute window and hold the
+            # command-queue clock at the stretched end, so both the event's
+            # observable latency and the backlog the scheduler reads tell
+            # the same (slower) story.
+            extra = (self.throttle - 1.0) * (event.time_ended - event.time_started)
+            event.time_ended += extra
+            cq.advance_to(event.time_ended)
+
         self.n_batches += 1
         self.n_requests += len(batch)
         self.n_samples += batch.total_samples
         self.busy_s += event.duration_s
 
-        self.loop.schedule(
+        launch_id = next(self._launch_ids)
+        handle = self.loop.schedule(
             event.time_ended,
-            partial(self._fire_complete, batch, decision, event),
+            partial(self._fire_complete, launch_id, batch, decision, event),
             label="complete",
         )
+        self._inflight[launch_id] = (batch, decision, event, handle)
         return event
 
     def _fire_complete(
-        self, batch: CoalescedBatch, decision: BacklogDecision, event: Event, _loop=None
+        self,
+        launch_id: int,
+        batch: CoalescedBatch,
+        decision: BacklogDecision,
+        event: Event,
+        _loop=None,
     ) -> None:
+        if self._inflight.pop(launch_id, None) is None:
+            return  # aborted by a crash; the work was re-adopted elsewhere
         self.on_complete(batch, decision, event)
+
+    def abort_in_flight(self) -> "list[tuple[CoalescedBatch, BacklogDecision]]":
+        """Abandon every launch that has not completed yet (node crash).
+
+        Cancels the pending completion callbacks and empties the ledger;
+        returns the (batch, decision) pairs so the caller can put their
+        requests back into play exactly once.
+        """
+        aborted = []
+        for batch, decision, _event, handle in self._inflight.values():
+            self.loop.cancel(handle)
+            aborted.append((batch, decision))
+        self._inflight.clear()
+        self.n_aborted += len(aborted)
+        return aborted
+
+    @property
+    def in_flight(self) -> int:
+        """Launched batches whose completion has not fired yet."""
+        return len(self._inflight)
 
     def stats(self) -> dict:
         """Worker counters for the frontend's stats() rollup."""

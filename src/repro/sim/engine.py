@@ -45,6 +45,14 @@ class EventLoop:
         self._heap: list[ScheduledEvent] = []
         self._seq = itertools.count()
         self._processed = 0
+        self._cancelled = 0
+        # Lazy deletion: cancelled events keep their heap slot (an O(n)
+        # heap repair per cancel would dominate timeout-heavy serving) and
+        # are skipped — without advancing the clock — when popped.  The set
+        # holds the seqs of live (scheduled, not yet fired) events, which
+        # is also what makes cancel-after-fire detectable in O(1).
+        self._live: set[int] = set()
+        self._dead: set[int] = set()
 
     @property
     def now(self) -> float:
@@ -53,8 +61,13 @@ class EventLoop:
 
     @property
     def pending(self) -> int:
-        """Events still queued."""
-        return len(self._heap)
+        """Events still queued (cancelled events no longer count)."""
+        return len(self._live)
+
+    @property
+    def cancelled(self) -> int:
+        """Events cancelled since construction."""
+        return self._cancelled
 
     @property
     def processed(self) -> int:
@@ -71,7 +84,27 @@ class EventLoop:
             )
         ev = ScheduledEvent(time=float(time), seq=next(self._seq), action=action, label=label)
         heapq.heappush(self._heap, ev)
+        self._live.add(ev.seq)
         return ev
+
+    def cancel(self, event: ScheduledEvent) -> bool:
+        """Cancel a scheduled event; returns whether it was still pending.
+
+        Lazy: the heap slot stays until its pop, where the event is
+        discarded without firing (and without advancing the clock).
+        Cancelling an event that already fired — or was already cancelled
+        — is a no-op returning False, so callers may cancel timeouts and
+        heartbeats unconditionally on completion.  Safe to call from
+        inside a callback, including against events due at the current
+        instant that have not yet popped.
+        """
+        seq = event.seq
+        if seq not in self._live:
+            return False
+        self._live.discard(seq)
+        self._dead.add(seq)
+        self._cancelled += 1
+        return True
 
     def schedule_bulk(
         self,
@@ -115,6 +148,7 @@ class EventLoop:
         # min-heap; otherwise one O(n) heapify restores the invariant.
         needs_heapify = bool(self._heap) or not sorted_items
         self._heap.extend(events)
+        self._live.update(ev.seq for ev in events)
         if needs_heapify:
             heapq.heapify(self._heap)
         return len(events)
@@ -169,12 +203,21 @@ class EventLoop:
         heap = self._heap
         clock = self.clock
         pop = heapq.heappop
+        live = self._live
+        dead = self._dead
         budget = float("inf") if max_events is None else max_events
         horizon = float("inf") if until is None else until
         processed_here = 0
         try:
             while heap and heap[0][0] <= horizon and processed_here < budget:
-                time, _seq, action, _label = pop(heap)
+                time, seq, action, _label = pop(heap)
+                if dead:
+                    # Lazily drop cancelled events: no clock movement, no
+                    # budget charge — as if they were never scheduled.
+                    if seq in dead:
+                        dead.discard(seq)
+                        continue
+                live.discard(seq)
                 # Heap order plus schedule()'s no-past guard make the pop
                 # sequence monotone, so the clock moves forward by direct
                 # assignment (advance_to's check would re-prove that per

@@ -7,7 +7,7 @@ through the OpenCL-style layer; :class:`~repro.telemetry.recorder.SweepRecorder`
 collects grids of them and exports CSV for the figure harnesses.
 """
 
-from repro.telemetry.fleet import FleetTelemetry
+from repro.telemetry.fleet import FleetTelemetry, ResilienceCounters
 from repro.telemetry.metrics import Measurement
 from repro.telemetry.meters import EnergyMeter, PowerSample
 from repro.telemetry.recorder import SweepRecorder
@@ -34,4 +34,5 @@ __all__ = [
     "BatchHistogram",
     "ServingTelemetry",
     "FleetTelemetry",
+    "ResilienceCounters",
 ]

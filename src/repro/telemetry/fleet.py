@@ -11,11 +11,38 @@ the nodes' live state.
 
 from __future__ import annotations
 
+from dataclasses import asdict, dataclass
+
 import numpy as np
 
 from repro.telemetry.serving import DepthSeries, ServingTelemetry
 
-__all__ = ["FleetTelemetry"]
+__all__ = ["ResilienceCounters", "FleetTelemetry"]
+
+
+@dataclass
+class ResilienceCounters:
+    """Fault/retry/breaker counters the resilience layer deposits.
+
+    All zeros in a fault-free run; the router increments them as faults
+    fire, crashes are detected, requests retry and breakers transition.
+    """
+
+    n_faults_injected: int = 0      # fault events that fired on the loop
+    n_crashes_detected: int = 0     # heartbeat sweeps that found a crash
+    n_failures: int = 0             # transient per-request launch failures
+    n_timeouts: int = 0             # queued requests rescued by timeout
+    n_retries: int = 0              # backoff retries scheduled
+    n_redelivered: int = 0          # deliveries after the first (all causes)
+    n_breaker_opens: int = 0
+    n_breaker_half_opens: int = 0
+    n_breaker_closes: int = 0
+    n_shed_deadline: int = 0        # shed instead of retried: SLO passed
+    n_shed_retry_budget: int = 0    # shed: delivery attempts exhausted
+
+    def any(self) -> bool:
+        """Whether anything at all has been recorded."""
+        return any(v for v in asdict(self).values())
 
 
 class FleetTelemetry:
@@ -23,6 +50,13 @@ class FleetTelemetry:
 
     def __init__(self) -> None:
         self._nodes: dict[str, ServingTelemetry] = {}
+        self.resilience = ResilienceCounters()
+        # Availability accounting: observed downtime per node, in virtual
+        # seconds.  Down/up marks come from the router at crash *detection*
+        # and probe-passed revival, so availability measures what clients
+        # could observe, not the (unknowable) instant of the crash itself.
+        self._downtime_s: dict[str, float] = {}
+        self._down_since: dict[str, float] = {}
 
     # -- registration ------------------------------------------------------
 
@@ -47,6 +81,52 @@ class FleetTelemetry:
 
     def __len__(self) -> int:
         return len(self._nodes)
+
+    # -- availability / goodput --------------------------------------------
+
+    def mark_node_down(self, name: str, now: float) -> None:
+        """A node left service involuntarily at virtual ``now``."""
+        if name not in self._down_since:
+            self._down_since[name] = float(now)
+
+    def mark_node_up(self, name: str, now: float) -> None:
+        """A down node rejoined at virtual ``now`` (idempotent)."""
+        since = self._down_since.pop(name, None)
+        if since is not None:
+            self._downtime_s[name] = (
+                self._downtime_s.get(name, 0.0) + float(now) - since
+            )
+
+    def downtime_s(self, name: str, now: float) -> float:
+        """Observed downtime of one node through virtual ``now``."""
+        down = self._downtime_s.get(name, 0.0)
+        since = self._down_since.get(name)
+        if since is not None:
+            down += max(0.0, float(now) - since)
+        return down
+
+    def availability(self, now: float) -> float:
+        """Time-weighted fraction of node-uptime over ``[0, now]``.
+
+        1.0 with no recorded downtime; each node's observed down windows
+        (detection -> probe-passed revival) count against it equally.
+        """
+        if not self._nodes or now <= 0.0:
+            return 1.0
+        total_down = sum(self.downtime_s(name, now) for name in self._nodes)
+        return 1.0 - total_down / (len(self._nodes) * float(now))
+
+    def goodput(self) -> float:
+        """Fraction of finally-resolved requests served within their SLO.
+
+        ``(served - violations) / (served + shed)`` — sheds of every kind
+        (admission, deadline, retry budget) count against it, late answers
+        too.  1.0 before any request resolves.
+        """
+        resolved = self.n_served + self.n_shed
+        if not resolved:
+            return 1.0
+        return (self.n_served - self.n_violations) / resolved
 
     # -- cluster counters --------------------------------------------------
 
@@ -163,6 +243,10 @@ class FleetTelemetry:
         recent = self.recent_p99_s()
         if recent is not None:
             out["recent_p99_ms"] = recent * 1e3
+        # Fault-free snapshots stay byte-identical: the resilience block
+        # only appears once something was actually recorded.
+        if self.resilience.any():
+            out["resilience"] = asdict(self.resilience)
         out["per_node"] = {
             name: telemetry.snapshot()
             for name, telemetry in sorted(self._nodes.items())

@@ -296,6 +296,7 @@ class ServingTelemetry:
     n_shed: int = 0
     n_degraded: int = 0
     n_violations: int = 0
+    n_failed: int = 0    # transient launch failures (fault injection)
 
     def record_latency(self, latency_s: float) -> None:
         """Record a served request's latency in both digests at once."""
@@ -332,6 +333,8 @@ class ServingTelemetry:
             "shed_rate": self.shed_rate,
             "max_queue_depth": self.max_queue_depth,
         }
+        if self.n_failed:
+            out["failed"] = self.n_failed
         if len(self.latency):
             out.update(
                 p50_ms=self.latency.p50_s * 1e3,

@@ -94,6 +94,82 @@ class TestCascading:
         assert loop.now == 7.0
 
 
+class TestCancel:
+    def test_cancelled_event_never_fires(self):
+        loop = EventLoop()
+        fired = []
+        ev = loop.schedule(1.0, lambda l: fired.append("x"))
+        assert loop.cancel(ev) is True
+        loop.run()
+        assert fired == []
+        assert loop.cancelled == 1
+
+    def test_cancel_updates_pending_immediately(self):
+        loop = EventLoop()
+        ev = loop.schedule(1.0, lambda l: None)
+        loop.schedule(2.0, lambda l: None)
+        assert loop.pending == 2
+        loop.cancel(ev)
+        assert loop.pending == 1  # lazy heap slot, but the count is live
+
+    def test_cancel_twice_is_a_noop(self):
+        loop = EventLoop()
+        ev = loop.schedule(1.0, lambda l: None)
+        assert loop.cancel(ev) is True
+        assert loop.cancel(ev) is False
+        assert loop.cancelled == 1
+
+    def test_cancel_after_fire_returns_false(self):
+        loop = EventLoop()
+        ev = loop.schedule(1.0, lambda l: None)
+        loop.run()
+        assert loop.cancel(ev) is False
+        assert loop.cancelled == 0
+
+    def test_cancel_inside_callback(self):
+        # A callback cancels later events — including one due at the very
+        # same instant that has not popped yet (the assassin was scheduled
+        # first, so FIFO tie-breaking pops it before the same-time victim).
+        loop = EventLoop()
+        fired = []
+        v_late = loop.schedule(2.0, lambda l: fired.append("late"))
+
+        def assassin(l):
+            fired.append("assassin")
+            assert l.cancel(v_now) is True
+            assert l.cancel(v_late) is True
+
+        loop.schedule(1.0, assassin)
+        v_now = loop.schedule(1.0, lambda l: fired.append("same-instant"))
+        loop.run()
+        assert fired == ["assassin"]
+        assert loop.cancelled == 2
+
+    def test_cancelled_pop_moves_no_clock_and_no_budget(self):
+        loop = EventLoop()
+        hits = []
+        ev = loop.schedule(5.0, lambda l: hits.append(l.now))
+        loop.schedule(1.0, lambda l: hits.append(l.now))
+        loop.cancel(ev)
+        loop.run(max_events=1)
+        # The cancelled slot at t=5 is skipped without charging the budget
+        # or dragging the clock to 5.0.
+        assert hits == [1.0]
+        assert loop.now == 1.0
+        assert loop.processed == 1
+
+    def test_self_cancel_inside_own_callback_is_false(self):
+        loop = EventLoop()
+        results = []
+
+        def selfish(l):
+            results.append(l.cancel(ev))
+
+        ev = loop.schedule(1.0, selfish)
+        loop.run()
+        assert results == [False]  # already popped: no longer live
+
+
 class TestScheduleRepeating:
     def test_fires_on_the_grid_then_stops(self):
         loop = EventLoop()

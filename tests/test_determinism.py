@@ -80,6 +80,69 @@ class TestStreamDeterminism:
         assert run_once() == run_once()
 
 
+class TestChaosDeterminism:
+    """Identical seeds -> identical fault campaigns, retries and stats."""
+
+    def _run_chaos(self, serving_predictors):
+        from repro.cluster.router import ClusterRouter
+        from repro.faults import FaultInjector, ResilienceConfig
+        from tests.cluster.conftest import build_fleet
+
+        router = ClusterRouter(
+            build_fleet(serving_predictors),
+            balancer="join-shortest-queue",
+            resilience=ResilienceConfig(seed=11),
+        )
+        injector = FaultInjector(router)
+        injector.crash_node(0.05, "node-a")
+        injector.recover_node(0.4, "node-a")
+        injector.inject_errors(0.0, "node-b", rate=0.5, duration_s=0.5, seed=2)
+        responses = [
+            router.submit("simple", 8, deadline_s=1.0, arrival_s=0.002 * i)
+            for i in range(50)
+        ]
+        router.schedule_health(1.0)
+        router.run()
+        res = router.telemetry.resilience
+        return (
+            [(r.status, r.node_name, r.n_routes) for r in responses],
+            res.n_retries,
+            res.n_redelivered,
+            router.telemetry.availability(router.loop.now),
+            router.goodput(),
+        )
+
+    def test_chaos_campaign_replay_identical(self, serving_predictors):
+        assert self._run_chaos(serving_predictors) == self._run_chaos(
+            serving_predictors
+        )
+
+    def test_random_campaign_schedule_is_seeded(self, serving_predictors):
+        from repro.cluster.router import ClusterRouter
+        from repro.faults import FaultInjector, ResilienceConfig
+        from tests.cluster.conftest import build_fleet
+
+        def schedule():
+            router = ClusterRouter(
+                build_fleet(serving_predictors),
+                resilience=ResilienceConfig(seed=3),
+            )
+            return FaultInjector(router).random_campaign(
+                0.0, 5.0, n_crashes=8, seed=21
+            )
+
+        assert schedule() == schedule()
+
+    def test_retry_backoff_stream_is_seeded(self):
+        from repro.faults import RetryPolicy
+        from repro.rng import ensure_rng
+
+        policy = RetryPolicy(backoff_base_s=0.01, jitter_frac=0.5)
+        a = [policy.backoff_s(k, ensure_rng(9)) for k in (1, 2, 3)]
+        b = [policy.backoff_s(k, ensure_rng(9)) for k in (1, 2, 3)]
+        assert a == b
+
+
 class TestExperimentDeterminism:
     def test_fig6_identical(self, session):
         from repro.experiments.fig6 import run_fig6

@@ -25,7 +25,15 @@ LANDMARKS = {
     "cooperative_batch.py": ["one batch, all devices", "speedup"],
     "serving_frontend.py": ["SLO-aware serving", "max queue depth", "coalesced batches"],
     "cluster_serving.py": ["balancing policies", "graceful drain", "autoscaler"],
+    "chaos_cluster.py": [
+        "fault campaign",
+        "accounted exactly once",
+        "identical seeds replay to identical stats",
+    ],
 }
+
+#: Extra CLI arguments per script (chaos runs its CI-sized campaign here).
+EXAMPLE_ARGS = {"chaos_cluster.py": ["--tiny"]}
 
 
 def test_every_example_has_a_smoke_test():
@@ -42,7 +50,8 @@ def test_example_runs(script):
         p for p in (SRC_DIR, env.get("PYTHONPATH")) if p
     )
     proc = subprocess.run(
-        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)]
+        + EXAMPLE_ARGS.get(script, []),
         capture_output=True,
         text=True,
         timeout=600,
