@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full bench-wallclock profile-cluster repro examples serve-demo cluster-demo chaos-demo lint-clean
+.PHONY: install test bench bench-full bench-wallclock profile-cluster repro examples serve-demo cluster-demo cascade-demo chaos-demo lint-clean
 
 install:
 	pip install -e .
@@ -44,6 +44,11 @@ serve-demo:
 # Cluster layer demo: fleet balancing policies, graceful drain, autoscaling.
 cluster-demo:
 	$(PY) examples/cluster_serving.py
+
+# Cascade demo: adaptive early-exit serving beating single-model goodput
+# under overload (CI runs it with --tiny).
+cascade-demo:
+	$(PY) examples/cascade_serving.py
 
 # Chaos demo: seeded crash/dropout campaign with built-in exactly-once,
 # breaker-walk and determinism assertions (CI runs it with --tiny).

@@ -30,6 +30,10 @@ Cluster layer (fleet simulation, load balancing, autoscaling)::
 
     from repro.cluster import ClusterRouter, NodeSpec, make_fleet, Autoscaler
 
+Cascade serving (adaptive early-exit across the device hierarchy)::
+
+    from repro.cascade import CascadeSpec, CascadeExecutor, ThresholdController
+
 Fault injection and resilience (chaos campaigns, breakers, retries)::
 
     from repro.faults import FaultInjector, ResilienceConfig
@@ -43,6 +47,7 @@ paper-vs-measured results.
 """
 
 from repro._version import __version__
+from repro.cascade import CascadeExecutor, CascadeSpec, ThresholdController
 from repro.cluster import Autoscaler, ClusterRouter, NodeSpec, make_fleet
 from repro.errors import ReproError
 from repro.faults import FaultInjector, ResilienceConfig
@@ -86,6 +91,9 @@ __all__ = [
     "NodeSpec",
     "make_fleet",
     "Autoscaler",
+    "CascadeSpec",
+    "CascadeExecutor",
+    "ThresholdController",
     "FaultInjector",
     "ResilienceConfig",
 ]

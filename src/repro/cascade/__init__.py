@@ -1,0 +1,54 @@
+"""Cascade serving: adaptive early-exit chains over heterogeneous devices.
+
+Serve a cheap model first and escalate only low-confidence samples to the
+heavy one (MultiTASC++, arXiv:2412.04147), with the exit threshold
+retuned per node every control tick from backlog depth, SLO headroom and
+shed pressure — under overload the cascade degrades *accuracy* smoothly
+before admission control starts shedding.
+
+* :mod:`~repro.cascade.spec` — the static chain description.
+* :mod:`~repro.cascade.confidence` — measured exit/agreement profiles.
+* :mod:`~repro.cascade.controller` — the adaptive threshold controller.
+* :mod:`~repro.cascade.executor` — escalation over the serving/cluster path.
+* :mod:`~repro.cascade.chain` — per-request chains and aggregate results.
+* :mod:`~repro.cascade.telemetry` — exit histograms, accuracy proxy.
+* :mod:`~repro.cascade.presets` — the default MNIST cascade, calibrated.
+"""
+
+from repro.cascade.chain import CascadeChain, CascadeResult
+from repro.cascade.confidence import (
+    CascadeProfile,
+    StageProfile,
+    profile_cascade,
+)
+from repro.cascade.controller import ControllerConfig, ThresholdController
+from repro.cascade.executor import CascadeExecutor
+from repro.cascade.presets import (
+    build_stage_models,
+    calibrated_controller_config,
+    default_cascade,
+    default_profile,
+    probe_for,
+)
+from repro.cascade.spec import CascadeSpec, CascadeStage, ExitRule
+from repro.cascade.telemetry import CascadeTelemetry
+
+__all__ = [
+    "ExitRule",
+    "CascadeStage",
+    "CascadeSpec",
+    "StageProfile",
+    "CascadeProfile",
+    "profile_cascade",
+    "ControllerConfig",
+    "ThresholdController",
+    "CascadeChain",
+    "CascadeResult",
+    "CascadeTelemetry",
+    "CascadeExecutor",
+    "default_cascade",
+    "default_profile",
+    "build_stage_models",
+    "probe_for",
+    "calibrated_controller_config",
+]

@@ -1,0 +1,166 @@
+"""Empirical confidence profiles: what a stage's exit rule will actually do.
+
+The serving layer mostly moves *virtual* requests (batch sizes without
+host data), so the executor cannot always compute a per-sample softmax at
+run time.  Instead of faking confidences, a :class:`CascadeProfile` is
+measured once from the real models: run a held-out probe set through every
+stage, record each sample's genuine top-1 probability and top1−top2
+margin, and whether the stage's prediction agrees with the final stage's.
+From those arrays a profile answers, for any threshold θ:
+
+* ``exit_fraction(kind, θ)`` — what fraction of traffic exits at θ (the
+  Binomial parameter for virtual batches);
+* ``agreement(kind, θ)`` — among exiting samples, how often the stage's
+  answer matches the final stage's (the accuracy proxy);
+* ``agreement_below(kind, θ)`` — the same among *non*-exiting samples
+  (what a forced exit under deadline pressure actually costs).
+
+Requests that do carry host data bypass the profile: the executor
+computes real per-sample confidences from the returned scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.cascade.spec import EXIT_KINDS, CascadeSpec
+
+__all__ = ["StageProfile", "CascadeProfile", "profile_cascade"]
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """One non-final stage's measured confidence behaviour on the probe set.
+
+    ``top1`` / ``margin`` are per-probe-sample confidence values; ``agree``
+    marks samples whose stage prediction matches the final stage's.
+    """
+
+    top1: np.ndarray
+    margin: np.ndarray
+    agree: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.top1)
+        if n == 0:
+            raise SchedulerError("a stage profile needs at least one probe sample")
+        if len(self.margin) != n or len(self.agree) != n:
+            raise SchedulerError(
+                "profile arrays must align: "
+                f"top1={n}, margin={len(self.margin)}, agree={len(self.agree)}"
+            )
+
+    @property
+    def n_probe(self) -> int:
+        return len(self.top1)
+
+    def values(self, kind: str) -> np.ndarray:
+        """The confidence array for one exit-rule kind."""
+        if kind not in EXIT_KINDS:
+            raise SchedulerError(f"unknown confidence kind {kind!r}; known: {EXIT_KINDS}")
+        return self.top1 if kind == "top1" else self.margin
+
+    def exit_fraction(self, kind: str, threshold: float) -> float:
+        """Fraction of probe samples whose confidence clears ``threshold``."""
+        return float(np.mean(self.values(kind) >= threshold))
+
+    def agreement(self, kind: str, threshold: float) -> float:
+        """Final-stage agreement among exiting samples (1.0 if none exit).
+
+        The vacuous 1.0 keeps the accuracy proxy well-defined at thresholds
+        so high that nothing leaves early — zero samples exit, so zero
+        weight is contributed anyway.
+        """
+        mask = self.values(kind) >= threshold
+        if not mask.any():
+            return 1.0
+        return float(np.mean(self.agree[mask]))
+
+    def agreement_below(self, kind: str, threshold: float) -> float:
+        """Final-stage agreement among samples the rule would escalate.
+
+        This is the accuracy a *forced* exit (deadline already blown, the
+        remnant answered here instead of escalating) actually delivers.
+        1.0 if nothing falls below the threshold.
+        """
+        mask = self.values(kind) < threshold
+        if not mask.any():
+            return 1.0
+        return float(np.mean(self.agree[mask]))
+
+    def quantile(self, kind: str, q: float) -> float:
+        """The q-quantile (0..1) of the stage's confidence distribution.
+
+        Calibration helper: a threshold at quantile q makes roughly a
+        ``1 - q`` fraction of traffic exit, whatever the (possibly
+        untrained) model's absolute confidence scale is.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise SchedulerError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.values(kind), q))
+
+
+class CascadeProfile:
+    """Per-stage :class:`StageProfile`s for one cascade's non-final stages."""
+
+    def __init__(self, cascade: str, stages: "dict[int, StageProfile]"):
+        if not stages:
+            raise SchedulerError("a cascade profile needs at least one stage")
+        self.cascade = cascade
+        self._stages = dict(stages)
+
+    @property
+    def stage_indices(self) -> "tuple[int, ...]":
+        return tuple(sorted(self._stages))
+
+    @property
+    def n_probe(self) -> int:
+        return next(iter(self._stages.values())).n_probe
+
+    def stage(self, index: int) -> StageProfile:
+        try:
+            return self._stages[index]
+        except KeyError:
+            raise SchedulerError(
+                f"no profile for stage {index} of cascade {self.cascade!r} "
+                f"(profiled: {self.stage_indices})"
+            ) from None
+
+
+def profile_cascade(
+    cascade: CascadeSpec,
+    models: "dict[str, object]",
+    probe_x: np.ndarray,
+) -> CascadeProfile:
+    """Measure a cascade's confidence profile on a held-out probe set.
+
+    ``models`` maps stage model names to *built* :class:`~repro.nn.model.
+    Sequential` instances (the same networks the dispatcher deploys).
+    Every non-final stage is run on ``probe_x`` for real — the profile's
+    exit fractions and agreement rates come from genuine softmax outputs,
+    not synthetic distributions.
+    """
+    if probe_x.ndim < 2 or probe_x.shape[0] == 0:
+        raise SchedulerError(
+            f"probe set must be a non-empty batch, got shape {probe_x.shape}"
+        )
+    missing = [n for n in cascade.model_names if n not in models]
+    if missing:
+        raise SchedulerError(
+            f"profile_cascade is missing built models for stages: {missing}"
+        )
+    final_pred = models[cascade.final.spec.name].predict(probe_x)
+    stages: "dict[int, StageProfile]" = {}
+    for i, stage in enumerate(cascade.stages[:-1]):
+        model = models[stage.spec.name]
+        top1, margin = model.confidence(probe_x)
+        agree = model.predict(probe_x) == final_pred
+        stages[i] = StageProfile(
+            top1=np.asarray(top1, dtype=np.float64),
+            margin=np.asarray(margin, dtype=np.float64),
+            agree=np.asarray(agree, dtype=bool),
+        )
+    return CascadeProfile(cascade.name, stages)

@@ -1,0 +1,159 @@
+"""Adaptive exit-threshold controller (MultiTASC++ style).
+
+Each control tick reads three per-node load signals — queue depth, recent
+p99 versus the SLO, and how many requests the node shed since the last
+tick — and nudges that node's stage-0 exit threshold one step:
+
+* **overloaded** (sheds happened, the queue is past the high watermark,
+  or the recent tail eats more than ``headroom`` of the SLO budget) →
+  *lower* the threshold.  A lower bar means more samples take the cheap
+  stage's answer and never reach the heavy model: accuracy degrades
+  smoothly *before* admission control starts shedding — the pre-shed
+  lever.
+* **calm** (no sheds, queue under the low watermark, recent tail under
+  ``comfort`` of the SLO) → *raise* the threshold, buying accuracy back.
+
+Thresholds are clamped to a calibrated ``[min, max]`` band (see
+:func:`repro.cascade.presets.calibrated_controller_config`) so the
+controller can never pin the cascade fully open or fully closed.  Every
+move is recorded in :attr:`history` — benches assert the controller
+demonstrably moved as backlog shifted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+
+__all__ = ["ControllerConfig", "ThresholdController"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tuning knobs for the adaptive threshold controller.
+
+    Parameters
+    ----------
+    initial:
+        Starting exit threshold for every node.
+    min_threshold / max_threshold:
+        Clamp band for the adapted threshold.
+    step:
+        Per-tick adjustment magnitude.
+    high_watermark / low_watermark:
+        Queue-depth bounds (requests) triggering lower / allowing raise.
+    headroom:
+        Fraction of the SLO the recent p99 may use before the node counts
+        as overloaded.
+    comfort:
+        Fraction of the SLO the recent p99 must stay under before the
+        controller raises the threshold again.
+    """
+
+    initial: float = 0.7
+    min_threshold: float = 0.3
+    max_threshold: float = 0.95
+    step: float = 0.02
+    high_watermark: int = 32
+    low_watermark: int = 4
+    headroom: float = 0.8
+    comfort: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_threshold <= self.initial <= self.max_threshold <= 1.0:
+            raise SchedulerError(
+                "need 0 < min <= initial <= max <= 1, got "
+                f"min={self.min_threshold}, initial={self.initial}, "
+                f"max={self.max_threshold}"
+            )
+        if self.step <= 0.0:
+            raise SchedulerError(f"step must be positive, got {self.step}")
+        if self.low_watermark < 0 or self.high_watermark <= self.low_watermark:
+            raise SchedulerError(
+                "need 0 <= low_watermark < high_watermark, got "
+                f"low={self.low_watermark}, high={self.high_watermark}"
+            )
+        if not 0.0 < self.comfort <= self.headroom <= 1.0:
+            raise SchedulerError(
+                "need 0 < comfort <= headroom <= 1, got "
+                f"comfort={self.comfort}, headroom={self.headroom}"
+            )
+
+
+class ThresholdController:
+    """Per-node adaptive exit thresholds, stepped once per control tick."""
+
+    def __init__(self, config: "ControllerConfig | None" = None):
+        self.config = config if config is not None else ControllerConfig()
+        self._theta: "dict[str, float]" = {}
+        #: Every applied change, as ``(t_s, node_key, new_threshold)``.
+        self.history: "list[tuple[float, str, float]]" = []
+        self.n_lowered = 0
+        self.n_raised = 0
+        self.n_ticks = 0
+
+    def threshold(self, key: str) -> float:
+        """The current exit threshold for one node (initial until moved)."""
+        return self._theta.get(key, self.config.initial)
+
+    @property
+    def thresholds(self) -> "dict[str, float]":
+        """Every node's current threshold (only nodes that ever moved)."""
+        return dict(self._theta)
+
+    def tick(
+        self,
+        key: str,
+        now: float,
+        depth: int,
+        recent_p99_s: "float | None",
+        slo_s: "float | None",
+        shed_delta: int,
+    ) -> "tuple[float, bool]":
+        """One control step for one node; returns ``(threshold, changed)``.
+
+        ``depth`` is the node's queued request count, ``recent_p99_s`` its
+        rolling-window tail (None before any completion), ``shed_delta``
+        how many requests it shed since the previous tick.
+        """
+        cfg = self.config
+        self.n_ticks += 1
+        theta = self.threshold(key)
+        tail_hot = (
+            recent_p99_s is not None
+            and slo_s is not None
+            and recent_p99_s > cfg.headroom * slo_s
+        )
+        tail_cool = (
+            recent_p99_s is None
+            or slo_s is None
+            or recent_p99_s < cfg.comfort * slo_s
+        )
+        if shed_delta > 0 or depth >= cfg.high_watermark or tail_hot:
+            new = max(cfg.min_threshold, theta - cfg.step)
+            if new != theta:
+                self.n_lowered += 1
+        elif shed_delta == 0 and depth <= cfg.low_watermark and tail_cool:
+            new = min(cfg.max_threshold, theta + cfg.step)
+            if new != theta:
+                self.n_raised += 1
+        else:
+            new = theta
+        changed = new != theta
+        if changed:
+            self._theta[key] = new
+            self.history.append((float(now), key, new))
+        return new, changed
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary for telemetry rollups."""
+        return {
+            "initial": self.config.initial,
+            "band": (self.config.min_threshold, self.config.max_threshold),
+            "thresholds": dict(sorted(self._theta.items())),
+            "ticks": self.n_ticks,
+            "lowered": self.n_lowered,
+            "raised": self.n_raised,
+            "moves": len(self.history),
+        }

@@ -1,0 +1,171 @@
+"""Ready-made cascades over the zoo, with measured calibration.
+
+The default chain is the paper's two MNIST FFNNs: Mnist-Small (two hidden
+layers, the cheap stage, biased toward CPU/iGPU) escalating into
+Mnist-Deep (six hidden layers, the heavy stage, biased toward the dGPU).
+Both take flat 784-vectors, so an escalated sample is literally the same
+input re-run through the bigger network.
+
+Thresholds are calibrated *from the models themselves*: the controller's
+``[min, max]`` band is placed at quantiles of the cheap stage's measured
+confidence distribution on a probe set, so the exit fraction sweeps a
+useful range whether the weights are trained or fresh — an untrained
+model's confidences cluster differently, but its quantiles still slice
+traffic the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.cascade.confidence import CascadeProfile, profile_cascade
+from repro.cascade.controller import ControllerConfig
+from repro.cascade.spec import CascadeSpec, CascadeStage, ExitRule
+from repro.nn.builders import build_model
+from repro.nn.datasets import make_mnist
+from repro.nn.model import Sequential
+from repro.nn.train import TrainConfig, train_model
+from repro.nn.zoo import MNIST_DEEP, MNIST_SMALL
+from repro.rng import ensure_rng
+
+__all__ = [
+    "DEFAULT_ENTRY_BIAS",
+    "DEFAULT_FINAL_BIAS",
+    "default_cascade",
+    "probe_for",
+    "build_stage_models",
+    "default_profile",
+    "calibrated_controller_config",
+]
+
+#: The cheap stage rides the low-power devices; the heavy stage earns the
+#: dGPU (stage placement, tentpole item 4).
+DEFAULT_ENTRY_BIAS = ("cpu", "igpu")
+DEFAULT_FINAL_BIAS = ("dgpu",)
+
+
+def default_cascade(
+    kind: str = "top1", threshold: float = 0.7, name: str = "mnist-cascade"
+) -> CascadeSpec:
+    """Mnist-Small -> Mnist-Deep, the default early-exit chain."""
+    return CascadeSpec(
+        name=name,
+        stages=(
+            CascadeStage(
+                spec=MNIST_SMALL,
+                exit_rule=ExitRule(kind=kind, threshold=threshold),
+                device_bias=DEFAULT_ENTRY_BIAS,
+            ),
+            CascadeStage(spec=MNIST_DEEP, device_bias=DEFAULT_FINAL_BIAS),
+        ),
+    )
+
+
+def probe_for(
+    input_shape: "tuple[int, ...]",
+    n: int = 256,
+    rng: "int | np.random.Generator | None" = 0,
+) -> np.ndarray:
+    """A held-out probe batch matching one input shape.
+
+    Flat 784-vectors get flattened synthetic MNIST images (structured
+    inputs, so confidence distributions look like real traffic); any
+    other shape gets a standard-normal batch.
+    """
+    if n <= 0:
+        raise SchedulerError(f"probe size must be positive, got {n}")
+    gen = ensure_rng(rng)
+    if tuple(input_shape) == (784,):
+        data = make_mnist(n_samples=n + 8, test_frac=0.5, rng=gen)
+        x = data.x_test.reshape(data.x_test.shape[0], -1)[:n]
+        if x.shape[0] < n:  # tiny probe: top up from the train half
+            extra = data.x_train.reshape(data.x_train.shape[0], -1)
+            x = np.concatenate([x, extra[: n - x.shape[0]]])
+        return np.ascontiguousarray(x, dtype=np.float32)
+    return gen.standard_normal((n, *input_shape)).astype(np.float32)
+
+
+def build_stage_models(
+    cascade: CascadeSpec,
+    rng: "int | np.random.Generator | None" = 0,
+    train_samples: int = 0,
+    train_epochs: int = 2,
+) -> "dict[str, Sequential]":
+    """Build (and optionally lightly train) every stage's network.
+
+    ``train_samples > 0`` trains each stage on that many synthetic MNIST
+    samples — enough to spread the confidence distributions apart for
+    demos; 0 (the default) keeps fresh weights, which the quantile
+    calibration handles fine.
+    """
+    gen = ensure_rng(rng)
+    models: "dict[str, Sequential]" = {}
+    train_data = None
+    if train_samples > 0:
+        train_data = make_mnist(n_samples=train_samples, test_frac=0.1, rng=gen)
+    for stage in cascade.stages:
+        model = build_model(stage.spec, rng=gen)
+        if train_data is not None and tuple(stage.spec.input_shape) == (784,):
+            x = train_data.x_train.reshape(train_data.x_train.shape[0], -1)
+            train_model(
+                model, x, train_data.y_train,
+                config=TrainConfig(epochs=train_epochs, batch_size=64),
+                rng=gen,
+            )
+        models[stage.spec.name] = model
+    return models
+
+
+def default_profile(
+    cascade: "CascadeSpec | None" = None,
+    models: "dict[str, Sequential] | None" = None,
+    n_probe: int = 256,
+    rng: "int | np.random.Generator | None" = 0,
+) -> "tuple[CascadeSpec, dict[str, Sequential], CascadeProfile]":
+    """One-call setup: cascade + built models + measured profile."""
+    spec = cascade if cascade is not None else default_cascade()
+    built = models if models is not None else build_stage_models(spec, rng=rng)
+    probe = probe_for(spec.entry.spec.input_shape, n=n_probe, rng=rng)
+    return spec, built, profile_cascade(spec, built, probe)
+
+
+def calibrated_controller_config(
+    profile: CascadeProfile,
+    kind: str = "top1",
+    stage: int = 0,
+    low_q: float = 0.15,
+    initial_q: float = 0.5,
+    high_q: float = 0.9,
+    **overrides,
+) -> ControllerConfig:
+    """Place the controller's threshold band at measured quantiles.
+
+    ``min_threshold`` at ``low_q`` keeps at least ~``1 - low_q`` of
+    traffic exiting when fully open; ``max_threshold`` at ``high_q``
+    caps escalation near ``high_q`` of traffic when fully closed.  The
+    step defaults to an eighth of the band, so roughly eight overloaded
+    ticks sweep fully open whatever the model's confidence scale.  Extra
+    keyword arguments pass through to :class:`ControllerConfig` (step,
+    watermarks, headroom, comfort).
+    """
+    if not 0.0 <= low_q < initial_q < high_q <= 1.0:
+        raise SchedulerError(
+            f"need 0 <= low_q < initial_q < high_q <= 1, got "
+            f"{low_q}, {initial_q}, {high_q}"
+        )
+    sp = profile.stage(stage)
+    lo = sp.quantile(kind, low_q)
+    init = sp.quantile(kind, initial_q)
+    hi = sp.quantile(kind, high_q)
+    # Degenerate (near-constant) confidence distributions can collapse
+    # the band; spread it minimally so the controller still has room.
+    if not lo < init < hi:
+        eps = 1e-4
+        init = min(max(init, lo + eps), 1.0 - eps)
+        hi = min(max(hi, init + eps), 1.0)
+        lo = max(min(lo, init - eps), eps)
+    overrides.setdefault("step", (hi - lo) / 8.0)
+    return ControllerConfig(
+        initial=init, min_threshold=lo, max_threshold=hi, **overrides
+    )

@@ -1,0 +1,145 @@
+"""Cascade specifications: ordered model chains with per-stage exit rules.
+
+A cascade serves a cheap model first and escalates only the samples it is
+not confident about (MultiTASC++, arXiv:2412.04147).  A
+:class:`CascadeSpec` is the static description: which zoo models form the
+chain, what confidence signal each stage thresholds on to exit, and which
+device classes each stage prefers — the cheap stage rides the CPU/iGPU,
+the heavy stage earns the dGPU.  The dynamic half (adaptive thresholds,
+escalation plumbing) lives in :mod:`repro.cascade.controller` and
+:mod:`repro.cascade.executor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+from repro.nn.builders import ModelSpec
+
+__all__ = ["EXIT_KINDS", "ExitRule", "CascadeStage", "CascadeSpec"]
+
+#: Confidence signals an exit rule may threshold on: the top-1 softmax
+#: probability, or the margin between the top two probabilities.
+EXIT_KINDS = ("top1", "margin")
+
+#: Device classes a stage bias may name.
+_DEVICE_CLASSES = ("cpu", "igpu", "dgpu")
+
+
+@dataclass(frozen=True)
+class ExitRule:
+    """One stage's exit test: confidence ``kind`` at or above ``threshold``.
+
+    Samples whose confidence clears the threshold take this stage's answer
+    and leave the cascade; the rest escalate to the next stage.  The
+    threshold given here is the *static* value; an adaptive controller may
+    override the stage-0 threshold at run time.
+    """
+
+    kind: str = "top1"
+    threshold: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.kind not in EXIT_KINDS:
+            raise SchedulerError(
+                f"unknown exit-rule kind {self.kind!r}; known: {EXIT_KINDS}"
+            )
+        if not 0.0 < self.threshold <= 1.0:
+            raise SchedulerError(
+                f"exit threshold must be in (0, 1], got {self.threshold}"
+            )
+
+
+@dataclass(frozen=True)
+class CascadeStage:
+    """One link in the chain: a deployed model plus its exit behaviour.
+
+    ``exit_rule`` is None only for the final stage (everything that
+    reaches it is answered there).  ``device_bias`` nudges the backlog
+    scheduler's ranking for this stage's model — see
+    :meth:`repro.sched.backlog.BacklogAwareScheduler.set_model_preference`.
+    """
+
+    spec: ModelSpec
+    exit_rule: "ExitRule | None" = None
+    device_bias: "tuple[str, ...] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.device_bias is not None:
+            bad = [c for c in self.device_bias if c not in _DEVICE_CLASSES]
+            if bad:
+                raise SchedulerError(
+                    f"unknown device classes in stage bias {bad}; "
+                    f"known: {_DEVICE_CLASSES}"
+                )
+
+
+@dataclass(frozen=True)
+class CascadeSpec:
+    """An ordered chain of at least two stages over distinct models.
+
+    Every stage but the last needs an exit rule (otherwise nothing would
+    ever leave early); the last must not have one (it answers whatever
+    reaches it).  All stages must agree on input shape — a sample that
+    escalates is the *same* sample, re-run through a bigger network.
+    """
+
+    name: str
+    stages: "tuple[CascadeStage, ...]"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchedulerError("cascade name must be non-empty")
+        if len(self.stages) < 2:
+            raise SchedulerError(
+                f"a cascade needs at least 2 stages, got {len(self.stages)}"
+            )
+        names = [s.spec.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise SchedulerError(f"cascade stages must use distinct models: {names}")
+        for i, stage in enumerate(self.stages[:-1]):
+            if stage.exit_rule is None:
+                raise SchedulerError(
+                    f"stage {i} ({stage.spec.name!r}) needs an exit rule "
+                    "(only the final stage answers unconditionally)"
+                )
+        if self.stages[-1].exit_rule is not None:
+            raise SchedulerError(
+                f"final stage ({self.stages[-1].spec.name!r}) must not have an "
+                "exit rule — everything that reaches it is answered there"
+            )
+        shapes = {s.spec.input_shape for s in self.stages}
+        if len(shapes) != 1:
+            raise SchedulerError(
+                f"cascade stages must share one input shape, got {sorted(shapes)}"
+            )
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def model_names(self) -> "tuple[str, ...]":
+        """Stage model names, in chain order."""
+        return tuple(s.spec.name for s in self.stages)
+
+    @property
+    def entry(self) -> CascadeStage:
+        """The cheap stage every request starts at."""
+        return self.stages[0]
+
+    @property
+    def final(self) -> CascadeStage:
+        """The heavy stage that answers unconditionally."""
+        return self.stages[-1]
+
+    def stage(self, index: int) -> CascadeStage:
+        if not 0 <= index < len(self.stages):
+            raise SchedulerError(
+                f"no stage {index} in cascade {self.name!r} "
+                f"({len(self.stages)} stages)"
+            )
+        return self.stages[index]

@@ -1,0 +1,124 @@
+"""Cascade telemetry: where traffic exits, what escalation costs.
+
+One :class:`CascadeTelemetry` sink per executor, attachable to the
+serving/fleet telemetry (``ServingTelemetry.cascade`` /
+``FleetTelemetry.cascade``) so cascade counters ride along in every
+``snapshot()`` / ``stats()`` rollup:
+
+* per-stage exit histogram (samples answered at each stage) and
+  escalation counts (samples forwarded from each stage);
+* forced exits (deadline pressure answered a remnant early) and
+  fallbacks (an escalation was shed, the previous stage's answer stood);
+* an accuracy proxy — exit-weighted agreement-with-final-stage, measured
+  on the held-out probe set (see :mod:`repro.cascade.confidence`);
+* the end-to-end latency split: mean time-to-answer by exit stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CascadeTelemetry"]
+
+
+@dataclass
+class CascadeTelemetry:
+    """Counters and accumulators for one cascade executor."""
+
+    cascade: str = ""
+    n_chains: int = 0              # chains submitted
+    n_resolved: int = 0            # chains answered (ok)
+    n_shed_chains: int = 0         # chains with no answer (stage-0 shed)
+    n_forced_chains: int = 0       # chains whose remnant was forced out
+    n_fallback_chains: int = 0     # chains answered by a pre-shed stage
+    n_escalations: int = 0         # escalation requests submitted
+    exits: "dict[int, int]" = field(default_factory=dict)       # stage -> samples
+    escalated: "dict[int, int]" = field(default_factory=dict)   # stage -> samples
+    n_forced_samples: int = 0      # samples answered early under deadline
+    # Accuracy proxy: agreement-weighted exits (probe-set agreement at the
+    # threshold each exit actually used; final-stage exits weigh 1.0).
+    agreement_weight: float = 0.0
+    answered_samples: int = 0
+    # Latency split: per exit stage, sum of chain time-to-answer seconds.
+    answer_latency_s: "dict[int, float]" = field(default_factory=dict)
+    answer_chains: "dict[int, int]" = field(default_factory=dict)
+
+    # -- recording ---------------------------------------------------------
+
+    def record_exit(self, stage: int, samples: int, agreement: float) -> None:
+        """``samples`` answered at ``stage`` with probe agreement ``agreement``."""
+        if samples <= 0:
+            return
+        self.exits[stage] = self.exits.get(stage, 0) + samples
+        self.agreement_weight += samples * agreement
+        self.answered_samples += samples
+
+    def record_escalation(self, stage: int, samples: int) -> None:
+        """``samples`` forwarded from ``stage`` to the next one."""
+        self.escalated[stage] = self.escalated.get(stage, 0) + samples
+        self.n_escalations += 1
+
+    def record_answer(self, stage: int, latency_s: float) -> None:
+        """One chain resolved with its deepest answer at ``stage``."""
+        self.n_resolved += 1
+        self.answer_latency_s[stage] = (
+            self.answer_latency_s.get(stage, 0.0) + latency_s
+        )
+        self.answer_chains[stage] = self.answer_chains.get(stage, 0) + 1
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def escalation_rate(self) -> float:
+        """Fraction of answered samples that passed through an escalation."""
+        total = self.answered_samples
+        if not total:
+            return 0.0
+        return sum(self.escalated.values()) / total
+
+    @property
+    def accuracy_proxy(self) -> float:
+        """Exit-weighted probe-set agreement with the final stage (0..1).
+
+        1.0 means every sample got the answer the heavy model would have
+        given; lowering exit thresholds under overload trades this down
+        smoothly instead of shedding.
+        """
+        if not self.answered_samples:
+            return 1.0
+        return self.agreement_weight / self.answered_samples
+
+    def exit_shares(self) -> "dict[int, float]":
+        """Fraction of answered samples that exited at each stage."""
+        total = self.answered_samples
+        if not total:
+            return {}
+        return {k: v / total for k, v in sorted(self.exits.items())}
+
+    def latency_split_s(self) -> "dict[int, float]":
+        """Mean chain time-to-answer by exit stage, in seconds."""
+        return {
+            k: self.answer_latency_s[k] / self.answer_chains[k]
+            for k in sorted(self.answer_chains)
+        }
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary, merged into serving/fleet snapshots."""
+        out: dict = {
+            "name": self.cascade,
+            "chains": self.n_chains,
+            "resolved": self.n_resolved,
+            "shed_chains": self.n_shed_chains,
+            "forced_chains": self.n_forced_chains,
+            "fallback_chains": self.n_fallback_chains,
+            "escalations": self.n_escalations,
+            "exits": dict(sorted(self.exits.items())),
+            "escalated": dict(sorted(self.escalated.items())),
+            "forced_samples": self.n_forced_samples,
+            "escalation_rate": self.escalation_rate,
+            "accuracy_proxy": self.accuracy_proxy,
+        }
+        split = self.latency_split_s()
+        if split:
+            out["answer_latency_ms"] = {k: v * 1e3 for k, v in split.items()}
+        return out

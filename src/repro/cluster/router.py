@@ -67,9 +67,16 @@ class ClusterResponse:
     binding is live at a time — the drained frontend forgets its copy —
     so served/shed outcomes are counted once no matter how many hops the
     request took.
+
+    ``on_done`` fires exactly once when the request finally resolves —
+    whichever node serves (or sheds) it, across any number of drains,
+    crashes and retries — so chained work (cascade escalations) can react
+    at the resolution instant on the shared virtual clock.
     """
 
-    __slots__ = ("request", "node_name", "inner", "n_routes", "_shed_reason")
+    __slots__ = (
+        "request", "node_name", "inner", "n_routes", "_shed_reason", "on_done",
+    )
 
     def __init__(self, request: InferenceRequest):
         self.request = request
@@ -77,16 +84,34 @@ class ClusterResponse:
         self.inner: "ServingResponse | None" = None
         self.n_routes = 0
         self._shed_reason: "str | None" = None   # router-level shed override
+        self.on_done: "Callable[[ClusterResponse], None] | None" = None
 
     def bind(self, node_name: str, inner: ServingResponse) -> None:
         """Point this handle at the (new) node-level response."""
         self.node_name = node_name
         self.inner = inner
         self.n_routes += 1
+        # An adoption can resolve synchronously (admission sheds inside
+        # adopt()) before this hook is attached; notify immediately then.
+        inner.on_done = self._on_inner_done
+        if inner.done:
+            inner.on_done = None
+            self._fire_done()
+
+    def _on_inner_done(self, inner: ServingResponse) -> None:
+        if inner is self.inner:   # a stale binding's resolution is not ours
+            self._fire_done()
+
+    def _fire_done(self) -> None:
+        hook = self.on_done
+        if hook is not None:
+            self.on_done = None
+            hook(self)
 
     def mark_shed(self, reason: str) -> None:
         """Resolve as shed at the router (e.g. no active node left)."""
         self._shed_reason = reason
+        self._fire_done()
 
     # -- resolved state ----------------------------------------------------
 

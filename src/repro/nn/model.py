@@ -87,6 +87,25 @@ class Sequential:
         """Hard class labels (argmax)."""
         return np.argmax(self.forward(x), axis=1)
 
+    def confidence(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-sample ``(top-1 probability, top1 - top2 margin)``.
+
+        The two confidence signals a cascade's exit rule can threshold on
+        (§ cascades): how sure the model is of its best class, and how far
+        ahead that class is of the runner-up.  Both are computed from the
+        softmax probabilities of :meth:`predict_proba`.  For a single-class
+        head the margin equals the top-1 probability (there is no
+        runner-up to subtract).
+        """
+        proba = self.predict_proba(x)
+        if proba.shape[1] < 2:
+            top1 = proba[:, 0]
+            return top1, top1.copy()
+        # Two largest per row without a full sort.
+        part = np.partition(proba, -2, axis=1)
+        top1 = part[:, -1]
+        return top1, top1 - part[:, -2]
+
     def forward_train(self, x: np.ndarray) -> np.ndarray:
         """Training-mode forward pass retaining per-layer caches."""
         self._require_built()

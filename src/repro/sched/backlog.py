@@ -125,6 +125,11 @@ class BacklogAwareScheduler:
         self._seen_predictor: "object | None" = None
         self._seen_generation: "int | None" = -1
         self._mask_invalidations = 0
+        # Per-model placement bias (cascade stage pinning): model name ->
+        # preferred device classes, moved to the front of the predictor's
+        # ranking for that model only.  See set_model_preference.
+        self._model_preferences: "dict[str, tuple[str, ...]]" = {}
+        self._preference_invalidations = 0
 
     # -- device mask (degraded-mode scheduling) ----------------------------
 
@@ -176,6 +181,56 @@ class BacklogAwareScheduler:
             del self._entries[key]
         self._mask_invalidations += len(stale)
 
+    # -- per-model placement bias (cascade stage pinning) ------------------
+
+    def model_preference(self, model: str) -> "tuple[str, ...] | None":
+        """The placement bias set for a model, if any."""
+        return self._model_preferences.get(model)
+
+    def set_model_preference(
+        self, model: str, classes: "tuple[str, ...] | list[str] | None"
+    ) -> None:
+        """Bias one model's ranking toward the given device classes.
+
+        A cascade pins its cheap stage to CPU/iGPU and its heavy stage to
+        the dGPU without disturbing other models' placements: the named
+        classes are moved (in the given order) to the front of the
+        predictor's ranking for this model only, so with ``max_rank >= 2``
+        the backlog spill still works *within* the preferred set.  Classes
+        absent from a node are skipped — a dGPU bias on a dGPU-less node
+        degrades to the plain predictor order.  ``None`` clears the bias.
+        Stale decision-cache cells for the model are invalidated.
+        """
+        if classes is None:
+            if self._model_preferences.pop(model, None) is not None:
+                self.invalidate_model(model)
+            return
+        preferred = tuple(classes)
+        known = {"cpu", "igpu", "dgpu"}
+        bad = [c for c in preferred if c not in known]
+        if bad:
+            raise SchedulerError(
+                f"unknown device classes in preference {bad}; known: {sorted(known)}"
+            )
+        if self._model_preferences.get(model) == preferred:
+            return
+        self._model_preferences[model] = preferred
+        self.invalidate_model(model)
+
+    def invalidate_model(self, model: str) -> int:
+        """Drop every cached decision cell for one model.
+
+        Used when something *about the model's traffic* changed without a
+        predictor refit — its placement bias, or a cascade controller
+        retuning the exit threshold that shapes its batch mix.  Returns the
+        number of entries dropped.
+        """
+        stale = [key for key in self._entries if key[0] == model]
+        for key in stale:
+            del self._entries[key]
+        self._preference_invalidations += len(stale)
+        return len(stale)
+
     # -- ranking -----------------------------------------------------------
 
     def rank_devices(self, spec: ModelSpec, batch: int, gpu_state: str) -> tuple[str, ...]:
@@ -211,6 +266,11 @@ class BacklogAwareScheduler:
             raise SchedulerError(
                 f"no ranked device class present in context (has: {sorted(available)})"
             )
+        preference = self._model_preferences.get(spec.name)
+        if preference:
+            front = tuple(c for c in preference if c in ranked)
+            if front:
+                ranked = front + tuple(c for c in ranked if c not in front)
         return ranked
 
     # -- service-time estimates --------------------------------------------
@@ -266,6 +326,7 @@ class BacklogAwareScheduler:
             "refit_clears": self._refit_clears,
             "feedback_invalidations": self._feedback_invalidations,
             "mask_invalidations": self._mask_invalidations,
+            "preference_invalidations": self._preference_invalidations,
         }
 
     def _entry_for(self, spec: ModelSpec, batch: int, gpu_state: str) -> _DecisionEntry:

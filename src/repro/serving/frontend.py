@@ -155,12 +155,19 @@ class ServingResponse:
     Starts 'pending'; resolves to 'ok' when its batch completes or 'shed'
     when admission refuses it.  Degraded requests resolve 'ok' with
     :attr:`degraded` set.
+
+    ``on_done`` is an optional resolution hook: set it before the loop
+    runs past the request and it fires exactly once, with this response,
+    at the instant the status leaves 'pending' (served or shed).  Cascade
+    executors chain stages through it; it is never called for responses
+    a drain orphaned (those stay pending forever — the adopting node's
+    fresh response resolves instead).
     """
 
     __slots__ = (
         "request", "status", "device", "device_name", "trigger", "batch_id",
         "batch_size", "dispatched_s", "start_s", "end_s", "energy_j",
-        "scores", "degraded", "shed_reason",
+        "scores", "degraded", "shed_reason", "on_done",
     )
 
     def __init__(self, request: InferenceRequest):
@@ -178,6 +185,14 @@ class ServingResponse:
         self.scores: "np.ndarray | None" = None
         self.degraded = False
         self.shed_reason: "str | None" = None
+        self.on_done: "Callable[[ServingResponse], None] | None" = None
+
+    def _fire_done(self) -> None:
+        """Invoke the resolution hook once (it is consumed on firing)."""
+        hook = self.on_done
+        if hook is not None:
+            self.on_done = None
+            hook(self)
 
     @property
     def done(self) -> bool:
@@ -189,10 +204,15 @@ class ServingResponse:
 
     @property
     def latency_s(self) -> float:
-        """Arrival-to-completion time (served requests only)."""
+        """Arrival-to-completion time (served requests only).
+
+        Counts from the request's *effective* arrival — the chain's first
+        arrival for escalated follow-up requests — so end-to-end latency
+        honestly includes the time earlier stages already spent.
+        """
         if not self.served:
             raise SchedulerError(f"request is {self.status}, has no latency")
-        return self.end_s - self.request.arrival_s
+        return self.end_s - self.request.effective_arrival_s
 
     @property
     def deadline_met(self) -> "bool | None":
@@ -509,6 +529,7 @@ class ServingFrontend:
             response.status = "shed"
             response.shed_reason = decision.reason
             self.telemetry.n_shed += 1
+            response._fire_done()
             return
         if decision.action == "degrade":
             self.telemetry.n_degraded += 1
@@ -642,9 +663,10 @@ class ServingFrontend:
             offset += entry.batch
 
             self.telemetry.n_served += 1
-            self.telemetry.record_latency(end - entry.request.arrival_s)
+            self.telemetry.record_latency(end - entry.request.effective_arrival_s)
             if response.deadline_met is False:
                 self.telemetry.n_violations += 1
+            response._fire_done()
 
         self._in_flight -= len(batch.entries)
         self._in_flight_samples -= total
@@ -670,6 +692,7 @@ class ServingFrontend:
         response.status = "shed"
         response.shed_reason = reason
         self.telemetry.n_shed += 1
+        response._fire_done()
 
     # -- fault handling (crash / dropout / throttle) -----------------------
 

@@ -51,6 +51,10 @@ class FleetTelemetry:
     def __init__(self) -> None:
         self._nodes: dict[str, ServingTelemetry] = {}
         self.resilience = ResilienceCounters()
+        # Optional cascade attachment: any object with snapshot() -> dict
+        # (a repro.cascade CascadeTelemetry), set by a CascadeExecutor
+        # serving through the cluster router; surfaced in snapshot().
+        self.cascade: "object | None" = None
         # Availability accounting: observed downtime per node, in virtual
         # seconds.  Down/up marks come from the router at crash *detection*
         # and probe-passed revival, so availability measures what clients
@@ -247,6 +251,8 @@ class FleetTelemetry:
         # only appears once something was actually recorded.
         if self.resilience.any():
             out["resilience"] = asdict(self.resilience)
+        if self.cascade is not None:
+            out["cascade"] = self.cascade.snapshot()
         out["per_node"] = {
             name: telemetry.snapshot()
             for name, telemetry in sorted(self._nodes.items())

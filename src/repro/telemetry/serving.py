@@ -297,6 +297,10 @@ class ServingTelemetry:
     n_degraded: int = 0
     n_violations: int = 0
     n_failed: int = 0    # transient launch failures (fault injection)
+    # Optional cascade attachment: any object with a snapshot() -> dict
+    # (a repro.cascade CascadeTelemetry).  Set by the CascadeExecutor when
+    # a cascade serves through this frontend; surfaced in snapshot().
+    cascade: "object | None" = None
 
     def record_latency(self, latency_s: float) -> None:
         """Record a served request's latency in both digests at once."""
@@ -345,4 +349,6 @@ class ServingTelemetry:
             out["recent_p99_ms"] = self.recent.p99_s * 1e3
         if len(self.batch_sizes):
             out["mean_batch_samples"] = self.batch_sizes.mean_samples
+        if self.cascade is not None:
+            out["cascade"] = self.cascade.snapshot()
         return out

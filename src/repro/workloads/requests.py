@@ -21,7 +21,15 @@ __all__ = ["InferenceRequest", "RequestTrace", "make_trace"]
 
 @dataclass(frozen=True)
 class InferenceRequest:
-    """One unit of schedulable work: a batch for one deployed model."""
+    """One unit of schedulable work: a batch for one deployed model.
+
+    ``origin_arrival_s`` marks a *follow-up* request: work re-enqueued on
+    behalf of an earlier request (a cascade escalation).  It carries the
+    chain's first arrival time so end-to-end latency keeps counting from
+    the moment the original request entered the system, while
+    ``deadline_s`` stays the original *absolute* SLO — a follow-up never
+    gets a reset deadline.
+    """
 
     request_id: int
     arrival_s: float
@@ -29,6 +37,7 @@ class InferenceRequest:
     batch: int
     policy: str = "throughput"
     deadline_s: "float | None" = None     # absolute completion deadline (SLO)
+    origin_arrival_s: "float | None" = None   # chain's first arrival (follow-ups)
 
     def __post_init__(self) -> None:
         if self.batch <= 0:
@@ -39,6 +48,24 @@ class InferenceRequest:
             raise ValueError(
                 f"deadline {self.deadline_s} must fall after arrival {self.arrival_s}"
             )
+        if self.origin_arrival_s is not None and self.origin_arrival_s > self.arrival_s:
+            raise ValueError(
+                f"origin arrival {self.origin_arrival_s} must not fall after "
+                f"re-enqueue arrival {self.arrival_s}"
+            )
+
+    @property
+    def effective_arrival_s(self) -> float:
+        """The arrival that end-to-end latency counts from.
+
+        The original arrival for follow-up (escalated) requests, this
+        request's own arrival otherwise.
+        """
+        return (
+            self.origin_arrival_s
+            if self.origin_arrival_s is not None
+            else self.arrival_s
+        )
 
     @property
     def slack_s(self) -> "float | None":

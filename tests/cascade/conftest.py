@@ -1,0 +1,102 @@
+"""Cascade-layer fixtures: the default MNIST chain over fresh backends.
+
+Heavy artifacts (the predictor grid over both stage models, the built
+stage networks, the measured confidence profile) are session-scoped;
+frontends and fleets are rebuilt per test because their virtual clocks
+and queue states are mutable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cascade import (
+    build_stage_models,
+    default_cascade,
+    probe_for,
+    profile_cascade,
+)
+from repro.cluster import ClusterNode, NodeSpec, make_fleet
+from repro.nn.zoo import MNIST_DEEP, MNIST_SMALL
+from repro.ocl.context import Context
+from repro.ocl.platform import get_all_devices
+from repro.sched.dataset import generate_dataset
+from repro.sched.dispatcher import Dispatcher
+from repro.sched.policies import Policy
+from repro.sched.predictor import DevicePredictor
+from repro.sched.scheduler import OnlineScheduler
+from repro.serving import ServingFrontend, SLOConfig
+
+#: Both stage models of the default chain, keyed by name.
+CASCADE_SPECS = {s.name: s for s in (MNIST_SMALL, MNIST_DEEP)}
+
+#: Bounded queues, 300 ms SLO, fast coalescing — the acceptance shape.
+CASCADE_SLO = SLOConfig(
+    deadline_s=0.3, max_queue_depth=64, max_batch=4096, max_wait_s=0.005
+)
+
+#: One full testbed node + one CPU-only straggler: big enough to exercise
+#: per-node thresholds and placement bias, small enough to build per test.
+CASCADE_NODE_SPECS = (
+    NodeSpec("node-a"),
+    NodeSpec("node-b", device_classes=("cpu",)),
+)
+
+
+@pytest.fixture(scope="session")
+def cascade_predictors():
+    """Throughput predictor trained over both stage models' batch grid."""
+    dataset = generate_dataset(
+        "throughput",
+        specs=[MNIST_SMALL, MNIST_DEEP],
+        batches=(1, 64, 1024, 16384),
+    )
+    return {Policy.THROUGHPUT: DevicePredictor(Policy.THROUGHPUT).fit(dataset)}
+
+
+@pytest.fixture(scope="session")
+def mnist_cascade():
+    return default_cascade()
+
+
+@pytest.fixture(scope="session")
+def cascade_models(mnist_cascade):
+    return build_stage_models(mnist_cascade, rng=0)
+
+
+@pytest.fixture(scope="session")
+def cascade_probe(mnist_cascade):
+    return probe_for(mnist_cascade.entry.spec.input_shape, n=128, rng=0)
+
+
+@pytest.fixture(scope="session")
+def cascade_profile(mnist_cascade, cascade_models, cascade_probe):
+    return profile_cascade(mnist_cascade, cascade_models, cascade_probe)
+
+
+def build_cascade_frontend(
+    predictors, specs=None, default_slo=CASCADE_SLO, **kwargs
+) -> ServingFrontend:
+    """A fresh single-node frontend serving both stage models."""
+    specs = CASCADE_SPECS if specs is None else specs
+    ctx = Context(get_all_devices())
+    dispatcher = Dispatcher(ctx)
+    for spec in specs.values():
+        dispatcher.deploy_fresh(spec, rng=0)
+    scheduler = OnlineScheduler(ctx, dispatcher, predictors)
+    return ServingFrontend(scheduler, specs, default_slo=default_slo, **kwargs)
+
+
+def build_cascade_fleet(
+    predictors, node_specs=CASCADE_NODE_SPECS, default_slo=CASCADE_SLO, **kwargs
+) -> "list[ClusterNode]":
+    """A fresh fleet with both stage models deployed on every node."""
+    return make_fleet(
+        list(node_specs), predictors, CASCADE_SPECS,
+        default_slo=default_slo, **kwargs,
+    )
+
+
+@pytest.fixture()
+def cascade_frontend(cascade_predictors) -> ServingFrontend:
+    return build_cascade_frontend(cascade_predictors)

@@ -1,0 +1,114 @@
+"""Measured confidence profiles, checked against brute-force references."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cascade import CascadeProfile, StageProfile, profile_cascade
+from repro.errors import SchedulerError
+
+TOP1 = np.array([0.95, 0.50, 0.30, 0.80, 0.61])
+MARGIN = np.array([0.90, 0.10, 0.05, 0.55, 0.20])
+AGREE = np.array([True, False, True, True, False])
+
+
+@pytest.fixture()
+def stage() -> StageProfile:
+    return StageProfile(top1=TOP1, margin=MARGIN, agree=AGREE)
+
+
+class TestStageProfile:
+    def test_rejects_empty(self):
+        empty = np.array([])
+        with pytest.raises(SchedulerError, match="at least one"):
+            StageProfile(top1=empty, margin=empty, agree=empty)
+
+    def test_rejects_misaligned_arrays(self):
+        with pytest.raises(SchedulerError, match="align"):
+            StageProfile(top1=TOP1, margin=MARGIN[:-1], agree=AGREE)
+
+    def test_rejects_unknown_kind(self, stage):
+        with pytest.raises(SchedulerError, match="unknown confidence kind"):
+            stage.values("entropy")
+
+    @pytest.mark.parametrize("kind,values", [("top1", TOP1), ("margin", MARGIN)])
+    @pytest.mark.parametrize("theta", [0.0, 0.2, 0.55, 0.8, 1.0])
+    def test_exit_fraction_matches_brute_force(self, stage, kind, values, theta):
+        expected = sum(1 for v in values if v >= theta) / len(values)
+        assert stage.exit_fraction(kind, theta) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("theta", [0.2, 0.55, 0.8])
+    def test_agreement_matches_brute_force(self, stage, theta):
+        exiting = [a for v, a in zip(TOP1, AGREE) if v >= theta]
+        escalating = [a for v, a in zip(TOP1, AGREE) if v < theta]
+        assert stage.agreement("top1", theta) == pytest.approx(
+            np.mean(exiting) if exiting else 1.0
+        )
+        assert stage.agreement_below("top1", theta) == pytest.approx(
+            np.mean(escalating) if escalating else 1.0
+        )
+
+    def test_agreement_vacuous_cases(self, stage):
+        # θ above every confidence: nothing exits; below: nothing escalates.
+        assert stage.agreement("top1", 1.0) == 1.0
+        assert stage.agreement_below("top1", 0.01) == 1.0
+
+    def test_quantile_matches_numpy(self, stage):
+        for q in (0.0, 0.15, 0.5, 0.9, 1.0):
+            assert stage.quantile("top1", q) == pytest.approx(
+                float(np.quantile(TOP1, q))
+            )
+        with pytest.raises(SchedulerError, match="quantile"):
+            stage.quantile("top1", 1.5)
+
+    def test_exit_fraction_monotone_in_threshold(self, stage):
+        fracs = [stage.exit_fraction("top1", t) for t in np.linspace(0, 1, 21)]
+        assert all(a >= b for a, b in zip(fracs, fracs[1:]))
+
+
+class TestCascadeProfileContainer:
+    def test_needs_a_stage(self):
+        with pytest.raises(SchedulerError, match="at least one stage"):
+            CascadeProfile("empty", {})
+
+    def test_unknown_stage_raises(self, stage):
+        profile = CascadeProfile("c", {0: stage})
+        assert profile.stage_indices == (0,)
+        assert profile.n_probe == len(TOP1)
+        with pytest.raises(SchedulerError, match="no profile for stage 3"):
+            profile.stage(3)
+
+
+class TestProfileCascade:
+    def test_measured_profile_shape(self, mnist_cascade, cascade_profile, cascade_probe):
+        # One profile per non-final stage, one row per probe sample.
+        assert cascade_profile.cascade == mnist_cascade.name
+        assert cascade_profile.stage_indices == (0,)
+        assert cascade_profile.n_probe == cascade_probe.shape[0]
+
+    def test_confidences_are_genuine_probabilities(self, cascade_profile):
+        sp = cascade_profile.stage(0)
+        assert np.all(sp.top1 > 0.0) and np.all(sp.top1 <= 1.0)
+        assert np.all(sp.margin >= 0.0)
+        # top1 - top2 can never exceed top1 itself.
+        assert np.all(sp.margin <= sp.top1 + 1e-12)
+
+    def test_agreement_against_final_stage(
+        self, mnist_cascade, cascade_models, cascade_probe, cascade_profile
+    ):
+        small = cascade_models[mnist_cascade.entry.spec.name]
+        deep = cascade_models[mnist_cascade.final.spec.name]
+        expected = small.predict(cascade_probe) == deep.predict(cascade_probe)
+        assert np.array_equal(cascade_profile.stage(0).agree, expected)
+
+    def test_rejects_missing_models(self, mnist_cascade, cascade_models, cascade_probe):
+        partial = {mnist_cascade.entry.spec.name: cascade_models[mnist_cascade.entry.spec.name]}
+        with pytest.raises(SchedulerError, match="missing built models"):
+            profile_cascade(mnist_cascade, partial, cascade_probe)
+
+    def test_rejects_empty_probe(self, mnist_cascade, cascade_models):
+        with pytest.raises(SchedulerError, match="non-empty batch"):
+            profile_cascade(
+                mnist_cascade, cascade_models, np.zeros((0, 784), dtype=np.float32)
+            )

@@ -1,0 +1,165 @@
+"""The adaptive threshold controller: tick rules, clamps, calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cascade import (
+    ControllerConfig,
+    ThresholdController,
+    calibrated_controller_config,
+)
+from repro.errors import SchedulerError
+
+CFG = ControllerConfig(
+    initial=0.7, min_threshold=0.5, max_threshold=0.9, step=0.05,
+    high_watermark=32, low_watermark=4, headroom=0.8, comfort=0.5,
+)
+
+SLO = 0.3
+
+
+def calm_tick(ctl, key="n", now=0.0):
+    return ctl.tick(key, now, depth=0, recent_p99_s=0.01, slo_s=SLO, shed_delta=0)
+
+
+def hot_tick(ctl, key="n", now=0.0, **over):
+    kwargs = dict(depth=0, recent_p99_s=0.01, slo_s=SLO, shed_delta=1)
+    kwargs.update(over)
+    return ctl.tick(key, now, **kwargs)
+
+
+class TestConfigValidation:
+    def test_band_ordering(self):
+        with pytest.raises(SchedulerError, match="min"):
+            ControllerConfig(initial=0.2, min_threshold=0.5)
+
+    def test_step_positive(self):
+        with pytest.raises(SchedulerError, match="step"):
+            ControllerConfig(step=0.0)
+
+    def test_watermark_ordering(self):
+        with pytest.raises(SchedulerError, match="watermark"):
+            ControllerConfig(high_watermark=4, low_watermark=4)
+
+    def test_comfort_headroom_ordering(self):
+        with pytest.raises(SchedulerError, match="comfort"):
+            ControllerConfig(comfort=0.9, headroom=0.8)
+
+
+class TestTickRules:
+    def test_initial_threshold_until_moved(self):
+        ctl = ThresholdController(CFG)
+        assert ctl.threshold("anything") == CFG.initial
+        assert ctl.thresholds == {}
+
+    @pytest.mark.parametrize(
+        "overload",
+        [
+            {"shed_delta": 3},                      # sheds since last tick
+            {"shed_delta": 0, "depth": 32},          # queue past high watermark
+            {"shed_delta": 0, "recent_p99_s": 0.29}, # tail eats > headroom·SLO
+        ],
+    )
+    def test_overload_lowers_threshold(self, overload):
+        ctl = ThresholdController(CFG)
+        theta, changed = hot_tick(ctl, **overload)
+        assert changed
+        assert theta == pytest.approx(CFG.initial - CFG.step)
+        assert ctl.n_lowered == 1
+
+    def test_calm_raises_threshold(self):
+        ctl = ThresholdController(CFG)
+        theta, changed = calm_tick(ctl)
+        assert changed
+        assert theta == pytest.approx(CFG.initial + CFG.step)
+        assert ctl.n_raised == 1
+
+    def test_middle_ground_holds(self):
+        # Queue between the watermarks, tail between comfort and headroom:
+        # neither overloaded nor calm — the threshold stays put.
+        ctl = ThresholdController(CFG)
+        theta, changed = ctl.tick(
+            "n", 0.0, depth=10, recent_p99_s=0.2, slo_s=SLO, shed_delta=0
+        )
+        assert not changed
+        assert theta == CFG.initial
+
+    def test_no_tail_signal_counts_as_cool(self):
+        # Before any completion the rolling p99 is None; a calm queue may
+        # still buy accuracy back.
+        ctl = ThresholdController(CFG)
+        theta, changed = ctl.tick(
+            "n", 0.0, depth=0, recent_p99_s=None, slo_s=SLO, shed_delta=0
+        )
+        assert changed
+        assert theta > CFG.initial
+
+    def test_clamped_at_band_edges(self):
+        ctl = ThresholdController(CFG)
+        for i in range(50):
+            hot_tick(ctl, now=float(i))
+        assert ctl.threshold("n") == pytest.approx(CFG.min_threshold)
+        for i in range(50, 120):
+            calm_tick(ctl, now=float(i))
+        assert ctl.threshold("n") == pytest.approx(CFG.max_threshold)
+
+    def test_nodes_move_independently(self):
+        ctl = ThresholdController(CFG)
+        hot_tick(ctl, key="a")
+        calm_tick(ctl, key="b")
+        assert ctl.threshold("a") < CFG.initial < ctl.threshold("b")
+
+    def test_history_records_every_move(self):
+        ctl = ThresholdController(CFG)
+        hot_tick(ctl, key="a", now=1.0)
+        calm_tick(ctl, key="b", now=2.0)
+        assert ctl.history == [
+            (1.0, "a", pytest.approx(CFG.initial - CFG.step)),
+            (2.0, "b", pytest.approx(CFG.initial + CFG.step)),
+        ]
+
+    def test_snapshot_keys(self):
+        ctl = ThresholdController(CFG)
+        hot_tick(ctl)
+        snap = ctl.snapshot()
+        assert snap["band"] == (CFG.min_threshold, CFG.max_threshold)
+        assert snap["ticks"] == 1
+        assert snap["lowered"] == 1
+        assert snap["moves"] == len(ctl.history)
+
+
+class TestCalibration:
+    def test_band_sits_at_measured_quantiles(self, cascade_profile):
+        cfg = calibrated_controller_config(cascade_profile)
+        sp = cascade_profile.stage(0)
+        assert cfg.min_threshold == pytest.approx(sp.quantile("top1", 0.15))
+        assert cfg.initial == pytest.approx(sp.quantile("top1", 0.5))
+        assert cfg.max_threshold == pytest.approx(sp.quantile("top1", 0.9))
+
+    def test_step_defaults_to_an_eighth_of_the_band(self, cascade_profile):
+        cfg = calibrated_controller_config(cascade_profile)
+        assert cfg.step == pytest.approx(
+            (cfg.max_threshold - cfg.min_threshold) / 8.0
+        )
+
+    def test_band_spans_useful_exit_fractions(self, cascade_profile):
+        # Fully open (θ at the low quantile) must exit far more traffic
+        # than fully closed (θ at the high quantile) — that spread is the
+        # control authority of the adaptive loop.
+        cfg = calibrated_controller_config(cascade_profile)
+        sp = cascade_profile.stage(0)
+        open_frac = sp.exit_fraction("top1", cfg.min_threshold)
+        closed_frac = sp.exit_fraction("top1", cfg.max_threshold)
+        assert open_frac - closed_frac >= 0.5
+
+    def test_overrides_pass_through(self, cascade_profile):
+        cfg = calibrated_controller_config(
+            cascade_profile, step=0.01, high_watermark=16
+        )
+        assert cfg.step == 0.01
+        assert cfg.high_watermark == 16
+
+    def test_bad_quantile_ordering_rejected(self, cascade_profile):
+        with pytest.raises(SchedulerError, match="low_q"):
+            calibrated_controller_config(cascade_profile, low_q=0.9, high_q=0.2)

@@ -1,0 +1,126 @@
+"""Static cascade descriptions: exit rules, stages, chain validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cascade import CascadeSpec, CascadeStage, ExitRule, default_cascade
+from repro.cascade.presets import DEFAULT_ENTRY_BIAS, DEFAULT_FINAL_BIAS
+from repro.errors import SchedulerError
+from repro.nn.zoo import MNIST_CNN, MNIST_DEEP, MNIST_SMALL
+
+
+def two_stage(**entry_kwargs) -> CascadeSpec:
+    return CascadeSpec(
+        name="t",
+        stages=(
+            CascadeStage(spec=MNIST_SMALL, exit_rule=ExitRule(), **entry_kwargs),
+            CascadeStage(spec=MNIST_DEEP),
+        ),
+    )
+
+
+class TestExitRule:
+    def test_defaults_are_valid(self):
+        rule = ExitRule()
+        assert rule.kind == "top1"
+        assert 0.0 < rule.threshold <= 1.0
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SchedulerError, match="unknown exit-rule kind"):
+            ExitRule(kind="entropy")
+
+    @pytest.mark.parametrize("threshold", [0.0, -0.5, 1.2])
+    def test_rejects_out_of_band_threshold(self, threshold):
+        with pytest.raises(SchedulerError, match="threshold"):
+            ExitRule(threshold=threshold)
+
+    def test_threshold_one_is_allowed(self):
+        # θ = 1.0 closes the exit entirely (everything escalates) — legal.
+        assert ExitRule(threshold=1.0).threshold == 1.0
+
+
+class TestCascadeStage:
+    def test_rejects_unknown_device_class(self):
+        with pytest.raises(SchedulerError, match="unknown device classes"):
+            CascadeStage(spec=MNIST_SMALL, device_bias=("tpu",))
+
+    def test_accepts_known_bias(self):
+        stage = CascadeStage(spec=MNIST_SMALL, device_bias=("cpu", "igpu"))
+        assert stage.device_bias == ("cpu", "igpu")
+
+
+class TestCascadeSpec:
+    def test_needs_two_stages(self):
+        with pytest.raises(SchedulerError, match="at least 2 stages"):
+            CascadeSpec(name="solo", stages=(CascadeStage(spec=MNIST_SMALL),))
+
+    def test_needs_a_name(self):
+        with pytest.raises(SchedulerError, match="name"):
+            CascadeSpec(name="", stages=())
+
+    def test_rejects_duplicate_models(self):
+        with pytest.raises(SchedulerError, match="distinct models"):
+            CascadeSpec(
+                name="dup",
+                stages=(
+                    CascadeStage(spec=MNIST_SMALL, exit_rule=ExitRule()),
+                    CascadeStage(spec=MNIST_SMALL),
+                ),
+            )
+
+    def test_non_final_stage_needs_exit_rule(self):
+        with pytest.raises(SchedulerError, match="needs an exit rule"):
+            CascadeSpec(
+                name="norule",
+                stages=(
+                    CascadeStage(spec=MNIST_SMALL),
+                    CascadeStage(spec=MNIST_DEEP),
+                ),
+            )
+
+    def test_final_stage_must_not_exit(self):
+        with pytest.raises(SchedulerError, match="must not have an"):
+            CascadeSpec(
+                name="finalrule",
+                stages=(
+                    CascadeStage(spec=MNIST_SMALL, exit_rule=ExitRule()),
+                    CascadeStage(spec=MNIST_DEEP, exit_rule=ExitRule()),
+                ),
+            )
+
+    def test_stages_must_share_input_shape(self):
+        # mnist-small eats flat 784-vectors, the CNN eats 28x28x1 images.
+        with pytest.raises(SchedulerError, match="input shape"):
+            CascadeSpec(
+                name="shapes",
+                stages=(
+                    CascadeStage(spec=MNIST_SMALL, exit_rule=ExitRule()),
+                    CascadeStage(spec=MNIST_CNN),
+                ),
+            )
+
+    def test_views(self):
+        spec = two_stage()
+        assert spec.n_stages == 2
+        assert spec.model_names == (MNIST_SMALL.name, MNIST_DEEP.name)
+        assert spec.entry.spec is MNIST_SMALL
+        assert spec.final.spec is MNIST_DEEP
+        assert spec.stage(1) is spec.stages[1]
+
+    def test_stage_index_out_of_range(self):
+        with pytest.raises(SchedulerError, match="no stage 5"):
+            two_stage().stage(5)
+
+
+class TestDefaultCascade:
+    def test_shape_and_biases(self):
+        spec = default_cascade()
+        assert spec.model_names == ("mnist-small", "mnist-deep")
+        assert spec.entry.device_bias == DEFAULT_ENTRY_BIAS
+        assert spec.final.device_bias == DEFAULT_FINAL_BIAS
+        assert spec.final.exit_rule is None
+
+    def test_threshold_and_kind_pass_through(self):
+        spec = default_cascade(kind="margin", threshold=0.4)
+        assert spec.entry.exit_rule == ExitRule(kind="margin", threshold=0.4)

@@ -56,6 +56,42 @@ class TestInference:
         assert out.dtype == np.float32
 
 
+class TestConfidence:
+    def test_matches_brute_force_sort(self, rng):
+        m = make_model()
+        x = rng.standard_normal((16, 5)).astype(np.float32)
+        top1, margin = m.confidence(x)
+        proba = m.predict_proba(x)
+        ordered = np.sort(proba, axis=1)
+        np.testing.assert_allclose(top1, ordered[:, -1], rtol=1e-12)
+        np.testing.assert_allclose(
+            margin, ordered[:, -1] - ordered[:, -2], rtol=1e-12
+        )
+
+    def test_bounds(self, rng):
+        top1, margin = make_model().confidence(
+            rng.standard_normal((32, 5)).astype(np.float32)
+        )
+        assert np.all(top1 > 0.0) and np.all(top1 <= 1.0)
+        assert np.all(margin >= 0.0)
+        assert np.all(margin <= top1 + 1e-12)
+
+    def test_top1_agrees_with_predict(self, rng):
+        m = make_model()
+        x = rng.standard_normal((10, 5)).astype(np.float32)
+        top1, _ = m.confidence(x)
+        proba = m.predict_proba(x)
+        np.testing.assert_allclose(
+            top1, proba[np.arange(len(x)), m.predict(x)], rtol=1e-12
+        )
+
+    def test_single_class_degenerates_to_top1(self, rng):
+        m = Sequential([Dense(4, "relu"), Dense(1, "linear")]).build((5,), rng=0)
+        top1, margin = m.confidence(rng.standard_normal((6, 5)).astype(np.float32))
+        np.testing.assert_array_equal(top1, np.ones(6))
+        np.testing.assert_array_equal(margin, top1)
+
+
 class TestWeights:
     def test_roundtrip(self, rng):
         m1, m2 = make_model(), make_model()

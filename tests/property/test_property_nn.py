@@ -45,6 +45,22 @@ class TestActivations:
     def test_softmax_shift_invariant(self, z, shift):
         np.testing.assert_allclose(softmax(z + shift), softmax(z), atol=1e-9)
 
+    @given(
+        z=arrays(
+            np.float64, (4, 5),
+            elements=st.floats(
+                min_value=-1e8, max_value=1e8,
+                allow_nan=False, allow_infinity=False,
+            ),
+        )
+    )
+    def test_softmax_survives_large_magnitude_logits(self, z):
+        """Huge logits must not overflow: still a finite distribution."""
+        p = softmax(z)
+        assert np.isfinite(p).all()
+        assert (p >= 0).all()
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-9)
+
     @given(z=arrays(np.float64, (32,), elements=finite_floats))
     def test_sigmoid_monotone(self, z):
         s = get_activation("sigmoid")

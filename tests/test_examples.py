@@ -25,6 +25,11 @@ LANDMARKS = {
     "cooperative_batch.py": ["one batch, all devices", "speedup"],
     "serving_frontend.py": ["SLO-aware serving", "max queue depth", "coalesced batches"],
     "cluster_serving.py": ["balancing policies", "graceful drain", "autoscaler"],
+    "cascade_serving.py": [
+        "cascade vs single-model serving",
+        "exit histogram",
+        "all promises held",
+    ],
     "chaos_cluster.py": [
         "fault campaign",
         "accounted exactly once",
@@ -33,7 +38,7 @@ LANDMARKS = {
 }
 
 #: Extra CLI arguments per script (chaos runs its CI-sized campaign here).
-EXAMPLE_ARGS = {"chaos_cluster.py": ["--tiny"]}
+EXAMPLE_ARGS = {"chaos_cluster.py": ["--tiny"], "cascade_serving.py": ["--tiny"]}
 
 
 def test_every_example_has_a_smoke_test():
