@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full bench-wallclock profile-cluster repro examples serve-demo cluster-demo cascade-demo chaos-demo lint-clean
+.PHONY: install test bench bench-full bench-wallclock profile-cluster repro examples serve-demo cluster-demo cascade-demo chaos-demo partition-demo lint-clean
 
 install:
 	pip install -e .
@@ -54,3 +54,8 @@ cascade-demo:
 # breaker-walk and determinism assertions (CI runs it with --tiny).
 chaos-demo:
 	$(PY) examples/chaos_cluster.py
+
+# Partition demo: MIG-style dGPU split isolating a latency tenant from a
+# batch flood, plus the online repartitioner (CI runs it with --tiny).
+partition-demo:
+	$(PY) examples/partitioned_cluster.py

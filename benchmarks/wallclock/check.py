@@ -17,8 +17,9 @@ Three layers of checking, from always-on to conditional:
    reference is itself batch-vectorized (a partition walk whose per-node
    cost amortizes over the batch), so both paths converge toward memory
    bandwidth as the batch grows.  Correctness claims (bit-identical
-   forest output, byte-identical sweep labels) are enforced in *every*
-   mode.
+   forest output, byte-identical sweep labels, and — when the optional
+   ``partition`` section is present — tenant isolation and replay
+   determinism) are enforced in *every* mode.
 3. **Regression** — with ``--baseline`` pointing at a committed report of
    the *same mode*, any benchmark whose wall time grew by more than
    ``--factor`` (default 2.0) fails the check.  A missing baseline or a
@@ -46,6 +47,14 @@ _REQUIRED = {
         "decision_cache_hit_rate",
     ),
 }
+
+#: Fields the optional ``partition`` section must carry when present.
+#: Not in ``_REQUIRED``: reports predating the partition subsystem (the
+#: committed trajectory artifact among them) stay valid without it.
+_PARTITION_KEYS = (
+    "latency_slo_ms", "shared_p99_ms", "partitioned_p99_ms",
+    "isolation_holds", "deterministic",
+)
 
 #: Request-path throughput floors (requests per wall-clock second).
 _RPS_FLOORS = {
@@ -97,6 +106,10 @@ def check_structure(report: dict, path: str) -> None:
         for key in ("recursive_s", "flat_s", "speedup"):
             if not (isinstance(row.get(key), (int, float)) and row[key] > 0):
                 _fail(f"{path}: forest batch {batch} has bad {key!r}")
+    if "partition" in benches:
+        for key in _PARTITION_KEYS:
+            if key not in benches["partition"]:
+                _fail(f"{path}: benchmarks.partition missing {key!r}")
     print(f"[bench-check] {path}: structure OK ({report['mode']} mode)")
 
 
@@ -106,6 +119,17 @@ def check_floors(report: dict) -> None:
         _fail("flat forest output is not bit-identical to the recursive path")
     if not benches["sweep"]["labels_identical"]:
         _fail("cached sweep labels differ from the cold sweep")
+    if "partition" in benches:
+        part = benches["partition"]
+        if not part["deterministic"]:
+            _fail("partitioned tenant run is not reproducible under replay")
+        if not part["isolation_holds"]:
+            _fail(
+                "partitioning did not isolate the latency tenant: p99 "
+                f"{part['partitioned_p99_ms']:.2f}ms split vs "
+                f"{part['shared_p99_ms']:.2f}ms shared against a "
+                f"{part['latency_slo_ms']:.0f}ms SLO"
+            )
     for section, floor in _RPS_FLOORS[report["mode"]].items():
         rps = benches[section]["requests_per_wall_s"]
         if rps < floor:

@@ -4,7 +4,9 @@ Times the four paths the perf pass optimized — forest inference
 (recursive vs flattened), the characterization sweep (cold vs cached), a
 serving-frontend overload flood, and a 4-node cluster flood — and emits
 ``BENCH_hotpaths.json`` so future changes have a perf trajectory to
-regress against (``check.py`` enforces it).
+regress against (``check.py`` enforces it).  A fifth, optional section
+(``partition``) measures multi-tenant isolation on a 4-way-split dGPU;
+``check.py`` gates its claims whenever the section is present.
 
 Run from the repo root with ``PYTHONPATH=src``; ``--tiny`` shrinks every
 workload for CI smoke runs (same schema, different ``mode`` field, so the
@@ -233,6 +235,91 @@ def bench_cluster(tiny: bool, profile: "str | None" = None) -> dict:
     }
 
 
+def bench_partition(tiny: bool) -> dict:
+    """Tenant isolation: a latency tenant's p99 under a batch-tenant flood.
+
+    Two runs of the same two-tenant workload on one node: *shared* keeps
+    the dGPU whole, *partitioned* splits it 4-way with the latency tenant
+    pinned to its own partition (and the batch tenant to the rest).  The
+    flood blows the latency tenant's SLO in the shared run and must not in
+    the partitioned one.  The partitioned run is then replayed with the
+    identical script and compared digit for digit.
+    """
+    from repro.hw.specs import DGPU_GTX_1080TI
+    from repro.nn.zoo import MNIST_SMALL, SIMPLE
+    from repro.ocl.context import Context
+    from repro.ocl.platform import get_all_devices
+    from repro.partition import (
+        PartitionableDeviceSpec,
+        PartitionedAccelerator,
+        TenantSet,
+        TenantSpec,
+    )
+    from repro.sched.dispatcher import Dispatcher
+    from repro.sched.scheduler import OnlineScheduler
+    from repro.serving import ServingFrontend, SLOConfig
+
+    slo_s = 0.05
+    specs = {s.name: s for s in (SIMPLE, MNIST_SMALL)}
+    predictors = _trained_predictors()
+    n_latency = 150 if tiny else 600
+    n_bulk = 40 if tiny else 160
+
+    def run_once(partitioned: bool):
+        tenants = TenantSet([
+            TenantSpec("rt", models=(SIMPLE.name,), kind="latency", slo_s=slo_s),
+            TenantSpec("bulk", models=(MNIST_SMALL.name,), kind="batch"),
+        ])
+        # Best-effort SLO: nothing sheds, so the tail is pure queueing delay.
+        slo = SLOConfig(
+            deadline_s=None, max_queue_depth=None,
+            max_batch=4096, max_wait_s=0.001,
+        )
+        ctx = Context(get_all_devices())
+        dispatcher = Dispatcher(ctx)
+        for spec in specs.values():
+            dispatcher.deploy_fresh(spec, rng=0)
+        frontend = ServingFrontend(
+            OnlineScheduler(ctx, dispatcher, predictors),
+            specs, default_slo=slo, tenants=tenants,
+        )
+        if partitioned:
+            pspec = PartitionableDeviceSpec(DGPU_GTX_1080TI)
+            PartitionedAccelerator(frontend, pspec, start_mode=4)
+        responses = [
+            frontend.submit(SIMPLE.name, 64, arrival_s=i * 0.002)
+            for i in range(n_latency)
+        ] + [
+            frontend.submit(MNIST_SMALL.name, 262144, arrival_s=i * 0.005)
+            for i in range(n_bulk)
+        ]
+        frontend.run()
+        assert frontend.n_pending == 0
+        outcome = [
+            (r.status, r.device_name, r.end_s, r.batch_size) for r in responses
+        ]
+        return frontend.stats()["tenants"]["rt"]["p99_ms"], outcome
+
+    t0 = time.perf_counter()
+    shared_p99_ms, _ = run_once(partitioned=False)
+    part_p99_ms, outcome = run_once(partitioned=True)
+    replay_p99_ms, replay = run_once(partitioned=True)
+    wall_s = time.perf_counter() - t0
+
+    slo_ms = slo_s * 1e3
+    return {
+        "requests": n_latency + n_bulk,
+        "wall_s": wall_s,
+        "latency_slo_ms": slo_ms,
+        "shared_p99_ms": shared_p99_ms,
+        "partitioned_p99_ms": part_p99_ms,
+        "isolation_holds": bool(part_p99_ms <= slo_ms < shared_p99_ms),
+        "deterministic": bool(
+            outcome == replay and part_p99_ms == replay_p99_ms
+        ),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -244,7 +331,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--only", action="append", metavar="BENCH",
-        choices=("forest", "sweep", "serving", "cluster"),
+        choices=("forest", "sweep", "serving", "cluster", "partition"),
         help="run only this benchmark (repeatable); the partial report "
              "will not pass check.py's structure check",
     )
@@ -272,6 +359,7 @@ def main(argv=None) -> int:
         ("sweep", bench_sweep),
         ("serving", bench_serving),
         ("cluster", bench_cluster),
+        ("partition", bench_partition),
     ):
         if args.only and name not in args.only:
             continue
@@ -299,6 +387,13 @@ def main(argv=None) -> int:
             print(f"  {name} flood: {row['wall_s']:.2f}s wall "
                   f"({row['requests_per_wall_s']:.0f} req/s, "
                   f"cache hit rate {row['decision_cache_hit_rate']:.3f})")
+    if "partition" in benches:
+        row = benches["partition"]
+        print(f"  partition isolation: rt p99 {row['shared_p99_ms']:.1f}ms "
+              f"shared vs {row['partitioned_p99_ms']:.2f}ms split "
+              f"(slo {row['latency_slo_ms']:.0f}ms, "
+              f"holds: {row['isolation_holds']}, "
+              f"deterministic: {row['deterministic']})")
     return 0
 
 

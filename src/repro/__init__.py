@@ -38,6 +38,13 @@ Fault injection and resilience (chaos campaigns, breakers, retries)::
 
     from repro.faults import FaultInjector, ResilienceConfig
 
+Partitionable accelerators and multi-tenant placement (MIG-style)::
+
+    from repro.partition import (
+        PartitionableDeviceSpec, TenantSet, PartitionedAccelerator,
+        Repartitioner,
+    )
+
 Experiment harnesses (regenerate every table and figure)::
 
     from repro.experiments import get_experiment, list_experiments
@@ -53,6 +60,13 @@ from repro.errors import ReproError
 from repro.faults import FaultInjector, ResilienceConfig
 from repro.nn import PAPER_MODELS, build_model, model_cost
 from repro.ocl import CommandQueue, Context, Program, get_platforms
+from repro.partition import (
+    PartitionableDeviceSpec,
+    PartitionedAccelerator,
+    Repartitioner,
+    TenantSet,
+    TenantSpec,
+)
 from repro.sched import (
     DevicePredictor,
     Dispatcher,
@@ -96,4 +110,9 @@ __all__ = [
     "ThresholdController",
     "FaultInjector",
     "ResilienceConfig",
+    "PartitionableDeviceSpec",
+    "PartitionedAccelerator",
+    "Repartitioner",
+    "TenantSet",
+    "TenantSpec",
 ]

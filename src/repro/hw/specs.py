@@ -74,10 +74,29 @@ class DeviceSpec:
     host_assist_watts: float      # CPU-side draw while orchestrating this device
 
     def __post_init__(self) -> None:
-        if self.compute_units <= 0 or self.hw_threads <= 0:
-            raise ValueError(f"{self.name}: bad compute resources")
+        if self.compute_units <= 0:
+            raise ValueError(
+                f"{self.name}: compute_units must be positive, got "
+                f"{self.compute_units}"
+            )
+        if self.hw_threads <= 0:
+            raise ValueError(
+                f"{self.name}: hw_threads must be positive, got {self.hw_threads}"
+            )
+        if self.peak_gflops <= 0.0:
+            raise ValueError(
+                f"{self.name}: peak_gflops must be positive, got {self.peak_gflops}"
+            )
+        if self.mem_bandwidth_gb_s <= 0.0:
+            raise ValueError(
+                f"{self.name}: mem_bandwidth_gb_s must be positive, got "
+                f"{self.mem_bandwidth_gb_s}"
+            )
         if not (0.0 < self.sustained_eff <= 1.0):
-            raise ValueError(f"{self.name}: sustained_eff must be in (0, 1]")
+            raise ValueError(
+                f"{self.name}: sustained_eff must be in (0, 1], got "
+                f"{self.sustained_eff}"
+            )
         if self.busy_watts < self.idle_watts:
             raise ValueError(f"{self.name}: busy_watts < idle_watts")
 

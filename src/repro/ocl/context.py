@@ -29,6 +29,28 @@ class Context:
         known = ", ".join(d.name for d in self.devices)
         raise DeviceError(f"device {name!r} not in context (has: {known})")
 
+    def add_device(self, device: Device) -> None:
+        """Admit a new device (e.g. a freshly created partition)."""
+        if any(d.name == device.name for d in self.devices):
+            raise DeviceError(f"device {device.name!r} already in context")
+        self.devices.append(device)
+
+    def remove_device(self, name: str) -> Device:
+        """Retire a device by exact spec name (never by class value).
+
+        The last device cannot be removed — a context without devices is
+        invalid, and partition managers attach replacements first.
+        """
+        for i, d in enumerate(self.devices):
+            if d.name == name:
+                if len(self.devices) == 1:
+                    raise DeviceError(
+                        f"cannot remove {name!r}: it is the context's last device"
+                    )
+                return self.devices.pop(i)
+        known = ", ".join(d.name for d in self.devices)
+        raise DeviceError(f"device {name!r} not in context (has: {known})")
+
     def __contains__(self, device: Device) -> bool:
         return device in self.devices
 

@@ -1,0 +1,47 @@
+"""Partitionable accelerators and multi-tenant placement.
+
+Production accelerators are divisible — NVIDIA MIG slices a GPU into
+isolated instances, AMD's Instinct MI300 exposes SPX/DPX/QPX compute
+partitions with NPS memory modes — which turns *within-device* placement
+into a scheduling axis.  This package models that axis on top of the
+paper's device simulation:
+
+* :class:`~repro.partition.spec.PartitionableDeviceSpec` splits one
+  :class:`~repro.hw.specs.DeviceSpec` into N logical partitions with
+  roofline-scaled compute and a shared-bandwidth contention model;
+* :class:`~repro.partition.tenants.TenantSpec` /
+  :class:`~repro.partition.tenants.TenantSet` describe co-located model
+  mixes with their own SLOs;
+* :class:`~repro.partition.placement.PlacementPolicy` pins tenants onto
+  partitions (latency tenants get dedicated slices, batch tenants share
+  the rest);
+* :class:`~repro.partition.manager.PartitionedAccelerator` performs the
+  online split/merge lifecycle over a live serving frontend (drain the
+  affected partitions via the exactly-once abort path, re-admit, charge a
+  reconfiguration cost);
+* :class:`~repro.partition.repartitioner.Repartitioner` drives that
+  lifecycle from the same depth/p99 signals as the fleet autoscaler — an
+  autoscaler axis *inside* a node.
+"""
+
+from repro.partition.manager import PartitionedAccelerator
+from repro.partition.placement import PlacementPolicy
+from repro.partition.repartitioner import Repartitioner, RepartitionerConfig
+from repro.partition.spec import (
+    VALID_PARTITION_MODES,
+    PartitionableDeviceSpec,
+    partition_name,
+)
+from repro.partition.tenants import TenantSet, TenantSpec
+
+__all__ = [
+    "VALID_PARTITION_MODES",
+    "PartitionableDeviceSpec",
+    "partition_name",
+    "TenantSpec",
+    "TenantSet",
+    "PlacementPolicy",
+    "PartitionedAccelerator",
+    "Repartitioner",
+    "RepartitionerConfig",
+]

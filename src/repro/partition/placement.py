@@ -1,0 +1,82 @@
+"""Placement policy: pin tenants onto the partitions of one device.
+
+The assignment is deterministic and recomputed at every repartition:
+latency tenants (declaration order) each take a dedicated partition —
+noisy neighbors cannot queue behind them — while batch tenants share
+whatever remains.  Pins are applied through
+:meth:`~repro.sched.backlog.BacklogAwareScheduler.set_model_device_pin`,
+which is *class-scoped*: among devices of a pinned class only the pinned
+partitions are eligible for the tenant's models, but the backlog spill
+can still escape to other device classes (CPU/iGPU) when the partition
+saturates — the paper's best-of-many-worlds behaviour, tenant-scoped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.partition.tenants import TenantSet
+
+__all__ = ["PlacementPolicy"]
+
+
+@dataclass(frozen=True)
+class PlacementPolicy:
+    """Deterministic tenant → partition assignment.
+
+    ``dedicate_latency=True`` (default) reserves one partition per latency
+    tenant before batch tenants divide the rest; with more latency tenants
+    than spare partitions, dedicated slices are shared round-robin.
+    """
+
+    dedicate_latency: bool = True
+
+    def assign(
+        self, tenants: TenantSet, partitions: "tuple[str, ...]"
+    ) -> "dict[str, tuple[str, ...]]":
+        """Map tenant name → eligible partition names.
+
+        An empty dict (mode 1, a single undivided device) means *no pins*:
+        every tenant shares the whole device, which is exactly the
+        pre-partitioning behaviour.
+        """
+        parts = list(partitions)
+        if len(parts) <= 1:
+            return {}
+        latency = tenants.latency_tenants
+        batch = tenants.batch_tenants
+        out: dict[str, tuple[str, ...]] = {}
+        if not self.dedicate_latency:
+            shared = tuple(parts)
+            return {t.name: shared for t in tenants}
+        # Reserve dedicated slices for latency tenants, always leaving at
+        # least one partition for the batch tenants when any exist.
+        n_dedicated = min(len(latency), len(parts) - (1 if batch else 0))
+        for i, tenant in enumerate(latency):
+            if n_dedicated > 0:
+                out[tenant.name] = (parts[i % n_dedicated],)
+            else:
+                out[tenant.name] = tuple(parts)
+        rest = tuple(parts[n_dedicated:]) or tuple(parts)
+        for tenant in batch:
+            out[tenant.name] = rest
+        return out
+
+    def apply(
+        self,
+        backlog,
+        tenants: TenantSet,
+        partitions: "tuple[str, ...]",
+    ) -> "dict[str, tuple[str, ...]]":
+        """Install (or clear, at mode 1) the pins on a backlog scheduler.
+
+        Every tenant model gets its pin set — or cleared when the
+        assignment is empty — so stale pins from a previous mode never
+        survive a repartition.  Returns the assignment for logging.
+        """
+        assignment = self.assign(tenants, partitions)
+        for tenant in tenants:
+            names = assignment.get(tenant.name)
+            for model in tenant.models:
+                backlog.set_model_device_pin(model, names)
+        return assignment

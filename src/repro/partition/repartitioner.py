@@ -1,0 +1,173 @@
+"""The online repartitioner: an autoscaler *inside* one accelerator.
+
+Where :class:`~repro.cluster.autoscaler.Autoscaler` adds and drains whole
+nodes, the :class:`Repartitioner` resizes the carving of a single device:
+a periodic actor on the serving loop that watches the latency tenants'
+recent p99 against their SLOs and splits the accelerator finer when a
+tenant's tail is breached (isolating it from its noisy neighbours), or
+merges partitions back when every latency tenant is comfortably inside
+its SLO (a merged device wastes no dark compute units and pays no
+sibling-bandwidth contention).
+
+Repartitioning is not free — every reconfiguration drains and re-admits
+in-flight work and pays ``reconfigure_cost_s`` before the new partitions
+start — so actions are spaced by ``cooldown_s``, mirroring the cluster
+autoscaler's pacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+from repro.partition.manager import PartitionedAccelerator
+
+__all__ = ["RepartitionerConfig", "Repartitioner"]
+
+
+@dataclass(frozen=True)
+class RepartitionerConfig:
+    """Repartitioning thresholds and pacing.
+
+    Parameters
+    ----------
+    check_every_s:
+        Tick period on the serving loop.
+    cooldown_s:
+        Minimum spacing between reconfigurations.
+    p99_factor:
+        A latency tenant whose recent p99 exceeds ``p99_factor * slo_s``
+        counts as breached (split pressure).
+    merge_factor:
+        Merge only when *every* latency tenant's recent p99 sits below
+        ``merge_factor * slo_s`` — hysteresis against flapping.
+    min_mode / max_mode:
+        Bounds on the modes the repartitioner will move between (the
+        accelerator's own supported modes still apply).
+    """
+
+    check_every_s: float = 0.05
+    cooldown_s: float = 0.1
+    p99_factor: float = 1.0
+    merge_factor: float = 0.5
+    min_mode: int = 1
+    max_mode: int = 8
+
+    def __post_init__(self) -> None:
+        if self.check_every_s <= 0.0:
+            raise ValueError(
+                f"check_every_s must be positive, got {self.check_every_s}"
+            )
+        if self.cooldown_s < 0.0:
+            raise ValueError(f"cooldown_s must be >= 0, got {self.cooldown_s}")
+        if self.p99_factor <= 0.0:
+            raise ValueError(f"p99_factor must be positive, got {self.p99_factor}")
+        if not (0.0 < self.merge_factor < self.p99_factor + 1e-12):
+            raise ValueError(
+                f"merge_factor must be in (0, p99_factor], got {self.merge_factor}"
+            )
+        if self.min_mode < 1:
+            raise ValueError(f"min_mode must be >= 1, got {self.min_mode}")
+        if self.max_mode < self.min_mode:
+            raise ValueError(
+                f"max_mode {self.max_mode} < min_mode {self.min_mode}"
+            )
+
+
+class Repartitioner:
+    """SLO-tail-driven split/merge of one partitioned accelerator."""
+
+    def __init__(
+        self,
+        accelerator: PartitionedAccelerator,
+        config: "RepartitionerConfig | None" = None,
+    ):
+        self.accelerator = accelerator
+        self.config = config if config is not None else RepartitionerConfig()
+        if accelerator.tenants is None:
+            raise SchedulerError(
+                "repartitioner needs a tenant set on the accelerator "
+                "(its SLO signals are per-tenant tails)"
+            )
+        if not accelerator.tenants.latency_tenants:
+            raise SchedulerError(
+                "repartitioner needs at least one latency tenant with an SLO"
+            )
+        self.n_splits = 0
+        self.n_merges = 0
+        self._last_action_s: "float | None" = None
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, until: float):
+        """Tick every ``check_every_s`` on the serving loop through ``until``."""
+        return self.accelerator.frontend.loop.schedule_repeating(
+            self.config.check_every_s,
+            lambda _loop: self.check(),
+            until=until,
+            label="repartitioner",
+        )
+
+    # -- signals -----------------------------------------------------------
+
+    def _tenant_p99s(self) -> "list[tuple[float, float] | None]":
+        """(recent p99, slo) per latency tenant; None before any sample."""
+        telemetry = self.accelerator.frontend.telemetry
+        out = []
+        for tenant in self.accelerator.tenants.latency_tenants:
+            if tenant.slo_s is None:
+                continue
+            stats = telemetry.tenants.get(tenant.name)
+            if stats is None or not len(stats.recent):
+                out.append(None)
+                continue
+            out.append((stats.recent.p99_s, tenant.slo_s))
+        return out
+
+    def _cooled_down(self, now: float) -> bool:
+        return (
+            self._last_action_s is None
+            or now - self._last_action_s >= self.config.cooldown_s
+        )
+
+    # -- the tick ----------------------------------------------------------
+
+    def check(self) -> "str | None":
+        """One repartitioning decision; returns 'split', 'merge', or None."""
+        accel, cfg = self.accelerator, self.config
+        now = accel.frontend.loop.now
+        if not self._cooled_down(now):
+            return None
+
+        signals = self._tenant_p99s()
+        if not signals:
+            return None
+        breached = any(
+            s is not None and s[0] > cfg.p99_factor * s[1] for s in signals
+        )
+        comfortable = all(
+            s is not None and s[0] < cfg.merge_factor * s[1] for s in signals
+        )
+
+        modes = accel.pspec.modes
+        i = modes.index(accel.mode)
+        if breached:
+            if i + 1 < len(modes) and modes[i + 1] <= cfg.max_mode:
+                accel.split()
+                self.n_splits += 1
+                self._last_action_s = now
+                return "split"
+            return None
+        if comfortable and i > 0 and modes[i - 1] >= cfg.min_mode:
+            accel.merge()
+            self.n_merges += 1
+            self._last_action_s = now
+            return "merge"
+        return None
+
+    def stats(self) -> dict:
+        return {
+            "splits": self.n_splits,
+            "merges": self.n_merges,
+            "mode": self.accelerator.mode,
+        }

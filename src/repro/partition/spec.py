@@ -1,0 +1,170 @@
+"""Partitionable device specs: split one accelerator into N logical slices.
+
+The split mirrors how vendors actually partition: a MIG instance (or an
+MI300 DPX/QPX partition) owns an integer share of the compute units and an
+even slice of the memory system.  Compute-side numbers scale by the
+*realized* CU ratio — ``(cu // n) / cu`` — so leftover compute units that
+do not divide evenly stay dark, exactly like MIG's unassigned slices.
+Memory capacity and nominal bandwidth split evenly (NPS-style), and the
+roofline cost model (:mod:`repro.hw.costmodel`) picks the scaled numbers
+up with no changes, per the portable kernel model of Braun et al.
+(arXiv:2001.07104).
+
+Nominal per-partition bandwidth is what an *otherwise idle* device
+delivers.  Real partitions share a memory fabric: every concurrently
+active sibling costs 5–10% of effective bandwidth (AMD's public MI300
+partitioning numbers).  :meth:`PartitionableDeviceSpec.contention_multiplier`
+models that as a latency stretch of ``(1 - penalty) ** -k`` for ``k``
+busy siblings, which the serving workers apply at launch time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hw.specs import DeviceSpec
+
+__all__ = [
+    "VALID_PARTITION_MODES",
+    "PartitionableDeviceSpec",
+    "partition_name",
+]
+
+#: Partition counts hardware actually exposes (MIG: 1-7 slices; MI300:
+#: SPX=1, DPX=2, QPX=4, CPX=8 — we keep the power-of-two ladder).
+VALID_PARTITION_MODES = (1, 2, 4, 8)
+
+
+def partition_name(parent: str, index: int, mode: int) -> str:
+    """The canonical name of one partition, e.g. ``gtx-1080ti.p1of4``."""
+    return f"{parent}.p{index}of{mode}"
+
+
+@dataclass(frozen=True)
+class PartitionableDeviceSpec:
+    """A :class:`DeviceSpec` that can be split into logical partitions.
+
+    Parameters
+    ----------
+    parent:
+        The whole device (mode 1 serves it unchanged — the disabled path
+        is digit-identical to a plain deployment).
+    modes:
+        The partition counts this device supports; must be a subset of
+        :data:`VALID_PARTITION_MODES`, must include 1, and every mode must
+        leave each partition at least one compute unit.
+    bandwidth_penalty:
+        Fraction of effective memory bandwidth lost per concurrently
+        active sibling partition (vendor guidance: 5–10%).
+    reconfigure_cost_s:
+        Virtual seconds a freshly created partition is unavailable after a
+        split/merge (drain + firmware reconfiguration).
+    """
+
+    parent: DeviceSpec
+    modes: tuple[int, ...] = VALID_PARTITION_MODES
+    bandwidth_penalty: float = 0.07
+    reconfigure_cost_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        modes = tuple(sorted({int(m) for m in self.modes}))
+        object.__setattr__(self, "modes", modes)
+        if 1 not in modes:
+            raise ValueError(
+                f"{self.parent.name}: partition modes must include 1, got {modes}"
+            )
+        bad = [m for m in modes if m not in VALID_PARTITION_MODES]
+        if bad:
+            raise ValueError(
+                f"{self.parent.name}: unsupported partition modes {bad}; "
+                f"valid: {VALID_PARTITION_MODES}"
+            )
+        too_fine = [m for m in modes if self.parent.compute_units // m < 1]
+        if too_fine:
+            raise ValueError(
+                f"{self.parent.name}: modes {too_fine} leave a partition "
+                f"with zero of the {self.parent.compute_units} compute units"
+            )
+        if not (0.0 <= self.bandwidth_penalty < 1.0):
+            raise ValueError(
+                f"{self.parent.name}: bandwidth_penalty must be in [0, 1), "
+                f"got {self.bandwidth_penalty}"
+            )
+        if self.reconfigure_cost_s < 0.0:
+            raise ValueError(
+                f"{self.parent.name}: reconfigure_cost_s must be >= 0, "
+                f"got {self.reconfigure_cost_s}"
+            )
+
+    @property
+    def max_mode(self) -> int:
+        return self.modes[-1]
+
+    def partition_specs(self, mode: int) -> tuple[DeviceSpec, ...]:
+        """Derive the ``mode`` per-partition specs (mode 1 = the parent).
+
+        Compute-side fields scale by the realized CU ratio
+        ``(cu // mode) / cu`` (floor division — leftover CUs stay dark);
+        memory capacity and nominal bandwidth split evenly; per-launch
+        overheads (kernel launch, per-sample dispatch) and clock/efficiency
+        calibration are properties of the silicon and stay unchanged.
+        """
+        if mode not in self.modes:
+            raise ValueError(
+                f"{self.parent.name}: mode {mode} not supported "
+                f"(supported: {self.modes})"
+            )
+        p = self.parent
+        if mode == 1:
+            return (p,)
+        cu = p.compute_units // mode
+        ratio = cu / p.compute_units
+        # Power: the static floor splits evenly with the silicon; the
+        # dynamic (busy - idle) swing follows the compute share, keeping
+        # busy >= idle by construction.
+        idle = p.idle_watts / mode
+        busy = idle + (p.busy_watts - p.idle_watts) * ratio
+        return tuple(
+            replace(
+                p,
+                name=partition_name(p.name, i, mode),
+                compute_units=cu,
+                hw_threads=max(1, int(p.hw_threads * ratio)),
+                peak_gflops=p.peak_gflops * ratio,
+                mem_bandwidth_gb_s=p.mem_bandwidth_gb_s / mode,
+                mem_bytes=p.mem_bytes // mode,
+                tdp_watts=p.tdp_watts / mode,
+                halfsat_workitems=p.halfsat_workitems * ratio,
+                idle_watts=idle,
+                busy_watts=busy,
+                host_assist_watts=p.host_assist_watts / mode,
+            )
+            for i in range(1, mode + 1)
+        )
+
+    def partition_names(self, mode: int) -> tuple[str, ...]:
+        """Names the partitions of ``mode`` will carry."""
+        return tuple(s.name for s in self.partition_specs(mode))
+
+    # -- shared-bandwidth contention ---------------------------------------
+
+    def contention_multiplier(self, active_siblings: int) -> float:
+        """Latency stretch when ``active_siblings`` partitions are busy.
+
+        Each busy sibling takes ``bandwidth_penalty`` of the shared
+        fabric's effective bandwidth, compounding: the multiplier is
+        ``(1 - penalty) ** -k`` (1.0 with no busy sibling, so the
+        uncontended path is untouched).
+        """
+        if active_siblings < 0:
+            raise ValueError(
+                f"active_siblings must be >= 0, got {active_siblings}"
+            )
+        if active_siblings == 0 or self.bandwidth_penalty == 0.0:
+            return 1.0
+        return (1.0 - self.bandwidth_penalty) ** (-active_siblings)
+
+    def contended_bandwidth_gb_s(self, mode: int, active_siblings: int) -> float:
+        """Effective per-partition bandwidth under sibling contention."""
+        nominal = self.partition_specs(mode)[0].mem_bandwidth_gb_s
+        return nominal / self.contention_multiplier(active_siblings)

@@ -1,0 +1,129 @@
+"""Tenants: co-located model mixes with their own service objectives.
+
+A *tenant* is the unit of isolation on a partitioned accelerator: it owns
+a set of served models (requests are attributed to the tenant that owns
+their model), a kind (``latency`` tenants want a tight tail, ``batch``
+tenants want throughput and tolerate queueing), and an optional latency
+SLO the repartitioner defends.  "ML Inference Scheduling with Predictable
+Latency" (arXiv:2512.18725) is the motivating setting: predictable
+per-tenant latency on a shared GPU needs explicit isolation modeling, not
+a single monolithic device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TenantSpec", "TenantSet"]
+
+_VALID_KINDS = ("latency", "batch")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a model mix plus its service objective.
+
+    Parameters
+    ----------
+    name:
+        Unique tenant identifier (telemetry key).
+    models:
+        The model names this tenant submits; a model belongs to exactly
+        one tenant (that is how requests are attributed).
+    kind:
+        ``'latency'`` (tail-sensitive, gets dedicated partitions) or
+        ``'batch'`` (throughput-oriented, shares leftover partitions).
+    slo_s:
+        Latency objective the repartitioner defends (None = best effort).
+    weight:
+        Relative importance for future weighted placement (must be > 0).
+    """
+
+    name: str
+    models: tuple[str, ...]
+    kind: str = "latency"
+    slo_s: "float | None" = None
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        models = tuple(self.models)
+        object.__setattr__(self, "models", models)
+        if not models:
+            raise ValueError(f"tenant {self.name!r} needs at least one model")
+        if len(set(models)) != len(models):
+            raise ValueError(f"tenant {self.name!r} lists duplicate models: {models}")
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(
+                f"tenant {self.name!r}: kind must be one of {_VALID_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if self.slo_s is not None and self.slo_s <= 0.0:
+            raise ValueError(
+                f"tenant {self.name!r}: slo_s must be positive, got {self.slo_s}"
+            )
+        if self.weight <= 0.0:
+            raise ValueError(
+                f"tenant {self.name!r}: weight must be positive, got {self.weight}"
+            )
+
+
+class TenantSet:
+    """An ordered, validated collection of tenants sharing one node.
+
+    Tenant names must be unique and model ownership disjoint — a request's
+    model resolves to at most one tenant.  Declaration order is the
+    placement priority order within each kind.
+    """
+
+    def __init__(self, tenants: "list[TenantSpec] | tuple[TenantSpec, ...]"):
+        self.tenants: tuple[TenantSpec, ...] = tuple(tenants)
+        if not self.tenants:
+            raise ValueError("a tenant set needs at least one tenant")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        self._by_model: dict[str, TenantSpec] = {}
+        for tenant in self.tenants:
+            for model in tenant.models:
+                owner = self._by_model.get(model)
+                if owner is not None:
+                    raise ValueError(
+                        f"model {model!r} owned by both {owner.name!r} "
+                        f"and {tenant.name!r}"
+                    )
+                self._by_model[model] = tenant
+
+    def __iter__(self):
+        return iter(self.tenants)
+
+    def __len__(self) -> int:
+        return len(self.tenants)
+
+    def get(self, name: str) -> TenantSpec:
+        """One tenant by name (KeyError with the known names otherwise)."""
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        known = ", ".join(t.name for t in self.tenants)
+        raise KeyError(f"no tenant {name!r}; known: {known}")
+
+    def tenant_for(self, model: str) -> "TenantSpec | None":
+        """The tenant owning ``model`` (None for unowned models)."""
+        return self._by_model.get(model)
+
+    @property
+    def model_names(self) -> "set[str]":
+        return set(self._by_model)
+
+    @property
+    def latency_tenants(self) -> tuple[TenantSpec, ...]:
+        return tuple(t for t in self.tenants if t.kind == "latency")
+
+    @property
+    def batch_tenants(self) -> tuple[TenantSpec, ...]:
+        return tuple(t for t in self.tenants if t.kind == "batch")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TenantSet({[t.name for t in self.tenants]})"

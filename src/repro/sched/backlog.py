@@ -111,8 +111,10 @@ class BacklogAwareScheduler:
         )
         self.n_spills = 0
         # Live device mask: None serves every device in the context; a
-        # frozenset restricts ranking to the named classes (degraded-mode
-        # scheduling after a dropout).  See set_device_mask.
+        # frozenset of class values and/or device names restricts placement
+        # to matching devices (degraded-mode scheduling after a dropout;
+        # per-partition dropouts on partitioned accelerators).  See
+        # set_device_mask.
         self._device_mask: "frozenset[str] | None" = None
         # Decision cache (see module docstring for the invalidation rules).
         self.cache_decisions = bool(cache_decisions)
@@ -130,53 +132,93 @@ class BacklogAwareScheduler:
         # ranking for that model only.  See set_model_preference.
         self._model_preferences: "dict[str, tuple[str, ...]]" = {}
         self._preference_invalidations = 0
+        # Per-model device pins (partition placement): model name ->
+        # (device names, their classes).  Class-scoped semantics: among
+        # devices of a pinned class, only the pinned names are eligible for
+        # that model; other classes are unaffected.  See
+        # set_model_device_pin.
+        self._model_pins: "dict[str, tuple[tuple[str, ...], frozenset[str]]]" = {}
+        self._repartition_invalidations = 0
 
     # -- device mask (degraded-mode scheduling) ----------------------------
 
+    def _mask_allows(self, device) -> bool:
+        """Whether the live mask admits one device (by class or by name)."""
+        mask = self._device_mask
+        return (
+            mask is None
+            or device.device_class.value in mask
+            or device.name in mask
+        )
+
+    def _available_names(self) -> "frozenset[str]":
+        return frozenset(
+            d.name for d in self.scheduler.context.devices if self._mask_allows(d)
+        )
+
     def available_classes(self) -> "set[str]":
-        """Device classes placements may use: present ∩ live mask."""
-        present = {d.device_class.value for d in self.scheduler.context.devices}
-        if self._device_mask is None:
-            return present
-        return present & self._device_mask
+        """Device classes placements may use: classes of unmasked devices."""
+        return {
+            d.device_class.value
+            for d in self.scheduler.context.devices
+            if self._mask_allows(d)
+        }
 
     @property
     def device_mask(self) -> "frozenset[str] | None":
         return self._device_mask
 
-    def set_device_mask(self, classes: "frozenset[str] | set[str] | None") -> None:
-        """Restrict (or restore) the device classes eligible for placement.
+    def set_device_mask(self, tokens: "frozenset[str] | set[str] | None") -> None:
+        """Restrict (or restore) the devices eligible for placement.
+
+        ``tokens`` mixes device-class values ('dgpu') and device names
+        ('gtx-1080ti.p1of4'): a device stays eligible when its class *or*
+        its name is in the mask.  Masking by class is the degraded-mode
+        path of the faults layer (a dGPU dropout pushes traffic onto
+        CPU/iGPU mid-flood); masking by name drops one partition of a
+        device while its same-class siblings keep serving.
 
         The generalization of the paper's dGPU idle/warm state handling
         (§V): instead of only re-ranking when the fast device changes
-        *state*, the mask re-ranks when a device drops out entirely — a
-        dGPU dropout pushes traffic onto CPU/iGPU mid-flood, and a restore
-        folds it back in.  Only the decision-cache cells whose ranking the
-        change can affect are invalidated: entries that ranked a removed
-        class, and entries built while an added class was absent.
+        *state*, the mask re-ranks when a device drops out entirely.  Only
+        the decision-cache cells the change can affect are invalidated:
+        entries that ranked a removed class or bound a removed device;
+        every entry when a device is (re)added, since new capacity can
+        improve any cell's placement.
         """
-        before = self.available_classes()
-        if classes is None:
+        before_names = self._available_names()
+        before_classes = self.available_classes()
+        if tokens is None:
             self._device_mask = None
         else:
-            mask = frozenset(classes)
-            present = {d.device_class.value for d in self.scheduler.context.devices}
-            if not (mask & present):
+            mask = frozenset(tokens)
+            devices = self.scheduler.context.devices
+            if not any(
+                d.device_class.value in mask or d.name in mask for d in devices
+            ):
+                present = sorted(
+                    {d.device_class.value for d in devices}
+                    | {d.name for d in devices}
+                )
                 raise SchedulerError(
                     f"device mask {sorted(mask)} leaves no device to place on "
-                    f"(context has: {sorted(present)})"
+                    f"(context has: {present})"
                 )
             self._device_mask = mask
-        after = self.available_classes()
-        removed = before - after
-        added = after - before
-        if not removed and not added:
+        after_names = self._available_names()
+        removed_names = before_names - after_names
+        added_names = after_names - before_names
+        if not removed_names and not added_names:
             return
-        stale = [
-            key for key, entry in self._entries.items()
-            if any(c in entry.ranked for c in removed)
-            or any(c not in entry.ranked for c in added)
-        ]
+        if added_names:
+            stale = list(self._entries)
+        else:
+            removed_classes = before_classes - self.available_classes()
+            stale = [
+                key for key, entry in self._entries.items()
+                if any(c in entry.ranked for c in removed_classes)
+                or any(item[1] in removed_names for item in entry.eligible)
+            ]
         for key in stale:
             del self._entries[key]
         self._mask_invalidations += len(stale)
@@ -231,6 +273,57 @@ class BacklogAwareScheduler:
         self._preference_invalidations += len(stale)
         return len(stale)
 
+    # -- per-model device pins (partition placement) -----------------------
+
+    def model_device_pin(self, model: str) -> "tuple[str, ...] | None":
+        """The device names a model is pinned to, if any."""
+        pin = self._model_pins.get(model)
+        return pin[0] if pin is not None else None
+
+    def set_model_device_pin(
+        self, model: str, names: "tuple[str, ...] | list[str] | None"
+    ) -> None:
+        """Pin one model to specific devices *by name* (tenant placement).
+
+        Where :meth:`set_model_preference` biases the ranking between
+        device *classes*, a pin restricts eligibility *within* a class:
+        among devices of a pinned name's class, only the pinned devices may
+        serve this model — that is how a latency tenant's partition stays
+        clear of a batch tenant's flood.  Classes with no pinned device are
+        unaffected, so the backlog spill can still escape to CPU/iGPU when
+        the pinned partition saturates.  Pinned classes also move to the
+        front of the predictor's ranking (the pin should attract the
+        model's traffic, not merely fence it).  ``None`` clears the pin.
+        Stale decision-cache cells for the model are invalidated.
+        """
+        if names is None:
+            if self._model_pins.pop(model, None) is not None:
+                self.invalidate_model(model)
+            return
+        pinned = tuple(dict.fromkeys(names))
+        if not pinned:
+            raise SchedulerError(
+                f"empty device pin for {model!r}; pass None to clear"
+            )
+        devices = {d.name: d for d in self.scheduler.context.devices}
+        unknown = [n for n in pinned if n not in devices]
+        if unknown:
+            raise SchedulerError(
+                f"cannot pin {model!r} to unknown devices {unknown} "
+                f"(context has: {sorted(devices)})"
+            )
+        classes = frozenset(devices[n].device_class.value for n in pinned)
+        pin = (pinned, classes)
+        if self._model_pins.get(model) == pin:
+            return
+        self._model_pins[model] = pin
+        self.invalidate_model(model)
+
+    def clear_device_pins(self) -> None:
+        """Drop every model's device pin (e.g. before a full teardown)."""
+        for model in list(self._model_pins):
+            self.set_model_device_pin(model, None)
+
     # -- ranking -----------------------------------------------------------
 
     def rank_devices(self, spec: ModelSpec, batch: int, gpu_state: str) -> tuple[str, ...]:
@@ -271,6 +364,11 @@ class BacklogAwareScheduler:
             front = tuple(c for c in preference if c in ranked)
             if front:
                 ranked = front + tuple(c for c in ranked if c not in front)
+        pin = self._model_pins.get(spec.name)
+        if pin is not None:
+            front = tuple(c for c in ranked if c in pin[1])
+            if front:
+                ranked = front + tuple(c for c in ranked if c not in pin[1])
         return ranked
 
     # -- service-time estimates --------------------------------------------
@@ -314,6 +412,17 @@ class BacklogAwareScheduler:
         self._entries.clear()
         self._refit_clears += 1
 
+    def notify_repartition(self) -> int:
+        """The device topology changed under the scheduler (a partition
+        split or merge replaced devices): cached entries may bind retired
+        queues or rank classes whose device set changed, so every entry is
+        dropped.  Returns the number of entries invalidated.
+        """
+        n = len(self._entries)
+        self._entries.clear()
+        self._repartition_invalidations += n
+        return n
+
     def cache_stats(self) -> dict:
         """Decision-cache effectiveness counters (for telemetry surfaces)."""
         total = self._cache_hits + self._cache_misses
@@ -327,7 +436,48 @@ class BacklogAwareScheduler:
             "feedback_invalidations": self._feedback_invalidations,
             "mask_invalidations": self._mask_invalidations,
             "preference_invalidations": self._preference_invalidations,
+            "repartition_invalidations": self._repartition_invalidations,
         }
+
+    def _eligible_devices(self, model: str, ranked: "tuple[str, ...]"):
+        """Candidate (device_class, device) pairs for one decision.
+
+        Enumerated in ranking order, then context order within a class —
+        in the classic one-device-per-class context this is exactly the
+        old single-candidate-per-class walk; with partitioned contexts
+        every unmasked (and pin-allowed) device of each top-ranked class
+        competes.  Both the cached entry build and the uncached
+        :meth:`_earliest_finisher` use this enumeration, so cache-on and
+        cache-off placements stay bit-identical.
+        """
+        pin = self._model_pins.get(model)
+        devices = self.scheduler.context.devices
+        out = []
+        for device_class in ranked[: self.max_rank]:
+            for device in devices:
+                if device.device_class.value != device_class:
+                    continue
+                if not self._mask_allows(device):
+                    continue
+                if (
+                    pin is not None
+                    and device_class in pin[1]
+                    and device.name not in pin[0]
+                ):
+                    continue
+                out.append((device_class, device))
+        if not out and pin is not None:
+            # The pinned partitions were masked out (or retired under us):
+            # fall back to the unpinned enumeration rather than stranding
+            # the model — degraded placement beats no placement.
+            for device_class in ranked[: self.max_rank]:
+                for device in devices:
+                    if (
+                        device.device_class.value == device_class
+                        and self._mask_allows(device)
+                    ):
+                        out.append((device_class, device))
+        return out
 
     def _entry_for(self, spec: ModelSpec, batch: int, gpu_state: str) -> _DecisionEntry:
         """Cached bindings for a decision cell, (re)built when invalid."""
@@ -349,8 +499,7 @@ class BacklogAwareScheduler:
         ranked = self.rank_devices(spec, batch, gpu_state)
         cell = CellKey.of(spec.name, batch, gpu_state)
         eligible = []
-        for device_class in ranked[: self.max_rank]:
-            device = self.scheduler.context.get_device(device_class)
+        for device_class, device in self._eligible_devices(spec.name, ranked):
             queue = self.scheduler.queue_for(device.name)
             eligible.append(
                 (device_class, device.name, queue, self._service.binding(cell, device_class))
@@ -392,12 +541,16 @@ class BacklogAwareScheduler:
         return best[0], best_completion, best[1], best[2]
 
     def _earliest_finisher(
-        self, cell: CellKey, eligible: "tuple[str, ...]", arrival_s: float
-    ) -> tuple[str, float]:
-        """Earliest estimated completion delay among eligible devices."""
-        best_device, best_completion = None, float("inf")
-        for device_class in eligible:
-            device = self.scheduler.context.get_device(device_class)
+        self, model: str, cell: CellKey, ranked: "tuple[str, ...]", arrival_s: float
+    ) -> "tuple[str, float, str, object]":
+        """Earliest estimated completion among eligible devices (uncached).
+
+        Walks the same candidate enumeration the cache binds
+        (:meth:`_eligible_devices`) with the same strict ``<`` tie-break,
+        so the uncached reference path and the hit path agree bit for bit.
+        """
+        best, best_completion = None, float("inf")
+        for device_class, device in self._eligible_devices(model, ranked):
             queue = self.scheduler.queue_for(device.name)
             wait = max(0.0, queue.current_time - arrival_s)
             est = self._service.estimate(cell, device_class, arrival_s)
@@ -406,8 +559,11 @@ class BacklogAwareScheduler:
             service = est.value if est is not None else 0.0
             completion = wait + service
             if completion < best_completion:
-                best_device, best_completion = device_class, completion
-        return best_device, best_completion
+                best = (device_class, device.name, queue)
+                best_completion = completion
+        if best is None:
+            return None, best_completion, None, None
+        return best[0], best_completion, best[1], best[2]
 
     def estimate_completion(
         self, spec: ModelSpec, batch: int, arrival_s: float
@@ -425,7 +581,10 @@ class BacklogAwareScheduler:
             return best_device, best_completion
         ranked = self.rank_devices(spec, batch, gpu_state)
         cell = CellKey.of(spec.name, batch, gpu_state)
-        return self._earliest_finisher(cell, ranked[: self.max_rank], arrival_s)
+        best_device, best_completion, _, _ = self._earliest_finisher(
+            spec.name, cell, ranked, arrival_s
+        )
+        return best_device, best_completion
 
     # -- placement ---------------------------------------------------------
 
@@ -439,12 +598,9 @@ class BacklogAwareScheduler:
         else:
             ranked = self.rank_devices(spec, batch, gpu_state)
             cell = CellKey.of(spec.name, batch, gpu_state)
-            best_device, _ = self._earliest_finisher(
-                cell, ranked[: self.max_rank], arrival_s
+            best_device, _, device_name, queue = self._earliest_finisher(
+                spec.name, cell, ranked, arrival_s
             )
-            device = self.scheduler.context.get_device(best_device)
-            device_name = device.name
-            queue = self.scheduler.queue_for(device_name)
 
         spilled = best_device != ranked[0]
         if spilled:

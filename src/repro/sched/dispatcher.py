@@ -32,6 +32,7 @@ class Dispatcher:
     def __init__(self, context: Context):
         self.context = context
         self._models: dict[str, Sequential] = {}
+        self._specs: dict[str, ModelSpec] = {}
         self._weights: dict[str, dict[str, np.ndarray]] = {}
         # kernels[device_name][model_name] -> InferenceKernel
         self._kernels: dict[str, dict[str, InferenceKernel]] = {
@@ -47,6 +48,7 @@ class Dispatcher:
         """Step (1)+(2): Model Building module -> Dispatcher."""
         model = build_model(spec, rng=rng)
         self._models[spec.name] = model
+        self._specs[spec.name] = spec
         return model
 
     def load_weights(self, spec: ModelSpec, weights: dict[str, np.ndarray]) -> None:
@@ -87,6 +89,36 @@ class Dispatcher:
     def _upload_cost(device: Device, model: Sequential) -> float:
         param_bytes = sum(int(p.nbytes) for _, p in model.params())
         return device.cost_model.transfer.transfer_time(param_bytes, pinned=True)
+
+    # -- device topology (partition split/merge) ------------------------------
+
+    def attach_device(self, device: Device) -> None:
+        """Load every deployed model onto a newly admitted device.
+
+        Each deployed model gets a fresh kernel instance on the device,
+        paying the same one-time upload accounting as :meth:`deploy` — a
+        freshly split partition starts with the weights resident, exactly
+        like a MIG instance created after the model repository is staged.
+        """
+        if device.name in self._kernels:
+            raise SchedulerError(f"device {device.name!r} is already attached")
+        self._kernels[device.name] = {}
+        for name in self.deployed_models():
+            model = self._models[name]
+            self._kernels[device.name][name] = InferenceKernel(self._specs[name], model)
+            self._upload_seconds[(device.name, name)] = self._upload_cost(
+                device, model
+            )
+
+    def detach_device(self, device_name: str) -> None:
+        """Forget a retired device's kernels and upload accounting."""
+        if self._kernels.pop(device_name, None) is None:
+            raise SchedulerError(f"unknown device {device_name!r}")
+        self._upload_seconds = {
+            key: cost
+            for key, cost in self._upload_seconds.items()
+            if key[0] != device_name
+        }
 
     # -- lookups -------------------------------------------------------------
 

@@ -148,6 +148,34 @@ class OnlineScheduler:
         event = queue.enqueue_inference(kernel, x)
         return decision, event
 
+    # -- device topology (partition split/merge) -----------------------------
+
+    def register_device(self, device: Device) -> CommandQueue:
+        """Admit a new device: context membership plus a fresh command queue.
+
+        Used by the partition manager when a split creates new logical
+        devices.  The dGPU probe target is re-resolved, so a partitioned
+        dGPU keeps answering the Fig. 5 state probe through its first
+        partition.
+        """
+        self.context.add_device(device)
+        queue = CommandQueue(self.context, device)
+        self._queues[device.name] = queue
+        self._dgpu = self._find_dgpu()
+        return queue
+
+    def unregister_device(self, device_name: str) -> CommandQueue:
+        """Retire a device by exact name; returns its (dead) command queue.
+
+        The caller is responsible for the device's in-flight work — the
+        serving layer aborts and re-admits it through the exactly-once
+        path before retiring the device.
+        """
+        self.context.remove_device(device_name)
+        queue = self._queues.pop(device_name)
+        self._dgpu = self._find_dgpu()
+        return queue
+
     # -- time control (for streaming runtimes) ------------------------------
 
     def queue_for(self, device_name: str) -> CommandQueue:

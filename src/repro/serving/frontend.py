@@ -298,6 +298,12 @@ class ServingFrontend:
         Serve placement decisions through the backlog scheduler's decision
         cache (bit-identical results; disable for the uncached reference
         path in equivalence tests).
+    tenants:
+        Optional :class:`~repro.partition.tenants.TenantSet` attributing
+        requests to tenants by model ownership.  With one installed the
+        telemetry keeps a per-tenant isolation ledger (served / shed /
+        violations / tails); without one, nothing tenant-shaped is
+        recorded and snapshots stay byte-identical.
     """
 
     def __init__(
@@ -310,6 +316,7 @@ class ServingFrontend:
         max_rank: int = 2,
         loop: "EventLoop | None" = None,
         decision_cache: bool = True,
+        tenants: "TenantSet | None" = None,
     ):
         if not specs:
             raise SchedulerError("serving frontend needs at least one model spec")
@@ -319,6 +326,16 @@ class ServingFrontend:
             scheduler, policy=policy, max_rank=max_rank, cache_decisions=decision_cache
         )
         self.telemetry = ServingTelemetry()
+
+        self.tenants = tenants
+        if tenants is not None:
+            unknown = set(tenants.model_names) - set(self.specs)
+            if unknown:
+                raise SchedulerError(
+                    f"tenant models not deployed: {sorted(unknown)}"
+                )
+            for tenant in tenants:
+                self.telemetry.tenant(tenant.name)  # ledger exists from t=0
 
         self._slo = dict(slo or {})
         unknown = set(self._slo) - set(self.specs)
@@ -339,17 +356,7 @@ class ServingFrontend:
             )
 
         context = scheduler.context
-        self._workers = {
-            d.name: DeviceWorker(
-                loop=self.loop,
-                device_name=d.name,
-                device_class=d.device_class.value,
-                command_queue=scheduler.queue_for(d.name),
-                dispatcher=scheduler.dispatcher,
-                on_complete=self._on_complete,
-            )
-            for d in context.devices
-        }
+        self._workers = {d.name: self._make_worker(d) for d in context.devices}
         # Degrade target: the lowest-power device (cheapest to burn).
         self._cheapest = min(context.devices, key=lambda d: d.spec.busy_watts)
 
@@ -375,6 +382,17 @@ class ServingFrontend:
         # request's launch fails; return True to take ownership (retry /
         # shed at the router), False to let this frontend shed it locally.
         self.on_request_failed = None
+
+    def _make_worker(self, device) -> DeviceWorker:
+        scheduler = self.backlog.scheduler
+        return DeviceWorker(
+            loop=self.loop,
+            device_name=device.name,
+            device_class=device.device_class.value,
+            command_queue=scheduler.queue_for(device.name),
+            dispatcher=scheduler.dispatcher,
+            on_complete=self._on_complete,
+        )
 
     # -- configuration -----------------------------------------------------
 
@@ -529,6 +547,7 @@ class ServingFrontend:
             response.status = "shed"
             response.shed_reason = decision.reason
             self.telemetry.n_shed += 1
+            self._record_tenant_shed(model)
             response._fire_done()
             return
         if decision.action == "degrade":
@@ -663,9 +682,17 @@ class ServingFrontend:
             offset += entry.batch
 
             self.telemetry.n_served += 1
-            self.telemetry.record_latency(end - entry.request.effective_arrival_s)
-            if response.deadline_met is False:
+            latency = end - entry.request.effective_arrival_s
+            self.telemetry.record_latency(latency)
+            violated = response.deadline_met is False
+            if violated:
                 self.telemetry.n_violations += 1
+            if self.tenants is not None:
+                tenant = self.tenants.tenant_for(batch.model)
+                if tenant is not None:
+                    self.telemetry.tenant(tenant.name).record_served(
+                        latency, violated
+                    )
             response._fire_done()
 
         self._in_flight -= len(batch.entries)
@@ -692,7 +719,15 @@ class ServingFrontend:
         response.status = "shed"
         response.shed_reason = reason
         self.telemetry.n_shed += 1
+        self._record_tenant_shed(entry.request.model)
         response._fire_done()
+
+    def _record_tenant_shed(self, model: str) -> None:
+        if self.tenants is None:
+            return
+        tenant = self.tenants.tenant_for(model)
+        if tenant is not None:
+            self.telemetry.tenant(tenant.name).record_shed()
 
     # -- fault handling (crash / dropout / throttle) -----------------------
 
@@ -770,18 +805,12 @@ class ServingFrontend:
         self._dropped.add(device_class)
         self._recompute_degrade_target()
         readmitted = 0
-        for worker in self._workers.values():
+        for name, worker in list(self._workers.items()):
             if worker.device_class != device_class:
                 continue
-            for batch, _decision in worker.abort_in_flight():
-                for entry in batch.entries:
-                    self._in_flight -= 1
-                    self._in_flight_samples -= entry.batch
-                    response = self._pending.pop(entry.seq, None)
-                    if response is None:
-                        continue
-                    self._readmit(entry, response)
-                    readmitted += 1
+            for entry, response in self.abort_device(name):
+                self._readmit(entry, response)
+                readmitted += 1
         return readmitted
 
     def restore_device(self, device_class: str) -> None:
@@ -857,6 +886,88 @@ class ServingFrontend:
         self._seq += 1
         self._pending[readmitted.seq] = response
         self._on_arrival(readmitted)
+
+    def readmit(self, entry: QueueEntry, response: ServingResponse) -> None:
+        """Re-admit an aborted request on its original response handle.
+
+        The partition manager pairs this with :meth:`abort_device`: abort
+        collects (entry, response) pairs off a retiring partition, the
+        topology changes, then each pair re-runs arrival here — exactly
+        once, on whatever devices now exist.
+        """
+        self._readmit(entry, response)
+
+    # -- device topology (partition split/merge) ---------------------------
+
+    def attach_device(self, device, ready_at: "float | None" = None) -> DeviceWorker:
+        """Admit a new logical device (e.g. a freshly split partition).
+
+        Registers it with the scheduler (context + command queue), loads
+        every deployed model onto it, optionally holds its queue clock at
+        ``ready_at`` (the reconfiguration cost — work placed on the new
+        partition cannot start before the split completes), spins up its
+        worker and invalidates cached placement decisions.
+        """
+        scheduler = self.backlog.scheduler
+        queue = scheduler.register_device(device)
+        scheduler.dispatcher.attach_device(device)
+        if ready_at is not None and queue.current_time < ready_at:
+            queue.advance_to(ready_at)
+        worker = self._make_worker(device)
+        self._workers[device.name] = worker
+        self.backlog.notify_repartition()
+        self._recompute_degrade_target()
+        return worker
+
+    def detach_device(self, device_name: str) -> None:
+        """Retire a logical device by exact name.
+
+        Refuses while launches are in flight — call :meth:`abort_device`
+        first and :meth:`readmit` the collected pairs after the topology
+        settles.  Raises if the device is unknown or the last one.
+        """
+        worker = self.worker_for(device_name)
+        if worker.in_flight:
+            raise SchedulerError(
+                f"device {device_name!r} has {worker.in_flight} launch(es) "
+                f"in flight; abort_device() first"
+            )
+        scheduler = self.backlog.scheduler
+        scheduler.unregister_device(device_name)
+        scheduler.dispatcher.detach_device(device_name)
+        del self._workers[device_name]
+        self.backlog.notify_repartition()
+        self._recompute_degrade_target()
+
+    def abort_device(
+        self, device_name: str
+    ) -> "list[tuple[QueueEntry, ServingResponse]]":
+        """Abort one device's in-flight launches; collect their requests.
+
+        Every aborted entry leaves the in-flight ledger; entries whose
+        response is still pending come back paired for :meth:`readmit`
+        (entries already orphaned by a drain are simply dropped).
+        """
+        worker = self.worker_for(device_name)
+        collected: "list[tuple[QueueEntry, ServingResponse]]" = []
+        for batch, _decision in worker.abort_in_flight():
+            for entry in batch.entries:
+                self._in_flight -= 1
+                self._in_flight_samples -= entry.batch
+                response = self._pending.pop(entry.seq, None)
+                if response is not None:
+                    collected.append((entry, response))
+        return collected
+
+    def worker_for(self, device_name: str) -> DeviceWorker:
+        """The worker serving one device (by exact spec name)."""
+        try:
+            return self._workers[device_name]
+        except KeyError:
+            known = ", ".join(sorted(self._workers)) or "<none>"
+            raise SchedulerError(
+                f"no worker for device {device_name!r} (has: {known})"
+            ) from None
 
     # -- cluster hooks (drain / transfer) ----------------------------------
 

@@ -55,6 +55,12 @@ class DeviceWorker:
         # the launch path is untouched, so fault-free runs stay
         # digit-identical.
         self.throttle = 1.0
+        # Shared-bandwidth contention (partitioned accelerators): an
+        # optional ``callable(now) -> multiplier >= 1`` evaluated at launch
+        # time — the partition manager installs one per partition that
+        # counts busy sibling partitions.  None (the default) leaves the
+        # launch path untouched.
+        self.contention = None
         # In-flight ledger: launch id -> (batch, decision, event, handle).
         # Completion pops its entry; a crash aborts every entry and cancels
         # the pending completion callbacks, so aborted work can be
@@ -97,12 +103,15 @@ class DeviceWorker:
         else:
             event = cq.enqueue_inference_virtual(kernel, batch.total_samples)
 
-        if self.throttle != 1.0:
-            # Thermal slowdown: stretch the compute window and hold the
-            # command-queue clock at the stretched end, so both the event's
-            # observable latency and the backlog the scheduler reads tell
-            # the same (slower) story.
-            extra = (self.throttle - 1.0) * (event.time_ended - event.time_started)
+        stretch = self.throttle
+        if self.contention is not None:
+            stretch *= self.contention(now)
+        if stretch != 1.0:
+            # Thermal slowdown and/or sibling-partition contention: stretch
+            # the compute window and hold the command-queue clock at the
+            # stretched end, so both the event's observable latency and the
+            # backlog the scheduler reads tell the same (slower) story.
+            extra = (stretch - 1.0) * (event.time_ended - event.time_started)
             event.time_ended += extra
             cq.advance_to(event.time_ended)
 

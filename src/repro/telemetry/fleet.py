@@ -227,6 +227,34 @@ class FleetTelemetry:
         """One node's depth-over-time series for one model queue."""
         return self.node(node).depth_series(model)
 
+    # -- tenant isolation --------------------------------------------------
+
+    def tenant_snapshot(self) -> dict:
+        """Fleet-wide per-tenant rollup (empty without tenant telemetry).
+
+        Counters sum across nodes; the recent tail merges every node's
+        rolling window for the tenant, mirroring :meth:`recent_p99_s` —
+        the signal a repartitioner compares against the tenant's SLO.
+        """
+        merged: dict[str, dict] = {}
+        windows: dict[str, list[float]] = {}
+        for name in sorted(self._nodes):
+            for tenant, stats in self._nodes[name].tenants.items():
+                agg = merged.setdefault(
+                    tenant, {"served": 0, "shed": 0, "violations": 0}
+                )
+                agg["served"] += stats.n_served
+                agg["shed"] += stats.n_shed
+                agg["violations"] += stats.n_violations
+                windows.setdefault(tenant, []).extend(stats.recent.samples)
+        for tenant, agg in merged.items():
+            total = agg["served"] + agg["shed"]
+            agg["shed_rate"] = agg["shed"] / total if total else 0.0
+            samples = windows[tenant]
+            if samples:
+                agg["recent_p99_ms"] = float(np.percentile(samples, 99.0)) * 1e3
+        return merged
+
     def snapshot(self) -> dict:
         """Cluster rollup plus one sub-snapshot per node."""
         out: dict = {
@@ -253,6 +281,9 @@ class FleetTelemetry:
             out["resilience"] = asdict(self.resilience)
         if self.cascade is not None:
             out["cascade"] = self.cascade.snapshot()
+        tenants = self.tenant_snapshot()
+        if tenants:
+            out["tenants"] = tenants
         out["per_node"] = {
             name: telemetry.snapshot()
             for name, telemetry in sorted(self._nodes.items())

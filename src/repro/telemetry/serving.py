@@ -25,6 +25,7 @@ __all__ = [
     "RollingLatencyWindow",
     "DepthSeries",
     "BatchHistogram",
+    "TenantStats",
     "ServingTelemetry",
 ]
 
@@ -277,6 +278,58 @@ class BatchHistogram:
         return self._total / self._n
 
 
+class TenantStats:
+    """One tenant's serving outcomes (multi-tenant partition placement).
+
+    The isolation ledger: when tenants share (or are pinned apart on) one
+    accelerator, per-tenant tails are the quantity the placement defends —
+    a fleet-level p99 hides a latency tenant drowning under a batch
+    tenant's flood.  Collected only when the frontend is given a tenant
+    set, so single-tenant runs stay byte-identical.
+    """
+
+    __slots__ = ("n_served", "n_shed", "n_violations", "latency", "recent")
+
+    def __init__(self) -> None:
+        self.n_served = 0
+        self.n_shed = 0
+        self.n_violations = 0
+        self.latency = LatencyDigest()
+        self.recent = RollingLatencyWindow()
+
+    def record_served(self, latency_s: float, violated: bool = False) -> None:
+        """Record one served request attributed to this tenant."""
+        self.n_served += 1
+        if violated:
+            self.n_violations += 1
+        self.latency.add(latency_s)
+        self.recent.add(latency_s)
+
+    def record_shed(self) -> None:
+        self.n_shed += 1
+
+    @property
+    def shed_rate(self) -> float:
+        total = self.n_served + self.n_shed
+        return self.n_shed / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        out: dict = {
+            "served": self.n_served,
+            "shed": self.n_shed,
+            "violations": self.n_violations,
+            "shed_rate": self.shed_rate,
+        }
+        if len(self.latency):
+            out.update(
+                p50_ms=self.latency.p50_s * 1e3,
+                p99_ms=self.latency.p99_s * 1e3,
+            )
+        if len(self.recent):
+            out["recent_p99_ms"] = self.recent.p99_s * 1e3
+        return out
+
+
 @dataclass
 class ServingTelemetry:
     """Everything the serving frontend emits, in one sink.
@@ -301,11 +354,21 @@ class ServingTelemetry:
     # (a repro.cascade CascadeTelemetry).  Set by the CascadeExecutor when
     # a cascade serves through this frontend; surfaced in snapshot().
     cascade: "object | None" = None
+    # Per-tenant isolation ledger (multi-tenant partition placement).
+    # Populated only when the frontend is constructed with a TenantSet;
+    # empty otherwise, so single-tenant snapshots stay byte-identical.
+    tenants: dict[str, TenantStats] = field(default_factory=dict)
 
     def record_latency(self, latency_s: float) -> None:
         """Record a served request's latency in both digests at once."""
         self.latency.add(latency_s)
         self.recent.add(latency_s)
+
+    def tenant(self, name: str) -> TenantStats:
+        """The (auto-created) isolation ledger for one tenant."""
+        if name not in self.tenants:
+            self.tenants[name] = TenantStats()
+        return self.tenants[name]
 
     def depth_series(self, model: str) -> DepthSeries:
         """The (auto-created) depth series for one model's queue."""
@@ -351,4 +414,9 @@ class ServingTelemetry:
             out["mean_batch_samples"] = self.batch_sizes.mean_samples
         if self.cascade is not None:
             out["cascade"] = self.cascade.snapshot()
+        if self.tenants:
+            out["tenants"] = {
+                name: stats.snapshot()
+                for name, stats in sorted(self.tenants.items())
+            }
         return out

@@ -1,0 +1,93 @@
+"""Cascade stages pinned to different partitions of one accelerator.
+
+A cascade already biases its cheap stage toward CPU/iGPU and its heavy
+stage toward the dGPU (device *classes*).  With the dGPU split, the two
+stage models can additionally be pinned to *different partitions* of the
+same physical device — the heavy stage's escalations cannot queue behind
+the cheap stage's floods even when both land on dGPU silicon.
+"""
+
+from repro.cascade import CascadeExecutor, default_cascade
+from repro.hw.specs import DGPU_GTX_1080TI
+from repro.nn.zoo import MNIST_DEEP, MNIST_SMALL
+from repro.partition import PartitionableDeviceSpec, PartitionedAccelerator
+
+from tests.cascade.conftest import build_cascade_frontend
+
+
+def spy_on_partitions(frontend, names):
+    """Record (partition, model) for every launch on the named workers."""
+    placed = []
+    for name in names:
+        worker = frontend.worker_for(name)
+
+        def recording_execute(batch, decision, _orig=worker.execute, _n=name):
+            placed.append((_n, batch.model))
+            return _orig(batch, decision)
+
+        worker.execute = recording_execute
+    return placed
+
+
+class TestCascadeOnPartitions:
+    def test_stages_pinned_to_disjoint_partitions(
+        self, cascade_predictors, cascade_profile
+    ):
+        fe = build_cascade_frontend(cascade_predictors)
+        pspec = PartitionableDeviceSpec(DGPU_GTX_1080TI, modes=(1, 2))
+        accel = PartitionedAccelerator(fe, pspec, start_mode=2)
+        p1, p2 = accel.partition_names
+        # Cheap stage on partition 1, heavy stage on partition 2.
+        fe.backlog.set_model_device_pin(MNIST_SMALL.name, (p1,))
+        fe.backlog.set_model_device_pin(MNIST_DEEP.name, (p2,))
+        placed = spy_on_partitions(fe, (p1, p2))
+
+        theta = cascade_profile.stage(0).quantile("top1", 0.5)
+        executor = CascadeExecutor(
+            fe, default_cascade(threshold=theta), cascade_profile, rng=7
+        )
+        chains = [
+            executor.submit(batch=256, arrival_s=i * 0.002) for i in range(12)
+        ]
+        fe.run()
+
+        assert all(c.status != "pending" for c in chains)
+        assert executor.n_pending == 0
+        served = [c for c in chains if c.served]
+        assert served, "no chain resolved"
+        assert sum(c.exits.get(0, 0) + c.exits.get(1, 0) for c in served) == sum(
+            c.batch for c in served
+        )
+        # The pins are hard within the dGPU class: a stage model may only
+        # ever appear on its own partition.
+        violations = [
+            (part, model)
+            for part, model in placed
+            if (part == p1 and model != MNIST_SMALL.name)
+            or (part == p2 and model != MNIST_DEEP.name)
+        ]
+        assert violations == []
+
+    def test_escalations_reach_the_heavy_partition(
+        self, cascade_predictors, cascade_profile
+    ):
+        fe = build_cascade_frontend(cascade_predictors)
+        pspec = PartitionableDeviceSpec(DGPU_GTX_1080TI, modes=(1, 2))
+        accel = PartitionedAccelerator(fe, pspec, start_mode=2)
+        p1, p2 = accel.partition_names
+        fe.backlog.set_model_device_pin(MNIST_DEEP.name, (p2,))
+        placed = spy_on_partitions(fe, (p1, p2))
+
+        theta = cascade_profile.stage(0).quantile("top1", 0.9)  # escalate most
+        executor = CascadeExecutor(
+            fe, default_cascade(threshold=theta), cascade_profile, rng=7
+        )
+        executor.submit(batch=2048)
+        fe.run()
+
+        heavy_on_p2 = [m for part, m in placed if part == p2]
+        heavy_on_p1 = [
+            m for part, m in placed if part == p1 and m == MNIST_DEEP.name
+        ]
+        assert heavy_on_p1 == []  # the pin keeps p1 clear of the heavy stage
+        assert MNIST_DEEP.name in heavy_on_p2  # and escalations actually land

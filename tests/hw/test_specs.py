@@ -86,6 +86,37 @@ class TestValidation:
         with pytest.raises(ValueError):
             dataclasses.replace(CPU_I7_8700, compute_units=0)
 
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("compute_units", 0),
+            ("compute_units", -2),
+            ("hw_threads", 0),
+            ("peak_gflops", 0.0),
+            ("peak_gflops", -1.0),
+            ("mem_bandwidth_gb_s", 0.0),
+        ],
+    )
+    def test_each_resource_names_its_field(self, field, value):
+        # The message must name the offending field and carry the value —
+        # a derived spec (e.g. an over-split partition) should fail loudly
+        # and diagnosably, not with a generic "bad resources".
+        with pytest.raises(ValueError, match=f"{field}.*{value}"):
+            dataclasses.replace(CPU_I7_8700, **{field: value})
+
+    def test_message_names_the_spec(self):
+        with pytest.raises(ValueError, match=CPU_I7_8700.name):
+            dataclasses.replace(CPU_I7_8700, peak_gflops=-5.0)
+
+    @pytest.mark.parametrize("eff", [0.0, -0.5, 1.0001])
+    def test_sustained_eff_open_interval(self, eff):
+        with pytest.raises(ValueError, match="sustained_eff"):
+            dataclasses.replace(CPU_I7_8700, sustained_eff=eff)
+
+    def test_sustained_eff_of_exactly_one_is_legal(self):
+        spec = dataclasses.replace(CPU_I7_8700, sustained_eff=1.0)
+        assert spec.sustained_eff == 1.0
+
 
 class TestLookup:
     def test_by_name(self):

@@ -1,0 +1,60 @@
+"""Partition-layer fixtures: a two-tenant frontend over the full testbed.
+
+The predictor is the shared serving grid (see tests/conftest.py);
+frontends, accelerators and repartitioners are rebuilt per test because
+their virtual clocks, queue states and partition topologies are mutable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.specs import DGPU_GTX_1080TI
+from repro.nn.zoo import MNIST_SMALL, SIMPLE
+from repro.ocl.context import Context
+from repro.ocl.platform import get_all_devices
+from repro.partition import (
+    PartitionableDeviceSpec,
+    TenantSet,
+    TenantSpec,
+)
+from repro.sched.dispatcher import Dispatcher
+from repro.sched.scheduler import OnlineScheduler
+from repro.serving import ServingFrontend
+
+PARTITION_SPECS = {s.name: s for s in (SIMPLE, MNIST_SMALL)}
+
+
+def make_tenants(slo_s: float = 0.05) -> TenantSet:
+    """The canonical pair: a latency tenant and a batch tenant."""
+    return TenantSet(
+        [
+            TenantSpec("rt", models=(SIMPLE.name,), kind="latency", slo_s=slo_s),
+            TenantSpec("bulk", models=(MNIST_SMALL.name,), kind="batch"),
+        ]
+    )
+
+
+def build_frontend(predictors, tenants=None, **kwargs) -> ServingFrontend:
+    """A fresh frontend over fresh devices (zeroed virtual clocks)."""
+    ctx = Context(get_all_devices())
+    dispatcher = Dispatcher(ctx)
+    for spec in PARTITION_SPECS.values():
+        dispatcher.deploy_fresh(spec, rng=0)
+    scheduler = OnlineScheduler(ctx, dispatcher, predictors)
+    return ServingFrontend(scheduler, PARTITION_SPECS, tenants=tenants, **kwargs)
+
+
+@pytest.fixture()
+def frontend(serving_predictors) -> ServingFrontend:
+    return build_frontend(serving_predictors)
+
+
+@pytest.fixture()
+def tenant_frontend(serving_predictors) -> ServingFrontend:
+    return build_frontend(serving_predictors, tenants=make_tenants())
+
+
+@pytest.fixture()
+def pspec() -> PartitionableDeviceSpec:
+    return PartitionableDeviceSpec(DGPU_GTX_1080TI)

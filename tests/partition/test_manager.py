@@ -1,0 +1,166 @@
+"""PartitionedAccelerator: live split/merge without losing a request."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.hw.specs import DGPU_GTX_1080TI
+from repro.nn.zoo import MNIST_SMALL, SIMPLE
+from repro.ocl.device import DeviceState
+from repro.partition import PartitionableDeviceSpec, PartitionedAccelerator
+
+from tests.partition.conftest import build_frontend, make_tenants
+
+
+class TestModeChanges:
+    def test_starts_at_mode_one_with_the_parent(self, frontend, pspec):
+        accel = PartitionedAccelerator(frontend, pspec)
+        assert accel.mode == 1
+        assert accel.partition_names == ("gtx-1080ti",)
+        assert accel.n_repartitions == 0
+
+    def test_unknown_parent_rejected(self, frontend):
+        import dataclasses
+
+        ghost = dataclasses.replace(DGPU_GTX_1080TI, name="ghost-gpu")
+        with pytest.raises(SchedulerError, match="ghost-gpu"):
+            PartitionedAccelerator(frontend, PartitionableDeviceSpec(ghost))
+
+    def test_split_replaces_the_parent_in_the_context(self, frontend, pspec):
+        accel = PartitionedAccelerator(frontend, pspec)
+        accel.set_mode(4)
+        names = {d.name for d in frontend.backlog.scheduler.context.devices}
+        assert "gtx-1080ti" not in names
+        assert set(pspec.partition_names(4)) <= names
+        assert accel.mode == 4
+        # Every partition has a worker, a queue and deployed kernels.
+        for part in accel.partition_names:
+            worker = frontend.worker_for(part)
+            assert worker.device_class == "dgpu"
+            frontend.backlog.scheduler.dispatcher.kernel_for(part, SIMPLE.name)
+
+    def test_merge_restores_the_parent(self, frontend, pspec):
+        accel = PartitionedAccelerator(frontend, pspec, start_mode=4)
+        accel.set_mode(1)
+        names = {d.name for d in frontend.backlog.scheduler.context.devices}
+        assert "gtx-1080ti" in names
+        assert not any(".p" in n for n in names)
+        assert accel.mode == 1
+
+    def test_split_and_merge_step_the_mode_ladder(self, frontend):
+        pspec = PartitionableDeviceSpec(DGPU_GTX_1080TI, modes=(1, 2, 4))
+        accel = PartitionedAccelerator(frontend, pspec)
+        assert accel.split() == 2
+        assert accel.split() == 4
+        with pytest.raises(SchedulerError, match="finest"):
+            accel.split()
+        assert accel.merge() == 2
+        assert accel.merge() == 1
+        with pytest.raises(SchedulerError, match="coarsest"):
+            accel.merge()
+        assert accel.n_repartitions == 4
+        assert [entry[1:] for entry in accel.history] == [
+            (1, 2), (2, 4), (4, 2), (2, 1),
+        ]
+
+    def test_unsupported_mode_rejected(self, frontend):
+        pspec = PartitionableDeviceSpec(DGPU_GTX_1080TI, modes=(1, 2))
+        accel = PartitionedAccelerator(frontend, pspec)
+        with pytest.raises(SchedulerError, match="mode 8"):
+            accel.set_mode(8)
+
+    def test_same_mode_is_a_no_op(self, frontend, pspec):
+        accel = PartitionedAccelerator(frontend, pspec, start_mode=2)
+        assert accel.set_mode(2) == 0
+        assert accel.n_repartitions == 1  # only the start_mode move
+
+    def test_warmth_survives_the_reconfiguration(self, frontend, pspec):
+        accel = PartitionedAccelerator(frontend, pspec)
+        context = frontend.backlog.scheduler.context
+        context.get_device("gtx-1080ti").force_state(DeviceState.WARM, now=0.0)
+        accel.set_mode(2)
+        for part in accel.partition_names:
+            assert context.get_device(part).probe_state(0.0) is DeviceState.WARM
+
+    def test_new_partitions_pay_the_reconfigure_window(self, frontend):
+        pspec = PartitionableDeviceSpec(DGPU_GTX_1080TI, reconfigure_cost_s=0.5)
+        accel = PartitionedAccelerator(frontend, pspec)
+        accel.set_mode(2)
+        for part in accel.partition_names:
+            queue = frontend.backlog.scheduler.queue_for(part)
+            assert queue.current_time == pytest.approx(0.5)
+
+
+class TestServingAcrossRepartitions:
+    def test_in_flight_work_is_readmitted_exactly_once(
+        self, serving_predictors, pspec
+    ):
+        fe = build_frontend(serving_predictors, tenants=make_tenants())
+        accel = PartitionedAccelerator(fe, pspec)
+        responses = [
+            fe.submit(SIMPLE.name, 64, arrival_s=i * 0.001) for i in range(30)
+        ] + [
+            fe.submit(MNIST_SMALL.name, 4096, arrival_s=i * 0.004)
+            for i in range(8)
+        ]
+        # Split mid-flood, merge later — both while launches are in flight.
+        fe.loop.schedule(0.010, lambda _l: accel.set_mode(4), label="split")
+        fe.loop.schedule(0.030, lambda _l: accel.set_mode(2), label="merge")
+        fe.run()
+        assert fe.n_pending == 0
+        assert all(r.done for r in responses)
+        served = [r for r in responses if r.served]
+        shed = [r for r in responses if r.status == "shed"]
+        assert len(served) + len(shed) == len(responses)
+        assert accel.n_repartitions == 2
+        assert fe.telemetry.n_served == len(served)
+
+    def test_partitions_actually_serve(self, serving_predictors, pspec):
+        fe = build_frontend(serving_predictors)
+        PartitionedAccelerator(fe, pspec, start_mode=2)
+        responses = [
+            fe.submit(MNIST_SMALL.name, 16384, arrival_s=i * 0.002)
+            for i in range(20)
+        ]
+        fe.run()
+        used = {r.device_name for r in responses if r.served}
+        dgpu_used = {n for n in used if n.startswith("gtx-1080ti")}
+        # Any dGPU placement must name a partition, never the retired parent.
+        assert "gtx-1080ti" not in used
+        assert dgpu_used <= set(pspec.partition_names(2))
+
+    def test_tenant_telemetry_accumulates(self, serving_predictors, pspec):
+        fe = build_frontend(serving_predictors, tenants=make_tenants())
+        PartitionedAccelerator(fe, pspec, start_mode=2)
+        for i in range(10):
+            fe.submit(SIMPLE.name, 8, arrival_s=i * 0.002)
+            fe.submit(MNIST_SMALL.name, 1024, arrival_s=i * 0.002)
+        fe.run()
+        snap = fe.stats()["tenants"]
+        assert snap["rt"]["served"] + snap["rt"]["shed"] == 10
+        assert snap["bulk"]["served"] + snap["bulk"]["shed"] == 10
+
+
+class TestContentionHooks:
+    def test_busy_sibling_stretches_launches(self, frontend):
+        pspec = PartitionableDeviceSpec(DGPU_GTX_1080TI, bandwidth_penalty=0.1)
+        accel = PartitionedAccelerator(frontend, pspec, start_mode=2)
+        p1, p2 = accel.partition_names
+        w1 = frontend.worker_for(p1)
+        assert w1.contention is not None
+        # Probe after the reconfigure window (before it, every sibling's
+        # queue clock sits at ready_at and reads as busy).
+        settled = frontend.backlog.scheduler.queue_for(p2).current_time
+        assert w1.contention(settled) == 1.0
+        frontend.backlog.scheduler.queue_for(p2).advance_to(settled + 1.0)
+        assert w1.contention(settled + 0.5) == pytest.approx(1.0 / 0.9)
+
+    def test_mode_one_installs_no_hook(self, frontend, pspec):
+        accel = PartitionedAccelerator(frontend, pspec, start_mode=2)
+        accel.set_mode(1)
+        assert frontend.worker_for("gtx-1080ti").contention is None
+
+    def test_zero_penalty_installs_no_hook(self, frontend):
+        pspec = PartitionableDeviceSpec(DGPU_GTX_1080TI, bandwidth_penalty=0.0)
+        accel = PartitionedAccelerator(frontend, pspec, start_mode=2)
+        for part in accel.partition_names:
+            assert frontend.worker_for(part).contention is None

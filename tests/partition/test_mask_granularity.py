@@ -1,0 +1,71 @@
+"""Regression: same-class devices are masked independently, by name.
+
+Before partitioning, the device mask was class-granular — masking 'dgpu'
+dropped every dGPU at once, which was fine when a class had exactly one
+device.  A split context has many same-class devices, and dropping one
+partition must not take its siblings out of service.
+"""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.nn.zoo import MNIST_SMALL
+from repro.partition import PartitionedAccelerator
+
+
+class TestNameGranularMask:
+    @pytest.fixture()
+    def split_frontend(self, frontend, pspec):
+        PartitionedAccelerator(frontend, pspec, start_mode=2)
+        return frontend
+
+    def test_masking_one_partition_spares_its_sibling(self, split_frontend):
+        fe = split_frontend
+        backlog = fe.backlog
+        p1, p2 = "gtx-1080ti.p1of2", "gtx-1080ti.p2of2"
+        backlog.set_device_mask({"cpu", "igpu", p2})
+        # The class survives (one partition still serves) ...
+        assert "dgpu" in backlog.available_classes()
+        # ... and placements can reach p2 but never p1.
+        for t in range(40):
+            decision = backlog.decide(MNIST_SMALL, 16384, arrival_s=t * 0.001)
+            assert decision.device_name != p1
+        assert backlog.device_mask == frozenset({"cpu", "igpu", p2})
+
+    def test_masking_the_class_drops_both_partitions(self, split_frontend):
+        backlog = split_frontend.backlog
+        backlog.set_device_mask({"cpu", "igpu"})
+        assert "dgpu" not in backlog.available_classes()
+        for t in range(10):
+            decision = backlog.decide(MNIST_SMALL, 16384, arrival_s=t * 0.001)
+            assert decision.device in ("cpu", "igpu")
+
+    def test_mask_naming_only_partitions_must_keep_a_device(self, split_frontend):
+        # A mask that matches nothing in the context is rejected up front.
+        with pytest.raises(SchedulerError, match="no device"):
+            split_frontend.backlog.set_device_mask({"gtx-1080ti.p9of2"})
+
+    def test_unmasking_restores_the_partition(self, split_frontend):
+        backlog = split_frontend.backlog
+        p1 = "gtx-1080ti.p1of2"
+        backlog.set_device_mask({"cpu", "igpu", "gtx-1080ti.p2of2"})
+        backlog.set_device_mask(None)
+        names = {
+            d.name
+            for d in backlog.scheduler.context.devices
+            if backlog._mask_allows(d)
+        }
+        assert p1 in names
+
+    def test_name_mask_invalidates_only_affected_entries(self, split_frontend):
+        backlog = split_frontend.backlog
+        # Warm the cache with dGPU-ranked cells.
+        for t in range(5):
+            backlog.decide(MNIST_SMALL, 16384, arrival_s=t * 0.001)
+        before = backlog.cache_stats()["mask_invalidations"]
+        backlog.set_device_mask({"cpu", "igpu", "gtx-1080ti.p2of2"})
+        after = backlog.cache_stats()["mask_invalidations"]
+        assert after >= before  # entries binding p1 were dropped
+        # Post-mask decisions never name the masked partition.
+        decision = backlog.decide(MNIST_SMALL, 16384, arrival_s=1.0)
+        assert decision.device_name != "gtx-1080ti.p1of2"

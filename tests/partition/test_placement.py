@@ -1,0 +1,76 @@
+"""PlacementPolicy: deterministic tenant → partition assignment."""
+
+from repro.partition import PlacementPolicy, TenantSet, TenantSpec
+
+
+def tenants(n_latency=1, n_batch=1) -> TenantSet:
+    specs = [
+        TenantSpec(f"lat{i}", models=(f"lm{i}",), kind="latency", slo_s=0.05)
+        for i in range(n_latency)
+    ] + [
+        TenantSpec(f"bat{i}", models=(f"bm{i}",), kind="batch")
+        for i in range(n_batch)
+    ]
+    return TenantSet(specs)
+
+
+class RecordingBacklog:
+    """Duck-typed pin sink (the only surface ``apply`` touches)."""
+
+    def __init__(self):
+        self.pins = {}
+
+    def set_model_device_pin(self, model, names):
+        self.pins[model] = names
+
+
+class TestAssign:
+    def test_single_partition_means_no_pins(self):
+        assert PlacementPolicy().assign(tenants(), ("dev",)) == {}
+
+    def test_latency_tenant_gets_a_dedicated_partition(self):
+        a = PlacementPolicy().assign(tenants(1, 1), ("p1", "p2", "p3", "p4"))
+        assert a["lat0"] == ("p1",)
+        assert a["bat0"] == ("p2", "p3", "p4")
+        assert "p1" not in a["bat0"]
+
+    def test_two_latency_tenants_two_partitions_batch_keeps_one(self):
+        a = PlacementPolicy().assign(tenants(2, 1), ("p1", "p2"))
+        # Only one partition can be dedicated (batch needs the other);
+        # both latency tenants round-robin onto it.
+        assert a["lat0"] == ("p1",)
+        assert a["lat1"] == ("p1",)
+        assert a["bat0"] == ("p2",)
+
+    def test_no_batch_tenants_latency_takes_everything(self):
+        a = PlacementPolicy().assign(tenants(2, 0), ("p1", "p2"))
+        assert a["lat0"] == ("p1",)
+        assert a["lat1"] == ("p2",)
+
+    def test_dedication_disabled_everyone_shares(self):
+        a = PlacementPolicy(dedicate_latency=False).assign(
+            tenants(1, 1), ("p1", "p2")
+        )
+        assert a["lat0"] == a["bat0"] == ("p1", "p2")
+
+    def test_assignment_is_deterministic(self):
+        ts = tenants(2, 2)
+        parts = ("p1", "p2", "p3", "p4")
+        assert PlacementPolicy().assign(ts, parts) == PlacementPolicy().assign(
+            ts, parts
+        )
+
+
+class TestApply:
+    def test_pins_every_tenant_model(self):
+        backlog = RecordingBacklog()
+        ts = tenants(1, 1)
+        PlacementPolicy().apply(backlog, ts, ("p1", "p2"))
+        assert backlog.pins == {"lm0": ("p1",), "bm0": ("p2",)}
+
+    def test_mode_one_clears_stale_pins(self):
+        backlog = RecordingBacklog()
+        ts = tenants(1, 1)
+        PlacementPolicy().apply(backlog, ts, ("p1", "p2"))
+        PlacementPolicy().apply(backlog, ts, ("whole-device",))
+        assert backlog.pins == {"lm0": None, "bm0": None}

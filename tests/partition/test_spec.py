@@ -1,0 +1,126 @@
+"""PartitionableDeviceSpec: mode validation, spec scaling, contention."""
+
+import pytest
+
+from repro.hw.specs import CPU_I7_8700, DGPU_GTX_1080TI
+from repro.partition import (
+    VALID_PARTITION_MODES,
+    PartitionableDeviceSpec,
+    partition_name,
+)
+
+
+class TestValidation:
+    def test_default_modes_are_the_valid_ladder(self):
+        p = PartitionableDeviceSpec(DGPU_GTX_1080TI)
+        assert p.modes == VALID_PARTITION_MODES
+        assert p.max_mode == 8
+
+    def test_modes_are_sorted_and_deduped(self):
+        p = PartitionableDeviceSpec(DGPU_GTX_1080TI, modes=(4, 1, 4, 2))
+        assert p.modes == (1, 2, 4)
+
+    def test_mode_one_is_mandatory(self):
+        with pytest.raises(ValueError, match="must include 1"):
+            PartitionableDeviceSpec(DGPU_GTX_1080TI, modes=(2, 4))
+
+    def test_unsupported_mode_rejected(self):
+        with pytest.raises(ValueError, match="unsupported partition modes"):
+            PartitionableDeviceSpec(DGPU_GTX_1080TI, modes=(1, 3))
+
+    def test_mode_starving_a_partition_rejected(self):
+        # The 6-core CPU cannot be split 8 ways (6 // 8 == 0 CUs).
+        with pytest.raises(ValueError, match="zero of the 6 compute units"):
+            PartitionableDeviceSpec(CPU_I7_8700, modes=(1, 8))
+
+    @pytest.mark.parametrize("penalty", [-0.1, 1.0, 1.5])
+    def test_penalty_out_of_range(self, penalty):
+        with pytest.raises(ValueError, match="bandwidth_penalty"):
+            PartitionableDeviceSpec(DGPU_GTX_1080TI, bandwidth_penalty=penalty)
+
+    def test_negative_reconfigure_cost(self):
+        with pytest.raises(ValueError, match="reconfigure_cost_s"):
+            PartitionableDeviceSpec(DGPU_GTX_1080TI, reconfigure_cost_s=-1e-3)
+
+
+class TestPartitionSpecs:
+    def test_mode_one_is_the_parent_untouched(self):
+        p = PartitionableDeviceSpec(DGPU_GTX_1080TI)
+        (spec,) = p.partition_specs(1)
+        assert spec is DGPU_GTX_1080TI
+
+    def test_unsupported_mode_raises(self):
+        p = PartitionableDeviceSpec(DGPU_GTX_1080TI, modes=(1, 2))
+        with pytest.raises(ValueError, match="mode 4 not supported"):
+            p.partition_specs(4)
+
+    def test_four_way_split_scales_by_realized_cu_ratio(self):
+        parent = DGPU_GTX_1080TI
+        p = PartitionableDeviceSpec(parent)
+        specs = p.partition_specs(4)
+        assert len(specs) == 4
+        cu = parent.compute_units // 4          # 28 // 4 == 7
+        ratio = cu / parent.compute_units
+        for i, s in enumerate(specs, start=1):
+            assert s.name == partition_name(parent.name, i, 4)
+            assert s.device_class is parent.device_class
+            assert s.compute_units == cu
+            assert s.peak_gflops == pytest.approx(parent.peak_gflops * ratio)
+            assert s.mem_bandwidth_gb_s == pytest.approx(
+                parent.mem_bandwidth_gb_s / 4
+            )
+            assert s.mem_bytes == parent.mem_bytes // 4
+            assert s.idle_watts == pytest.approx(parent.idle_watts / 4)
+            assert s.busy_watts > s.idle_watts
+
+    def test_uneven_split_leaves_leftover_cus_dark(self):
+        # 28 CUs 8 ways: 3 CUs each, 4 dark — like MIG's unassigned slices.
+        p = PartitionableDeviceSpec(DGPU_GTX_1080TI)
+        specs = p.partition_specs(8)
+        assert all(s.compute_units == 3 for s in specs)
+        assert sum(s.compute_units for s in specs) < DGPU_GTX_1080TI.compute_units
+
+    def test_partition_specs_pass_device_spec_validation(self):
+        # Every derived spec must survive DeviceSpec.__post_init__ —
+        # positive compute, busy >= idle, sustained_eff untouched.
+        p = PartitionableDeviceSpec(DGPU_GTX_1080TI)
+        for mode in p.modes:
+            for s in p.partition_specs(mode):
+                assert s.compute_units >= 1
+                assert s.busy_watts >= s.idle_watts
+
+    def test_partition_names(self):
+        p = PartitionableDeviceSpec(DGPU_GTX_1080TI)
+        assert p.partition_names(2) == (
+            "gtx-1080ti.p1of2",
+            "gtx-1080ti.p2of2",
+        )
+        assert p.partition_names(1) == ("gtx-1080ti",)
+
+
+class TestContention:
+    def test_no_busy_sibling_is_free(self):
+        p = PartitionableDeviceSpec(DGPU_GTX_1080TI, bandwidth_penalty=0.07)
+        assert p.contention_multiplier(0) == 1.0
+
+    def test_zero_penalty_is_always_free(self):
+        p = PartitionableDeviceSpec(DGPU_GTX_1080TI, bandwidth_penalty=0.0)
+        assert p.contention_multiplier(3) == 1.0
+
+    def test_multiplier_compounds_per_busy_sibling(self):
+        p = PartitionableDeviceSpec(DGPU_GTX_1080TI, bandwidth_penalty=0.1)
+        assert p.contention_multiplier(1) == pytest.approx(1.0 / 0.9)
+        assert p.contention_multiplier(3) == pytest.approx(0.9**-3)
+
+    def test_negative_siblings_rejected(self):
+        p = PartitionableDeviceSpec(DGPU_GTX_1080TI)
+        with pytest.raises(ValueError, match="active_siblings"):
+            p.contention_multiplier(-1)
+
+    def test_contended_bandwidth_shrinks(self):
+        p = PartitionableDeviceSpec(DGPU_GTX_1080TI, bandwidth_penalty=0.1)
+        nominal = p.partition_specs(4)[0].mem_bandwidth_gb_s
+        assert p.contended_bandwidth_gb_s(4, 0) == pytest.approx(nominal)
+        assert p.contended_bandwidth_gb_s(4, 3) == pytest.approx(
+            nominal * 0.9**3
+        )

@@ -1,0 +1,85 @@
+"""Tenant specs and sets: validation and model-ownership lookups."""
+
+import pytest
+
+from repro.partition import TenantSet, TenantSpec
+
+
+class TestTenantSpec:
+    def test_defaults(self):
+        t = TenantSpec("rt", models=("simple",))
+        assert t.kind == "latency"
+        assert t.slo_s is None
+        assert t.weight == 1.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            TenantSpec("", models=("simple",))
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(ValueError, match="model"):
+            TenantSpec("rt", models=())
+
+    def test_duplicate_models_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            TenantSpec("rt", models=("simple", "simple"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            TenantSpec("rt", models=("simple",), kind="interactive")
+
+    @pytest.mark.parametrize("slo", [0.0, -0.1])
+    def test_nonpositive_slo_rejected(self, slo):
+        with pytest.raises(ValueError, match="slo_s"):
+            TenantSpec("rt", models=("simple",), slo_s=slo)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            TenantSpec("rt", models=("simple",), weight=0.0)
+
+
+class TestTenantSet:
+    def make(self):
+        return TenantSet(
+            [
+                TenantSpec("rt", models=("simple",), kind="latency", slo_s=0.05),
+                TenantSpec("bulk", models=("mnist-small",), kind="batch"),
+            ]
+        )
+
+    def test_lookup_by_name_and_model(self):
+        ts = self.make()
+        assert len(ts) == 2
+        assert ts.get("rt").slo_s == 0.05
+        assert ts.tenant_for("mnist-small").name == "bulk"
+        assert ts.tenant_for("unknown-model") is None
+
+    def test_kind_views(self):
+        ts = self.make()
+        assert [t.name for t in ts.latency_tenants] == ["rt"]
+        assert [t.name for t in ts.batch_tenants] == ["bulk"]
+
+    def test_model_names_union(self):
+        assert set(self.make().model_names) == {"simple", "mnist-small"}
+
+    def test_duplicate_tenant_names_rejected(self):
+        with pytest.raises(ValueError, match="rt"):
+            TenantSet(
+                [
+                    TenantSpec("rt", models=("a",)),
+                    TenantSpec("rt", models=("b",)),
+                ]
+            )
+
+    def test_shared_model_ownership_rejected(self):
+        with pytest.raises(ValueError, match="owned by both"):
+            TenantSet(
+                [
+                    TenantSpec("rt", models=("simple",)),
+                    TenantSpec("bulk", models=("simple",)),
+                ]
+            )
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError, match="tenant"):
+            TenantSet([])

@@ -35,10 +35,20 @@ LANDMARKS = {
         "accounted exactly once",
         "identical seeds replay to identical stats",
     ],
+    "partitioned_cluster.py": [
+        "latency tenant vs batch flood",
+        "isolation holds",
+        "repartitioner split the dGPU",
+        "replay reproduces every response",
+    ],
 }
 
 #: Extra CLI arguments per script (chaos runs its CI-sized campaign here).
-EXAMPLE_ARGS = {"chaos_cluster.py": ["--tiny"], "cascade_serving.py": ["--tiny"]}
+EXAMPLE_ARGS = {
+    "chaos_cluster.py": ["--tiny"],
+    "cascade_serving.py": ["--tiny"],
+    "partitioned_cluster.py": ["--tiny"],
+}
 
 
 def test_every_example_has_a_smoke_test():
