@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full bench-wallclock profile-cluster repro examples serve-demo cluster-demo cascade-demo chaos-demo partition-demo lint-clean
+.PHONY: install test bench bench-full bench-wallclock bench-million profile-cluster repro examples serve-demo cluster-demo cascade-demo chaos-demo partition-demo million-demo lint-clean
 
 install:
 	pip install -e .
@@ -22,6 +22,15 @@ bench-full:
 bench-wallclock:
 	PYTHONPATH=src $(PY) benchmarks/wallclock/run.py --out BENCH_hotpaths.json
 	PYTHONPATH=src $(PY) benchmarks/wallclock/check.py BENCH_hotpaths.json
+
+# Million-request replay alone: the seeded production trace (MMPP +
+# flash crowd + sessions) through the vectorized dispatch path, with the
+# determinism digest and throughput floor enforced.
+bench-million:
+	PYTHONPATH=src $(PY) benchmarks/wallclock/run.py --only million \
+		--out bench_million.json
+	PYTHONPATH=src $(PY) benchmarks/wallclock/check.py bench_million.json \
+		--sections million
 
 # cProfile the cluster request path (the 4-node overload bench) and dump
 # raw stats to cluster.prof for pstats/snakeviz.
@@ -59,3 +68,8 @@ chaos-demo:
 # batch flood, plus the online repartitioner (CI runs it with --tiny).
 partition-demo:
 	$(PY) examples/partitioned_cluster.py
+
+# Million demo: production-shaped trace replayed per-event and batched,
+# with a built-in digit-identity assertion (CI runs it with --tiny).
+million-demo:
+	$(PY) examples/million_replay.py --tiny

@@ -18,8 +18,10 @@ Three layers of checking, from always-on to conditional:
    cost amortizes over the batch), so both paths converge toward memory
    bandwidth as the batch grows.  Correctness claims (bit-identical
    forest output, byte-identical sweep labels, and — when the optional
-   ``partition`` section is present — tenant isolation and replay
-   determinism) are enforced in *every* mode.
+   ``partition`` / ``million`` sections are present — tenant isolation
+   and replay determinism) are enforced in *every* mode.  The million
+   section additionally gates the batched-dispatch throughput floor
+   (>= 46.6k req/s full, >= 2k tiny) and its trace-population minimum.
 3. **Regression** — with ``--baseline`` pointing at a committed report of
    the *same mode*, any benchmark whose wall time grew by more than
    ``--factor`` (default 2.0) fails the check.  A missing baseline or a
@@ -56,6 +58,22 @@ _PARTITION_KEYS = (
     "isolation_holds", "deterministic",
 )
 
+#: Fields the optional ``million`` section must carry when present (same
+#: contract as ``partition``: older committed reports stay valid).
+_MILLION_KEYS = (
+    "requests", "wall_s", "requests_per_wall_s", "shed_rate",
+    "outcome_digest", "deterministic",
+)
+
+#: Floors for the million-request vectorized replay.  Full mode must
+#: move a seeded 1M-request production trace at >= 2x the committed
+#: cluster trajectory (2 x 23.3k ~= 46.6k req/s); tiny mode only proves
+#: the batched path is not accidentally per-event slow.
+_MILLION_FLOORS = {
+    "full": {"requests": 1_000_000, "rps": 46_600.0},
+    "tiny": {"requests": 20_000, "rps": 2_000.0},
+}
+
 #: Request-path throughput floors (requests per wall-clock second).
 _RPS_FLOORS = {
     "full": {"serving": 15_000.0, "cluster": 8_300.0},
@@ -88,7 +106,9 @@ def _load(path: str) -> dict:
         _fail(f"cannot read {path}: {exc}")
 
 
-def check_structure(report: dict, path: str) -> None:
+def check_structure(
+    report: dict, path: str, sections: "set[str] | None" = None
+) -> None:
     if report.get("schema") != SCHEMA_VERSION:
         _fail(f"{path}: schema {report.get('schema')!r} != {SCHEMA_VERSION}")
     if report.get("mode") not in ("full", "tiny"):
@@ -97,27 +117,35 @@ def check_structure(report: dict, path: str) -> None:
     if not isinstance(benches, dict):
         _fail(f"{path}: missing benchmarks object")
     for section, keys in _REQUIRED.items():
+        if sections is not None and section not in sections:
+            continue
         if section not in benches:
             _fail(f"{path}: missing benchmark section {section!r}")
         for key in keys:
             if key not in benches[section]:
                 _fail(f"{path}: benchmarks.{section} missing {key!r}")
-    for batch, row in benches["forest"]["batches"].items():
-        for key in ("recursive_s", "flat_s", "speedup"):
-            if not (isinstance(row.get(key), (int, float)) and row[key] > 0):
-                _fail(f"{path}: forest batch {batch} has bad {key!r}")
+    if "forest" in benches:
+        for batch, row in benches["forest"]["batches"].items():
+            for key in ("recursive_s", "flat_s", "speedup"):
+                if not (isinstance(row.get(key), (int, float)) and row[key] > 0):
+                    _fail(f"{path}: forest batch {batch} has bad {key!r}")
     if "partition" in benches:
         for key in _PARTITION_KEYS:
             if key not in benches["partition"]:
                 _fail(f"{path}: benchmarks.partition missing {key!r}")
+    if "million" in benches:
+        for key in _MILLION_KEYS:
+            if key not in benches["million"]:
+                _fail(f"{path}: benchmarks.million missing {key!r}")
     print(f"[bench-check] {path}: structure OK ({report['mode']} mode)")
 
 
 def check_floors(report: dict) -> None:
+    """Gate the sections the report carries (partial reports check less)."""
     benches = report["benchmarks"]
-    if not benches["forest"]["equivalent"]:
+    if "forest" in benches and not benches["forest"]["equivalent"]:
         _fail("flat forest output is not bit-identical to the recursive path")
-    if not benches["sweep"]["labels_identical"]:
+    if "sweep" in benches and not benches["sweep"]["labels_identical"]:
         _fail("cached sweep labels differ from the cold sweep")
     if "partition" in benches:
         part = benches["partition"]
@@ -130,7 +158,28 @@ def check_floors(report: dict) -> None:
                 f"{part['shared_p99_ms']:.2f}ms shared against a "
                 f"{part['latency_slo_ms']:.0f}ms SLO"
             )
+    if "million" in benches:
+        million = benches["million"]
+        floors = _MILLION_FLOORS[report["mode"]]
+        if not million["deterministic"]:
+            _fail("million-request replay digests differ between runs")
+        if million["requests"] < floors["requests"]:
+            _fail(
+                f"million replay covered only {million['requests']} requests "
+                f"(< {floors['requests']} for {report['mode']} mode)"
+            )
+        if million["requests_per_wall_s"] < floors["rps"]:
+            _fail(
+                f"million replay throughput "
+                f"{million['requests_per_wall_s']:.0f} req/s is below the "
+                f"{report['mode']}-mode floor of {floors['rps']:.0f}"
+            )
+        print(f"[bench-check] million replay OK "
+              f"({million['requests']} reqs, "
+              f"{million['requests_per_wall_s']:.0f} req/s, deterministic)")
     for section, floor in _RPS_FLOORS[report["mode"]].items():
+        if section not in benches:
+            continue
         rps = benches[section]["requests_per_wall_s"]
         if rps < floor:
             _fail(
@@ -141,31 +190,34 @@ def check_floors(report: dict) -> None:
         print("[bench-check] tiny mode: request-path floors OK; "
               "remaining perf floors skipped (correctness enforced)")
         return
-    hit_rate = benches["cluster"]["decision_cache_hit_rate"]
-    if hit_rate < _CLUSTER_HIT_RATE_FLOOR:
-        _fail(
-            f"cluster decision-cache hit rate {hit_rate:.3f} is below "
-            f"the {_CLUSTER_HIT_RATE_FLOOR:.2f} floor"
+    if "cluster" in benches:
+        hit_rate = benches["cluster"]["decision_cache_hit_rate"]
+        if hit_rate < _CLUSTER_HIT_RATE_FLOOR:
+            _fail(
+                f"cluster decision-cache hit rate {hit_rate:.3f} is below "
+                f"the {_CLUSTER_HIT_RATE_FLOOR:.2f} floor"
+            )
+    if "forest" in benches:
+        gated = sorted(
+            (int(b) for b in benches["forest"]["batches"] if int(b) >= 256)
         )
-    gated = sorted(
-        (int(b) for b in benches["forest"]["batches"] if int(b) >= 256)
-    )
-    if not gated:
-        _fail("full-mode report has no forest measurement at batch >= 256")
-    row = benches["forest"]["batches"][str(gated[0])]
-    if row["speedup"] < 5.0:
-        _fail(
-            f"forest speedup {row['speedup']:.2f}x at batch {gated[0]} "
-            "is below the 5x floor"
-        )
-    sweep = benches["sweep"]
-    if sweep["speedup"] < 10.0:
-        _fail(f"warm sweep speedup {sweep['speedup']:.2f}x is below the 10x floor")
-    print("[bench-check] perf floors OK "
-          f"(forest >= 5x at batch >= 256, sweep {sweep['speedup']:.1f}x, "
-          f"serving {benches['serving']['requests_per_wall_s']:.0f} req/s, "
-          f"cluster {benches['cluster']['requests_per_wall_s']:.0f} req/s "
-          f"at {hit_rate:.3f} cache hits)")
+        if not gated:
+            _fail("full-mode report has no forest measurement at batch >= 256")
+        row = benches["forest"]["batches"][str(gated[0])]
+        if row["speedup"] < 5.0:
+            _fail(
+                f"forest speedup {row['speedup']:.2f}x at batch {gated[0]} "
+                "is below the 5x floor"
+            )
+    if "sweep" in benches:
+        sweep = benches["sweep"]
+        if sweep["speedup"] < 10.0:
+            _fail(
+                f"warm sweep speedup {sweep['speedup']:.2f}x "
+                "is below the 10x floor"
+            )
+    print("[bench-check] perf floors OK for sections: "
+          + ", ".join(sorted(benches)))
 
 
 def check_regression(report: dict, baseline_path: str, factor: float) -> None:
@@ -213,10 +265,19 @@ def main(argv=None) -> int:
         "--structure-only", action="store_true",
         help="only validate shape/fields (e.g. for the committed artifact)",
     )
+    parser.add_argument(
+        "--sections", default=None, metavar="A,B",
+        help="comma-separated sections a partial report (run.py --only) "
+             "must carry; other sections may be absent and are not gated",
+    )
     args = parser.parse_args(argv)
 
+    sections = (
+        None if args.sections is None
+        else {s.strip() for s in args.sections.split(",") if s.strip()}
+    )
     report = _load(args.report)
-    check_structure(report, args.report)
+    check_structure(report, args.report, sections)
     if args.structure_only:
         return 0
     check_floors(report)

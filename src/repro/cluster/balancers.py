@@ -50,6 +50,16 @@ class LoadBalancer:
 
     name = "abstract"
 
+    #: Whether :meth:`choose` is a pure function of fleet state at one
+    #: instant — no internal state advanced, no randomness drawn.  The
+    #: router's vectorized arrival path may then reuse one decision for
+    #: every simultaneous arrival of the same (model, batch) cell, which
+    #: is exactly what the per-request path would have computed (nothing
+    #: a pure policy reads changes between same-instant routing calls).
+    #: Policies that mutate per call (round-robin's turn counter,
+    #: power-of-two's RNG) must leave this False.
+    stateless_choice = False
+
     def invalidate(self) -> None:
         """Fleet membership or predictor state changed: drop any memos.
 
@@ -107,6 +117,7 @@ class LeastOutstandingBalancer(LoadBalancer):
     """Fewest unresolved requests (queued + in flight); ties by name."""
 
     name = "least-outstanding"
+    stateless_choice = True
 
     def _pick(self, nodes, request, spec, now):
         return min(nodes, key=lambda n: (n.stats().outstanding, n.name))
@@ -116,6 +127,7 @@ class JoinShortestQueueBalancer(LoadBalancer):
     """Least outstanding *work* in samples; ties by count, then name."""
 
     name = "join-shortest-queue"
+    stateless_choice = True
 
     @staticmethod
     def _load(node: ClusterNode) -> tuple:
@@ -164,6 +176,7 @@ class LeastECTBalancer(LoadBalancer):
     """
 
     name = "least-ect"
+    stateless_choice = True
 
     #: Bound on the (model, batch) priming memo; cleared when exceeded.
     _PRIMED_MAX = 16384

@@ -39,8 +39,9 @@ from repro.cluster.node import ClusterNode, NodeState
 from repro.faults.breaker import BreakerState, CircuitBreaker
 from repro.faults.config import ResilienceConfig
 from repro.rng import ensure_rng
-from repro.serving.frontend import ServingResponse
+from repro.serving.frontend import ServingFrontend, ServingResponse
 from repro.serving.queues import QueueEntry
+from repro.sim.engine import TraceCursor
 from repro.telemetry.fleet import FleetTelemetry
 from repro.workloads.requests import InferenceRequest, RequestTrace
 
@@ -694,28 +695,127 @@ class ClusterRouter:
         self.sweep_drains()
         return end
 
-    def serve_trace(self, trace: RequestTrace) -> ClusterResult:
+    def serve_trace(
+        self, trace: RequestTrace, vectorized: bool = False
+    ) -> ClusterResult:
         """Replay a whole trace through the fleet and drain the loop.
 
-        Trace arrivals are ledgered first and injected through the event
-        loop's bulk fast path — one heapify over the (typically pre-sorted)
-        arrival array instead of one ``heappush`` per request.
+        Trace arrivals are ledgered first.  The default path injects one
+        routing event per request through the event loop's bulk fast path
+        — one heapify over the (typically pre-sorted) arrival array
+        instead of one ``heappush`` per request.
+
+        With ``vectorized=True`` the trace stays off the heap: a
+        :class:`~repro.sim.engine.TraceCursor` fires once per run of
+        equal timestamps, the run is routed in one pass (pure balancers —
+        ``stateless_choice`` — probe each distinct (model, batch) cell
+        once instead of once per request), and the routed entries are
+        delivered to their frontends by a single follow-up event whose
+        late sequence number lands exactly where the per-event arrivals
+        would have.  Bit-identical to the default path; the equivalence
+        tests replay mixed traces both ways, with faults and partitions
+        armed, and compare results digit for digit.
 
         With a resilience config, heartbeats are scheduled automatically
         through ``heartbeat_tail_s`` past the last arrival, so crashes
         during (or just after) the trace are detected without the caller
         wiring a :class:`~repro.faults.health.HealthMonitor` by hand.
         """
-        items = [
-            (request.arrival_s, partial(self._route, self._register(request), None))
-            for request in trace
-        ]
-        self.loop.schedule_bulk(items, label="route")
-        if self.resilience is not None and items:
-            last_arrival = max(t for t, _ in items)
+        last_arrival = None
+        if vectorized:
+            responses = [self._register(request) for request in trace]
+            if responses:
+                last_arrival = responses[-1].request.arrival_s
+                TraceCursor(
+                    self.loop,
+                    [r.request.arrival_s for r in responses],
+                    partial(self._route_run, responses),
+                    label="route",
+                ).start()
+        else:
+            items = [
+                (request.arrival_s, partial(self._route, self._register(request), None))
+                for request in trace
+            ]
+            self.loop.schedule_bulk(items, label="route")
+            if items:
+                last_arrival = max(t for t, _ in items)
+        if self.resilience is not None and last_arrival is not None:
             self.schedule_health(last_arrival + self.resilience.heartbeat_tail_s)
         self.run()
         return self.result()
+
+    def _route_run(self, responses: "list[ClusterResponse]", i: int, j: int) -> None:
+        """Route one run of simultaneous arrivals, then deliver in batch.
+
+        Phase 1 (this event) makes every routing decision for the run.
+        Until the deliveries land, nothing a pure balancer reads can
+        change — queues and in-flight counters only move at delivery or
+        dispatch — so one ``choose`` per (model, batch) cell reproduces
+        the per-request decisions exactly.  Phase 2 is a single event at
+        the same timestamp delivering the entries in submission order;
+        its sequence number is allocated here, after the run's timeout
+        arms, exactly where the per-event path allocates its arrival
+        events — so timers and injector events landing on this instant
+        interleave identically on both paths.
+        """
+        now = self.loop.now
+        active = self.routable_nodes()
+        balancer = self.balancer
+        memo: "dict[tuple[str, int], ClusterNode] | None" = (
+            {} if balancer.stateless_choice else None
+        )
+        deliveries: "list[tuple[ServingFrontend, QueueEntry]]" = []
+        for k in range(i, j):
+            response = responses[k]
+            if not active:
+                response.mark_shed("no_active_node")
+                self._log(
+                    "route_failed", "-", f"request {response.request.request_id}"
+                )
+                continue
+            request = response.request
+            spec = self.specs[request.model]
+            if memo is None:
+                node = balancer.choose(active, request, spec, now)
+            else:
+                key = (request.model, request.batch)
+                node = memo.get(key)
+                if node is None:
+                    node = balancer.choose(active, request, spec, now)
+                    memo[key] = node
+            frontend = node.frontend
+            inner, entry = frontend.register_request(request)
+            response.bind(node.name, inner)
+            self._arm_timeout(response)
+            deliveries.append((frontend, entry))
+        if deliveries:
+            self.loop.schedule(
+                now, partial(self._deliver_run, deliveries), label="arrive"
+            )
+
+    def _deliver_run(
+        self,
+        deliveries: "list[tuple[ServingFrontend, QueueEntry]]",
+        _loop=None,
+    ) -> None:
+        """Deliver one run's routed entries, sharing estimate memos.
+
+        Every distinct frontend in the run gets its completion-estimate
+        memo armed for the duration (cleared by the frontends themselves
+        whenever a dispatch moves a command queue), so simultaneous
+        arrivals of one (model, batch) cell cost one admission probe.
+        """
+        armed = []
+        for frontend, _entry in deliveries:
+            if frontend.begin_arrival_batch():
+                armed.append(frontend)
+        try:
+            for frontend, entry in deliveries:
+                frontend.deliver(entry)
+        finally:
+            for frontend in armed:
+                frontend.end_arrival_batch()
 
     def result(self) -> ClusterResult:
         """The routed responses plus fleet telemetry and the event log."""

@@ -21,7 +21,7 @@ from repro.workloads.requests import InferenceRequest
 __all__ = ["AdmissionDecision", "AdmissionController"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AdmissionDecision:
     """Outcome of one admission check."""
 

@@ -28,7 +28,7 @@ __all__ = ["CoalescedBatch", "BatchCoalescer"]
 _EPS = 1e-9
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoalescedBatch:
     """One merged launch: a group of requests served as a single batch."""
 

@@ -44,7 +44,7 @@ from repro.serving.admission import AdmissionController
 from repro.serving.coalescer import BatchCoalescer, CoalescedBatch
 from repro.serving.queues import QueueEntry, make_queue
 from repro.serving.workers import DeviceWorker
-from repro.sim.engine import EventLoop
+from repro.sim.engine import EventLoop, TraceCursor
 from repro.telemetry.serving import ServingTelemetry
 from repro.workloads.requests import InferenceRequest, RequestTrace
 
@@ -366,6 +366,15 @@ class ServingFrontend:
         self._timer_at: dict[str, "float | None"] = {name: None for name in self.specs}
         self._in_flight = 0          # requests dispatched, not yet completed
         self._in_flight_samples = 0
+        # Completion-estimate memo for a batched run of simultaneous
+        # arrivals.  Non-None only while a vectorized run callback is
+        # delivering same-timestamp entries: between dispatches nothing
+        # that estimate_completion reads can change at a fixed instant,
+        # so one (model, batch) probe serves the whole run.  Every
+        # dispatch path clears it (the dispatch moves command queues),
+        # which is what keeps admission decisions bit-identical to the
+        # per-event path.
+        self._est_memo: "dict[tuple[str, int], float] | None" = None
 
         # -- resilience state (inert unless faults are injected) -----------
         # crashed: fail-stop flag; while set, arrivals fall into the lost
@@ -446,25 +455,96 @@ class ServingFrontend:
         self._require_spec(request.model)
         return self._schedule_arrival(self._with_default_deadline(request), x)
 
-    def serve_trace(self, trace: RequestTrace) -> ServingResult:
+    def register_request(
+        self, request: InferenceRequest, x: "np.ndarray | None" = None
+    ) -> "tuple[ServingResponse, QueueEntry]":
+        """Register a request without scheduling its arrival event.
+
+        The cluster router's vectorized path batches deliveries itself
+        (one event per run of simultaneous arrivals); it registers here
+        during routing and later feeds each entry to the arrival handler
+        directly.  Ledger state after registration is identical to
+        :meth:`submit_request` minus the per-request heap entry.
+        """
+        self._require_spec(request.model)
+        return self._register_arrival(self._with_default_deadline(request), x)
+
+    def deliver(self, entry: QueueEntry) -> None:
+        """Process a registered entry's arrival at the current instant.
+
+        Counterpart to :meth:`register_request` for batched delivery:
+        identical to the event the per-request path would have fired.
+        """
+        self._on_arrival(entry)
+
+    def begin_arrival_batch(self) -> bool:
+        """Arm the completion-estimate memo for a batched delivery run.
+
+        Returns True when this call armed it (the caller must then call
+        :meth:`end_arrival_batch`), False when a run is already active.
+        """
+        if self._est_memo is None:
+            self._est_memo = {}
+            return True
+        return False
+
+    def end_arrival_batch(self) -> None:
+        """Disarm the completion-estimate memo after a batched run."""
+        self._est_memo = None
+
+    def serve_trace(
+        self, trace: RequestTrace, vectorized: bool = False
+    ) -> ServingResult:
         """Replay a whole trace through the frontend and drain the loop.
 
-        Arrivals are registered first and injected through the event loop's
-        bulk fast path — one heapify over the (typically pre-sorted) trace
-        instead of one ``heappush`` per request.
+        Arrivals are registered first.  The default path injects them
+        through the event loop's bulk fast path — one heapify over the
+        (typically pre-sorted) trace instead of one ``heappush`` per
+        request.  With ``vectorized=True`` the trace never enters the
+        heap at all: a :class:`~repro.sim.engine.TraceCursor` fires one
+        event per run of equal timestamps and the run is admitted
+        synchronously with a shared completion-estimate memo — the heap
+        holds only live timers/completions (log of *active* events, not
+        of the trace) and simultaneous arrivals cost one backlog probe
+        per (model, batch) cell.  Results are bit-identical either way;
+        equivalence tests hold both paths to that.
         """
         responses = []
-        items = []
+        entries = []
         for request in trace:
             self._require_spec(request.model)
             response, entry = self._register_arrival(
                 self._with_default_deadline(request), None
             )
             responses.append(response)
-            items.append((entry.request.arrival_s, partial(self._on_arrival, entry)))
-        self.loop.schedule_bulk(items, label="arrive")
+            entries.append(entry)
+        if vectorized:
+            TraceCursor(
+                self.loop,
+                [entry.request.arrival_s for entry in entries],
+                partial(self._arrive_run, entries),
+                label="arrive",
+            ).start()
+        else:
+            self.loop.schedule_bulk(
+                [
+                    (entry.request.arrival_s, partial(self._on_arrival, entry))
+                    for entry in entries
+                ],
+                label="arrive",
+            )
         self.run()
         return ServingResult(responses=responses, telemetry=self.telemetry)
+
+    def _arrive_run(self, entries: "list[QueueEntry]", i: int, j: int) -> None:
+        """Deliver one run of same-timestamp arrivals synchronously."""
+        outer = self._est_memo
+        self._est_memo = {}
+        try:
+            for k in range(i, j):
+                self._on_arrival(entries[k])
+        finally:
+            self._est_memo = outer
 
     def _with_default_deadline(self, request: InferenceRequest) -> InferenceRequest:
         """Stamp the model's configured default SLO on deadline-less requests."""
@@ -537,7 +617,15 @@ class ServingFrontend:
         queue = self._queues[model]
         response = self._pending[entry.seq]
 
-        _, est_delay = self.backlog.estimate_completion(spec, entry.batch, now)
+        memo = self._est_memo
+        if memo is None:
+            _, est_delay = self.backlog.estimate_completion(spec, entry.batch, now)
+        else:
+            key = (model, entry.batch)
+            est_delay = memo.get(key)
+            if est_delay is None:
+                _, est_delay = self.backlog.estimate_completion(spec, entry.batch, now)
+                memo[key] = est_delay
         decision = self._admission[model].admit(
             entry.request, queue, now, est_delay_s=est_delay
         )
@@ -598,6 +686,10 @@ class ServingFrontend:
 
     def _flush(self, model: str, trigger: str) -> None:
         now = self.loop.now
+        if self._est_memo:
+            # Dispatching moves command queues, so estimates memoized for
+            # the current arrival run are stale from here on.
+            self._est_memo.clear()
         coalescer = self._coalescers[model]
         queue = self._queues[model]
         spec = self.specs[model]
@@ -622,6 +714,8 @@ class ServingFrontend:
     def _run_degraded(self, entry: QueueEntry) -> None:
         """Execute immediately on the cheapest device (no queue, no merge)."""
         now = self.loop.now
+        if self._est_memo:
+            self._est_memo.clear()
         device = self._cheapest
         degraded = QueueEntry(
             request=entry.request,

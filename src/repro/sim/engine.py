@@ -11,12 +11,11 @@ store, and the callback: events are plain tuples (no dataclass
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, NamedTuple
 
 from repro.sim.clock import VirtualClock
 
-__all__ = ["ScheduledEvent", "EventLoop"]
+__all__ = ["ScheduledEvent", "EventLoop", "TraceCursor"]
 
 
 class ScheduledEvent(NamedTuple):
@@ -43,7 +42,7 @@ class EventLoop:
     def __init__(self, start: float = 0.0):
         self.clock = VirtualClock(start)
         self._heap: list[ScheduledEvent] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._processed = 0
         self._cancelled = 0
         # Lazy deletion: cancelled events keep their heap slot (an O(n)
@@ -82,9 +81,51 @@ class EventLoop:
             raise ValueError(
                 f"cannot schedule into the past: {time} < now={self.clock.now}"
             )
-        ev = ScheduledEvent(time=float(time), seq=next(self._seq), action=action, label=label)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = ScheduledEvent(time=float(time), seq=seq, action=action, label=label)
         heapq.heappush(self._heap, ev)
-        self._live.add(ev.seq)
+        self._live.add(seq)
+        return ev
+
+    def reserve_sequences(self, n: int) -> int:
+        """Claim ``n`` consecutive sequence numbers; returns the first.
+
+        Batched dispatch (:class:`TraceCursor`) fires one event per
+        *run* of same-timestamp arrivals instead of one per arrival, but
+        tie-breaking against independently scheduled events (fault
+        campaigns, coalescer timers, heartbeats) must match the
+        per-event path exactly.  Reserving the whole block at ingestion
+        time — exactly when :meth:`schedule_bulk` would have numbered
+        each arrival — and firing each run under its first arrival's
+        reserved seq makes the (time, seq) order of every event in the
+        simulation identical to the unbatched schedule.
+        """
+        if n < 0:
+            raise ValueError(f"cannot reserve a negative block, got {n}")
+        start = self._seq
+        self._seq = start + n
+        return start
+
+    def schedule_reserved(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[["EventLoop"], Any],
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Enqueue ``action`` under a seq claimed via :meth:`reserve_sequences`."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule into the past: {time} < now={self.clock.now}"
+            )
+        if not 0 <= seq < self._seq:
+            raise ValueError(f"seq {seq} was never reserved (next is {self._seq})")
+        if seq in self._live or seq in self._dead:
+            raise ValueError(f"seq {seq} is already scheduled")
+        ev = ScheduledEvent(time=float(time), seq=seq, action=action, label=label)
+        heapq.heappush(self._heap, ev)
+        self._live.add(seq)
         return ev
 
     def cancel(self, event: ScheduledEvent) -> bool:
@@ -139,8 +180,10 @@ class EventLoop:
                 sorted_items = False
             prev = time
             events.append(
-                ScheduledEvent(time=time, seq=next(seq), action=item[1], label=label)
+                ScheduledEvent(time=time, seq=seq, action=item[1], label=label)
             )
+            seq += 1
+        self._seq = seq
         if not events:
             return 0
         # Extend in place (never rebind: run() holds a local alias).  With
@@ -225,6 +268,19 @@ class EventLoop:
                 clock._now = time
                 action(self)
                 processed_here += 1
+                # Same-timestamp run: every event at `time` is already
+                # inside the horizon and needs no clock movement, so drain
+                # the tie without re-testing the horizon or storing the
+                # clock per event.  Pop order (and therefore every result)
+                # is identical to the outer loop's.
+                while heap and heap[0][0] == time and processed_here < budget:
+                    _t, seq, action, _label = pop(heap)
+                    if dead and seq in dead:
+                        dead.discard(seq)
+                        continue
+                    live.discard(seq)
+                    action(self)
+                    processed_here += 1
         finally:
             self._processed += processed_here
         if until is not None and clock.now < until and (
@@ -232,3 +288,71 @@ class EventLoop:
         ):
             clock.advance_to(until)
         return clock.now
+
+
+class TraceCursor:
+    """Walk a sorted timestamp array, firing one callback per *run*.
+
+    Bulk-ingesting a million-request trace puts a million entries on the
+    heap: every subsequent push/pop sifts through ~log2(1e6) ≈ 20 levels
+    for the whole replay.  A cursor keeps the trace *off* the heap — one
+    live event at a time — and hands each run of equal timestamps
+    ``[i, j)`` to ``on_run(i, j)`` in a single call, which is what lets
+    the serving layers batch admission probes and routing decisions
+    across simultaneous arrivals.
+
+    Equivalence with per-event scheduling is exact: the constructor
+    reserves one sequence number per timestamp (the same block
+    :meth:`EventLoop.schedule_bulk` would have consumed at the same
+    moment) and each run fires under its first member's reserved seq, so
+    every tie against independently scheduled events — injector
+    campaigns armed before ingestion, timers armed mid-replay — resolves
+    exactly as it would have for the first per-event arrival of that run.
+
+    ``times`` must be non-decreasing and entirely at or after the loop's
+    current time (a trace that already passed :class:`RequestTrace`
+    validation is; the first schedule re-checks against ``now``).
+    """
+
+    __slots__ = ("_loop", "_times", "_on_run", "_label", "_block", "_i", "_n")
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        times,
+        on_run: Callable[[int, int], Any],
+        label: str = "run",
+    ):
+        self._loop = loop
+        self._times = times
+        self._on_run = on_run
+        self._label = label
+        self._n = len(times)
+        self._i = 0
+        self._block = loop.reserve_sequences(self._n)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._i >= self._n
+
+    def start(self) -> None:
+        """Arm the cursor (no-op for an empty trace)."""
+        if self._n:
+            self._loop.schedule_reserved(
+                self._times[0], self._block, self._fire, label=self._label
+            )
+
+    def _fire(self, loop: EventLoop) -> None:
+        times = self._times
+        i = self._i
+        t = times[i]
+        j = i + 1
+        n = self._n
+        while j < n and times[j] == t:
+            j += 1
+        self._i = j
+        if j < n:
+            loop.schedule_reserved(
+                times[j], self._block + j, self._fire, label=self._label
+            )
+        self._on_run(i, j)

@@ -1,31 +1,43 @@
 """Workload generators for the streaming experiments.
 
 :mod:`repro.workloads.streams` builds arrival processes — constant-rate,
-bursty, diurnal and overload — and :mod:`repro.workloads.requests` turns
-them into classification requests over the zoo models.  These drive the
-adaptivity evaluation: the paper motivates the energy policy with
-low-load periods ("diurnal patterns") and the responsiveness claim with
-"data bursts [and] application overloads".
+bursty, diurnal, overload, plus the production shapes (MMPP bursts,
+flash crowds, heavy-tailed sessions) — :mod:`repro.workloads.requests`
+turns them into classification requests over the zoo models, and
+:mod:`repro.workloads.mixed` interleaves several processes into one
+multi-model trace.  These drive the adaptivity evaluation: the paper
+motivates the energy policy with low-load periods ("diurnal patterns")
+and the responsiveness claim with "data bursts [and] application
+overloads".
 """
 
+from repro.workloads.mixed import MixedTrace, TraceComponent
 from repro.workloads.requests import InferenceRequest, RequestTrace, make_trace
 from repro.workloads.streams import (
     ArrivalProcess,
     BurstStream,
     ConstantStream,
     DiurnalStream,
+    FlashCrowdStream,
+    MMPPStream,
     OverloadStream,
     PoissonStream,
+    SessionStream,
 )
 
 __all__ = [
     "InferenceRequest",
     "RequestTrace",
     "make_trace",
+    "MixedTrace",
+    "TraceComponent",
     "ArrivalProcess",
     "ConstantStream",
     "PoissonStream",
     "BurstStream",
     "DiurnalStream",
     "OverloadStream",
+    "MMPPStream",
+    "FlashCrowdStream",
+    "SessionStream",
 ]

@@ -19,7 +19,7 @@ from repro.workloads.streams import ArrivalProcess
 __all__ = ["InferenceRequest", "RequestTrace", "make_trace"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InferenceRequest:
     """One unit of schedulable work: a batch for one deployed model.
 

@@ -21,11 +21,44 @@ __all__ = [
     "BurstStream",
     "DiurnalStream",
     "OverloadStream",
+    "MMPPStream",
+    "FlashCrowdStream",
+    "SessionStream",
 ]
 
 
 def _clip_batch(values: np.ndarray, lo: int, hi: int) -> np.ndarray:
     return np.clip(np.round(values), lo, hi).astype(np.int64)
+
+
+def _quantize(times: np.ndarray, quantum_s: "float | None") -> np.ndarray:
+    """Truncate timestamps to a log-resolution grid (floor, so values stay
+    in [0, horizon) and order is preserved)."""
+    if not quantum_s:
+        return times
+    return np.floor(times / quantum_s) * quantum_s
+
+
+def _exp_offsets(gen: np.random.Generator, rate_hz: float, span_s: float) -> np.ndarray:
+    """Poisson-process offsets in [0, span) via exponential gaps.
+
+    Draws gap blocks until the cumulative sum passes the span, so the tail
+    is never undercounted; consumes a deterministic amount of ``gen``
+    state for a given (rate, span, prior state).
+    """
+    if span_s <= 0.0:
+        return np.empty(0, dtype=np.float64)
+    chunks = []
+    total = 0.0
+    size = max(8, int(np.ceil(rate_hz * span_s * 1.2)) + 8)
+    while True:
+        cum = total + np.cumsum(gen.exponential(1.0 / rate_hz, size=size))
+        chunks.append(cum)
+        total = float(cum[-1])
+        if total >= span_s:
+            break
+    offsets = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+    return offsets[offsets < span_s]
 
 
 @dataclass(frozen=True)
@@ -212,3 +245,207 @@ class OverloadStream(ArrivalProcess):
             out.append((t, batch))
             t += float(gen.exponential(1.0 / rate))
         return out
+
+
+@dataclass(frozen=True)
+class MMPPStream(ArrivalProcess):
+    """Markov-modulated Poisson process: bursty production traffic.
+
+    A continuous-time Markov chain walks over ``rates_hz`` states
+    (exponential sojourns with per-state means); within a state, arrivals
+    are Poisson at that state's rate.  Two states (quiet / burst) give the
+    classic interrupted-Poisson burst process; more states approximate
+    self-similar traffic.  Batch sizes are lognormal around
+    ``mean_batch``, independent of state.
+
+    ``quantum_s`` truncates timestamps to a production-log grid (default
+    1 ms).  Real open-loop traces carry finite-resolution timestamps, so
+    simultaneous arrivals are the norm — and the serving stack's
+    vectorized arrival path batches exactly those same-timestamp runs.
+    Set ``quantum_s=None`` for continuous timestamps.
+    """
+
+    rates_hz: tuple[float, ...] = (200.0, 2_000.0)
+    mean_sojourn_s: tuple[float, ...] = (2.0, 0.25)
+    mean_batch: int = 64
+    batch_sigma: float = 0.8
+    max_batch: int = 1 << 17
+    start_state: int = 0
+    quantum_s: "float | None" = 1e-3
+
+    def generate(self, rng=None) -> list[tuple[float, int]]:
+        self._check()
+        if len(self.rates_hz) != len(self.mean_sojourn_s) or not self.rates_hz:
+            raise ValueError(
+                "rates_hz and mean_sojourn_s must be equal-length and non-empty"
+            )
+        if any(r <= 0.0 for r in self.rates_hz):
+            raise ValueError(f"rates must be positive, got {self.rates_hz}")
+        if any(s <= 0.0 for s in self.mean_sojourn_s):
+            raise ValueError(f"sojourns must be positive, got {self.mean_sojourn_s}")
+        if not 0 <= self.start_state < len(self.rates_hz):
+            raise ValueError(
+                f"start_state {self.start_state} out of range for "
+                f"{len(self.rates_hz)} states"
+            )
+        if self.mean_batch <= 0:
+            raise ValueError(f"mean_batch must be positive, got {self.mean_batch}")
+        if self.quantum_s is not None and self.quantum_s <= 0.0:
+            raise ValueError(f"quantum_s must be positive, got {self.quantum_s}")
+        gen = ensure_rng(rng)
+        n_states = len(self.rates_hz)
+        segments: list[np.ndarray] = []
+        t = 0.0
+        state = self.start_state
+        while t < self.horizon_s:
+            dwell = float(gen.exponential(self.mean_sojourn_s[state]))
+            span = min(dwell, self.horizon_s - t)
+            segments.append(t + _exp_offsets(gen, self.rates_hz[state], span))
+            t += dwell
+            if n_states > 1:
+                # Uniform jump to one of the *other* states.
+                state = (state + 1 + int(gen.integers(n_states - 1))) % n_states
+        times = _quantize(np.concatenate(segments), self.quantum_s)
+        batches = _clip_batch(
+            np.exp(
+                np.log(self.mean_batch)
+                + self.batch_sigma * gen.standard_normal(times.size)
+            ),
+            1,
+            self.max_batch,
+        )
+        return list(zip(times.tolist(), batches.tolist()))
+
+
+@dataclass(frozen=True)
+class FlashCrowdStream(ArrivalProcess):
+    """Baseline traffic, a sudden spike, then an exponential decay.
+
+    The arrival intensity is a deterministic profile — ``base_rate_hz``
+    until ``spike_at_s``, a linear ramp to ``peak_rate_hz`` over
+    ``ramp_s``, then exponential relaxation back toward base with time
+    constant ``decay_tau_s`` — sampled as a non-homogeneous Poisson
+    process by thinning (draw at the peak rate, keep each arrival with
+    probability ``rate(t) / peak``).  Batches are lognormal and small:
+    a flash crowd is many users sending little, not one user sending much.
+    """
+
+    base_rate_hz: float = 300.0
+    peak_rate_hz: float = 6_000.0
+    spike_at_s: float = 3.0
+    ramp_s: float = 0.5
+    decay_tau_s: float = 2.0
+    mean_batch: int = 16
+    batch_sigma: float = 0.6
+    max_batch: int = 1 << 17
+    quantum_s: "float | None" = 1e-3
+
+    def rate_at(self, t: "float | np.ndarray") -> np.ndarray:
+        """The intensity profile in Hz (vectorized over ``t``)."""
+        t = np.asarray(t, dtype=np.float64)
+        ramp_end = self.spike_at_s + self.ramp_s
+        ramp = self.base_rate_hz + (self.peak_rate_hz - self.base_rate_hz) * (
+            (t - self.spike_at_s) / self.ramp_s
+        )
+        decay = self.base_rate_hz + (self.peak_rate_hz - self.base_rate_hz) * np.exp(
+            -(t - ramp_end) / self.decay_tau_s
+        )
+        return np.where(
+            t < self.spike_at_s,
+            self.base_rate_hz,
+            np.where(t < ramp_end, ramp, decay),
+        )
+
+    def generate(self, rng=None) -> list[tuple[float, int]]:
+        self._check()
+        if not 0.0 < self.base_rate_hz <= self.peak_rate_hz:
+            raise ValueError(
+                f"need 0 < base_rate <= peak_rate, got "
+                f"{self.base_rate_hz}/{self.peak_rate_hz}"
+            )
+        if self.spike_at_s < 0.0 or self.ramp_s <= 0.0 or self.decay_tau_s <= 0.0:
+            raise ValueError("spike_at must be >= 0; ramp and decay_tau positive")
+        if self.mean_batch <= 0:
+            raise ValueError(f"mean_batch must be positive, got {self.mean_batch}")
+        if self.quantum_s is not None and self.quantum_s <= 0.0:
+            raise ValueError(f"quantum_s must be positive, got {self.quantum_s}")
+        gen = ensure_rng(rng)
+        candidates = _exp_offsets(gen, self.peak_rate_hz, self.horizon_s)
+        keep = gen.random(candidates.size) < (
+            self.rate_at(candidates) / self.peak_rate_hz
+        )
+        times = _quantize(candidates[keep], self.quantum_s)
+        batches = _clip_batch(
+            np.exp(
+                np.log(self.mean_batch)
+                + self.batch_sigma * gen.standard_normal(times.size)
+            ),
+            1,
+            self.max_batch,
+        )
+        return list(zip(times.tolist(), batches.tolist()))
+
+
+@dataclass(frozen=True)
+class SessionStream(ArrivalProcess):
+    """Heavy-tailed per-user sessions.
+
+    Users arrive as a Poisson process at ``session_rate_hz``; each session
+    issues a geometric number of requests (mean ``1 / continue_p`` ... in
+    numpy terms ``gen.geometric(continue_p)``) separated by Pareto think
+    times (scale ``think_min_s``, shape ``think_alpha`` — alpha <= 1 gives
+    an infinite-mean tail, the classic self-similarity driver).  Requests
+    from overlapping sessions interleave; the output is the time-sorted
+    union, truncated to the horizon.
+    """
+
+    session_rate_hz: float = 50.0
+    continue_p: float = 0.2
+    think_min_s: float = 0.05
+    think_alpha: float = 1.5
+    mean_batch: int = 8
+    batch_sigma: float = 0.5
+    max_batch: int = 1 << 17
+    quantum_s: "float | None" = 1e-3
+
+    def generate(self, rng=None) -> list[tuple[float, int]]:
+        self._check()
+        if self.session_rate_hz <= 0.0:
+            raise ValueError(
+                f"session_rate_hz must be positive, got {self.session_rate_hz}"
+            )
+        if not 0.0 < self.continue_p <= 1.0:
+            raise ValueError(f"continue_p must be in (0, 1], got {self.continue_p}")
+        if self.think_min_s <= 0.0 or self.think_alpha <= 0.0:
+            raise ValueError("think_min_s and think_alpha must be positive")
+        if self.mean_batch <= 0:
+            raise ValueError(f"mean_batch must be positive, got {self.mean_batch}")
+        if self.quantum_s is not None and self.quantum_s <= 0.0:
+            raise ValueError(f"quantum_s must be positive, got {self.quantum_s}")
+        gen = ensure_rng(rng)
+        starts = _exp_offsets(gen, self.session_rate_hz, self.horizon_s)
+        if starts.size == 0:
+            return []
+        lengths = gen.geometric(self.continue_p, size=starts.size)
+        total = int(lengths.sum())
+        # Segmented cumsum: think gaps flattened across sessions, zeroed at
+        # each session's first request, then rebased per session.
+        gaps = self.think_min_s * (1.0 + gen.pareto(self.think_alpha, size=total))
+        first_idx = np.cumsum(lengths) - lengths
+        gaps[first_idx] = 0.0
+        cum = np.cumsum(gaps)
+        offsets = cum - np.repeat(cum[first_idx], lengths)
+        times = np.repeat(starts, lengths) + offsets
+        batches = _clip_batch(
+            np.exp(
+                np.log(self.mean_batch)
+                + self.batch_sigma * gen.standard_normal(times.size)
+            ),
+            1,
+            self.max_batch,
+        )
+        mask = times < self.horizon_s
+        times, batches = times[mask], batches[mask]
+        order = np.argsort(times, kind="stable")
+        times = _quantize(times[order], self.quantum_s)
+        return list(zip(times.tolist(), batches[order].tolist()))

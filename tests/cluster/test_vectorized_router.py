@@ -1,0 +1,115 @@
+"""Vectorized vs per-event cluster replay: bit-identity.
+
+The router's vectorized path routes each run of same-timestamp arrivals
+in one balancer pass (pure policies probe once per (model, batch) cell)
+and delivers the routed entries in a single follow-up event.  Every
+balancing policy — including the stateful ones that take no memo — must
+produce digit-identical responses and fleet telemetry either way, and the
+equivalence must survive a chaos campaign with resilience armed.
+"""
+
+import pytest
+
+from repro.cluster import ClusterRouter
+from repro.faults import FaultInjector, ResilienceConfig
+from repro.nn.zoo import MNIST_SMALL, SIMPLE
+from repro.workloads import (
+    FlashCrowdStream,
+    MixedTrace,
+    MMPPStream,
+    RequestTrace,
+    TraceComponent,
+)
+from tests.cluster.conftest import build_fleet
+
+POLICIES = [
+    "round-robin",
+    "least-outstanding",
+    "join-shortest-queue",
+    "power-of-two",
+    "least-ect",
+]
+
+
+def mixed_trace(horizon_s: float = 1.0, seed: int = 17) -> RequestTrace:
+    return MixedTrace(components=(
+        TraceComponent(
+            process=MMPPStream(
+                horizon_s=horizon_s, slo_s=0.3,
+                rates_hz=(500.0, 3_000.0), mean_sojourn_s=(0.3, 0.1),
+            ),
+            models=(MNIST_SMALL.name, SIMPLE.name),
+        ),
+        TraceComponent(
+            process=FlashCrowdStream(
+                horizon_s=horizon_s, slo_s=0.2,
+                base_rate_hz=200.0, peak_rate_hz=2_000.0,
+                spike_at_s=horizon_s * 0.5, ramp_s=0.1, decay_tau_s=0.3,
+            ),
+            models=(SIMPLE.name,),
+        ),
+    )).build(seed)
+
+
+def signature(result):
+    rows = []
+    for r in result.responses:
+        inner = r.inner
+        rows.append((
+            r.request.request_id, r.status, r.node_name, r.n_routes,
+            r.shed_reason,
+            None if inner is None else inner.device,
+            None if inner is None else inner.device_name,
+            None if inner is None else inner.end_s,
+            None if inner is None else inner.energy_j,
+        ))
+    return rows, result.telemetry.snapshot()
+
+
+class TestVectorizedEquivalence:
+    @pytest.mark.parametrize("balancer", POLICIES)
+    def test_every_policy_is_digit_identical(self, serving_predictors, balancer):
+        trace = mixed_trace()
+        outcomes = []
+        for vectorized in (False, True):
+            router = ClusterRouter(
+                build_fleet(serving_predictors), balancer=balancer, rng=123
+            )
+            result = router.serve_trace(trace, vectorized=vectorized)
+            assert router.n_pending == 0
+            outcomes.append(signature(result))
+        assert outcomes[0] == outcomes[1]
+
+    def test_chaos_campaign_is_digit_identical(self, serving_predictors):
+        resilience = ResilienceConfig(
+            timeout_s=0.05,
+            heartbeat_every_s=0.01,
+            breaker_cooldown_s=0.05,
+            breaker_max_cooldown_s=0.4,
+            seed=11,
+        )
+        trace = mixed_trace(horizon_s=0.8, seed=29)
+        outcomes = []
+        for vectorized in (False, True):
+            router = ClusterRouter(
+                build_fleet(serving_predictors),
+                balancer="least-ect", rng=123, resilience=resilience,
+            )
+            injector = FaultInjector(router)
+            injector.crash_node(0.1, "node-a")
+            injector.recover_node(0.4, "node-a")
+            injector.inject_errors(
+                0.2, "node-b", rate=0.5, duration_s=0.2, seed=5
+            )
+            result = router.serve_trace(trace, vectorized=vectorized)
+            assert all(r.done for r in result.responses)
+            outcomes.append(signature(result))
+        assert outcomes[0] == outcomes[1]
+
+    def test_empty_trace(self, serving_predictors):
+        router = ClusterRouter(build_fleet(serving_predictors), rng=123)
+        result = router.serve_trace(
+            RequestTrace(requests=()), vectorized=True
+        )
+        assert len(result.responses) == 0
+        assert router.n_pending == 0

@@ -1,0 +1,112 @@
+"""Property tests: production arrival processes and trace round trips.
+
+* determinism — the same seed always yields the same arrivals;
+* well-formedness — times are sorted, inside ``[0, horizon)``, batches
+  are positive, quantized streams land exactly on the grid;
+* persistence — any trace built from these streams survives
+  ``to_json``/``from_json`` byte-identically (the replay contract the
+  million-request bench digests depend on).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.zoo import SIMPLE
+from repro.workloads import (
+    FlashCrowdStream,
+    MixedTrace,
+    MMPPStream,
+    RequestTrace,
+    SessionStream,
+    TraceComponent,
+    make_trace,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+horizons = st.floats(min_value=0.1, max_value=3.0)
+quanta = st.one_of(st.none(), st.just(1e-3), st.just(1e-2))
+
+
+def mmpp_streams(horizon, quantum):
+    return MMPPStream(
+        horizon_s=horizon, quantum_s=quantum,
+        rates_hz=(200.0, 2_000.0), mean_sojourn_s=(0.3, 0.1),
+    )
+
+
+def flash_streams(horizon, quantum):
+    return FlashCrowdStream(
+        horizon_s=horizon, quantum_s=quantum,
+        base_rate_hz=100.0, peak_rate_hz=2_000.0,
+        spike_at_s=horizon * 0.4, ramp_s=0.1, decay_tau_s=0.3,
+    )
+
+
+def session_streams(horizon, quantum):
+    return SessionStream(
+        horizon_s=horizon, quantum_s=quantum,
+        session_rate_hz=80.0, continue_p=0.3,
+    )
+
+
+STREAM_BUILDERS = [mmpp_streams, flash_streams, session_streams]
+
+
+def check_stream(stream, seed):
+    arrivals = stream.generate(seed)
+    assert arrivals == stream.generate(seed)          # seed determinism
+    times = [t for t, _ in arrivals]
+    assert times == sorted(times)                     # non-decreasing
+    assert all(0.0 <= t < stream.horizon_s for t in times)
+    assert all(b >= 1 for _, b in arrivals)
+    if stream.quantum_s:
+        grid = stream.quantum_s
+        assert all(abs(t - round(t / grid) * grid) < 1e-9 for t in times)
+    return arrivals
+
+
+class TestStreamProperties:
+    @settings(deadline=None, max_examples=20)
+    @given(seed=seeds, horizon=horizons, quantum=quanta,
+           builder=st.sampled_from(STREAM_BUILDERS))
+    def test_well_formed_and_deterministic(self, seed, horizon, quantum, builder):
+        check_stream(builder(horizon, quantum), seed)
+
+    @settings(deadline=None, max_examples=15)
+    @given(seed=seeds, horizon=horizons,
+           builder=st.sampled_from(STREAM_BUILDERS))
+    def test_trace_json_round_trip_is_byte_identical(self, seed, horizon, builder):
+        trace = make_trace(builder(horizon, 1e-3), [SIMPLE], rng=seed)
+        text = trace.to_json()
+        rebuilt = RequestTrace.from_json(text)
+        assert rebuilt.to_json() == text
+        assert rebuilt.requests == trace.requests
+
+
+class TestMixedTraceProperties:
+    @settings(deadline=None, max_examples=15)
+    @given(seed=seeds, horizon=horizons,
+           n_requests=st.one_of(st.none(), st.integers(0, 200)),
+           weight=st.floats(min_value=0.2, max_value=1.0))
+    def test_build_is_deterministic_ordered_and_round_trips(
+        self, seed, horizon, n_requests, weight
+    ):
+        mix = MixedTrace(components=(
+            TraceComponent(
+                process=mmpp_streams(horizon, 1e-3),
+                models=("simple", "mnist-small"), weight=weight,
+            ),
+            TraceComponent(
+                process=session_streams(horizon, 1e-3),
+                models=("mnist-small",),
+            ),
+        ))
+        trace = mix.build(seed, n_requests=n_requests)
+        assert trace.to_json() == mix.build(seed, n_requests=n_requests).to_json()
+        times = [r.arrival_s for r in trace]
+        assert times == sorted(times)
+        if n_requests is not None:
+            assert len(trace) <= n_requests
+        assert [r.request_id for r in trace] == list(range(len(trace)))
+        rebuilt = RequestTrace.from_json(trace.to_json())
+        assert rebuilt.requests == trace.requests

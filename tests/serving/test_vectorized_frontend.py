@@ -1,0 +1,145 @@
+"""Vectorized vs per-event frontend replay: bit-identity.
+
+``serve_trace(vectorized=True)`` batches same-timestamp arrivals through
+a :class:`~repro.sim.engine.TraceCursor` and shares completion-estimate
+probes across a run.  Batching is an optimization, never a semantics
+change: every request must resolve with the same status, device, virtual
+end time and telemetry, digit for digit — including with a partitioned
+accelerator repartitioning mid-flood.
+"""
+
+from repro.nn.zoo import MNIST_SMALL, SIMPLE
+from repro.serving import ServingFrontend, SLOConfig
+from repro.workloads import (
+    FlashCrowdStream,
+    MixedTrace,
+    MMPPStream,
+    RequestTrace,
+    SessionStream,
+    TraceComponent,
+)
+from tests.serving.conftest import SERVING_SPECS, build_scheduler
+
+SLO = SLOConfig(
+    deadline_s=0.3, max_queue_depth=64, max_batch=4096, max_wait_s=0.005
+)
+
+
+def mixed_trace(horizon_s: float = 1.0, seed: int = 13) -> RequestTrace:
+    return MixedTrace(components=(
+        TraceComponent(
+            process=MMPPStream(
+                horizon_s=horizon_s, slo_s=0.3,
+                rates_hz=(400.0, 3_000.0), mean_sojourn_s=(0.3, 0.1),
+            ),
+            models=(MNIST_SMALL.name, SIMPLE.name),
+        ),
+        TraceComponent(
+            process=FlashCrowdStream(
+                horizon_s=horizon_s, slo_s=0.2,
+                base_rate_hz=150.0, peak_rate_hz=2_000.0,
+                spike_at_s=horizon_s * 0.5, ramp_s=0.1, decay_tau_s=0.3,
+            ),
+            models=(SIMPLE.name,),
+        ),
+        TraceComponent(
+            process=SessionStream(horizon_s=horizon_s, slo_s=0.4),
+            models=(MNIST_SMALL.name,),
+        ),
+    )).build(seed)
+
+
+def signature(result):
+    rows = [
+        (
+            r.request.request_id, r.status, r.device, r.device_name,
+            r.trigger, r.batch_id, r.batch_size, r.dispatched_s,
+            r.start_s, r.end_s, r.energy_j, r.degraded, r.shed_reason,
+        )
+        for r in result.responses
+    ]
+    return rows, result.telemetry.snapshot()
+
+
+class TestVectorizedEquivalence:
+    def test_mixed_trace_is_digit_identical(self, serving_predictors):
+        trace = mixed_trace()
+        outcomes = []
+        for vectorized in (False, True):
+            fe = ServingFrontend(
+                build_scheduler(serving_predictors), SERVING_SPECS,
+                default_slo=SLO,
+            )
+            result = fe.serve_trace(trace, vectorized=vectorized)
+            assert fe.n_pending == 0
+            outcomes.append(signature(result))
+        assert outcomes[0] == outcomes[1]
+
+    def test_with_partitioned_accelerator_mid_flood(self, serving_predictors):
+        from repro.hw.specs import DGPU_GTX_1080TI
+        from repro.partition import (
+            PartitionableDeviceSpec,
+            PartitionedAccelerator,
+        )
+
+        trace = mixed_trace(horizon_s=0.6, seed=21)
+        outcomes = []
+        for vectorized in (False, True):
+            fe = ServingFrontend(
+                build_scheduler(serving_predictors), SERVING_SPECS,
+                default_slo=SLO,
+            )
+            accel = PartitionedAccelerator(
+                fe, PartitionableDeviceSpec(DGPU_GTX_1080TI), start_mode=1
+            )
+            # Scripted split/merge while the flood is in flight; armed
+            # before ingestion on both paths, so ties resolve alike.
+            fe.loop.schedule(0.15, lambda _l: accel.set_mode(4), label="script")
+            fe.loop.schedule(0.35, lambda _l: accel.set_mode(2), label="script")
+            result = fe.serve_trace(trace, vectorized=vectorized)
+            assert fe.n_pending == 0
+            assert accel.n_repartitions == 2
+            outcomes.append(signature(result))
+        assert outcomes[0] == outcomes[1]
+
+    def test_empty_trace(self, serving_predictors):
+        fe = ServingFrontend(
+            build_scheduler(serving_predictors), SERVING_SPECS,
+            default_slo=SLO,
+        )
+        result = fe.serve_trace(RequestTrace(requests=()), vectorized=True)
+        assert len(result.responses) == 0
+        assert fe.n_pending == 0
+
+    def test_batch_api_matches_unbatched_delivery(self, serving_predictors):
+        # register_request/deliver with an armed estimate memo must match
+        # the same deliveries made one by one without the memo.
+        from repro.workloads.requests import InferenceRequest
+
+        requests = [
+            InferenceRequest(
+                request_id=i, arrival_s=0.0, model=SIMPLE.name, batch=64
+            )
+            for i in range(4)
+        ]
+
+        def run_once(batched: bool):
+            fe = ServingFrontend(
+                build_scheduler(serving_predictors), SERVING_SPECS,
+                default_slo=SLO,
+            )
+            pairs = [fe.register_request(r) for r in requests]
+            if batched:
+                assert fe.begin_arrival_batch()
+                assert not fe.begin_arrival_batch()  # already armed
+            try:
+                for _, entry in pairs:
+                    fe.deliver(entry)
+            finally:
+                if batched:
+                    fe.end_arrival_batch()
+            fe.run()
+            assert fe.n_pending == 0
+            return [(r.status, r.device, r.end_s) for r, _ in pairs]
+
+        assert run_once(batched=False) == run_once(batched=True)

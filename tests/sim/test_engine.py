@@ -326,3 +326,147 @@ class TestScheduleBulk:
         log_b = _run_tagged(loop_b, fire_bulk)
         assert log_a == log_b
         assert loop_a.now == loop_b.now
+
+
+class TestHorizonEdge:
+    """run(until=t) boundary semantics: inclusive, and cheap to cancel at."""
+
+    def test_event_exactly_at_horizon_fires_and_clock_lands_on_it(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0, lambda lp: fired.append(lp.now))
+        end = loop.run(until=2.0)
+        assert fired == [2.0]
+        assert end == 2.0 and loop.now == 2.0
+
+    def test_cancelled_event_at_horizon_costs_nothing(self):
+        loop = EventLoop()
+        ev = loop.schedule(2.0, lambda lp: (_ for _ in ()).throw(AssertionError))
+        loop.cancel(ev)
+        end = loop.run(until=2.0)
+        # The cancelled pop advances neither the processed counter nor the
+        # clock by itself; the horizon advance still lands the clock at t.
+        assert loop.processed == 0
+        assert end == 2.0 and loop.now == 2.0
+
+    def test_mixed_live_and_cancelled_at_horizon(self):
+        loop = EventLoop()
+        fired = []
+        dead = loop.schedule(2.0, lambda lp: fired.append("dead"))
+        loop.schedule(2.0, lambda lp: fired.append("live"))
+        loop.cancel(dead)
+        end = loop.run(until=2.0)
+        assert fired == ["live"]
+        assert loop.processed == 1
+        assert end == 2.0
+
+    def test_event_beyond_horizon_stays_queued(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(2.0 + 1e-9, lambda lp: fired.append(lp.now))
+        end = loop.run(until=2.0)
+        assert fired == []
+        assert end == 2.0 and loop.pending == 1
+        loop.run()
+        assert fired == [2.0 + 1e-9]
+
+    def test_budget_counts_only_fired_events(self):
+        loop = EventLoop()
+        fired = []
+        evs = [loop.schedule(1.0, lambda lp, i=i: fired.append(i)) for i in range(4)]
+        loop.cancel(evs[0])
+        loop.cancel(evs[2])
+        loop.run(max_events=2)
+        assert fired == [1, 3]
+
+
+class TestTraceCursor:
+    def _collect(self, loop, times):
+        from repro.sim.engine import TraceCursor
+
+        runs = []
+        cur = TraceCursor(loop, times, lambda i, j: runs.append((loop.now, i, j)))
+        cur.start()
+        return cur, runs
+
+    def test_runs_partition_the_trace(self):
+        loop = EventLoop()
+        times = [0.0, 0.0, 0.5, 1.0, 1.0, 1.0, 3.0]
+        cur, runs = self._collect(loop, times)
+        loop.run()
+        assert runs == [(0.0, 0, 2), (0.5, 2, 3), (1.0, 3, 6), (3.0, 6, 7)]
+        assert cur.exhausted
+
+    def test_empty_trace_is_a_noop(self):
+        loop = EventLoop()
+        cur, runs = self._collect(loop, [])
+        loop.run()
+        assert runs == [] and cur.exhausted and loop.processed == 0
+
+    def test_tie_order_matches_bulk_ingestion(self):
+        """An event armed before ingestion beats same-time arrivals; one
+        armed after ingestion (or mid-replay) loses to them — on both the
+        per-event and the cursor path."""
+        from functools import partial
+
+        from repro.sim.engine import TraceCursor
+
+        times = [1.0, 1.0, 2.0, 2.0]
+
+        def replay(vectorized):
+            loop = EventLoop()
+            log = []
+            loop.schedule(1.0, lambda lp: log.append("pre"))
+            if vectorized:
+                def on_run(i, j):
+                    for k in range(i, j):
+                        log.append(("arrive", loop.now, k))
+                        if k == 1:
+                            loop.schedule(2.0, lambda lp: log.append("mid"))
+                TraceCursor(loop, times, on_run).start()
+            else:
+                def arrive(lp, k):
+                    log.append(("arrive", lp.now, k))
+                    if k == 1:
+                        lp.schedule(2.0, lambda l: log.append("mid"))
+                loop.schedule_bulk(
+                    [(t, partial(arrive, k=k)) for k, t in enumerate(times)]
+                )
+            loop.schedule(2.0, lambda lp: log.append("post"))
+            loop.run()
+            return log
+
+        assert replay(vectorized=False) == replay(vectorized=True)
+
+    def test_reserved_seq_rejects_double_use_and_unreserved(self):
+        loop = EventLoop()
+        start = loop.reserve_sequences(2)
+        loop.schedule_reserved(0.0, start, lambda lp: None)
+        with pytest.raises(ValueError):
+            loop.schedule_reserved(0.0, start, lambda lp: None)
+        with pytest.raises(ValueError):
+            loop.schedule_reserved(0.0, start + 10, lambda lp: None)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+            max_size=60,
+        ).map(sorted)
+    )
+    def test_cursor_matches_bulk_on_sorted_traces(self, times):
+        from repro.sim.engine import TraceCursor
+
+        loop_a, loop_b = EventLoop(), EventLoop()
+        log_a, log_b = [], []
+        loop_a.schedule_bulk(
+            [(t, lambda l, k=k: log_a.append((l.now, k))) for k, t in enumerate(times)]
+        )
+        TraceCursor(
+            loop_b,
+            times,
+            lambda i, j: log_b.extend((loop_b.now, k) for k in range(i, j)),
+        ).start()
+        loop_a.run()
+        loop_b.run()
+        assert log_a == log_b
+        assert loop_a.now == loop_b.now

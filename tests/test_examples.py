@@ -41,6 +41,12 @@ LANDMARKS = {
         "repartitioner split the dGPU",
         "replay reproduces every response",
     ],
+    "million_replay.py": [
+        "both dispatch paths",
+        "digit-identical",
+        "per-event",
+        "batched",
+    ],
 }
 
 #: Extra CLI arguments per script (chaos runs its CI-sized campaign here).
@@ -48,6 +54,7 @@ EXAMPLE_ARGS = {
     "chaos_cluster.py": ["--tiny"],
     "cascade_serving.py": ["--tiny"],
     "partitioned_cluster.py": ["--tiny"],
+    "million_replay.py": ["--tiny"],
 }
 
 

@@ -7,8 +7,11 @@ from repro.workloads.streams import (
     BurstStream,
     ConstantStream,
     DiurnalStream,
+    FlashCrowdStream,
+    MMPPStream,
     OverloadStream,
     PoissonStream,
+    SessionStream,
 )
 
 
@@ -156,3 +159,122 @@ class TestConstructionValidation:
     def test_slo_none_is_default(self):
         assert PoissonStream(horizon_s=1.0).slo_s is None
         assert BurstStream(horizon_s=1.0, slo_s=0.2).slo_s == 0.2
+
+
+class TestMMPP:
+    def test_well_formed(self):
+        check_sorted_within_horizon(MMPPStream(horizon_s=2.0))
+
+    def test_deterministic_given_seed(self):
+        a = MMPPStream(horizon_s=2.0).generate(7)
+        b = MMPPStream(horizon_s=2.0).generate(7)
+        assert a == b
+        assert a != MMPPStream(horizon_s=2.0).generate(8)
+
+    def test_quantized_to_grid(self):
+        arrivals = MMPPStream(horizon_s=1.0, quantum_s=1e-3).generate(0)
+        for t, _ in arrivals:
+            assert t == pytest.approx(round(t * 1e3) * 1e-3, abs=1e-12)
+
+    def test_quantization_creates_simultaneous_arrivals(self):
+        times = [t for t, _ in MMPPStream(
+            horizon_s=1.0, rates_hz=(5_000.0, 20_000.0),
+            mean_sojourn_s=(0.2, 0.1),
+        ).generate(0)]
+        assert len(times) > len(set(times))   # same-timestamp runs exist
+
+    def test_continuous_without_quantum(self):
+        times = [t for t, _ in MMPPStream(
+            horizon_s=1.0, quantum_s=None,
+            rates_hz=(5_000.0, 20_000.0), mean_sojourn_s=(0.2, 0.1),
+        ).generate(0)]
+        assert len(times) == len(set(times))
+
+    def test_modulation_shifts_the_rate(self):
+        quiet = len(MMPPStream(
+            horizon_s=20.0, rates_hz=(50.0, 50.0), mean_sojourn_s=(1.0, 1.0),
+        ).generate(1))
+        bursty = len(MMPPStream(
+            horizon_s=20.0, rates_hz=(50.0, 2_000.0),
+            mean_sojourn_s=(1.0, 1.0), start_state=1,
+        ).generate(1))
+        assert bursty > 2 * quiet
+
+    def test_mismatched_state_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            MMPPStream(
+                horizon_s=1.0, rates_hz=(1.0, 2.0), mean_sojourn_s=(1.0,)
+            ).generate(0)
+
+    def test_bad_start_state_rejected(self):
+        with pytest.raises(ValueError):
+            MMPPStream(horizon_s=1.0, start_state=5).generate(0)
+
+
+class TestFlashCrowd:
+    def test_well_formed(self):
+        check_sorted_within_horizon(FlashCrowdStream(horizon_s=5.0))
+
+    def test_deterministic_given_seed(self):
+        a = FlashCrowdStream(horizon_s=4.0).generate(3)
+        assert a == FlashCrowdStream(horizon_s=4.0).generate(3)
+
+    def test_rate_profile_shape(self):
+        s = FlashCrowdStream(
+            horizon_s=10.0, base_rate_hz=100.0, peak_rate_hz=5_000.0,
+            spike_at_s=3.0, ramp_s=0.5, decay_tau_s=1.0,
+        )
+        assert float(s.rate_at(1.0)) == pytest.approx(100.0)
+        assert float(s.rate_at(3.5)) == pytest.approx(5_000.0)
+        # Several time constants later, mostly relaxed back to base.
+        assert float(s.rate_at(9.0)) < 200.0
+        # Vectorized evaluation agrees with scalar calls.
+        ts = np.array([1.0, 3.25, 3.5, 6.0])
+        assert list(s.rate_at(ts)) == [float(s.rate_at(t)) for t in ts]
+
+    def test_spike_concentrates_arrivals(self):
+        s = FlashCrowdStream(
+            horizon_s=8.0, base_rate_hz=50.0, peak_rate_hz=3_000.0,
+            spike_at_s=4.0, ramp_s=0.25, decay_tau_s=0.5,
+        )
+        times = np.array([t for t, _ in s.generate(2)])
+        in_spike = np.sum((times >= 4.0) & (times < 5.0))
+        before = np.sum((times >= 2.0) & (times < 3.0))
+        assert in_spike > 10 * before
+
+    def test_peak_must_dominate_base(self):
+        with pytest.raises(ValueError):
+            FlashCrowdStream(
+                horizon_s=1.0, base_rate_hz=100.0, peak_rate_hz=50.0
+            ).generate(0)
+
+
+class TestSession:
+    def test_well_formed(self):
+        check_sorted_within_horizon(SessionStream(horizon_s=5.0))
+
+    def test_deterministic_given_seed(self):
+        a = SessionStream(horizon_s=3.0).generate(5)
+        assert a == SessionStream(horizon_s=3.0).generate(5)
+
+    def test_session_volume_scales_with_continue_p(self):
+        # Mean session length is 1/continue_p: sticky sessions send more.
+        short = len(SessionStream(
+            horizon_s=10.0, session_rate_hz=40.0, continue_p=0.9,
+        ).generate(4))
+        long = len(SessionStream(
+            horizon_s=10.0, session_rate_hz=40.0, continue_p=0.1,
+        ).generate(4))
+        assert long > 3 * short
+
+    def test_bad_continue_p_rejected(self):
+        with pytest.raises(ValueError):
+            SessionStream(horizon_s=1.0, continue_p=0.0).generate(0)
+        with pytest.raises(ValueError):
+            SessionStream(horizon_s=1.0, continue_p=1.5).generate(0)
+
+    def test_bad_pareto_params_rejected(self):
+        with pytest.raises(ValueError):
+            SessionStream(horizon_s=1.0, think_min_s=0.0).generate(0)
+        with pytest.raises(ValueError):
+            SessionStream(horizon_s=1.0, think_alpha=-1.0).generate(0)
