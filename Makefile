@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full bench-wallclock bench-million profile-cluster repro examples serve-demo cluster-demo cascade-demo chaos-demo partition-demo million-demo lint-clean
+.PHONY: install test bench bench-full bench-wallclock bench-million bench-sharded profile-cluster repro examples serve-demo cluster-demo cascade-demo chaos-demo partition-demo million-demo sharded-demo lint-clean
 
 install:
 	pip install -e .
@@ -31,6 +31,16 @@ bench-million:
 		--out bench_million.json
 	PYTHONPATH=src $(PY) benchmarks/wallclock/check.py bench_million.json \
 		--sections million
+
+# Sharded replay alone: the same million trace partitioned across 4
+# worker processes under the conservative virtual-time protocol, with
+# digest invariance across worker counts and the 2x throughput floor
+# enforced.
+bench-sharded:
+	PYTHONPATH=src $(PY) benchmarks/wallclock/run.py --only sharded \
+		--out bench_sharded.json
+	PYTHONPATH=src $(PY) benchmarks/wallclock/check.py bench_sharded.json \
+		--sections sharded
 
 # cProfile the cluster request path (the 4-node overload bench) and dump
 # raw stats to cluster.prof for pstats/snakeviz.
@@ -73,3 +83,8 @@ partition-demo:
 # with a built-in digit-identity assertion (CI runs it with --tiny).
 million-demo:
 	$(PY) examples/million_replay.py --tiny
+
+# Sharded demo: the trace partitioned across 1/2/4 worker processes with
+# built-in digest-identity assertions (CI runs it with --tiny).
+sharded-demo:
+	$(PY) examples/sharded_replay.py --tiny

@@ -18,10 +18,15 @@ Three layers of checking, from always-on to conditional:
    cost amortizes over the batch), so both paths converge toward memory
    bandwidth as the batch grows.  Correctness claims (bit-identical
    forest output, byte-identical sweep labels, and — when the optional
-   ``partition`` / ``million`` sections are present — tenant isolation
-   and replay determinism) are enforced in *every* mode.  The million
-   section additionally gates the batched-dispatch throughput floor
-   (>= 46.6k req/s full, >= 2k tiny) and its trace-population minimum.
+   ``partition`` / ``million`` / ``sharded`` sections are present —
+   tenant isolation and replay determinism) are enforced in *every*
+   mode.  The million section additionally gates the batched-dispatch
+   throughput floor (>= 46.6k req/s full, >= 2k tiny) and its
+   trace-population minimum; the sharded section gates digest
+   invariance across worker counts plus a 4-worker throughput floor of
+   2x the million one (>= 93.2k req/s full, >= 1k tiny — protocol
+   overhead makes the tiny trace slower than the monolithic path, which
+   is expected and fine).
 3. **Regression** — with ``--baseline`` pointing at a committed report of
    the *same mode*, any benchmark whose wall time grew by more than
    ``--factor`` (default 2.0) fails the check.  A missing baseline or a
@@ -64,6 +69,21 @@ _MILLION_KEYS = (
     "requests", "wall_s", "requests_per_wall_s", "shed_rate",
     "outcome_digest", "deterministic",
 )
+
+#: Fields the optional ``sharded`` section must carry when present.
+_SHARDED_KEYS = (
+    "requests", "workers", "groups", "wall_s", "requests_per_wall_s",
+    "outcome_digest", "digests_match", "deterministic",
+)
+
+#: Floors for the sharded million-request replay at 4 workers.  Full
+#: mode must beat the single-process million floor by >= 2x (2 x 46.6k
+#: ~= 93.2k req/s); tiny mode only proves the protocol overhead does not
+#: dominate a small trace.
+_SHARDED_FLOORS = {
+    "full": {"requests": 1_000_000, "rps": 93_200.0},
+    "tiny": {"requests": 20_000, "rps": 1_000.0},
+}
 
 #: Floors for the million-request vectorized replay.  Full mode must
 #: move a seeded 1M-request production trace at >= 2x the committed
@@ -137,6 +157,10 @@ def check_structure(
         for key in _MILLION_KEYS:
             if key not in benches["million"]:
                 _fail(f"{path}: benchmarks.million missing {key!r}")
+    if "sharded" in benches:
+        for key in _SHARDED_KEYS:
+            if key not in benches["sharded"]:
+                _fail(f"{path}: benchmarks.sharded missing {key!r}")
     print(f"[bench-check] {path}: structure OK ({report['mode']} mode)")
 
 
@@ -177,6 +201,32 @@ def check_floors(report: dict) -> None:
         print(f"[bench-check] million replay OK "
               f"({million['requests']} reqs, "
               f"{million['requests_per_wall_s']:.0f} req/s, deterministic)")
+    if "sharded" in benches:
+        sharded = benches["sharded"]
+        floors = _SHARDED_FLOORS[report["mode"]]
+        if not sharded["digests_match"]:
+            _fail(
+                "sharded replay digests differ across worker counts — the "
+                "worker layout leaked into the outcome"
+            )
+        if not sharded["deterministic"]:
+            _fail("sharded 4-worker replay digests differ between runs")
+        if sharded["requests"] < floors["requests"]:
+            _fail(
+                f"sharded replay covered only {sharded['requests']} requests "
+                f"(< {floors['requests']} for {report['mode']} mode)"
+            )
+        if sharded["requests_per_wall_s"] < floors["rps"]:
+            _fail(
+                f"sharded replay throughput "
+                f"{sharded['requests_per_wall_s']:.0f} req/s at "
+                f"{sharded['workers']} workers is below the "
+                f"{report['mode']}-mode floor of {floors['rps']:.0f}"
+            )
+        print(f"[bench-check] sharded replay OK "
+              f"({sharded['requests']} reqs over {sharded['workers']} workers, "
+              f"{sharded['requests_per_wall_s']:.0f} req/s, "
+              f"digests worker-count-invariant)")
     for section, floor in _RPS_FLOORS[report["mode"]].items():
         if section not in benches:
             continue
@@ -276,6 +326,16 @@ def main(argv=None) -> int:
         None if args.sections is None
         else {s.strip() for s in args.sections.split(",") if s.strip()}
     )
+    if sections is not None:
+        # A typo here used to be silently ignored — the unknown name
+        # matched nothing, so the check "passed" while gating nothing.
+        known = set(_REQUIRED) | {"partition", "million", "sharded"}
+        unknown = sections - known
+        if unknown:
+            _fail(
+                f"unknown --sections name(s) {sorted(unknown)}; "
+                f"known sections: {', '.join(sorted(known))}"
+            )
     report = _load(args.report)
     check_structure(report, args.report, sections)
     if args.structure_only:

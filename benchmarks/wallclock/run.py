@@ -4,9 +4,12 @@ Times the four paths the perf pass optimized — forest inference
 (recursive vs flattened), the characterization sweep (cold vs cached), a
 serving-frontend overload flood, and a 4-node cluster flood — and emits
 ``BENCH_hotpaths.json`` so future changes have a perf trajectory to
-regress against (``check.py`` enforces it).  A fifth, optional section
-(``partition``) measures multi-tenant isolation on a 4-way-split dGPU;
-``check.py`` gates its claims whenever the section is present.
+regress against (``check.py`` enforces it).  Optional sections ride along: ``partition``
+measures multi-tenant isolation on a 4-way-split dGPU, ``million``
+floods a 4-node fleet with a production-shaped million-request trace,
+and ``sharded`` replays that same trace across 4 worker processes under
+the conservative virtual-time protocol (``repro.shard``); ``check.py``
+gates each section's claims whenever it is present.
 
 Run from the repo root with ``PYTHONPATH=src``; ``--tiny`` shrinks every
 workload for CI smoke runs (same schema, different ``mode`` field, so the
@@ -388,21 +391,14 @@ def _million_trace(tiny: bool):
 def _outcome_digest(responses) -> str:
     """SHA-256 over every response's resolved outcome, in trace order.
 
-    ``repr`` of the completion time keeps full float precision, so two
-    runs agree only if they are digit-for-digit identical.
+    Delegates to :mod:`repro.shard.digest` — the same canonical line
+    format the sharded coordinator hashes its merged outcomes with, which
+    is what lets the ``sharded`` section compare its digests against this
+    section's single-process ones byte for byte.
     """
-    import hashlib
+    from repro.shard import digest_responses
 
-    h = hashlib.sha256()
-    for r in responses:
-        inner = r.inner
-        device = inner.device if inner is not None else None
-        end_s = inner.end_s if inner is not None else None
-        h.update(
-            f"{r.request.request_id},{r.status},{r.node_name},{device},"
-            f"{end_s!r},{r.shed_reason}\n".encode()
-        )
-    return h.hexdigest()
+    return digest_responses(responses)
 
 
 def bench_million(tiny: bool, profile: "str | None" = None) -> dict:
@@ -464,6 +460,71 @@ def bench_million(tiny: bool, profile: "str | None" = None) -> dict:
     }
 
 
+def bench_sharded(tiny: bool, profile: "str | None" = None) -> dict:
+    """Million-request replay sharded across 4 worker processes.
+
+    The same production-shaped trace as ``million`` floods an 8-node
+    fleet partitioned into 4 logical groups (each a full testbed node
+    plus a CPU-only one), with the least-loaded front tier routing per
+    conservative window.  Digests must agree across 1, 2 and 4 worker
+    processes — the worker layout is an implementation detail, not a
+    semantics change — and across repeated 4-worker runs; wall time is
+    the best of the two 4-worker runs.
+    """
+    from repro.cluster import NodeSpec
+    from repro.nn.zoo import MNIST_SMALL, SIMPLE
+    from repro.serving import SLOConfig
+    from repro.shard import ShardPlan, run_sharded
+
+    specs = {s.name: s for s in (SIMPLE, MNIST_SMALL)}
+    predictors = _trained_predictors()
+    slo = SLOConfig(
+        deadline_s=0.3, max_queue_depth=64, max_batch=4096, max_wait_s=0.005
+    )
+    groups = tuple(
+        (
+            NodeSpec(f"shard{g}-a"),
+            NodeSpec(f"shard{g}-b", device_classes=("cpu",)),
+        )
+        for g in range(4)
+    )
+    trace = _million_trace(tiny)
+
+    def run_once(n_workers: int):
+        plan = ShardPlan(
+            groups=groups, n_workers=n_workers, lookahead_s=0.25,
+            front_tier="least-loaded", balancer="least-ect",
+            seed=20220530, exact_latency=True,
+        )
+        return run_sharded(
+            plan, trace, predictors, specs, default_slo=slo,
+            profile=f"{profile}.w{n_workers}" if profile else None,
+        )
+
+    r1 = run_once(1)
+    r2 = run_once(2)
+    r4a = run_once(4)
+    r4b = run_once(4)
+    wall_s = min(r4a.wall_s, r4b.wall_s)
+    return {
+        "nodes": sum(len(g) for g in groups),
+        "groups": len(groups),
+        "workers": 4,
+        "requests": r4a.n_requests,
+        "n_windows": r4a.n_windows,
+        "trace_horizon_s": trace.horizon_s,
+        "wall_s": wall_s,
+        "wall_1w_s": r1.wall_s,
+        "speedup_vs_1w": r1.wall_s / wall_s,
+        "requests_per_wall_s": r4a.n_requests / wall_s,
+        "p99_ms": r4a.latency_percentile(99.0, trace) * 1e3,
+        "shed_rate": r4a.shed_rate,
+        "outcome_digest": r4a.digest,
+        "digests_match": bool(r1.digest == r2.digest == r4a.digest),
+        "deterministic": bool(r4a.digest == r4b.digest),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -476,7 +537,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--only", action="append", metavar="BENCH",
         choices=("forest", "sweep", "serving", "cluster", "partition",
-                 "million"),
+                 "million", "sharded"),
         help="run only this benchmark (repeatable); the partial report "
              "will not pass check.py's structure check",
     )
@@ -506,12 +567,13 @@ def main(argv=None) -> int:
         ("cluster", bench_cluster),
         ("partition", bench_partition),
         ("million", bench_million),
+        ("sharded", bench_sharded),
     ):
         if args.only and name not in args.only:
             continue
         print(f"[bench-wallclock] {name} ({mode}) ...", flush=True)
         kwargs = {}
-        if name in ("serving", "cluster", "million") and args.profile:
+        if name in ("serving", "cluster", "million", "sharded") and args.profile:
             kwargs["profile"] = args.profile
         report["benchmarks"][name] = fn(args.tiny, **kwargs)
 

@@ -45,6 +45,10 @@ Partitionable accelerators and multi-tenant placement (MIG-style)::
         Repartitioner,
     )
 
+Multi-process fleet sharding (conservative virtual-time windows)::
+
+    from repro.shard import ShardPlan, run_sharded
+
 Experiment harnesses (regenerate every table and figure)::
 
     from repro.experiments import get_experiment, list_experiments
@@ -77,6 +81,7 @@ from repro.sched import (
     generate_dataset,
 )
 from repro.serving import ServingFrontend, ServingResponse, SLOConfig
+from repro.shard import ShardPlan, ShardResult, run_sharded
 from repro.telemetry import MeasurementSession, SweepRecorder
 
 __all__ = [
@@ -115,4 +120,7 @@ __all__ = [
     "Repartitioner",
     "TenantSet",
     "TenantSpec",
+    "ShardPlan",
+    "ShardResult",
+    "run_sharded",
 ]

@@ -33,13 +33,20 @@ Fig. 5 predictor + backlog spilling; the cluster layer decides only
 from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig
 from repro.cluster.balancers import (
     BALANCERS,
+    FRONT_TIERS,
+    FrontTier,
+    HashFrontTier,
     JoinShortestQueueBalancer,
     LeastECTBalancer,
+    LeastLoadedFrontTier,
     LeastOutstandingBalancer,
     LoadBalancer,
     PowerOfTwoBalancer,
     RoundRobinBalancer,
+    RoundRobinFrontTier,
+    ShardSummary,
     make_balancer,
+    make_front_tier,
 )
 from repro.cluster.node import (
     ClusterNode,
@@ -70,6 +77,13 @@ __all__ = [
     "LeastECTBalancer",
     "BALANCERS",
     "make_balancer",
+    "FrontTier",
+    "HashFrontTier",
+    "RoundRobinFrontTier",
+    "LeastLoadedFrontTier",
+    "ShardSummary",
+    "FRONT_TIERS",
+    "make_front_tier",
     "ClusterEvent",
     "ClusterResponse",
     "ClusterResult",

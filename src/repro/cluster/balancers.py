@@ -21,9 +21,20 @@ cheap :class:`~repro.serving.frontend.NodeStats` snapshot) or the public
 ``estimate_completion`` — never private frontend state — and only ever
 returns an *active* node: draining and standby nodes are filtered before
 any sampling, so a drain can never receive new traffic.
+
+When the fleet itself is sharded (``repro.shard``), balancing becomes
+two-level: a :class:`FrontTier` first picks a *shard* for each request —
+from nothing but the request id (``hash``), a turn counter
+(``round-robin``), or the periodically-exchanged :class:`ShardSummary`
+load digests (``least-loaded``) — and the shard's own :class:`LoadBalancer`
+then picks the node, unchanged.  Front tiers live here, next to the
+balancers they sit above, so ``repro.shard`` depends on the cluster layer
+and never the other way around.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -42,6 +53,13 @@ __all__ = [
     "LeastECTBalancer",
     "BALANCERS",
     "make_balancer",
+    "ShardSummary",
+    "FrontTier",
+    "HashFrontTier",
+    "RoundRobinFrontTier",
+    "LeastLoadedFrontTier",
+    "FRONT_TIERS",
+    "make_front_tier",
 ]
 
 
@@ -262,3 +280,171 @@ def make_balancer(
     if cls is PowerOfTwoBalancer:
         return cls(rng=rng)
     return cls()
+
+
+# -- two-level balancing: the sharded front tier ---------------------------
+
+
+@dataclass(frozen=True)
+class ShardSummary:
+    """One shard's load digest, exchanged at every window boundary.
+
+    Produced by :meth:`ClusterRouter.shard_summary` at the shard's local
+    virtual time and shipped to the coordinator, where the front tier
+    reads it to route the *next* window's arrivals.  Everything here is a
+    plain counter so the summary pickles in a few bytes: the front tier
+    sees depth, not node identities — which nodes absorb the load is the
+    shard-local balancer's business.
+    """
+
+    group: int
+    virtual_time_s: float
+    outstanding: int            # requests accepted, not yet resolved
+    outstanding_samples: int    # same, in samples (queued + in flight)
+    queued: int                 # not yet dispatched to a device worker
+    served: int
+    shed: int
+
+
+class FrontTier:
+    """Base shard-selection policy: ``choose`` maps a request to a group.
+
+    The coordinator calls :meth:`begin_window` with the freshly-exchanged
+    summaries (ordered by group id) before routing each window, then
+    :meth:`choose` once per arrival in that window.  Policies that ignore
+    the summaries (``uses_summaries = False``) are *static*: the whole
+    trace can be routed upfront and the shards run to completion with no
+    window synchronization at all — which is also what makes a
+    single-group static replay bit-identical to the monolithic vectorized
+    path.
+    """
+
+    name = "abstract"
+
+    #: Whether choose() reads the exchanged summaries.  False means the
+    #: assignment depends only on the request stream itself.
+    uses_summaries = True
+
+    def __init__(self, n_groups: int):
+        if n_groups <= 0:
+            raise SchedulerError(f"front tier needs >= 1 group, got {n_groups}")
+        self.n_groups = n_groups
+
+    def begin_window(self, summaries: "tuple[ShardSummary, ...]") -> None:
+        """Install the summaries taken at the window's opening boundary."""
+        return None
+
+    def choose(self, request: InferenceRequest) -> int:
+        raise NotImplementedError
+
+
+class HashFrontTier(FrontTier):
+    """Static: scramble the request id, take it mod the group count.
+
+    The splitmix64 finalizer spreads even sequential ids uniformly, so
+    traffic shares stay balanced without any load feedback — and the
+    assignment is a pure function of (request_id, n_groups), reproducible
+    anywhere.
+    """
+
+    name = "hash"
+    uses_summaries = False
+
+    _MASK = (1 << 64) - 1
+
+    def choose(self, request):
+        z = (request.request_id + 0x9E3779B97F4A7C15) & self._MASK
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & self._MASK
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & self._MASK
+        return int((z ^ (z >> 31)) % self.n_groups)
+
+
+class RoundRobinFrontTier(FrontTier):
+    """Static: deal requests across groups in arrival order."""
+
+    name = "round-robin"
+    uses_summaries = False
+
+    def __init__(self, n_groups: int):
+        super().__init__(n_groups)
+        self._turn = 0
+
+    def choose(self, request):
+        group = self._turn % self.n_groups
+        self._turn += 1
+        return group
+
+
+class LeastLoadedFrontTier(FrontTier):
+    """Summary-driven: join the shard with the least outstanding work.
+
+    The summaries are one window stale (that staleness bound *is* the
+    lookahead), so the tier corrects them with its own in-window
+    assignments: every choice adds the request's samples to the chosen
+    group's pending count, preventing the degenerate "whole window to one
+    shard" herd that raw stale minima would produce.  Ties break by
+    outstanding request count, then group id — fully deterministic.
+    """
+
+    name = "least-loaded"
+
+    def __init__(self, n_groups: int):
+        super().__init__(n_groups)
+        self._summaries: "tuple[ShardSummary, ...] | None" = None
+        self._pending = [0] * n_groups
+        self._pending_samples = [0] * n_groups
+
+    def begin_window(self, summaries):
+        if len(summaries) != self.n_groups or any(
+            s.group != g for g, s in enumerate(summaries)
+        ):
+            raise SchedulerError(
+                f"front tier expects one summary per group 0..{self.n_groups - 1} "
+                f"in order, got groups {[s.group for s in summaries]}"
+            )
+        self._summaries = tuple(summaries)
+        self._pending = [0] * self.n_groups
+        self._pending_samples = [0] * self.n_groups
+
+    def choose(self, request):
+        summaries = self._summaries
+        if summaries is None:
+            raise SchedulerError(
+                "least-loaded front tier has no summaries yet; call "
+                "begin_window() before routing a window"
+            )
+        pending = self._pending
+        pending_samples = self._pending_samples
+        best = 0
+        best_key = None
+        for g in range(self.n_groups):
+            s = summaries[g]
+            key = (
+                s.outstanding_samples + pending_samples[g],
+                s.outstanding + pending[g],
+                g,
+            )
+            if best_key is None or key < best_key:
+                best, best_key = g, key
+        pending[best] += 1
+        pending_samples[best] += request.batch
+        return best
+
+
+FRONT_TIERS = {
+    HashFrontTier.name: HashFrontTier,
+    RoundRobinFrontTier.name: RoundRobinFrontTier,
+    LeastLoadedFrontTier.name: LeastLoadedFrontTier,
+}
+
+
+def make_front_tier(name: str, n_groups: int) -> FrontTier:
+    """Build a shard-selection policy by name (see :data:`FRONT_TIERS`)."""
+    try:
+        cls = FRONT_TIERS[name]
+    except KeyError:
+        known = ", ".join(sorted(FRONT_TIERS))
+        raise SchedulerError(
+            f"unknown front-tier policy {name!r}; known: {known}"
+        ) from None
+    return cls(n_groups)

@@ -34,7 +34,7 @@ from functools import partial
 import numpy as np
 
 from repro.errors import SchedulerError
-from repro.cluster.balancers import LoadBalancer, make_balancer
+from repro.cluster.balancers import LoadBalancer, ShardSummary, make_balancer
 from repro.cluster.node import ClusterNode, NodeState
 from repro.faults.breaker import BreakerState, CircuitBreaker
 from repro.faults.config import ResilienceConfig
@@ -155,6 +155,25 @@ class ClusterResponse:
     @property
     def device(self) -> "str | None":
         return self.inner.device if self.inner is not None else None
+
+    def outcome_tuple(self) -> tuple:
+        """The resolved outcome, serialized for digesting and IPC.
+
+        ``(request_id, status, node, device, end_s, shed_reason)`` — the
+        exact fields the determinism digests hash (see
+        :mod:`repro.shard.digest`), so a sharded worker can ship outcomes
+        as columns and the merged digest still compares bit-for-bit
+        against a single-process replay.
+        """
+        inner = self.inner
+        return (
+            self.request.request_id,
+            self.status,
+            self.node_name,
+            inner.device if inner is not None else None,
+            inner.end_s if inner is not None else None,
+            self.shed_reason,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -723,15 +742,9 @@ class ClusterRouter:
         """
         last_arrival = None
         if vectorized:
-            responses = [self._register(request) for request in trace]
+            responses = self.feed_requests(trace)
             if responses:
                 last_arrival = responses[-1].request.arrival_s
-                TraceCursor(
-                    self.loop,
-                    [r.request.arrival_s for r in responses],
-                    partial(self._route_run, responses),
-                    label="route",
-                ).start()
         else:
             items = [
                 (request.arrival_s, partial(self._route, self._register(request), None))
@@ -744,6 +757,50 @@ class ClusterRouter:
             self.schedule_health(last_arrival + self.resilience.heartbeat_tail_s)
         self.run()
         return self.result()
+
+    def feed_requests(self, requests) -> "list[ClusterResponse]":
+        """Ledger a batch of time-ordered requests and arm their cursor.
+
+        The vectorized ingestion step of :meth:`serve_trace`, exposed on
+        its own so a shard worker can inject each conservative window's
+        arrivals mid-simulation: requests are registered upfront (their
+        sequence block is reserved at injection time, keeping tie-breaks
+        identical to per-event scheduling) and a
+        :class:`~repro.sim.engine.TraceCursor` routes each run of equal
+        timestamps in one pass.  Arrivals must be non-decreasing and at
+        or after the loop's current time; the caller drives the loop.
+        """
+        responses = [self._register(request) for request in requests]
+        if responses:
+            TraceCursor(
+                self.loop,
+                [r.request.arrival_s for r in responses],
+                partial(self._route_run, responses),
+                label="route",
+            ).start()
+        return responses
+
+    def shard_summary(self, group: int = 0) -> ShardSummary:
+        """This router's load digest for the sharded front tier.
+
+        O(#nodes) counter reads — cheap enough to take at every window
+        boundary of a sharded replay.
+        """
+        queued = outstanding = outstanding_samples = 0
+        for node in self.nodes:
+            stats = node.stats()
+            queued += stats.queued
+            outstanding += stats.outstanding
+            outstanding_samples += stats.outstanding_samples
+        return ShardSummary(
+            group=group,
+            virtual_time_s=self.loop.now,
+            outstanding=outstanding,
+            outstanding_samples=outstanding_samples,
+            queued=queued,
+            served=self.telemetry.n_served,
+            shed=self.telemetry.n_shed,
+        )
 
     def _route_run(self, responses: "list[ClusterResponse]", i: int, j: int) -> None:
         """Route one run of simultaneous arrivals, then deliver in batch.

@@ -202,6 +202,22 @@ class ServingResponse:
     def served(self) -> bool:
         return self.status == "ok"
 
+    def outcome_tuple(self) -> tuple:
+        """The resolved outcome serialized for digesting and IPC.
+
+        ``(request_id, status, device, end_s, shed_reason)`` — the
+        node-local analogue of
+        :meth:`~repro.cluster.router.ClusterResponse.outcome_tuple`; the
+        cluster version prepends the node name.
+        """
+        return (
+            self.request.request_id,
+            self.status,
+            self.device,
+            self.end_s,
+            self.shed_reason,
+        )
+
     @property
     def latency_s(self) -> float:
         """Arrival-to-completion time (served requests only).

@@ -1,0 +1,35 @@
+"""repro.shard: multi-process fleet sharding with conservative sync.
+
+Partition the node fleet into logical groups, host them across worker
+processes, and replay a trace with virtual time advancing in
+conservative lookahead windows — the parallel-DES answer to "the
+single-process replay is CPU-bound".  See :mod:`repro.shard.coordinator`
+for the protocol and the determinism contract (merged outcome digests
+are bit-identical across worker counts), and ``docs/sharding.md`` for
+the guided tour.
+"""
+
+from repro.cluster.balancers import ShardSummary
+from repro.shard.coordinator import (
+    ShardPlan,
+    ShardResult,
+    ShardWorkerError,
+    run_sharded,
+)
+from repro.shard.digest import digest_responses, digest_rows, outcome_line
+from repro.shard.worker import GroupConfig, GroupRuntime, WorkerConfig, worker_main
+
+__all__ = [
+    "ShardPlan",
+    "ShardResult",
+    "ShardWorkerError",
+    "ShardSummary",
+    "run_sharded",
+    "GroupConfig",
+    "WorkerConfig",
+    "GroupRuntime",
+    "worker_main",
+    "digest_rows",
+    "digest_responses",
+    "outcome_line",
+]

@@ -1,0 +1,469 @@
+"""The shard coordinator: conservative virtual-time sync across workers.
+
+:func:`run_sharded` replays one trace over a fleet partitioned into
+logical groups (see :class:`ShardPlan`) hosted by N worker processes.
+Virtual time advances in conservative windows, Chandy–Misra–Bryant
+style: the lookahead is the minimum front-tier routing delay — a request
+routed at boundary ``T`` cannot arrive at a shard before ``T`` — so no
+shard ever executes past ``min(peer clocks) + lookahead``, and within a
+window every shard runs barrier-free at full speed.
+
+Protocol per window ``k`` (dynamic front tiers)::
+
+    workers --(WindowDone: ShardSummary per group @ T_k)--> coordinator
+    coordinator: front_tier.begin_window(summaries)
+                 choose() per arrival in [T_k, T_k + L)
+    coordinator --(WindowAssign: trace indices, until=T_k + L)--> workers
+    workers: inject arrivals, run(until=T_k + L), summarize
+
+Static front tiers (``hash``, ``round-robin``) collapse the whole thing:
+the assignment is a pure function of the request stream, so the entire
+trace ships upfront and the shards run to completion independently.
+
+Determinism: the unit of partitioning is the logical group, not the
+process — group ``g`` gets the same RNG (child ``SeedSequence`` of the
+global seed), the same traffic (the front tier never sees worker
+boundaries) and its own event loop regardless of ``n_workers`` — so the
+merged outcome digest is bit-identical across worker counts, and the
+multiprocess path matches the inline (single-process, same protocol)
+path bit for bit.
+
+Crash safety: every blocking receive waits on the worker's pipe *and*
+its process sentinel, so a worker dying mid-window surfaces as a
+:class:`ShardWorkerError` naming the shard — never a hang.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SchedulerError
+from repro.cluster.balancers import (
+    BALANCERS,
+    FRONT_TIERS,
+    ShardSummary,
+    make_front_tier,
+)
+from repro.cluster.node import NodeSpec
+from repro.rng import DEFAULT_SEED
+from repro.shard.digest import digest_rows
+from repro.shard.messages import (
+    Finalize,
+    Ready,
+    StaticAssign,
+    WindowAssign,
+    WindowDone,
+    WorkerFailure,
+    WorkerResult,
+)
+from repro.shard.worker import GroupConfig, GroupRuntime, WorkerConfig, worker_main
+from repro.workloads.requests import RequestTrace
+
+__all__ = ["ShardWorkerError", "ShardPlan", "ShardResult", "run_sharded"]
+
+
+class ShardWorkerError(SchedulerError):
+    """A shard worker process failed (died, errored, or timed out)."""
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How to partition a fleet across logical groups and processes.
+
+    ``groups`` lists the node specs of each logical shard; ``n_workers``
+    processes host them round-robin (group ``g`` lives on worker
+    ``g % n_workers``).  Changing ``n_workers`` redistributes the same
+    groups over more or fewer processes — it never changes what any group
+    computes, which is the digest-invariance contract the tests pin down.
+
+    ``lookahead_s`` is the conservative window width: the front tier's
+    routing/network delay bound, and therefore both the summary staleness
+    and the maximum any shard may run ahead of its peers.
+    """
+
+    groups: tuple[tuple[NodeSpec, ...], ...]
+    n_workers: int = 1
+    lookahead_s: float = 0.25
+    front_tier: str = "least-loaded"
+    balancer: str = "least-ect"
+    seed: int = DEFAULT_SEED
+    exact_latency: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise SchedulerError("a shard plan needs at least one group")
+        names: list[str] = []
+        for gi, group in enumerate(self.groups):
+            if not group:
+                raise SchedulerError(f"shard group {gi} has no nodes")
+            names.extend(spec.name for spec in group)
+        if len(set(names)) != len(names):
+            raise SchedulerError(
+                f"node names must be unique across all shard groups: {names}"
+            )
+        if not 1 <= self.n_workers <= len(self.groups):
+            raise SchedulerError(
+                f"n_workers must be in [1, n_groups={len(self.groups)}], "
+                f"got {self.n_workers}"
+            )
+        if not self.lookahead_s > 0.0:
+            raise SchedulerError(
+                f"lookahead must be positive, got {self.lookahead_s}"
+            )
+        if self.front_tier not in FRONT_TIERS:
+            known = ", ".join(sorted(FRONT_TIERS))
+            raise SchedulerError(
+                f"unknown front tier {self.front_tier!r}; known: {known}"
+            )
+        if self.balancer not in BALANCERS:
+            known = ", ".join(sorted(BALANCERS))
+            raise SchedulerError(
+                f"unknown balancer {self.balancer!r}; known: {known}"
+            )
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    def group_configs(self) -> tuple[GroupConfig, ...]:
+        """Per-group configs with seeds derived from the global seed.
+
+        Children are spawned in group order from one ``SeedSequence`` —
+        group ``g``'s stream depends only on ``(seed, g)``, never on the
+        worker layout.
+        """
+        children = np.random.SeedSequence(self.seed).spawn(self.n_groups)
+        return tuple(
+            GroupConfig(
+                group=g,
+                node_specs=tuple(specs),
+                balancer=self.balancer,
+                seed_seq=children[g],
+                exact_latency=self.exact_latency,
+            )
+            for g, specs in enumerate(self.groups)
+        )
+
+    def worker_groups(self, worker: int) -> tuple[int, ...]:
+        """The logical groups hosted by ``worker`` (round-robin deal)."""
+        return tuple(
+            g for g in range(self.n_groups) if g % self.n_workers == worker
+        )
+
+
+@dataclass
+class ShardResult:
+    """Merged outcome of a sharded replay, sorted by request id.
+
+    ``rows`` are the canonical outcome tuples
+    ``(request_id, status, node, device, end_s, shed_reason)``;
+    ``digest`` hashes them in id order with the same line format the
+    single-process benches use.  ``wall_s`` covers the replay protocol
+    (routing, windows, drain, result collection) — not worker startup or
+    the merge itself, mirroring how the monolithic benches time
+    ``serve_trace`` but not fleet construction.
+    """
+
+    n_requests: int
+    n_groups: int
+    n_workers: int
+    n_windows: int
+    wall_s: float
+    rows: "list[tuple]" = field(repr=False)
+    digest: str = ""
+    group_telemetry: "dict[int, dict]" = field(default_factory=dict, repr=False)
+    group_utilization: "dict[int, dict]" = field(default_factory=dict, repr=False)
+
+    @property
+    def n_served(self) -> int:
+        return sum(1 for row in self.rows if row[1] == "ok")
+
+    @property
+    def n_shed(self) -> int:
+        return sum(1 for row in self.rows if row[1] == "shed")
+
+    @property
+    def shed_rate(self) -> float:
+        return self.n_shed / self.n_requests if self.n_requests else 0.0
+
+    def latency_percentile(self, q: float, trace: RequestTrace) -> float:
+        """q-th percentile of served end-to-end latency, in seconds."""
+        arrivals = {r.request_id: r.effective_arrival_s for r in trace}
+        samples = [
+            row[4] - arrivals[row[0]] for row in self.rows if row[1] == "ok"
+        ]
+        if not samples:
+            raise SchedulerError("no served requests in sharded result")
+        return float(np.percentile(samples, q))
+
+
+def _initial_summaries(n_groups: int) -> tuple[ShardSummary, ...]:
+    """The trivially-known state of freshly-built shards at t=0."""
+    return tuple(
+        ShardSummary(
+            group=g, virtual_time_s=0.0, outstanding=0,
+            outstanding_samples=0, queued=0, served=0, shed=0,
+        )
+        for g in range(n_groups)
+    )
+
+
+class _InlineWorker:
+    """In-process stand-in for a worker: same protocol, no fork.
+
+    Used by ``inline=True`` (fast tests, hypothesis suites) and pinned
+    against the multiprocess path by the equivalence tests — the two must
+    produce identical digests.
+    """
+
+    def __init__(self, cfg: WorkerConfig):
+        self._cfg = cfg
+        self._runtimes = {g.group: GroupRuntime(g, cfg) for g in cfg.groups}
+        self._replies: list = []
+
+    def send(self, msg) -> None:
+        cfg = self._cfg
+        if isinstance(msg, Finalize):
+            outcomes = tuple(rt.finalize() for rt in self._runtimes.values())
+            self._replies.append(WorkerResult(cfg.worker, outcomes))
+            return
+        if isinstance(msg, StaticAssign):
+            for group, indices in msg.requests.items():
+                self._runtimes[group].feed(indices)
+            return
+        if cfg.fail_at_window is not None and msg.window >= cfg.fail_at_window:
+            raise ShardWorkerError(
+                f"shard worker {cfg.worker} hit its fail_at_window test hook"
+            )
+        for group, indices in msg.requests.items():
+            self._runtimes[group].feed(indices)
+        summaries = []
+        for rt in self._runtimes.values():
+            rt.run_window(msg.until_s)
+            summaries.append(rt.summary())
+        self._replies.append(WindowDone(cfg.worker, msg.window, tuple(summaries)))
+
+    def recv(self, timeout_s: float):
+        return self._replies.pop(0)
+
+    def shutdown(self) -> None:
+        return None
+
+
+class _PipeWorker:
+    """A forked worker process plus its coordinator-side pipe end."""
+
+    def __init__(self, ctx, cfg: WorkerConfig, groups: tuple[int, ...]):
+        from multiprocessing import connection  # noqa: F401  (import check)
+
+        self.worker = cfg.worker
+        self.groups = groups
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=worker_main,
+            args=(child_conn, cfg),
+            name=f"repro-shard-{cfg.worker}",
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+
+    def _die(self, why: str) -> None:
+        raise ShardWorkerError(
+            f"shard worker {self.worker} (groups {list(self.groups)}) {why}"
+        )
+
+    def send(self, msg) -> None:
+        try:
+            self.conn.send(msg)
+        except (BrokenPipeError, OSError):
+            self._die(f"died before accepting {type(msg).__name__} "
+                      f"(exit code {self.proc.exitcode})")
+
+    def recv(self, timeout_s: float):
+        from multiprocessing.connection import wait
+
+        ready = wait([self.conn, self.proc.sentinel], timeout=timeout_s)
+        if not ready:
+            self._die(f"sent nothing for {timeout_s:.0f}s (deadlock guard)")
+        if self.conn in ready:
+            try:
+                msg = self.conn.recv()
+            except EOFError:
+                self._die(f"died mid-window (exit code {self.proc.exitcode})")
+            if isinstance(msg, WorkerFailure):
+                self._die(f"failed:\n{msg.detail}")
+            return msg
+        # Only the sentinel fired: the process is gone with nothing queued.
+        self.proc.join()
+        self._die(f"died mid-window (exit code {self.proc.exitcode})")
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.proc.is_alive():
+            self.proc.terminate()
+        self.proc.join(timeout=10.0)
+
+
+def _window_slices(trace: RequestTrace, lookahead_s: float):
+    """Split trace indices into windows ``[k*L, (k+1)*L)`` by arrival."""
+    arrivals = [r.arrival_s for r in trace]
+    n_windows = int(trace.horizon_s / lookahead_s) + 1 if arrivals else 0
+    slices = []
+    lo = 0
+    for k in range(n_windows):
+        until = (k + 1) * lookahead_s
+        hi = bisect.bisect_left(arrivals, until, lo)
+        slices.append((until, lo, hi))
+        lo = hi
+    assert lo == len(arrivals), "window split lost arrivals"
+    return slices
+
+
+def run_sharded(
+    plan: ShardPlan,
+    trace: RequestTrace,
+    predictors,
+    model_specs: dict,
+    slo: "dict | None" = None,
+    default_slo=None,
+    inline: bool = False,
+    profile: "str | None" = None,
+    timeout_s: float = 300.0,
+    fail_at: "tuple[int, int] | None" = None,
+) -> ShardResult:
+    """Replay ``trace`` over the sharded fleet described by ``plan``.
+
+    ``inline=True`` runs every group in this process through the same
+    window protocol (no fork) — for tests and platforms without the
+    ``fork`` start method.  ``profile`` makes each worker dump
+    ``<profile>.shard<i>`` cProfile stats.  ``fail_at=(worker, window)``
+    is the crash-safety test hook: that worker hard-exits at that window.
+
+    Raises :class:`ShardWorkerError` — never hangs — when a worker dies,
+    errors, or goes silent past ``timeout_s``.
+    """
+    front = make_front_tier(plan.front_tier, plan.n_groups)
+    group_cfgs = plan.group_configs()
+    workers: list = []
+
+    def worker_cfg(w: int) -> WorkerConfig:
+        return WorkerConfig(
+            worker=w,
+            groups=tuple(group_cfgs[g] for g in plan.worker_groups(w)),
+            trace=trace,
+            predictors=predictors,
+            model_specs=model_specs,
+            slo=slo,
+            default_slo=default_slo,
+            profile=profile,
+            fail_at_window=(
+                fail_at[1] if fail_at is not None and fail_at[0] == w else None
+            ),
+        )
+
+    try:
+        if inline:
+            workers = [_InlineWorker(worker_cfg(w)) for w in range(plan.n_workers)]
+        else:
+            import multiprocessing as mp
+
+            if "fork" not in mp.get_all_start_methods():
+                raise SchedulerError(
+                    "sharded replay needs the 'fork' start method (the trace "
+                    "and predictors ship by copy-on-write); use inline=True "
+                    "on this platform"
+                )
+            ctx = mp.get_context("fork")
+            workers = [
+                _PipeWorker(ctx, worker_cfg(w), plan.worker_groups(w))
+                for w in range(plan.n_workers)
+            ]
+            for worker in workers:
+                msg = worker.recv(timeout_s)
+                assert isinstance(msg, Ready), msg
+
+        requests = trace.requests
+        t0 = time.perf_counter()
+
+        if not front.uses_summaries:
+            # Static assignment: route everything upfront, zero windows.
+            per_group: "dict[int, list[int]]" = {
+                g: [] for g in range(plan.n_groups)
+            }
+            for i, request in enumerate(requests):
+                per_group[front.choose(request)].append(i)
+            for w, worker in enumerate(workers):
+                worker.send(StaticAssign(requests={
+                    g: np.asarray(per_group[g], dtype=np.int64)
+                    for g in plan.worker_groups(w)
+                }))
+            n_windows = 0
+        else:
+            slices = _window_slices(trace, plan.lookahead_s)
+            n_windows = len(slices)
+            summaries = _initial_summaries(plan.n_groups)
+            for k, (until, lo, hi) in enumerate(slices):
+                front.begin_window(summaries)
+                per_group = {g: [] for g in range(plan.n_groups)}
+                for i in range(lo, hi):
+                    per_group[front.choose(requests[i])].append(i)
+                for w, worker in enumerate(workers):
+                    worker.send(WindowAssign(window=k, until_s=until, requests={
+                        g: np.asarray(per_group[g], dtype=np.int64)
+                        for g in plan.worker_groups(w)
+                    }))
+                by_group: "dict[int, ShardSummary]" = {}
+                for worker in workers:
+                    done = worker.recv(timeout_s)
+                    assert isinstance(done, WindowDone) and done.window == k
+                    for summary in done.summaries:
+                        by_group[summary.group] = summary
+                summaries = tuple(by_group[g] for g in range(plan.n_groups))
+
+        for worker in workers:
+            worker.send(Finalize())
+        outcomes = []
+        for worker in workers:
+            result = worker.recv(timeout_s)
+            assert isinstance(result, WorkerResult), result
+            outcomes.extend(result.outcomes)
+        wall_s = time.perf_counter() - t0
+    finally:
+        for worker in workers:
+            worker.shutdown()
+
+    rows: "list[tuple]" = []
+    group_telemetry: "dict[int, dict]" = {}
+    group_utilization: "dict[int, dict]" = {}
+    for outcome in outcomes:
+        rows.extend(outcome.rows())
+        group_telemetry[outcome.group] = outcome.telemetry
+        group_utilization[outcome.group] = outcome.utilization
+    rows.sort(key=lambda row: row[0])
+    if len(rows) != len(trace):
+        raise SchedulerError(
+            f"sharded merge resolved {len(rows)} outcomes for a "
+            f"{len(trace)}-request trace"
+        )
+    for a, b in zip(rows, rows[1:]):
+        if a[0] == b[0]:
+            raise SchedulerError(f"request {a[0]} resolved on two shards")
+    return ShardResult(
+        n_requests=len(trace),
+        n_groups=plan.n_groups,
+        n_workers=plan.n_workers,
+        n_windows=n_windows,
+        wall_s=wall_s,
+        rows=rows,
+        digest=digest_rows(rows),
+        group_telemetry=group_telemetry,
+        group_utilization=group_utilization,
+    )

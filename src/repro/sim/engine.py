@@ -45,6 +45,14 @@ class EventLoop:
         self._seq = 0
         self._processed = 0
         self._cancelled = 0
+        # Utilization counters (see utilization()): how many run() calls
+        # the loop saw, how many of them found nothing to fire, and how
+        # many bounded runs fired nothing while live work waited beyond
+        # the horizon — the signature of a shard stalled on its
+        # conservative window rather than out of work.
+        self._runs = 0
+        self._idle_runs = 0
+        self._window_stalls = 0
         # Lazy deletion: cancelled events keep their heap slot (an O(n)
         # heap repair per cancel would dominate timeout-heavy serving) and
         # are skipped — without advancing the clock — when popped.  The set
@@ -72,6 +80,35 @@ class EventLoop:
     def processed(self) -> int:
         """Events processed since construction."""
         return self._processed
+
+    @property
+    def idle_runs(self) -> int:
+        """run() calls that found nothing to fire."""
+        return self._idle_runs
+
+    @property
+    def window_stalls(self) -> int:
+        """Bounded runs that fired nothing while work waited past the horizon."""
+        return self._window_stalls
+
+    def utilization(self) -> dict:
+        """Counters for observing how busy this loop actually is.
+
+        A sharded replay drives many loops in lockstep windows; comparing
+        their ``events_fired`` shows load imbalance, and ``window_stalls``
+        counts windows a loop spent entirely blocked on the conservative
+        horizon (all of its pending work lay beyond it) — pure
+        synchronization overhead, the cost of the lookahead being smaller
+        than that shard's natural event spacing.
+        """
+        return {
+            "events_fired": self._processed,
+            "runs": self._runs,
+            "idle_runs": self._idle_runs,
+            "window_stalls": self._window_stalls,
+            "cancelled": self._cancelled,
+            "pending": len(self._live),
+        }
 
     def schedule(
         self, time: float, action: Callable[["EventLoop"], Any], label: str = ""
@@ -283,6 +320,11 @@ class EventLoop:
                     processed_here += 1
         finally:
             self._processed += processed_here
+            self._runs += 1
+            if processed_here == 0:
+                self._idle_runs += 1
+                if until is not None and live:
+                    self._window_stalls += 1
         if until is not None and clock.now < until and (
             not heap or heap[0][0] > until
         ):

@@ -11,7 +11,7 @@ and the responsiveness claim with "data bursts [and] application
 overloads".
 """
 
-from repro.workloads.mixed import MixedTrace, TraceComponent
+from repro.workloads.mixed import MixedTrace, TraceComponent, split_trace
 from repro.workloads.requests import InferenceRequest, RequestTrace, make_trace
 from repro.workloads.streams import (
     ArrivalProcess,
@@ -31,6 +31,7 @@ __all__ = [
     "make_trace",
     "MixedTrace",
     "TraceComponent",
+    "split_trace",
     "ArrivalProcess",
     "ConstantStream",
     "PoissonStream",

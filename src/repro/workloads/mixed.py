@@ -24,7 +24,7 @@ from repro.rng import ensure_rng, spawn
 from repro.workloads.requests import InferenceRequest, RequestTrace
 from repro.workloads.streams import ArrivalProcess
 
-__all__ = ["TraceComponent", "MixedTrace"]
+__all__ = ["TraceComponent", "MixedTrace", "split_trace"]
 
 
 def _model_name(model) -> str:
@@ -131,3 +131,36 @@ class MixedTrace:
                 )
             )
         return RequestTrace(requests=tuple(requests))
+
+
+def split_trace(
+    trace: RequestTrace, assignment, n_shards: int
+) -> tuple[RequestTrace, ...]:
+    """Partition a trace into per-shard subtraces, ids and order intact.
+
+    ``assignment`` maps each request (positionally) to a shard in
+    ``[0, n_shards)`` — typically a front tier's choices (see
+    :mod:`repro.cluster.balancers`).  Each subtrace keeps the parent's
+    request ids and relative arrival order, so replaying the shards
+    independently and merging outcomes by id reconstructs exactly the
+    population a monolithic replay would have resolved.  Because
+    :meth:`MixedTrace.build` drives every component from an independent
+    child RNG, the parent trace — and therefore every split of it — is
+    reproducible from the one global seed regardless of shard count.
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    if len(assignment) != len(trace):
+        raise ValueError(
+            f"assignment covers {len(assignment)} requests, trace has {len(trace)}"
+        )
+    buckets: list[list[InferenceRequest]] = [[] for _ in range(n_shards)]
+    for request, shard in zip(trace, assignment):
+        shard = int(shard)
+        if not 0 <= shard < n_shards:
+            raise ValueError(
+                f"request {request.request_id} assigned to shard {shard}, "
+                f"valid range is 0..{n_shards - 1}"
+            )
+        buckets[shard].append(request)
+    return tuple(RequestTrace(requests=tuple(b)) for b in buckets)

@@ -1,0 +1,59 @@
+"""Property tests: sharded-replay invariants under random traces.
+
+* digest invariance — for random small traces and seeds, the merged
+  outcome digest is identical at 1, 2 and 4 worker processes (the
+  process layout is an implementation detail), for both the windowed
+  least-loaded front tier and the static hash tier;
+* exactly-once — every request in the trace resolves exactly once in the
+  merged result, whatever the front tier chose.
+
+Replays run ``inline`` (same protocol code as the forked path, which the
+shard suite separately pins to be bit-identical) so hypothesis can
+afford whole replays per example.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.shard.conftest import run_plan, small_trace
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    plan_seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n_requests=st.integers(min_value=20, max_value=120),
+)
+def test_digest_invariant_across_worker_counts(
+    serving_predictors, seed, plan_seed, n_requests
+):
+    trace = small_trace(seed=seed, n_requests=n_requests, horizon_s=0.6)
+    digests = {
+        w: run_plan(
+            serving_predictors, trace, n_workers=w, seed=plan_seed
+        ).digest
+        for w in (1, 2, 4)
+    }
+    assert len(set(digests.values())) == 1, digests
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    front=st.sampled_from(["hash", "round-robin", "least-loaded"]),
+)
+def test_every_request_resolves_exactly_once(serving_predictors, seed, front):
+    trace = small_trace(seed=seed, n_requests=60, horizon_s=0.5)
+    result = run_plan(serving_predictors, trace, n_workers=2, front_tier=front)
+    rids = [row[0] for row in result.rows]
+    assert rids == [r.request_id for r in trace]
+    assert result.n_served + result.n_shed == len(trace)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_static_tier_invariant_across_workers(serving_predictors, seed):
+    trace = small_trace(seed=seed, n_requests=60, horizon_s=0.5)
+    d1 = run_plan(serving_predictors, trace, front_tier="hash").digest
+    d4 = run_plan(serving_predictors, trace, front_tier="hash", n_workers=4).digest
+    assert d1 == d4

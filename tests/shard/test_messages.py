@@ -1,0 +1,69 @@
+"""Outcome encoding round-trips every field the digest hashes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.shard import digest_rows
+from repro.shard.messages import GroupOutcome, encode_outcomes
+
+
+class FakeResponse:
+    def __init__(self, row):
+        self._row = row
+
+    def outcome_tuple(self):
+        return self._row
+
+
+ROWS = [
+    (0, "ok", "g0-a", "dgpu", 0.00123456789012345, None),
+    (1, "shed", "g0-a", None, None, "queue_full"),
+    (2, "ok", "g0-b", "cpu", 1.5, None),
+    (3, "ok", "g0-a", "dgpu", 2.25, None),
+    (4, "shed", None, None, None, "deadline"),
+]
+
+
+def encode(rows=ROWS) -> GroupOutcome:
+    return encode_outcomes(
+        0, [FakeResponse(r) for r in rows],
+        telemetry={"served": 3}, utilization={"events_fired": 9},
+    )
+
+
+def test_rows_round_trip_exactly():
+    outcome = encode()
+    assert outcome.rows() == ROWS
+    assert len(outcome) == len(ROWS)
+    assert outcome.telemetry == {"served": 3}
+    assert outcome.utilization == {"events_fired": 9}
+
+
+def test_digest_of_decoded_rows_matches_original():
+    assert digest_rows(encode().rows()) == digest_rows(ROWS)
+
+
+def test_string_tables_are_interned_not_per_row():
+    outcome = encode()
+    assert set(outcome.status_table) == {"ok", "shed"}
+    assert set(outcome.node_table) == {"g0-a", "g0-b"}
+    assert outcome.status.dtype == np.int32
+    # None encodes as -1, never as a table entry.
+    assert -1 in outcome.device.tolist()
+    assert None not in outcome.device_table
+
+
+def test_nan_end_encodes_none_losslessly():
+    outcome = encode()
+    decoded = outcome.rows()
+    assert decoded[1][4] is None
+    assert decoded[0][4] == ROWS[0][4]  # full float precision survives
+
+
+def test_empty_outcome_block():
+    outcome = encode(rows=[])
+    assert outcome.rows() == []
+    assert len(outcome) == 0
+    assert digest_rows(outcome.rows()) == digest_rows([])

@@ -470,3 +470,62 @@ class TestTraceCursor:
         loop_b.run()
         assert log_a == log_b
         assert loop_a.now == loop_b.now
+
+
+class TestUtilization:
+    """The loop's self-accounting: events fired, idle runs, window stalls."""
+
+    def test_fresh_loop_reports_zeros(self):
+        util = EventLoop().utilization()
+        assert util == {
+            "events_fired": 0, "runs": 0, "idle_runs": 0,
+            "window_stalls": 0, "cancelled": 0, "pending": 0,
+        }
+
+    def test_counts_events_and_runs(self):
+        loop = EventLoop()
+        for t in (0.1, 0.2, 0.3):
+            loop.schedule(t, lambda lp: None)
+        loop.run()
+        util = loop.utilization()
+        assert util["events_fired"] == 3
+        assert util["runs"] == 1
+        assert util["idle_runs"] == 0
+        assert util["pending"] == 0
+
+    def test_idle_run_on_empty_loop(self):
+        loop = EventLoop()
+        loop.run()
+        assert loop.utilization()["idle_runs"] == 1
+        assert loop.utilization()["window_stalls"] == 0
+        assert loop.idle_runs == 1
+
+    def test_window_stall_counts_bounded_empty_windows(self):
+        """A bounded run firing nothing while work waits beyond it stalls."""
+        loop = EventLoop()
+        loop.schedule(5.0, lambda lp: None)
+        loop.run(until=1.0)   # nothing in [0, 1]: a stall
+        loop.run(until=2.0)   # still nothing: another
+        util = loop.utilization()
+        assert util["window_stalls"] == 2
+        assert util["idle_runs"] == 2
+        assert loop.window_stalls == 2
+        loop.run()            # the event finally fires
+        assert loop.utilization()["window_stalls"] == 2
+        assert loop.utilization()["events_fired"] == 1
+
+    def test_unbounded_empty_run_is_idle_not_stalled(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda lp: None)
+        loop.run()
+        loop.run()   # drained: idle, but no window to stall on
+        util = loop.utilization()
+        assert util["idle_runs"] == 1
+        assert util["window_stalls"] == 0
+
+    def test_cancelled_events_surface(self):
+        loop = EventLoop()
+        event = loop.schedule(1.0, lambda lp: None)
+        loop.cancel(event)
+        loop.run()
+        assert loop.utilization()["cancelled"] == 1

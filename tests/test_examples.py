@@ -47,6 +47,12 @@ LANDMARKS = {
         "per-event",
         "batched",
     ],
+    "sharded_replay.py": [
+        "shard groups",
+        "digest-identical",
+        "conservative windows",
+        "degenerate case verified",
+    ],
 }
 
 #: Extra CLI arguments per script (chaos runs its CI-sized campaign here).
@@ -55,6 +61,7 @@ EXAMPLE_ARGS = {
     "cascade_serving.py": ["--tiny"],
     "partitioned_cluster.py": ["--tiny"],
     "million_replay.py": ["--tiny"],
+    "sharded_replay.py": ["--tiny"],
 }
 
 

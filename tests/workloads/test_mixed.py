@@ -145,3 +145,56 @@ class TestValidation:
         mix = two_component_mix(horizon_s=0.2)
         with pytest.raises(ValueError):
             mix.build(0, n_requests=-1)
+
+
+class TestSplitTrace:
+    """Partitioning a trace never loses, reorders or renumbers a request."""
+
+    def _trace(self, n=50):
+        from repro.workloads import MMPPStream, split_trace  # noqa: F401
+
+        mix = MixedTrace(components=(
+            TraceComponent(
+                process=MMPPStream(
+                    horizon_s=0.5, slo_s=0.3, rates_hz=(200.0, 800.0),
+                    mean_sojourn_s=(0.3, 0.1), batch_sigma=0.0,
+                ),
+                models=(SIMPLE.name,),
+                name="mmpp",
+            ),
+        ))
+        return mix.build(rng=3, n_requests=n)
+
+    def test_round_trips_by_request_id(self):
+        from repro.workloads import split_trace
+
+        trace = self._trace()
+        assignment = [r.request_id % 3 for r in trace]
+        shards = split_trace(trace, assignment, 3)
+        assert len(shards) == 3
+        merged = sorted(
+            (r for shard in shards for r in shard), key=lambda r: r.request_id
+        )
+        assert merged == list(trace)
+        for shard in shards:  # each subtrace stays a valid ordered trace
+            arrivals = [r.arrival_s for r in shard]
+            assert arrivals == sorted(arrivals)
+
+    def test_empty_shards_are_valid_traces(self):
+        from repro.workloads import split_trace
+
+        trace = self._trace(10)
+        shards = split_trace(trace, [0] * len(trace), 4)
+        assert len(shards[0]) == 10
+        assert all(len(s) == 0 for s in shards[1:])
+
+    def test_validation(self):
+        from repro.workloads import split_trace
+
+        trace = self._trace(10)
+        with pytest.raises(ValueError, match="n_shards"):
+            split_trace(trace, [0] * 10, 0)
+        with pytest.raises(ValueError, match="covers"):
+            split_trace(trace, [0] * 9, 2)
+        with pytest.raises(ValueError, match="valid range"):
+            split_trace(trace, [2] * 10, 2)
