@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench bench-full bench-wallclock bench-million bench-sharded profile-cluster repro examples serve-demo cluster-demo cascade-demo chaos-demo partition-demo million-demo sharded-demo lint-clean
+.PHONY: install test bench bench-full bench-wallclock bench-million bench-sharded bench-drift profile-cluster repro examples serve-demo cluster-demo cascade-demo chaos-demo partition-demo million-demo sharded-demo drift-demo lint-clean
 
 install:
 	pip install -e .
@@ -41,6 +41,15 @@ bench-sharded:
 		--out bench_sharded.json
 	PYTHONPATH=src $(PY) benchmarks/wallclock/check.py bench_sharded.json \
 		--sections sharded
+
+# Drift bench alone: the silent 16x dGPU throttle campaign run with the
+# frozen predictor and the online refresh layer, with the goodput-ratio
+# floor (>=1.15x) and the seeded-replay digest gate enforced.
+bench-drift:
+	PYTHONPATH=src $(PY) benchmarks/wallclock/run.py --only drift \
+		--out bench_drift.json
+	PYTHONPATH=src $(PY) benchmarks/wallclock/check.py bench_drift.json \
+		--sections drift
 
 # cProfile the cluster request path (the 4-node overload bench) and dump
 # raw stats to cluster.prof for pstats/snakeviz.
@@ -88,3 +97,9 @@ million-demo:
 # built-in digest-identity assertions (CI runs it with --tiny).
 sharded-demo:
 	$(PY) examples/sharded_replay.py --tiny
+
+# Drift demo: silent dGPU throttle mid-flood; the online predictor must
+# flag the drift, fall back, refit, recover, and beat the frozen
+# predictor's goodput — all asserted in-script (CI runs it with --tiny).
+drift-demo:
+	$(PY) examples/online_drift.py --tiny

@@ -26,7 +26,11 @@ Three layers of checking, from always-on to conditional:
    invariance across worker counts plus a 4-worker throughput floor of
    2x the million one (>= 93.2k req/s full, >= 1k tiny — protocol
    overhead makes the tiny trace slower than the monolithic path, which
-   is expected and fine).
+   is expected and fine).  The ``drift`` section gates the online
+   predictor's adaptivity claims in every mode: drift detected, fallback
+   engaged, post-refit recovery, a deterministic seeded replay, and
+   drift-aware goodput >= 1.15x the frozen predictor's under the same
+   throttle campaign.
 3. **Regression** — with ``--baseline`` pointing at a committed report of
    the *same mode*, any benchmark whose wall time grew by more than
    ``--factor`` (default 2.0) fails the check.  A missing baseline or a
@@ -75,6 +79,18 @@ _SHARDED_KEYS = (
     "requests", "workers", "groups", "wall_s", "requests_per_wall_s",
     "outcome_digest", "digests_match", "deterministic",
 )
+
+#: Fields the optional ``drift`` section must carry when present.
+_DRIFT_KEYS = (
+    "requests", "goodput_frozen", "goodput_online", "goodput_ratio",
+    "drift_detected", "fallback_engaged", "recovered",
+    "outcome_digest", "deterministic",
+)
+
+#: The drift-aware predictor must recover at least this much goodput over
+#: the frozen one under the seeded throttle campaign (both modes: the
+#: separation is simulated-time, not wall-clock, so tiny is not noisy).
+_DRIFT_GOODPUT_RATIO_FLOOR = 1.15
 
 #: Floors for the sharded million-request replay at 4 workers.  Full
 #: mode must beat the single-process million floor by >= 2x (2 x 46.6k
@@ -161,6 +177,10 @@ def check_structure(
         for key in _SHARDED_KEYS:
             if key not in benches["sharded"]:
                 _fail(f"{path}: benchmarks.sharded missing {key!r}")
+    if "drift" in benches:
+        for key in _DRIFT_KEYS:
+            if key not in benches["drift"]:
+                _fail(f"{path}: benchmarks.drift missing {key!r}")
     print(f"[bench-check] {path}: structure OK ({report['mode']} mode)")
 
 
@@ -227,6 +247,26 @@ def check_floors(report: dict) -> None:
               f"({sharded['requests']} reqs over {sharded['workers']} workers, "
               f"{sharded['requests_per_wall_s']:.0f} req/s, "
               f"digests worker-count-invariant)")
+    if "drift" in benches:
+        drift = benches["drift"]
+        if not drift["deterministic"]:
+            _fail("drift campaign online replay digests differ between runs")
+        if not drift["drift_detected"]:
+            _fail("drift campaign never flagged the throttled device")
+        if not drift["fallback_engaged"]:
+            _fail("drift campaign never routed through the fallback plan")
+        if not drift["recovered"]:
+            _fail("drift campaign never recovered a flagged cell post-refit")
+        if drift["goodput_ratio"] < _DRIFT_GOODPUT_RATIO_FLOOR:
+            _fail(
+                f"drift-aware goodput ratio {drift['goodput_ratio']:.3f}x "
+                f"(online {drift['goodput_online']:.3f} vs frozen "
+                f"{drift['goodput_frozen']:.3f}) is below the "
+                f"{_DRIFT_GOODPUT_RATIO_FLOOR:.2f}x floor"
+            )
+        print(f"[bench-check] drift campaign OK "
+              f"(goodput {drift['goodput_ratio']:.2f}x frozen, "
+              f"detected/fallback/recovered, deterministic)")
     for section, floor in _RPS_FLOORS[report["mode"]].items():
         if section not in benches:
             continue
@@ -329,7 +369,7 @@ def main(argv=None) -> int:
     if sections is not None:
         # A typo here used to be silently ignored — the unknown name
         # matched nothing, so the check "passed" while gating nothing.
-        known = set(_REQUIRED) | {"partition", "million", "sharded"}
+        known = set(_REQUIRED) | {"partition", "million", "sharded", "drift"}
         unknown = sections - known
         if unknown:
             _fail(

@@ -7,8 +7,10 @@ serving-frontend overload flood, and a 4-node cluster flood — and emits
 regress against (``check.py`` enforces it).  Optional sections ride along: ``partition``
 measures multi-tenant isolation on a 4-way-split dGPU, ``million``
 floods a 4-node fleet with a production-shaped million-request trace,
-and ``sharded`` replays that same trace across 4 worker processes under
-the conservative virtual-time protocol (``repro.shard``); ``check.py``
+``sharded`` replays that same trace across 4 worker processes under
+the conservative virtual-time protocol (``repro.shard``), and ``drift``
+runs a thermal-throttle chaos campaign where a drift-aware online
+predictor must recover the goodput a frozen one loses; ``check.py``
 gates each section's claims whenever it is present.
 
 Run from the repo root with ``PYTHONPATH=src``; ``--tiny`` shrinks every
@@ -525,6 +527,119 @@ def bench_sharded(tiny: bool, profile: "str | None" = None) -> dict:
     }
 
 
+def bench_drift(tiny: bool) -> dict:
+    """Thermal-throttle chaos campaign: frozen vs drift-aware predictor.
+
+    A symmetric 4-node fleet (every node has all three device classes,
+    ``max_rank=1`` so the forest's top pick is the only predictor-ranked
+    candidate) rides out an overload flood while every node's dGPU is
+    silently throttled 8x mid-trace.  The frozen predictor keeps routing
+    to the throttled class; the online predictor's drift detector flags
+    the residual shift, routing degrades to backlog-only fallback across
+    *all* classes, and a live refit plus in-band residuals recover the
+    flags once the throttle lifts.  Goodput (served within SLO / resolved)
+    is the scoreboard; the online campaign replays digest-identically.
+    """
+    from repro.cluster import ClusterRouter, NodeSpec, make_fleet
+    from repro.faults import FaultInjector
+    from repro.nn.zoo import MNIST_SMALL, SIMPLE
+    from repro.sched.dataset import generate_dataset
+    from repro.sched.online import OnlineConfig, OnlinePredictor
+    from repro.sched.policies import Policy
+    from repro.sched.predictor import DevicePredictor
+    from repro.serving import SLOConfig
+    from repro.shard import digest_responses
+    from repro.workloads.requests import make_trace
+    from repro.workloads.streams import OverloadStream
+
+    specs = {s.name: s for s in (SIMPLE, MNIST_SMALL)}
+    dataset = generate_dataset(
+        "throughput",
+        specs=[SIMPLE, MNIST_SMALL],
+        batches=(1, 64, 1024, 16384, 262144),
+    )
+    slo = SLOConfig(
+        deadline_s=0.3, max_queue_depth=64, max_batch=4096, max_wait_s=0.005
+    )
+    fleet_specs = [NodeSpec(f"node-{c}") for c in "abcd"]
+    # The flood must outlast the throttle: the tail is what re-feeds the
+    # recovered dGPU (and the frozen twin's drained queues) so recovery
+    # is observable inside the trace.
+    stream = OverloadStream(
+        horizon_s=2.5 if tiny else 5.0,
+        slo_s=0.3,
+        normal_rate_hz=200,
+        overload_rate_hz=8000 if tiny else 12000,
+        overload_start_s=0.3 if tiny else 1.0,
+        overload_end_s=1.8 if tiny else 3.5,
+        normal_batch=64,
+        overload_batch=64,
+    )
+    trace = make_trace(stream, [MNIST_SMALL], rng=7)
+    throttle_start = 0.4 if tiny else 1.2
+    throttle_dur = 0.8 if tiny else 1.2
+    throttle_mult = 16.0
+
+    def run_once(online: bool):
+        if online:
+            base = DevicePredictor("throughput").fit(dataset)
+            predictors = {
+                Policy.THROUGHPUT: OnlinePredictor(
+                    base, specs, dataset, OnlineConfig()
+                )
+            }
+        else:
+            predictors = {
+                Policy.THROUGHPUT: DevicePredictor("throughput").fit(dataset)
+            }
+        fleet = make_fleet(
+            fleet_specs, predictors, specs, default_slo=slo, max_rank=1
+        )
+        router = ClusterRouter(fleet, balancer="least-ect", rng=123)
+        injector = FaultInjector(router)
+        for spec in fleet_specs:
+            injector.throttle_device(
+                throttle_start, spec.name, "dgpu", throttle_mult,
+                duration_s=throttle_dur,
+            )
+        result = router.serve_trace(trace)
+        return router, result, digest_responses(result.responses)
+
+    t0 = time.perf_counter()
+    frozen_router, frozen_result, _ = run_once(online=False)
+    online_router, online_result, digest_a = run_once(online=True)
+    _, _, digest_b = run_once(online=True)
+    wall_s = time.perf_counter() - t0
+
+    frozen_goodput = frozen_router.goodput()
+    online_goodput = online_router.goodput()
+    rollup = online_router.stats()["online"]
+    return {
+        "nodes": len(fleet_specs),
+        "requests": len(trace),
+        "wall_s": wall_s,
+        "throttle": (
+            f"dgpu x{throttle_mult:g} @ {throttle_start:g}s "
+            f"for {throttle_dur:g}s"
+        ),
+        "goodput_frozen": frozen_goodput,
+        "goodput_online": online_goodput,
+        "goodput_ratio": (
+            online_goodput / frozen_goodput if frozen_goodput else float("inf")
+        ),
+        "drift_flags": rollup["drift_flags"],
+        "refits": rollup["refits"],
+        "recoveries": rollup["recoveries"],
+        "fallback_decisions": rollup["fallback_decisions"],
+        "fallback_occupancy": rollup["fallback_occupancy"],
+        "drift_detected": bool(rollup["drift_flags"] >= 1),
+        "fallback_engaged": bool(rollup["fallback_decisions"] > 0),
+        "recovered": bool(rollup["recoveries"] >= 1),
+        "outcome_digest": digest_a,
+        "deterministic": bool(digest_a == digest_b),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -537,7 +652,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--only", action="append", metavar="BENCH",
         choices=("forest", "sweep", "serving", "cluster", "partition",
-                 "million", "sharded"),
+                 "million", "sharded", "drift"),
         help="run only this benchmark (repeatable); the partial report "
              "will not pass check.py's structure check",
     )
@@ -568,6 +683,7 @@ def main(argv=None) -> int:
         ("partition", bench_partition),
         ("million", bench_million),
         ("sharded", bench_sharded),
+        ("drift", bench_drift),
     ):
         if args.only and name not in args.only:
             continue
@@ -601,6 +717,14 @@ def main(argv=None) -> int:
               f"{row['wall_s']:.2f}s wall "
               f"({row['requests_per_wall_s']:.0f} req/s, "
               f"shed {row['shed_rate']:.3f}, "
+              f"deterministic: {row['deterministic']})")
+    if "drift" in benches:
+        row = benches["drift"]
+        print(f"  drift campaign: goodput {row['goodput_online']:.3f} online "
+              f"vs {row['goodput_frozen']:.3f} frozen "
+              f"({row['goodput_ratio']:.2f}x, "
+              f"flags {row['drift_flags']}, refits {row['refits']}, "
+              f"recoveries {row['recoveries']}, "
               f"deterministic: {row['deterministic']})")
     if "partition" in benches:
         row = benches["partition"]

@@ -22,6 +22,10 @@ The adaptive scheduler (the paper's contribution)::
         Dispatcher, OnlineScheduler, StreamRunner,
     )
 
+Online predictor refresh (live refits, drift detection, fallback)::
+
+    from repro.sched import OnlinePredictor, OnlineConfig
+
 SLO-aware serving frontend (queues, coalescing, admission control)::
 
     from repro.serving import ServingFrontend, SLOConfig
@@ -75,6 +79,8 @@ from repro.sched import (
     DevicePredictor,
     Dispatcher,
     InferenceService,
+    OnlineConfig,
+    OnlinePredictor,
     OnlineScheduler,
     Policy,
     StreamRunner,
@@ -100,6 +106,8 @@ __all__ = [
     "generate_dataset",
     "DevicePredictor",
     "Dispatcher",
+    "OnlineConfig",
+    "OnlinePredictor",
     "OnlineScheduler",
     "StreamRunner",
     "InferenceService",

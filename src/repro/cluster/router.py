@@ -891,6 +891,7 @@ class ClusterRouter:
         """Fleet-wide rollup of the nodes' decision-cache counters."""
         enabled = False
         hits = misses = entries = refit_clears = feedback_invalidations = 0
+        drift_invalidations = 0
         for node in self.nodes:
             cache_stats = getattr(node.frontend.backlog, "cache_stats", None)
             if cache_stats is None:  # duck-typed backlog (tests, adapters)
@@ -902,6 +903,7 @@ class ClusterRouter:
             entries += s["entries"]
             refit_clears += s["refit_clears"]
             feedback_invalidations += s["feedback_invalidations"]
+            drift_invalidations += s.get("drift_invalidations", 0)
         total = hits + misses
         return {
             "enabled": enabled,
@@ -911,6 +913,7 @@ class ClusterRouter:
             "entries": entries,
             "refit_clears": refit_clears,
             "feedback_invalidations": feedback_invalidations,
+            "drift_invalidations": drift_invalidations,
         }
 
     def stats(self) -> dict:

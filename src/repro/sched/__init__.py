@@ -20,7 +20,12 @@ Pipeline:
    the offline predictor when the system changes (e.g. dGPU contention).
 6. :mod:`repro.sched.backlog` adds queue-aware spilling so overloads do
    not pile onto a single "best" device.
-7. :mod:`repro.sched.persistence` ships trained artifacts between runs.
+7. :mod:`repro.sched.online` keeps the predictor honest in production:
+   sliding-window refits from live service times, deterministic
+   Page–Hinkley drift detection per (model, device, batch-bucket) cell,
+   and uncertainty-aware fallback to backlog-only routing while a cell
+   is flagged stale.
+8. :mod:`repro.sched.persistence` ships trained artifacts between runs.
 """
 
 from repro.sched.adaptive import AdaptiveDecision, AdaptiveScheduler
@@ -30,6 +35,13 @@ from repro.sched.feedback import CellKey, OutcomeTable
 from repro.sched.partition import BatchPartitioner, PartitionPlan
 from repro.sched.dispatcher import Dispatcher
 from repro.sched.features import FEATURE_NAMES, encode_point, encode_spec
+from repro.sched.online import (
+    DriftKey,
+    OnlineConfig,
+    OnlineEvents,
+    OnlinePredictor,
+    PageHinkley,
+)
 from repro.sched.policies import Policy
 from repro.sched.predictor import DevicePredictor
 from repro.sched.runtime import StreamResult, StreamRunner
@@ -55,6 +67,11 @@ __all__ = [
     "AdaptiveDecision",
     "BacklogAwareScheduler",
     "BacklogDecision",
+    "OnlineConfig",
+    "OnlinePredictor",
+    "OnlineEvents",
+    "DriftKey",
+    "PageHinkley",
     "BatchPartitioner",
     "PartitionPlan",
     "InferenceService",

@@ -27,6 +27,7 @@ version so entries holding its estimate binding rebuild on next use.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -67,13 +68,14 @@ class _DecisionEntry:
     stale.
     """
 
-    __slots__ = ("ranked", "cell", "eligible", "version")
+    __slots__ = ("ranked", "cell", "eligible", "version", "fallback")
 
-    def __init__(self, ranked, cell, eligible, version):
+    def __init__(self, ranked, cell, eligible, version, fallback=False):
         self.ranked = ranked        # full predictor ranking (for spill checks)
         self.cell = cell            # CellKey of this decision cell
         self.eligible = eligible    # ((class, device_name, queue, estimate), ...)
         self.version = version      # feedback version seen at build time
+        self.fallback = fallback    # built in drift fallback mode (see online)
 
 
 class BacklogAwareScheduler:
@@ -139,6 +141,12 @@ class BacklogAwareScheduler:
         # set_model_device_pin.
         self._model_pins: "dict[str, tuple[tuple[str, ...], frozenset[str]]]" = {}
         self._repartition_invalidations = 0
+        # Online-predictor bookkeeping (inert with a plain predictor):
+        # drift flag flips invalidate matching cache cells, and decisions
+        # made in drift fallback mode are counted for occupancy telemetry.
+        self._drift_invalidations = 0
+        self._n_decisions = 0
+        self._n_fallback_decisions = 0
 
     # -- device mask (degraded-mode scheduling) ----------------------------
 
@@ -359,17 +367,66 @@ class BacklogAwareScheduler:
             raise SchedulerError(
                 f"no ranked device class present in context (has: {sorted(available)})"
             )
-        preference = self._model_preferences.get(spec.name)
+        return self._apply_model_bias(spec.name, ranked)
+
+    def _apply_model_bias(
+        self, model: str, ranked: "tuple[str, ...]"
+    ) -> "tuple[str, ...]":
+        """Apply per-model preference / pin reordering to a class ranking."""
+        preference = self._model_preferences.get(model)
         if preference:
             front = tuple(c for c in preference if c in ranked)
             if front:
                 ranked = front + tuple(c for c in ranked if c not in front)
-        pin = self._model_pins.get(spec.name)
+        pin = self._model_pins.get(model)
         if pin is not None:
             front = tuple(c for c in ranked if c in pin[1])
             if front:
                 ranked = front + tuple(c for c in ranked if c not in pin[1])
         return ranked
+
+    # -- online predictor (drift-aware fallback) ---------------------------
+
+    def _online_predictor(self):
+        """The installed predictor, if it is an online one (else None)."""
+        predictor = self.scheduler.predictors[self.policy]
+        return predictor if getattr(predictor, "is_online", False) else None
+
+    def _fallback_ranking(self, model: str) -> "tuple[str, ...]":
+        """Predictor-free candidate order for a drift-flagged cell.
+
+        Canonical class order filtered to available devices — the ranking
+        carries no predictor opinion, so placement degrades to pure
+        backlog + outcome-table signals.  Preferences and pins still
+        apply: tenant isolation must survive a drift episode.
+        """
+        available = self.available_classes()
+        ranked = tuple(
+            c for c in ("cpu", "dgpu", "igpu") if c in available
+        )
+        if not ranked:
+            raise SchedulerError(
+                f"no device class available for fallback placement "
+                f"(mask: {sorted(self._device_mask or ())})"
+            )
+        return self._apply_model_bias(model, ranked)
+
+    def _routing_plan(
+        self, spec: ModelSpec, batch: int, gpu_state: str
+    ) -> "tuple[tuple[str, ...], int, bool]":
+        """(ranked, eligible span, fallback?) for one decision cell.
+
+        Predictor-ranked with the usual ``max_rank`` span normally; when
+        the online predictor flags the (model, batch-bucket) cell stale,
+        the plan degrades to the fallback ranking with *every* class
+        eligible — the backlog argmin decides, not the distrusted forest.
+        """
+        online = self._online_predictor()
+        if online is not None and online.is_stale(spec.name, batch):
+            ranked = self._fallback_ranking(spec.name)
+            return ranked, len(ranked), True
+        ranked = self.rank_devices(spec, batch, gpu_state)
+        return ranked, self.max_rank, False
 
     # -- service-time estimates --------------------------------------------
 
@@ -392,13 +449,62 @@ class BacklogAwareScheduler:
 
         External executors (e.g. a serving frontend's device workers) use
         this to close the feedback loop that :meth:`submit_virtual` closes
-        internally.
+        internally.  Non-finite values are rejected here (not only in the
+        table) so callers get an error naming the argument: one NaN/inf
+        folded into the EWMA would silently poison every later estimate.
         """
-        if service_s < 0.0:
-            raise ValueError(f"service_s must be >= 0, got {service_s}")
+        if not math.isfinite(service_s) or service_s < 0.0:
+            raise ValueError(
+                f"service_s must be finite and >= 0, got {service_s}"
+            )
         cell = CellKey.of(model, batch, gpu_state)
+        self._observe_service(cell, batch, device, service_s, now)
+
+    def _observe_service(
+        self, cell: CellKey, batch: int, device: str, service_s: float, now: float
+    ) -> None:
+        """Fold one realized service time into the learned table — and,
+        when an online predictor is installed, into its refresh loop.
+
+        The residual the drift detector sees is (realized - predicted) /
+        predicted where "predicted" is the *prior* fresh estimate — read
+        before this observation updates it, i.e. exactly what the
+        scheduler believed when it placed the work.
+        """
+        online = self._online_predictor()
+        predicted = None
+        if online is not None:
+            prior = self._service.estimate(cell, device, now)
+            predicted = prior.value if prior is not None else None
         self._service.observe(cell, device, service_s, now=now)
         self._bump_cell(cell)
+        if online is not None:
+            events = online.observe(
+                cell.model, batch, cell.gpu_state, device,
+                service_s, predicted, now,
+            )
+            if events.any:
+                self._apply_online_events(events)
+
+    def _apply_online_events(self, events) -> None:
+        """Invalidate the decision cells a drift flag flip touched.
+
+        A flip changes the cell's routing *plan* (predictor-ranked vs
+        fallback), which the cache froze at build time — so every entry
+        for the flipped (model, batch-bucket), across both dGPU states
+        and all concrete batch sizes in the bucket, is dropped.  Refits
+        need nothing here: the bumped ``fit_generation`` already clears
+        the cache wholesale in ``_entry_for``.
+        """
+        for key in (*events.flagged, *events.recovered):
+            stale = [
+                k for k in self._entries
+                if k[0] == key.model
+                and int(math.log2(k[1])) == key.batch_bucket
+            ]
+            for k in stale:
+                del self._entries[k]
+            self._drift_invalidations += len(stale)
 
     # -- decision cache ----------------------------------------------------
 
@@ -437,9 +543,32 @@ class BacklogAwareScheduler:
             "mask_invalidations": self._mask_invalidations,
             "preference_invalidations": self._preference_invalidations,
             "repartition_invalidations": self._repartition_invalidations,
+            "drift_invalidations": self._drift_invalidations,
         }
 
-    def _eligible_devices(self, model: str, ranked: "tuple[str, ...]"):
+    def online_stats(self) -> "dict | None":
+        """Online-refresh telemetry, or None with a plain predictor.
+
+        Combines the installed :class:`~repro.sched.online.OnlinePredictor`
+        snapshot (refits, drift flags, per-cell error quantiles) with this
+        scheduler's routing-side counters (fallback occupancy, drift
+        invalidations).  None keeps non-online telemetry byte-identical.
+        """
+        online = self._online_predictor()
+        if online is None:
+            return None
+        decisions = self._n_decisions
+        return {
+            "decisions": decisions,
+            "fallback_decisions": self._n_fallback_decisions,
+            "fallback_occupancy": (
+                self._n_fallback_decisions / decisions if decisions else 0.0
+            ),
+            "drift_invalidations": self._drift_invalidations,
+            "predictor": online.snapshot(),
+        }
+
+    def _eligible_devices(self, model: str, ranked: "tuple[str, ...]", limit: int):
         """Candidate (device_class, device) pairs for one decision.
 
         Enumerated in ranking order, then context order within a class —
@@ -453,7 +582,7 @@ class BacklogAwareScheduler:
         pin = self._model_pins.get(model)
         devices = self.scheduler.context.devices
         out = []
-        for device_class in ranked[: self.max_rank]:
+        for device_class in ranked[:limit]:
             for device in devices:
                 if device.device_class.value != device_class:
                     continue
@@ -470,7 +599,7 @@ class BacklogAwareScheduler:
             # The pinned partitions were masked out (or retired under us):
             # fall back to the unpinned enumeration rather than stranding
             # the model — degraded placement beats no placement.
-            for device_class in ranked[: self.max_rank]:
+            for device_class in ranked[:limit]:
                 for device in devices:
                     if (
                         device.device_class.value == device_class
@@ -496,16 +625,17 @@ class BacklogAwareScheduler:
             self._cache_hits += 1
             return entry
         self._cache_misses += 1
-        ranked = self.rank_devices(spec, batch, gpu_state)
+        ranked, limit, fallback = self._routing_plan(spec, batch, gpu_state)
         cell = CellKey.of(spec.name, batch, gpu_state)
         eligible = []
-        for device_class, device in self._eligible_devices(spec.name, ranked):
+        for device_class, device in self._eligible_devices(spec.name, ranked, limit):
             queue = self.scheduler.queue_for(device.name)
             eligible.append(
                 (device_class, device.name, queue, self._service.binding(cell, device_class))
             )
         entry = _DecisionEntry(
-            ranked, cell, tuple(eligible), self._feedback_versions.get(cell, 0)
+            ranked, cell, tuple(eligible),
+            self._feedback_versions.get(cell, 0), fallback,
         )
         self._entries[key] = entry
         return entry
@@ -541,7 +671,8 @@ class BacklogAwareScheduler:
         return best[0], best_completion, best[1], best[2]
 
     def _earliest_finisher(
-        self, model: str, cell: CellKey, ranked: "tuple[str, ...]", arrival_s: float
+        self, model: str, cell: CellKey, ranked: "tuple[str, ...]",
+        limit: int, arrival_s: float,
     ) -> "tuple[str, float, str, object]":
         """Earliest estimated completion among eligible devices (uncached).
 
@@ -550,7 +681,7 @@ class BacklogAwareScheduler:
         so the uncached reference path and the hit path agree bit for bit.
         """
         best, best_completion = None, float("inf")
-        for device_class, device in self._eligible_devices(model, ranked):
+        for device_class, device in self._eligible_devices(model, ranked, limit):
             queue = self.scheduler.queue_for(device.name)
             wait = max(0.0, queue.current_time - arrival_s)
             est = self._service.estimate(cell, device_class, arrival_s)
@@ -579,10 +710,10 @@ class BacklogAwareScheduler:
             entry = self._entry_for(spec, batch, gpu_state)
             best_device, best_completion, _, _ = self._finisher_from(entry, arrival_s)
             return best_device, best_completion
-        ranked = self.rank_devices(spec, batch, gpu_state)
+        ranked, limit, _ = self._routing_plan(spec, batch, gpu_state)
         cell = CellKey.of(spec.name, batch, gpu_state)
         best_device, best_completion, _, _ = self._earliest_finisher(
-            spec.name, cell, ranked, arrival_s
+            spec.name, cell, ranked, limit, arrival_s
         )
         return best_device, best_completion
 
@@ -591,16 +722,21 @@ class BacklogAwareScheduler:
     def decide(self, spec: ModelSpec, batch: int, arrival_s: float) -> BacklogDecision:
         """Pick the earliest-finishing device among the top-ranked ones."""
         gpu_state = self.scheduler.probe_gpu_state(now=arrival_s)
+        self._n_decisions += 1
         if self.cache_decisions:
             entry = self._entry_for(spec, batch, gpu_state)
             best_device, _, device_name, queue = self._finisher_from(entry, arrival_s)
             ranked = entry.ranked
+            if entry.fallback:
+                self._n_fallback_decisions += 1
         else:
-            ranked = self.rank_devices(spec, batch, gpu_state)
+            ranked, limit, fallback = self._routing_plan(spec, batch, gpu_state)
             cell = CellKey.of(spec.name, batch, gpu_state)
             best_device, _, device_name, queue = self._earliest_finisher(
-                spec.name, cell, ranked, arrival_s
+                spec.name, cell, ranked, limit, arrival_s
             )
+            if fallback:
+                self._n_fallback_decisions += 1
 
         spilled = best_device != ranked[0]
         if spilled:
@@ -625,8 +761,7 @@ class BacklogAwareScheduler:
         kernel = self.scheduler.dispatcher.kernel_for(decision.device_name, spec.name)
         event = queue.enqueue_inference_virtual(kernel, batch)
         cell = CellKey.of(spec.name, batch, decision.gpu_state)
-        self._service.observe(
-            cell, decision.device, event.duration_s, now=event.time_ended
+        self._observe_service(
+            cell, batch, decision.device, event.duration_s, event.time_ended
         )
-        self._bump_cell(cell)
         return decision, event

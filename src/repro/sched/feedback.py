@@ -76,7 +76,18 @@ class OutcomeTable:
             raise ValueError(f"ttl must be positive, got {self.ttl_s}")
 
     def observe(self, cell: CellKey, device: str, value: float, now: float) -> None:
-        """Fold a realized metric observation into the estimate."""
+        """Fold a realized metric observation into the estimate.
+
+        Non-finite and negative values are rejected: one NaN folded into
+        the EWMA would poison the estimate (NaN propagates through every
+        later update) and silently mis-rank the device forever, and a
+        negative service time or energy is always a caller bug.
+        """
+        if not math.isfinite(value) or value < 0.0:
+            raise ValueError(
+                f"invalid observation {value!r} for cell {cell} on "
+                f"device {device!r}"
+            )
         key = (cell, device)
         prior = self._table.get(key)
         if prior is None or now - prior.updated_at > self.ttl_s:

@@ -342,6 +342,9 @@ class ServingFrontend:
             scheduler, policy=policy, max_rank=max_rank, cache_decisions=decision_cache
         )
         self.telemetry = ServingTelemetry()
+        # Online-predictor telemetry: the callable answers None with a
+        # plain predictor, so frozen-predictor snapshots are unchanged.
+        self.telemetry.online = self.backlog.online_stats
 
         self.tenants = tenants
         if tenants is not None:

@@ -270,6 +270,49 @@ class FleetTelemetry:
                 agg["recent_p99_ms"] = float(np.percentile(samples, 99.0)) * 1e3
         return merged
 
+    def online_snapshot(self) -> dict:
+        """Fleet-wide online-predictor rollup (empty without one).
+
+        Routing-side counters (decisions, fallback occupancy, drift
+        invalidations) sum across nodes.  Predictor-side counters (refits,
+        drift flags, recoveries) take the max instead: fleets normally
+        share one :class:`~repro.sched.online.OnlinePredictor`, so every
+        node reports the same fleet-wide totals and summing would
+        multiply-count them.  Active flags merge as a set union.
+        """
+        per_node: dict[str, dict] = {}
+        for name in sorted(self._nodes):
+            fn = self._nodes[name].online
+            if fn is None:
+                continue
+            snap = fn()
+            if snap:
+                per_node[name] = snap
+        if not per_node:
+            return {}
+        decisions = sum(s["decisions"] for s in per_node.values())
+        fallback = sum(s["fallback_decisions"] for s in per_node.values())
+        flags: set[str] = set()
+        for s in per_node.values():
+            flags.update(s["predictor"].get("active_flags", ()))
+        return {
+            "nodes": len(per_node),
+            "decisions": decisions,
+            "fallback_decisions": fallback,
+            "fallback_occupancy": fallback / decisions if decisions else 0.0,
+            "drift_invalidations": sum(
+                s["drift_invalidations"] for s in per_node.values()
+            ),
+            "refits": max(s["predictor"]["refits"] for s in per_node.values()),
+            "drift_flags": max(
+                s["predictor"]["drift_flags"] for s in per_node.values()
+            ),
+            "recoveries": max(
+                s["predictor"]["recoveries"] for s in per_node.values()
+            ),
+            "active_flags": sorted(flags),
+        }
+
     def snapshot(self) -> dict:
         """Cluster rollup plus one sub-snapshot per node."""
         out: dict = {
@@ -301,6 +344,9 @@ class FleetTelemetry:
         tenants = self.tenant_snapshot()
         if tenants:
             out["tenants"] = tenants
+        online = self.online_snapshot()
+        if online:
+            out["online"] = online
         out["per_node"] = {
             name: telemetry.snapshot()
             for name, telemetry in sorted(self._nodes.items())

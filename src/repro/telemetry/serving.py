@@ -358,6 +358,13 @@ class ServingTelemetry:
     # Populated only when the frontend is constructed with a TenantSet;
     # empty otherwise, so single-tenant snapshots stay byte-identical.
     tenants: dict[str, TenantStats] = field(default_factory=dict)
+    # Optional online-predictor attachment: a zero-arg callable returning
+    # the online refresh stats dict, or None when no online predictor is
+    # installed (see BacklogAwareScheduler.online_stats).  The frontend
+    # wires this unconditionally; the block only appears in snapshots when
+    # the callable yields something, so frozen-predictor snapshots stay
+    # byte-identical.
+    online: "object | None" = None
 
     def record_latency(self, latency_s: float) -> None:
         """Record a served request's latency in both digests at once."""
@@ -414,6 +421,10 @@ class ServingTelemetry:
             out["mean_batch_samples"] = self.batch_sizes.mean_samples
         if self.cascade is not None:
             out["cascade"] = self.cascade.snapshot()
+        if self.online is not None:
+            online = self.online()
+            if online:
+                out["online"] = online
         if self.tenants:
             out["tenants"] = {
                 name: stats.snapshot()

@@ -88,6 +88,77 @@ class TestClusterEquivalence:
         assert rollup["hit_rate"] == 0.0
 
 
+class TestOnlineClusterEquivalence:
+    """The fleet-level cache guarantee must survive the online refresh
+    loop.  A silent mid-flood thermal throttle drives real drift flags,
+    fallback routing, and live refits across the fleet's shared
+    OnlinePredictor — and cache-on / cache-off runs (each with its own
+    identically-built predictor) must still tell the same simulated-time
+    story, response for response."""
+
+    def run_online_fleet(self, online_dataset, trace, cache: bool):
+        from repro.faults import FaultInjector
+        from repro.sched.online import OnlineConfig, OnlinePredictor
+        from repro.sched.policies import Policy
+        from repro.sched.predictor import DevicePredictor
+        from tests.serving.conftest import SERVING_SPECS
+
+        base = DevicePredictor(Policy.THROUGHPUT).fit(online_dataset)
+        online = OnlinePredictor(
+            base, SERVING_SPECS, online_dataset, OnlineConfig(refit_interval=32)
+        )
+        router = ClusterRouter(
+            build_fleet({Policy.THROUGHPUT: online}, decision_cache=cache),
+            balancer="least-ect",
+            rng=123,
+        )
+        injector = FaultInjector(router)
+        # Both full nodes lose dGPU speed silently: the frozen forest
+        # would keep ranking dGPU first, the online layer must notice.
+        injector.throttle_device(0.6, "node-a", "dgpu", 8.0, duration_s=0.8)
+        injector.throttle_device(0.6, "node-b", "dgpu", 8.0, duration_s=0.8)
+        return router, online, router.serve_trace(trace)
+
+    def test_drift_campaign_is_bit_identical_to_uncached(
+        self, online_dataset, flood_trace
+    ):
+        cached_router, cached_online, cached = self.run_online_fleet(
+            online_dataset, flood_trace, cache=True
+        )
+        plain_router, plain_online, plain = self.run_online_fleet(
+            online_dataset, flood_trace, cache=False
+        )
+
+        # The campaign actually exercised the online path...
+        assert cached_online.n_drift_flags >= 1
+        assert cached_online.n_refits >= 1
+        fleet_online = cached_router.stats()["online"]
+        assert fleet_online["fallback_decisions"] > 0
+        assert fleet_online["drift_flags"] >= 1
+        assert fleet_online["refits"] >= 1
+        # ...identically on both sides...
+        assert cached_online.n_drift_flags == plain_online.n_drift_flags
+        assert cached_online.n_refits == plain_online.n_refits
+        assert cached_online.n_recoveries == plain_online.n_recoveries
+        # ...and the cache changed nothing observable.
+        assert cached_router.decision_cache_stats()["hits"] > 0
+        assert len(cached.responses) == len(plain.responses)
+        for rc, rp in zip(cached.responses, plain.responses):
+            assert rc.request.request_id == rp.request.request_id
+            assert rc.status == rp.status
+            assert rc.node_name == rp.node_name
+            assert rc.device == rp.device
+            assert rc.shed_reason == rp.shed_reason
+            if rc.served:
+                assert rc.latency_s == rp.latency_s
+
+    def test_plain_predictor_fleet_has_no_online_block(
+        self, serving_predictors, flood_trace
+    ):
+        router, _ = run_fleet(serving_predictors, flood_trace)
+        assert "online" not in router.stats()
+
+
 class _RecordingBalancer(RoundRobinBalancer):
     def __init__(self):
         super().__init__()

@@ -97,6 +97,20 @@ def serving_predictors():
     return {Policy.THROUGHPUT: DevicePredictor(Policy.THROUGHPUT).fit(dataset)}
 
 
+@pytest.fixture(scope="session")
+def online_dataset():
+    """Two-model grid for online-predictor tests (tests/sched, tests/cluster).
+
+    Shared as *data* only: each test trains its own base forest on it, so
+    OnlinePredictor refits never leak between tests.
+    """
+    return generate_dataset(
+        "throughput",
+        specs=[SIMPLE, MNIST_SMALL],
+        batches=(1, 64, 1024, 16384, 262144),
+    )
+
+
 @pytest.fixture()
 def rng() -> np.random.Generator:
     return np.random.default_rng(42)

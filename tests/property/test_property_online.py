@@ -1,0 +1,132 @@
+"""Property tests: the Page–Hinkley drift detector over residual streams.
+
+The detector's contract, pinned over randomized seeded streams:
+
+* no false alarms — stationary residual noise bounded inside the delta
+  slack never alarms, for any seed and any stream length;
+* guaranteed detection — a sustained service-time step of >= 2x, fed
+  through the same EWMA-predicted residual pipeline the backlog scheduler
+  uses, alarms within a small bounded number of post-shift samples;
+* determinism — the alarm position is a pure function of the stream:
+  replaying the same seed reproduces it exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.online import OnlineConfig, PageHinkley
+
+#: Serving-tuned defaults (what OnlinePredictor instantiates per cell).
+CFG = OnlineConfig()
+
+#: The backlog scheduler's OutcomeTable EWMA weight: the "predicted"
+#: signal the residuals are computed against (see backlog service_alpha).
+EWMA_ALPHA = 0.5
+
+
+def detector() -> PageHinkley:
+    return PageHinkley(
+        CFG.drift_delta, CFG.drift_threshold, CFG.drift_min_samples
+    )
+
+
+def residual_pipeline(services):
+    """Replicate the scheduler's residual stream for one (cell, device).
+
+    predicted = prior EWMA estimate (None on the cold first sample, which
+    the online layer skips); residual = (realized - predicted)/predicted.
+    """
+    predicted = None
+    residuals = []
+    for s in services:
+        if predicted is not None and predicted > 0.0:
+            residuals.append((s - predicted) / predicted)
+            predicted = predicted + EWMA_ALPHA * (s - predicted)
+        else:
+            predicted = s
+    return residuals
+
+
+def alarm_index(residuals) -> "int | None":
+    """First 0-based residual index that alarms, or None."""
+    ph = detector()
+    for i, r in enumerate(residuals):
+        if ph.update(r):
+            return i
+    return None
+
+
+class TestNoFalseAlarms:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n=st.integers(min_value=10, max_value=400),
+        base=st.floats(min_value=1e-4, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_stationary_noise_never_alarms(self, seed, n, base):
+        """Multiplicative noise of +/-10% around a fixed service time:
+        every residual stays well inside the delta slack, so neither
+        one-sided statistic ever accumulates."""
+        rng = np.random.default_rng(seed)
+        services = base * (1.0 + rng.uniform(-0.1, 0.1, size=n))
+        assert alarm_index(residual_pipeline(services)) is None
+
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_constant_stream_never_alarms(self, seed):
+        rng = np.random.default_rng(seed)
+        base = float(rng.uniform(1e-4, 1.0))
+        services = [base] * 200
+        assert alarm_index(residual_pipeline(services)) is None
+
+
+class TestDetection:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n_pre=st.integers(min_value=10, max_value=60),
+        factor=st.floats(min_value=2.0, max_value=16.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_step_of_2x_or_more_detected_fast(self, seed, n_pre, factor):
+        """A sustained >= 2x service step after >= 10 samples of stationary
+        history must alarm within 4 post-shift samples — even though the
+        EWMA predicted adapts underneath it."""
+        rng = np.random.default_rng(seed)
+        base = float(rng.uniform(1e-4, 0.1))
+        pre = base * (1.0 + rng.uniform(-0.05, 0.05, size=n_pre))
+        post = factor * base * (1.0 + rng.uniform(-0.05, 0.05, size=8))
+        residuals = residual_pipeline(np.concatenate([pre, post]))
+        idx = alarm_index(residuals)
+        assert idx is not None
+        # n_pre services produce n_pre - 1 residuals (first sample is cold).
+        post_shift = idx - (n_pre - 1)
+        assert 0 <= post_shift < 4
+
+    def test_detection_latency_bound_is_tight_at_2x(self):
+        """The worst case in the allowed range (exactly 2x, no noise)
+        alarms on the very first shifted sample with the shipped knobs."""
+        services = [0.01] * 20 + [0.02] * 4
+        residuals = residual_pipeline(services)
+        assert alarm_index(residuals) == 19  # residual idx of first 2x sample
+
+
+class TestDeterminism:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n_pre=st.integers(min_value=CFG.drift_min_samples + 1, max_value=40),
+        factor=st.floats(min_value=2.0, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_alarm_position_replays_exactly(self, seed, n_pre, factor):
+        def run():
+            rng = np.random.default_rng(seed)
+            base = float(rng.uniform(1e-4, 0.1))
+            pre = base * (1.0 + rng.uniform(-0.05, 0.05, size=n_pre))
+            post = factor * base * (1.0 + rng.uniform(-0.05, 0.05, size=8))
+            residuals = residual_pipeline(np.concatenate([pre, post]))
+            ph = detector()
+            trace = [(ph.update(r), ph.statistic) for r in residuals]
+            return trace
+
+        assert run() == run()

@@ -105,6 +105,79 @@ class TestEquivalence:
                     )
 
 
+class TestOnlineEquivalence:
+    """With an OnlinePredictor installed, the cache must stay bit-identical
+    to the uncached twin through the *whole* drift lifecycle: refits
+    (generation clears), flag flips (targeted drift invalidations), and
+    recoveries.  Each twin gets its own identically-constructed predictor
+    (same dataset, same seeded forest), so their online state evolves in
+    lockstep from the same observation script."""
+
+    def test_drift_lifecycle_is_bit_identical_to_uncached(self, online_dataset):
+        from tests.sched.test_online import FAST, make_online
+
+        cached = make_backlog(
+            {Policy.THROUGHPUT: make_online(online_dataset, FAST)}
+        )
+        plain = make_backlog(
+            {Policy.THROUGHPUT: make_online(online_dataset, FAST)},
+            cache_decisions=False,
+        )
+        twins = (cached, plain)
+
+        def feed(model, batch, state, device, service_s, now):
+            for bl in twins:
+                bl.record_service(model, batch, state, device, service_s, now=now)
+
+        def probe(t):
+            assert cached.estimate_completion(SIMPLE, 64, t) == (
+                plain.estimate_completion(SIMPLE, 64, t)
+            )
+            dc, ec = cached.submit_virtual(SIMPLE, 64, arrival_s=t)
+            dp, ep = plain.submit_virtual(SIMPLE, 64, arrival_s=t)
+            assert dc == dp
+            assert (ec.time_started, ec.time_ended) == (
+                ep.time_started, ep.time_ended
+            )
+
+        t = 0.0
+        # Normal regime: seed estimates, let a refit land.
+        for i in range(10):
+            t += 0.002
+            feed("simple", 64, "warm", "dgpu", 0.005, t)
+            feed("simple", 64, "warm", "cpu", 0.02, t)
+            probe(t)
+        # Silent dGPU throttle: both twins flag and fall back together.
+        for i in range(12):
+            t += 0.002
+            feed("simple", 64, "warm", "dgpu", 0.04, t)
+            probe(t)
+        online = cached.scheduler.predictors[Policy.THROUGHPUT]
+        assert online.n_drift_flags >= 1
+        # Sustained post-throttle regime: refit + in-band -> recovery.
+        for i in range(40):
+            t += 0.002
+            feed("simple", 64, "warm", "dgpu", 0.04, t)
+            feed("simple", 64, "warm", "cpu", 0.02, t)
+            probe(t)
+        assert online.n_recoveries >= 1
+
+        # The twins walked the same lifecycle...
+        for a, b in (
+            (cached.online_stats(), plain.online_stats()),
+        ):
+            assert a["fallback_decisions"] == b["fallback_decisions"]
+            pa, pb = a["predictor"], b["predictor"]
+            assert pa["drift_flags"] == pb["drift_flags"] >= 1
+            assert pa["recoveries"] == pb["recoveries"] >= 1
+            assert pa["refits"] == pb["refits"] >= 1
+        # ...and the cache actually worked while they did.
+        stats = cached.cache_stats()
+        assert stats["hits"] > 0
+        assert stats["drift_invalidations"] >= 1
+        assert stats["refit_clears"] >= 1
+
+
 class TestInvalidation:
     def test_record_service_bumps_the_touched_cell(self, trained_predictors):
         bl = make_backlog(trained_predictors)

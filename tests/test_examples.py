@@ -53,6 +53,12 @@ LANDMARKS = {
         "conservative windows",
         "degenerate case verified",
     ],
+    "online_drift.py": [
+        "silent dGPU throttle campaign",
+        "drift flags",
+        "drift detected -> fallback -> refit -> recovery",
+        "replay digest-identical",
+    ],
 }
 
 #: Extra CLI arguments per script (chaos runs its CI-sized campaign here).
@@ -62,6 +68,7 @@ EXAMPLE_ARGS = {
     "partitioned_cluster.py": ["--tiny"],
     "million_replay.py": ["--tiny"],
     "sharded_replay.py": ["--tiny"],
+    "online_drift.py": ["--tiny"],
 }
 
 
